@@ -1,0 +1,584 @@
+//! # xsc-batched — batched small-matrix BLAS
+//!
+//! The keynote's "many small problems" workload: applications (FEM element
+//! matrices, block preconditioners, tensor contractions) need *millions* of
+//! 4×4…32×32 BLAS calls. Calling a general kernel per matrix drowns in
+//! call/dispatch overhead and strided allocation; a **batched** interface
+//! stores the whole batch contiguously and makes one parallel pass.
+//!
+//! [`Batch`] is the flat container; [`batched_gemm`], [`batched_potrf`],
+//! [`batched_trsm_llt`] the operations; [`looped_gemm`] the
+//! one-call-per-matrix baseline experiment E07 compares against.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use rayon::prelude::*;
+use xsc_core::{gemm, Error, Matrix, Result, Scalar, Transpose};
+
+/// A batch of `count` matrices, each `rows × cols`, stored contiguously in
+/// column-major order, one after another.
+#[derive(Clone)]
+pub struct Batch<T> {
+    rows: usize,
+    cols: usize,
+    count: usize,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> Batch<T> {
+    /// Creates a zero-filled batch.
+    pub fn zeros(rows: usize, cols: usize, count: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Batch {
+            rows,
+            cols,
+            count,
+            data: vec![T::zero(); rows * cols * count],
+        }
+    }
+
+    /// Creates a batch whose `k`-th matrix has entries `f(k, i, j)`.
+    pub fn from_fn(
+        rows: usize,
+        cols: usize,
+        count: usize,
+        mut f: impl FnMut(usize, usize, usize) -> T,
+    ) -> Self {
+        let mut b = Batch::zeros(rows, cols, count);
+        for k in 0..count {
+            let m = b.matrix_mut(k);
+            for j in 0..cols {
+                for i in 0..rows {
+                    m[i + j * rows] = f(k, i, j);
+                }
+            }
+        }
+        b
+    }
+
+    /// Rows of each matrix.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Columns of each matrix.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of matrices in the batch.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Column-major slice of matrix `k`.
+    pub fn matrix(&self, k: usize) -> &[T] {
+        let s = self.rows * self.cols;
+        &self.data[k * s..(k + 1) * s]
+    }
+
+    /// Mutable column-major slice of matrix `k`.
+    pub fn matrix_mut(&mut self, k: usize) -> &mut [T] {
+        let s = self.rows * self.cols;
+        &mut self.data[k * s..(k + 1) * s]
+    }
+
+    /// Copies matrix `k` out as a [`Matrix`] (interop/testing helper).
+    pub fn to_matrix(&self, k: usize) -> Matrix<T> {
+        Matrix::from_col_major(self.rows, self.cols, self.matrix(k).to_vec())
+    }
+
+    /// Builds a batch from a slice of equally-sized matrices.
+    pub fn from_matrices(ms: &[Matrix<T>]) -> Self {
+        assert!(!ms.is_empty(), "empty batch");
+        let rows = ms[0].rows();
+        let cols = ms[0].cols();
+        let mut b = Batch::zeros(rows, cols, ms.len());
+        for (k, m) in ms.iter().enumerate() {
+            assert_eq!((m.rows(), m.cols()), (rows, cols), "ragged batch");
+            b.matrix_mut(k).copy_from_slice(m.as_slice());
+        }
+        b
+    }
+
+    fn stride(&self) -> usize {
+        self.rows * self.cols
+    }
+}
+
+/// Batched `C[k] <- alpha * A[k] * B[k] + beta * C[k]`, one rayon pass over
+/// the flat storage.
+pub fn batched_gemm<T: Scalar>(
+    alpha: T,
+    a: &Batch<T>,
+    b: &Batch<T>,
+    beta: T,
+    c: &mut Batch<T>,
+) {
+    assert_eq!(a.count, b.count, "batch counts differ");
+    assert_eq!(a.count, c.count, "batch counts differ");
+    assert_eq!(a.cols, b.rows, "inner dimensions differ");
+    assert_eq!((c.rows, c.cols), (a.rows, b.cols), "output shape mismatch");
+    let (m, k, n) = (a.rows, a.cols, b.cols);
+    let sa = a.stride();
+    let sb = b.stride();
+    let sc = c.stride();
+    c.data
+        .par_chunks_mut(sc)
+        .enumerate()
+        .for_each(|(idx, cm)| {
+            let am = &a.data[idx * sa..(idx + 1) * sa];
+            let bm = &b.data[idx * sb..(idx + 1) * sb];
+            // Tiny column-sweep gemm on raw slices (no per-call allocation).
+            for j in 0..n {
+                let cj = &mut cm[j * m..(j + 1) * m];
+                if beta == T::zero() {
+                    cj.fill(T::zero());
+                } else if beta != T::one() {
+                    for x in cj.iter_mut() {
+                        *x *= beta;
+                    }
+                }
+                for l in 0..k {
+                    let s = alpha * bm[l + j * k];
+                    if s == T::zero() {
+                        continue;
+                    }
+                    let al = &am[l * m..(l + 1) * m];
+                    for i in 0..m {
+                        cj[i] = s.mul_add(al[i], cj[i]);
+                    }
+                }
+            }
+        });
+}
+
+/// Per-matrix baseline: allocates `Matrix` wrappers and calls the general
+/// [`xsc_core::gemm::gemm`] once per batch element, sequentially — the
+/// pattern batched BLAS exists to replace.
+pub fn looped_gemm<T: Scalar>(
+    alpha: T,
+    a: &Batch<T>,
+    b: &Batch<T>,
+    beta: T,
+    c: &mut Batch<T>,
+) {
+    for k in 0..a.count {
+        let am = a.to_matrix(k);
+        let bm = b.to_matrix(k);
+        let mut cm = c.to_matrix(k);
+        gemm::gemm(Transpose::No, Transpose::No, alpha, &am, &bm, beta, &mut cm);
+        c.matrix_mut(k).copy_from_slice(cm.as_slice());
+    }
+}
+
+/// Batched Cholesky: factors every (square, SPD) matrix in place. Returns
+/// the index of the first failing matrix on error.
+pub fn batched_potrf<T: Scalar>(batch: &mut Batch<T>) -> Result<()> {
+    assert_eq!(batch.rows, batch.cols, "potrf needs square matrices");
+    let n = batch.rows;
+    let s = batch.stride();
+    let results: Vec<Result<()>> = batch
+        .data
+        .par_chunks_mut(s)
+        .map(|mslice| {
+            // In-place unblocked Cholesky on the raw slice.
+            for j in 0..n {
+                let d = mslice[j + j * n];
+                if d.to_f64() <= 0.0 || d.not_finite() {
+                    return Err(Error::NotPositiveDefinite { pivot: j });
+                }
+                let l = d.sqrt();
+                mslice[j + j * n] = l;
+                let inv = T::one() / l;
+                for i in j + 1..n {
+                    mslice[i + j * n] *= inv;
+                }
+                for c in j + 1..n {
+                    let sjc = mslice[c + j * n];
+                    if sjc == T::zero() {
+                        continue;
+                    }
+                    for i in c..n {
+                        let v = mslice[i + j * n];
+                        mslice[i + c * n] = (-sjc).mul_add(v, mslice[i + c * n]);
+                    }
+                }
+            }
+            Ok(())
+        })
+        .collect();
+    for (k, r) in results.into_iter().enumerate() {
+        if let Err(e) = r {
+            return Err(match e {
+                Error::NotPositiveDefinite { pivot } => Error::InvalidArgument {
+                    context: format!("batch element {k} not SPD at pivot {pivot}"),
+                },
+                other => other,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Batched forward+backward solve `A[k] x[k] = b[k]` from [`batched_potrf`]
+/// factors; `rhs` is a batch of `n × 1` vectors, overwritten with solutions.
+pub fn batched_trsm_llt<T: Scalar>(factors: &Batch<T>, rhs: &mut Batch<T>) {
+    assert_eq!(factors.rows, factors.cols, "factors must be square");
+    assert_eq!(rhs.rows, factors.rows, "rhs row mismatch");
+    assert_eq!(rhs.count, factors.count, "batch counts differ");
+    let n = factors.rows;
+    let sf = factors.stride();
+    let sr = rhs.stride();
+    let nrhs = rhs.cols;
+    let fdata = &factors.data;
+    rhs.data.par_chunks_mut(sr).enumerate().for_each(|(k, x)| {
+        let l = &fdata[k * sf..(k + 1) * sf];
+        for col in 0..nrhs {
+            let xj = &mut x[col * n..(col + 1) * n];
+            // Forward: L y = b.
+            for j in 0..n {
+                xj[j] /= l[j + j * n];
+                let yj = xj[j];
+                for i in j + 1..n {
+                    xj[i] = (-yj).mul_add(l[i + j * n], xj[i]);
+                }
+            }
+            // Backward: L^T x = y.
+            for j in (0..n).rev() {
+                let mut acc = xj[j];
+                for i in j + 1..n {
+                    acc = (-l[i + j * n]).mul_add(xj[i], acc);
+                }
+                xj[j] = acc / l[j + j * n];
+            }
+        }
+    });
+}
+
+/// Batched LU with partial pivoting: factors every (square) matrix in
+/// place, returning one pivot vector per batch element.
+pub fn batched_getrf<T: Scalar>(batch: &mut Batch<T>) -> Result<Vec<Vec<usize>>> {
+    assert_eq!(batch.rows, batch.cols, "getrf needs square matrices");
+    let n = batch.rows;
+    let s = batch.stride();
+    let results: Vec<Result<Vec<usize>>> = batch
+        .data
+        .par_chunks_mut(s)
+        .map(|mslice| {
+            let mut piv = vec![0usize; n];
+            for j in 0..n {
+                // Pivot search in column j.
+                let mut p = j;
+                let mut pmax = mslice[j + j * n].abs();
+                for i in j + 1..n {
+                    let v = mslice[i + j * n].abs();
+                    if v > pmax {
+                        pmax = v;
+                        p = i;
+                    }
+                }
+                piv[j] = p;
+                if pmax.to_f64() == 0.0 {
+                    return Err(Error::Singular { pivot: j });
+                }
+                if p != j {
+                    for c in 0..n {
+                        mslice.swap(j + c * n, p + c * n);
+                    }
+                }
+                let inv = T::one() / mslice[j + j * n];
+                for i in j + 1..n {
+                    mslice[i + j * n] *= inv;
+                }
+                for c in j + 1..n {
+                    let sjc = mslice[j + c * n];
+                    if sjc == T::zero() {
+                        continue;
+                    }
+                    for i in j + 1..n {
+                        let l = mslice[i + j * n];
+                        mslice[i + c * n] = (-sjc).mul_add(l, mslice[i + c * n]);
+                    }
+                }
+            }
+            Ok(piv)
+        })
+        .collect();
+    let mut pivots = Vec::with_capacity(batch.count);
+    for (k, r) in results.into_iter().enumerate() {
+        match r {
+            Ok(p) => pivots.push(p),
+            Err(Error::Singular { pivot }) => {
+                return Err(Error::InvalidArgument {
+                    context: format!("batch element {k} singular at pivot {pivot}"),
+                })
+            }
+            Err(other) => return Err(other),
+        }
+    }
+    Ok(pivots)
+}
+
+/// Batched LU solve from [`batched_getrf`] factors: `rhs` holds one `n × k`
+/// right-hand-side block per element, overwritten with solutions.
+pub fn batched_getrf_solve<T: Scalar>(
+    factors: &Batch<T>,
+    pivots: &[Vec<usize>],
+    rhs: &mut Batch<T>,
+) {
+    assert_eq!(factors.rows, factors.cols, "factors must be square");
+    assert_eq!(rhs.rows, factors.rows, "rhs row mismatch");
+    assert_eq!(rhs.count, factors.count, "batch counts differ");
+    assert_eq!(pivots.len(), factors.count, "pivot count mismatch");
+    let n = factors.rows;
+    let sf = factors.stride();
+    let sr = rhs.stride();
+    let nrhs = rhs.cols;
+    let fdata = &factors.data;
+    rhs.data.par_chunks_mut(sr).enumerate().for_each(|(k, x)| {
+        let lu = &fdata[k * sf..(k + 1) * sf];
+        let piv = &pivots[k];
+        for col in 0..nrhs {
+            let xj = &mut x[col * n..(col + 1) * n];
+            for (j, &p) in piv.iter().enumerate() {
+                if p != j {
+                    xj.swap(j, p);
+                }
+            }
+            // Unit-lower forward, then upper backward.
+            for j in 0..n {
+                let v = xj[j];
+                if v == T::zero() {
+                    continue;
+                }
+                for i in j + 1..n {
+                    xj[i] = (-v).mul_add(lu[i + j * n], xj[i]);
+                }
+            }
+            for j in (0..n).rev() {
+                xj[j] /= lu[j + j * n];
+                let v = xj[j];
+                if v == T::zero() {
+                    continue;
+                }
+                for i in 0..j {
+                    xj[i] = (-v).mul_add(lu[i + j * n], xj[i]);
+                }
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsc_core::{factor, gen};
+
+    fn random_batch(rows: usize, cols: usize, count: usize, seed: u64) -> Batch<f64> {
+        let ms: Vec<Matrix<f64>> = (0..count)
+            .map(|k| gen::random_matrix(rows, cols, seed + k as u64))
+            .collect();
+        Batch::from_matrices(&ms)
+    }
+
+    #[test]
+    fn batch_layout_round_trips() {
+        let b = Batch::<f64>::from_fn(3, 2, 4, |k, i, j| (100 * k + 10 * i + j) as f64);
+        assert_eq!(b.count(), 4);
+        let m2 = b.to_matrix(2);
+        assert_eq!(m2.get(1, 1), 211.0);
+        assert_eq!(b.matrix(0)[0], 0.0);
+    }
+
+    #[test]
+    fn batched_gemm_matches_looped() {
+        let a = random_batch(5, 4, 33, 1);
+        let b = random_batch(4, 6, 33, 100);
+        let c0 = random_batch(5, 6, 33, 200);
+        let mut c1 = c0.clone();
+        let mut c2 = c0.clone();
+        batched_gemm(1.5, &a, &b, -0.5, &mut c1);
+        looped_gemm(1.5, &a, &b, -0.5, &mut c2);
+        for k in 0..33 {
+            assert!(
+                c1.to_matrix(k).approx_eq(&c2.to_matrix(k), 1e-12),
+                "batch element {k} differs"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_gemm_beta_zero_overwrites() {
+        let a = Batch::<f64>::from_fn(2, 2, 3, |_, i, j| if i == j { 1.0 } else { 0.0 });
+        let b = a.clone();
+        let mut c = Batch::<f64>::from_fn(2, 2, 3, |_, _, _| f64::NAN);
+        batched_gemm(1.0, &a, &b, 0.0, &mut c);
+        for k in 0..3 {
+            assert!(c.to_matrix(k).approx_eq(&Matrix::identity(2), 0.0));
+        }
+    }
+
+    #[test]
+    fn batched_potrf_matches_reference() {
+        let count = 17;
+        let n = 8;
+        let ms: Vec<Matrix<f64>> = (0..count).map(|k| gen::random_spd(n, k as u64)).collect();
+        let mut batch = Batch::from_matrices(&ms);
+        batched_potrf(&mut batch).unwrap();
+        for (k, m) in ms.iter().enumerate() {
+            let mut f = m.clone();
+            factor::potrf_unblocked(&mut f).unwrap();
+            let got = batch.to_matrix(k);
+            for j in 0..n {
+                for i in j..n {
+                    assert!(
+                        (got.get(i, j) - f.get(i, j)).abs() < 1e-11,
+                        "element {k} at ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_potrf_reports_failing_element() {
+        let n = 4;
+        let ms: Vec<Matrix<f64>> = (0..5)
+            .map(|k| {
+                let mut m = gen::random_spd::<f64>(n, 50 + k as u64);
+                if k == 3 {
+                    m.set(1, 1, -5.0);
+                }
+                m
+            })
+            .collect();
+        let mut batch = Batch::from_matrices(&ms);
+        let err = batched_potrf(&mut batch).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("element 3"), "{msg}");
+    }
+
+    #[test]
+    fn batched_solve_recovers_solutions() {
+        let count = 9;
+        let n = 6;
+        let ms: Vec<Matrix<f64>> = (0..count).map(|k| gen::random_spd(n, 70 + k as u64)).collect();
+        let mut factors = Batch::from_matrices(&ms);
+        batched_potrf(&mut factors).unwrap();
+        // b[k] = A[k] * ones.
+        let mut rhs = Batch::<f64>::zeros(n, 1, count);
+        for (k, m) in ms.iter().enumerate() {
+            let b = gen::rhs_for_unit_solution(m);
+            rhs.matrix_mut(k).copy_from_slice(&b);
+        }
+        batched_trsm_llt(&factors, &mut rhs);
+        for k in 0..count {
+            for &xi in rhs.matrix(k) {
+                assert!((xi - 1.0).abs() < 1e-9, "element {k}: {xi}");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_rhs_solve() {
+        let n = 5;
+        let m = gen::random_spd::<f64>(n, 90);
+        let mut factors = Batch::from_matrices(std::slice::from_ref(&m));
+        batched_potrf(&mut factors).unwrap();
+        // Two right-hand sides: A*1 and A*2.
+        let b1 = gen::rhs_for_unit_solution(&m);
+        let mut rhs = Batch::<f64>::zeros(n, 2, 1);
+        for (i, &bi) in b1.iter().enumerate() {
+            rhs.matrix_mut(0)[i] = bi;
+            rhs.matrix_mut(0)[n + i] = 2.0 * bi;
+        }
+        batched_trsm_llt(&factors, &mut rhs);
+        for i in 0..n {
+            assert!((rhs.matrix(0)[i] - 1.0).abs() < 1e-9);
+            assert!((rhs.matrix(0)[n + i] - 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn batched_getrf_matches_reference() {
+        let count = 11;
+        let n = 7;
+        let ms: Vec<Matrix<f64>> = (0..count).map(|k| gen::random_matrix(n, n, 30 + k as u64)).collect();
+        let mut batch = Batch::from_matrices(&ms);
+        let pivots = batched_getrf(&mut batch).unwrap();
+        for (k, m) in ms.iter().enumerate() {
+            let mut f = m.clone();
+            let piv = factor::getrf_unblocked(&mut f).unwrap();
+            assert_eq!(pivots[k], piv, "element {k} pivots differ");
+            assert!(
+                batch.to_matrix(k).approx_eq(&f, 1e-12),
+                "element {k} factors differ"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_getrf_solve_end_to_end() {
+        let count = 6;
+        let n = 9;
+        let ms: Vec<Matrix<f64>> = (0..count).map(|k| gen::random_matrix(n, n, 40 + k as u64)).collect();
+        let mut factors = Batch::from_matrices(&ms);
+        let pivots = batched_getrf(&mut factors).unwrap();
+        let mut rhs = Batch::<f64>::zeros(n, 1, count);
+        for (k, m) in ms.iter().enumerate() {
+            rhs.matrix_mut(k).copy_from_slice(&gen::rhs_for_unit_solution(m));
+        }
+        batched_getrf_solve(&factors, &pivots, &mut rhs);
+        for k in 0..count {
+            for &xi in rhs.matrix(k) {
+                assert!((xi - 1.0).abs() < 1e-9, "element {k}: {xi}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_getrf_reports_singular_element() {
+        let n = 4;
+        let ms: Vec<Matrix<f64>> = (0..3)
+            .map(|k| {
+                if k == 1 {
+                    Matrix::zeros(n, n)
+                } else {
+                    gen::random_matrix(n, n, 60 + k as u64)
+                }
+            })
+            .collect();
+        let mut batch = Batch::from_matrices(&ms);
+        let err = batched_getrf(&mut batch).unwrap_err();
+        assert!(err.to_string().contains("element 1"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_batches_rejected() {
+        let _ = Batch::from_matrices(&[
+            Matrix::<f64>::zeros(2, 2),
+            Matrix::<f64>::zeros(3, 3),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "counts differ")]
+    fn mismatched_counts_rejected() {
+        let a = Batch::<f64>::zeros(2, 2, 3);
+        let b = Batch::<f64>::zeros(2, 2, 4);
+        let mut c = Batch::<f64>::zeros(2, 2, 3);
+        batched_gemm(1.0, &a, &b, 1.0, &mut c);
+    }
+
+    #[test]
+    fn f32_batches_work() {
+        let a = Batch::<f32>::from_fn(3, 3, 2, |k, i, j| (k + i + j) as f32);
+        let b = a.clone();
+        let mut c = Batch::<f32>::zeros(3, 3, 2);
+        batched_gemm(1.0, &a, &b, 0.0, &mut c);
+        assert!(c.matrix(1).iter().all(|v| v.is_finite()));
+    }
+}

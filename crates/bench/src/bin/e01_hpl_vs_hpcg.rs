@@ -1,0 +1,4 @@
+//! Standalone driver for experiment `e01_hpl_vs_hpcg` (see DESIGN.md's index).
+fn main() {
+    xsc_bench::experiments::e01_hpl_vs_hpcg::run(xsc_bench::Scale::from_env());
+}

@@ -1,0 +1,4 @@
+//! Standalone driver for experiment `e02_dag_vs_forkjoin` (see DESIGN.md's index).
+fn main() {
+    xsc_bench::experiments::e02_dag_vs_forkjoin::run(xsc_bench::Scale::from_env());
+}

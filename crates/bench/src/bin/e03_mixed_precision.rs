@@ -1,0 +1,4 @@
+//! Standalone driver for experiment `e03_mixed_precision` (see DESIGN.md's index).
+fn main() {
+    xsc_bench::experiments::e03_mixed_precision::run(xsc_bench::Scale::from_env());
+}

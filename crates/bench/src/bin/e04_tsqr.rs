@@ -1,0 +1,4 @@
+//! Standalone driver for experiment `e04_tsqr` (see DESIGN.md's index).
+fn main() {
+    xsc_bench::experiments::e04_tsqr::run(xsc_bench::Scale::from_env());
+}

@@ -1,0 +1,4 @@
+//! Standalone driver for experiment `e05_energy_table` (see DESIGN.md's index).
+fn main() {
+    xsc_bench::experiments::e05_energy_table::run(xsc_bench::Scale::from_env());
+}

@@ -1,0 +1,4 @@
+//! Standalone driver for experiment `e06_abft` (see DESIGN.md's index).
+fn main() {
+    xsc_bench::experiments::e06_abft::run(xsc_bench::Scale::from_env());
+}

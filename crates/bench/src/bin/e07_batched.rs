@@ -1,0 +1,4 @@
+//! Standalone driver for experiment `e07_batched` (see DESIGN.md's index).
+fn main() {
+    xsc_bench::experiments::e07_batched::run(xsc_bench::Scale::from_env());
+}

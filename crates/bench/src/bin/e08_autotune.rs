@@ -1,0 +1,4 @@
+//! Standalone driver for experiment `e08_autotune` (see DESIGN.md's index).
+fn main() {
+    xsc_bench::experiments::e08_autotune::run(xsc_bench::Scale::from_env());
+}

@@ -1,0 +1,4 @@
+//! Standalone driver for experiment `e09_rbt` (see DESIGN.md's index).
+fn main() {
+    xsc_bench::experiments::e09_rbt::run(xsc_bench::Scale::from_env());
+}

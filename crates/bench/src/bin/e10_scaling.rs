@@ -1,0 +1,4 @@
+//! Standalone driver for experiment `e10_scaling` (see DESIGN.md's index).
+fn main() {
+    xsc_bench::experiments::e10_scaling::run(xsc_bench::Scale::from_env());
+}

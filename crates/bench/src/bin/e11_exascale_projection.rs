@@ -1,0 +1,4 @@
+//! Standalone driver for experiment `e11_exascale_projection` (see DESIGN.md's index).
+fn main() {
+    xsc_bench::experiments::e11_exascale_projection::run(xsc_bench::Scale::from_env());
+}

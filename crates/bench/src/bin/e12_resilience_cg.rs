@@ -1,0 +1,4 @@
+//! Standalone driver for experiment `e12_resilience_cg` (see DESIGN.md's index).
+fn main() {
+    xsc_bench::experiments::e12_resilience_cg::run(xsc_bench::Scale::from_env());
+}

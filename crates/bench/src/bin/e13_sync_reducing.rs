@@ -1,0 +1,4 @@
+//! Standalone driver for experiment `e13_sync_reducing` (see DESIGN.md's index).
+fn main() {
+    xsc_bench::experiments::e13_sync_reducing::run(xsc_bench::Scale::from_env());
+}

@@ -1,0 +1,4 @@
+//! Standalone driver for experiment `e14_calu` (see DESIGN.md's index).
+fn main() {
+    xsc_bench::experiments::e14_calu::run(xsc_bench::Scale::from_env());
+}

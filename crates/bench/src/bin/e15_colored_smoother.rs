@@ -1,0 +1,4 @@
+//! Standalone driver for experiment `e15_colored_smoother` (see DESIGN.md's index).
+fn main() {
+    xsc_bench::experiments::e15_colored_smoother::run(xsc_bench::Scale::from_env());
+}

@@ -1,0 +1,4 @@
+//! Standalone driver for experiment `e16_comm_optimal` (see DESIGN.md's index).
+fn main() {
+    xsc_bench::experiments::e16_comm_optimal::run(xsc_bench::Scale::from_env());
+}

@@ -1,0 +1,43 @@
+//! E01 — the headline figure: HPL runs near peak, HPCG at a few percent.
+//!
+//! "Peak" is the machine's best measured parallel `dgemm` rate (the honest
+//! single-node analogue of the spec-sheet peak HPL divides by).
+
+use crate::table::{f2, pct, secs, Table};
+use crate::Scale;
+use xsc_dense::hpl;
+use xsc_sparse::{run_hpcg, Geometry};
+
+/// Runs the experiment and prints its table.
+pub fn run(scale: Scale) {
+    let peak = hpl::measure_peak_gflops(scale.pick(256, 512), 3);
+    println!("\n[E01] measured machine peak (parallel dgemm): {peak:.2} Gflop/s");
+
+    let mut t = Table::new(&["benchmark", "problem", "time", "Gflop/s", "% of peak", "check"]);
+    let hpl_sizes: Vec<usize> = scale.pick(vec![512, 768, 1024], vec![1024, 2048, 4096]);
+    for n in hpl_sizes {
+        let r = hpl::run_hpl(n, 128, 42).expect("HPL run failed");
+        t.row(vec![
+            "HPL-like (dense LU)".into(),
+            format!("n={n}"),
+            secs(r.seconds),
+            f2(r.gflops),
+            pct(r.gflops / peak),
+            if r.passed { "resid OK".into() } else { "RESID FAIL".into() },
+        ]);
+    }
+    let grids: Vec<usize> = scale.pick(vec![32, 48], vec![64, 96]);
+    for g in grids {
+        let r = run_hpcg(Geometry::new(g, g, g), 3, 50);
+        t.row(vec![
+            "HPCG-like (MG-PCG)".into(),
+            format!("{g}^3 grid"),
+            secs(r.seconds),
+            f2(r.gflops),
+            pct(r.gflops / peak),
+            if r.passed { "conv OK".into() } else { "CONV FAIL".into() },
+        ]);
+    }
+    t.print("E01: HPL vs HPCG — % of measured peak");
+    println!("  keynote claim: HPL at a large fraction of peak, HPCG at 1-5%.");
+}

@@ -1,0 +1,73 @@
+//! E03 — mixed-precision iterative refinement vs full f64 solve, with the
+//! stopping-criterion ablation (default √n·ε vs loose 1e-8).
+
+use crate::table::{secs, sci, Table};
+use crate::{best_of, Scale};
+use xsc_core::{gen, norms};
+use xsc_precision::ir::{full_f64_solve, lu_ir_solve};
+use xsc_precision::Half;
+
+/// Runs the experiment and prints its table.
+pub fn run(scale: Scale) {
+    let sizes: Vec<usize> = scale.pick(vec![256, 512, 768], vec![512, 1024, 2048]);
+    let reps = scale.pick(2, 3);
+    let mut t = Table::new(&[
+        "n", "method", "time", "speedup vs f64", "IR iters", "scaled residual",
+    ]);
+    for n in sizes {
+        let a = gen::diag_dominant::<f64>(n, 11);
+        let b = gen::rhs_for_unit_solution(&a);
+
+        let mut x64 = Vec::new();
+        let t64 = best_of(reps, || x64 = full_f64_solve(&a, &b).unwrap());
+        t.row(vec![
+            n.to_string(),
+            "f64 direct".into(),
+            secs(t64),
+            "1.00".into(),
+            "-".into(),
+            sci(norms::hpl_scaled_residual(&a, &x64, &b)),
+        ]);
+
+        let mut out32 = None;
+        let t32 = best_of(reps, || out32 = Some(lu_ir_solve::<f32>(&a, &b, 30, None).unwrap()));
+        let (x32, rep32) = out32.unwrap();
+        t.row(vec![
+            n.to_string(),
+            "f32 LU + IR".into(),
+            secs(t32),
+            format!("{:.2}", t64 / t32),
+            rep32.iterations.to_string(),
+            sci(norms::hpl_scaled_residual(&a, &x32, &b)),
+        ]);
+
+        // Ablation: loose tolerance stops refinement earlier.
+        let (_, rep_loose) = lu_ir_solve::<f32>(&a, &b, 30, Some(1e-8)).unwrap();
+        t.row(vec![
+            n.to_string(),
+            "f32 LU + IR (tol 1e-8)".into(),
+            "-".into(),
+            "-".into(),
+            rep_loose.iterations.to_string(),
+            sci(*rep_loose.residual_history.last().unwrap()),
+        ]);
+
+        if n <= 512 {
+            // fp16 emulation is software-rounded (slow), so keep it small;
+            // the point is the iteration count, not the wall clock.
+            let (x16, rep16) = lu_ir_solve::<Half>(&a, &b, 60, None).unwrap();
+            t.row(vec![
+                n.to_string(),
+                "fp16(emu) LU + IR".into(),
+                "-".into(),
+                "-".into(),
+                rep16.iterations.to_string(),
+                sci(norms::hpl_scaled_residual(&a, &x16, &b)),
+            ]);
+        }
+    }
+    t.print("E03: mixed-precision iterative refinement");
+    println!("  keynote claim: factor in 32-bit, refine to 64-bit accuracy, ~2x speedup");
+    println!("  (fp32 arithmetic is ~2x f64 on SIMD hardware; this scalar build shows");
+    println!("  a smaller but consistent ratio plus the accuracy-recovery behaviour).");
+}

@@ -1,0 +1,76 @@
+//! E04 — communication-avoiding TSQR vs flat Householder QR on tall-skinny
+//! matrices, with the tree-fan-in ablation (leaf block size) and the
+//! machine-model projection to 1024 nodes.
+
+use crate::table::{secs, Table};
+use crate::{best_of, Scale};
+use xsc_core::gen;
+use xsc_dense::tsqr::{flat_qr_r, tsqr};
+use xsc_machine::{KernelProfile, MachineModel};
+
+/// Runs the experiment and prints its table.
+pub fn run(scale: Scale) {
+    let ms: Vec<usize> = scale.pick(vec![50_000, 100_000], vec![200_000, 1_000_000]);
+    let n = 32;
+    let reps = scale.pick(2, 3);
+    let mut t = Table::new(&[
+        "m", "n", "method", "time", "speedup", "comm words", "tree levels",
+    ]);
+    for m in ms {
+        let a = gen::random_matrix::<f64>(m, n, 3);
+        let mut flat_words = 0;
+        let t_flat = best_of(reps, || flat_words = flat_qr_r(&a).1);
+        let mut res = None;
+        let t_tsqr = best_of(reps, || res = Some(tsqr(&a, (m / 16).max(n))));
+        let res = res.unwrap();
+        t.row(vec![
+            m.to_string(),
+            n.to_string(),
+            "flat Householder".into(),
+            secs(t_flat),
+            "1.00".into(),
+            flat_words.to_string(),
+            "-".into(),
+        ]);
+        t.row(vec![
+            m.to_string(),
+            n.to_string(),
+            "TSQR (16 leaves)".into(),
+            secs(t_tsqr),
+            format!("{:.2}", t_flat / t_tsqr),
+            res.comm_words.to_string(),
+            res.levels.to_string(),
+        ]);
+        // Ablation: more leaves = more parallelism, more (but still tiny)
+        // tree communication.
+        let res64 = tsqr(&a, (m / 64).max(n));
+        t.row(vec![
+            m.to_string(),
+            n.to_string(),
+            "TSQR (64 leaves)".into(),
+            "-".into(),
+            "-".into(),
+            res64.comm_words.to_string(),
+            res64.levels.to_string(),
+        ]);
+    }
+    t.print("E04: tall-skinny QR — communication-avoiding vs flat");
+
+    // Model projection: what the same algorithms cost across 1024 nodes.
+    let machine = MachineModel::node_2016();
+    let mt = Table::new(&["method", "modeled time @1024 nodes", "modeled net bytes"]);
+    let mut mt = mt;
+    for (name, prof) in [
+        ("flat QR", KernelProfile::flat_qr(1_000_000, n, 1024)),
+        ("TSQR", KernelProfile::tsqr(1_000_000, n, 1024)),
+    ] {
+        let p = machine.predict(&prof);
+        mt.row(vec![
+            name.into(),
+            secs(p.seconds),
+            format!("{:.2e}", prof.net_bytes),
+        ]);
+    }
+    mt.print("E04b: machine-model projection (m=1e6, n=32, p=1024)");
+    println!("  keynote claim: O(log P) messages instead of O(n log P); words shrink by ~m/n^2.");
+}

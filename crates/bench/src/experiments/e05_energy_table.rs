@@ -1,0 +1,58 @@
+//! E05 — the "rules have changed" energy table: picojoules per operation
+//! across machine generations, and where the energy of a real solve goes.
+
+use crate::table::{f2, pct, Table};
+use crate::Scale;
+use xsc_machine::{KernelProfile, MachineModel};
+
+/// Runs the experiment and prints its tables.
+pub fn run(_scale: Scale) {
+    let gens = MachineModel::generations();
+
+    let mut t = Table::new(&["operation (pJ)", gens[0].name, gens[1].name, gens[2].name]);
+    type EnergyGetter = fn(&MachineModel) -> f64;
+    let rows: Vec<(&str, EnergyGetter)> = vec![
+        ("DP flop", |m| m.energy.pj_per_flop),
+        ("byte from cache", |m| m.energy.pj_per_byte_cache),
+        ("byte from DRAM", |m| m.energy.pj_per_byte_dram),
+        ("byte over network", |m| m.energy.pj_per_byte_network),
+    ];
+    for (name, f) in rows {
+        t.row(vec![
+            name.into(),
+            f2(f(&gens[0])),
+            f2(f(&gens[1])),
+            f2(f(&gens[2])),
+        ]);
+    }
+    t.print("E05: energy per operation (picojoules) across generations");
+
+    let mut t2 = Table::new(&[
+        "machine",
+        "kernel",
+        "flops/byte needed (balance)",
+        "energy in flops",
+        "energy in data movement",
+    ]);
+    for m in &gens {
+        for (name, prof) in [
+            ("HPL n=50k", KernelProfile::hpl(50_000, 256)),
+            ("HPCG 104^3 x50", KernelProfile::hpcg(104usize.pow(3), 27 * 104usize.pow(3), 50)),
+        ] {
+            let flop_j = prof.flops * m.energy.pj_per_flop * 1e-12;
+            let move_j = prof.dram_bytes * m.energy.pj_per_byte_dram * 1e-12
+                + prof.net_bytes * m.energy.pj_per_byte_network * 1e-12;
+            let total = flop_j + move_j;
+            t2.row(vec![
+                m.name.into(),
+                name.into(),
+                f2(m.balance()),
+                pct(flop_j / total),
+                pct(move_j / total),
+            ]);
+        }
+    }
+    t2.print("E05b: where the joules go");
+    println!("  keynote claim: a DP flop costs 10-100x less than moving its operands;");
+    println!("  the machine balance (flops needed per byte) worsens every generation.");
+}

@@ -1,0 +1,99 @@
+//! E15 — making the HPCG smoother parallel: multi-color Gauss–Seidel vs
+//! the sequential natural-order sweep (HPCG's sanctioned optimization).
+
+use crate::table::{f2, secs, sci, Table};
+use crate::{best_of, Scale};
+use xsc_core::blas1;
+use xsc_sparse::coloring::{color_classes, colored_symgs, greedy_coloring};
+use xsc_sparse::stencil::{build_matrix, build_rhs, Geometry};
+use xsc_sparse::symgs::symgs;
+use xsc_sparse::CsrMatrix;
+
+fn residual(a: &CsrMatrix<f64>, x: &[f64], b: &[f64]) -> f64 {
+    let mut r = vec![0.0; b.len()];
+    a.residual(x, b, &mut r);
+    blas1::nrm2(&r) / blas1::nrm2(b).max(f64::MIN_POSITIVE)
+}
+
+/// Runs the experiment and prints its table.
+pub fn run(scale: Scale) {
+    let g = scale.pick(24, 48);
+    let geom = Geometry::new(g, g, g);
+    let a = build_matrix(geom);
+    let (b, _) = build_rhs(&a);
+    let reps = scale.pick(2, 3);
+
+    let colors = greedy_coloring(&a);
+    let num_colors = colors.iter().max().unwrap() + 1;
+    let classes = color_classes(&colors);
+
+    let mut x_nat = vec![0.0; a.nrows()];
+    let t_nat = best_of(reps, || {
+        x_nat.iter_mut().for_each(|v| *v = 0.0);
+        for _ in 0..5 {
+            symgs(&a, &b, &mut x_nat);
+        }
+    });
+    let mut x_col = vec![0.0; a.nrows()];
+    let t_col = best_of(reps, || {
+        x_col.iter_mut().for_each(|v| *v = 0.0);
+        for _ in 0..5 {
+            colored_symgs(&a, &classes, &b, &mut x_col);
+        }
+    });
+
+    let mut t = Table::new(&[
+        "smoother",
+        "time (5 sweeps)",
+        "residual after 5 sweeps",
+        "parallel rows per step",
+    ]);
+    t.row(vec![
+        "natural order (sequential)".into(),
+        secs(t_nat),
+        sci(residual(&a, &x_nat, &b)),
+        "1".into(),
+    ]);
+    t.row(vec![
+        format!("{num_colors}-color (parallel)"),
+        secs(t_col),
+        sci(residual(&a, &x_col, &b)),
+        f2(a.nrows() as f64 / num_colors as f64),
+    ]);
+    t.print(&format!("E15: Gauss–Seidel smoother on the {g}^3 stencil"));
+
+    // Full pipeline ablation: the three smoother families inside MG-CG.
+    use xsc_sparse::mg::{MgPreconditioner, Smoother};
+    use xsc_sparse::{pcg};
+    let g2 = scale.pick(16usize, 32);
+    let geom2 = Geometry::new(g2, g2, g2);
+    let a2 = build_matrix(geom2);
+    let (b2, _) = build_rhs(&a2);
+    let mut t2 = Table::new(&["MG smoother", "CG iterations", "time", "final residual", "sequential?"]);
+    for (name, sm, seq) in [
+        ("SymGS (natural)", Smoother::SymGs, "yes"),
+        ("SymGS (8-color)", Smoother::Colored, "no"),
+        ("Chebyshev deg-4", Smoother::Chebyshev { degree: 4 }, "no"),
+    ] {
+        let mg = MgPreconditioner::with_smoother(geom2, 3, sm);
+        let mut x = vec![0.0; a2.nrows()];
+        let mut res = None;
+        let tm = best_of(reps, || {
+            x.iter_mut().for_each(|v| *v = 0.0);
+            res = Some(pcg(&a2, &b2, &mut x, 100, 1e-9, &mg));
+        });
+        let res = res.unwrap();
+        t2.row(vec![
+            name.into(),
+            res.iterations.to_string(),
+            secs(tm),
+            sci(res.final_residual()),
+            seq.into(),
+        ]);
+    }
+    t2.print(&format!("E15b: smoother families inside MG-CG ({g2}^3)"));
+    println!("  keynote claim: reordering trades a little convergence per sweep for");
+    println!("  a smoother that scales — rows within a color update concurrently.");
+    println!("  (On a 1-core host the colored sweep shows overhead, not speedup; the");
+    println!("  'parallel rows per step' column is the concurrency a wide machine exploits.)");
+}

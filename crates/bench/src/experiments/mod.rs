@@ -1,0 +1,41 @@
+//! One module per reproduced table/figure; see the experiment index in
+//! `DESIGN.md` and the measured-vs-claimed record in `EXPERIMENTS.md`.
+
+pub mod e01_hpl_vs_hpcg;
+pub mod e02_dag_vs_forkjoin;
+pub mod e03_mixed_precision;
+pub mod e04_tsqr;
+pub mod e05_energy_table;
+pub mod e06_abft;
+pub mod e07_batched;
+pub mod e08_autotune;
+pub mod e09_rbt;
+pub mod e10_scaling;
+pub mod e11_exascale_projection;
+pub mod e12_resilience_cg;
+pub mod e13_sync_reducing;
+pub mod e14_calu;
+pub mod e15_colored_smoother;
+pub mod e16_comm_optimal;
+
+use crate::Scale;
+
+/// Runs every experiment at the given scale (the `cargo bench` entry point).
+pub fn run_all(scale: Scale) {
+    e01_hpl_vs_hpcg::run(scale);
+    e02_dag_vs_forkjoin::run(scale);
+    e03_mixed_precision::run(scale);
+    e04_tsqr::run(scale);
+    e05_energy_table::run(scale);
+    e06_abft::run(scale);
+    e07_batched::run(scale);
+    e08_autotune::run(scale);
+    e09_rbt::run(scale);
+    e10_scaling::run(scale);
+    e11_exascale_projection::run(scale);
+    e12_resilience_cg::run(scale);
+    e13_sync_reducing::run(scale);
+    e14_calu::run(scale);
+    e15_colored_smoother::run(scale);
+    e16_comm_optimal::run(scale);
+}

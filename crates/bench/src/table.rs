@@ -1,0 +1,119 @@
+//! Console table formatting for experiment output.
+
+/// A simple aligned text table.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders the table with a title banner.
+    pub fn render(&self, title: &str) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("\n== {title} ==\n"));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("  ");
+            for (c, w) in cells.iter().zip(widths.iter()) {
+                line.push_str(&format!("{c:>w$}  ", w = w));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len() + 2;
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self, title: &str) {
+        print!("{}", self.render(title));
+    }
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a float with 3 significant-ish decimals in scientific notation.
+pub fn sci(x: f64) -> String {
+    format!("{x:.2e}")
+}
+
+/// Formats a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Formats seconds adaptively (s / ms / µs).
+pub fn secs(x: f64) -> String {
+    if x >= 1.0 {
+        format!("{x:.2}s")
+    } else if x >= 1e-3 {
+        format!("{:.2}ms", x * 1e3)
+    } else {
+        format!("{:.1}us", x * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["longer".into(), "22".into()]);
+        let s = t.render("demo");
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("longer"));
+        // Both data rows share the same width for column 0.
+        let lines: Vec<&str> = s.lines().filter(|l| l.contains('1') || l.contains("22")).collect();
+        assert_eq!(lines.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f2(1.234), "1.23");
+        assert_eq!(pct(0.123), "12.3%");
+        assert_eq!(secs(2.5), "2.50s");
+        assert_eq!(secs(0.0025), "2.50ms");
+        assert_eq!(secs(2.5e-6), "2.5us");
+        assert!(sci(12345.0).contains('e'));
+    }
+}

@@ -1,0 +1,177 @@
+//! Level-1 vector kernels, including reproducible (pairwise) reductions.
+//!
+//! Dongarra's keynote lists *bit-level reproducibility under re-association*
+//! as one of the rules that changed: naive parallel reductions give
+//! run-to-run different answers. [`dot_pairwise`] and [`sum_pairwise`]
+//! provide deterministic, more accurate fixed-tree reductions that the
+//! iterative solvers use for their convergence tests.
+
+use crate::scalar::Scalar;
+
+/// `y <- alpha * x + y`.
+#[inline]
+pub fn axpy<T: Scalar>(alpha: T, x: &[T], y: &mut [T]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    for (yi, &xi) in y.iter_mut().zip(x.iter()) {
+        *yi = alpha.mul_add(xi, *yi);
+    }
+}
+
+/// `x <- alpha * x`.
+#[inline]
+pub fn scal<T: Scalar>(alpha: T, x: &mut [T]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Sequential left-to-right dot product (the BLAS reference order).
+#[inline]
+pub fn dot<T: Scalar>(x: &[T], y: &[T]) -> T {
+    assert_eq!(x.len(), y.len(), "dot length mismatch");
+    let mut acc = T::zero();
+    for (&xi, &yi) in x.iter().zip(y.iter()) {
+        acc = xi.mul_add(yi, acc);
+    }
+    acc
+}
+
+/// Pairwise (fixed binary tree) dot product.
+///
+/// Deterministic regardless of thread count, and with error growth
+/// `O(log n)` instead of the `O(n)` of the sequential order.
+pub fn dot_pairwise<T: Scalar>(x: &[T], y: &[T]) -> T {
+    assert_eq!(x.len(), y.len(), "dot length mismatch");
+    fn rec<T: Scalar>(x: &[T], y: &[T]) -> T {
+        if x.len() <= 64 {
+            return dot(x, y);
+        }
+        let mid = x.len() / 2;
+        let (xl, xr) = x.split_at(mid);
+        let (yl, yr) = y.split_at(mid);
+        rec(xl, yl) + rec(xr, yr)
+    }
+    rec(x, y)
+}
+
+/// Pairwise (fixed binary tree) sum.
+pub fn sum_pairwise<T: Scalar>(x: &[T]) -> T {
+    if x.len() <= 64 {
+        let mut acc = T::zero();
+        for &v in x {
+            acc += v;
+        }
+        return acc;
+    }
+    let mid = x.len() / 2;
+    let (l, r) = x.split_at(mid);
+    sum_pairwise(l) + sum_pairwise(r)
+}
+
+/// Euclidean norm computed in `f64` accumulation (safe against overflow for
+/// the magnitudes used here).
+pub fn nrm2<T: Scalar>(x: &[T]) -> f64 {
+    x.iter().map(|&v| v.to_f64() * v.to_f64()).sum::<f64>().sqrt()
+}
+
+/// Index of the entry with the largest absolute value (first on ties).
+///
+/// Returns `None` for an empty slice.
+pub fn iamax<T: Scalar>(x: &[T]) -> Option<usize> {
+    if x.is_empty() {
+        return None;
+    }
+    let mut best = 0;
+    let mut best_val = x[0].abs();
+    for (i, &v) in x.iter().enumerate().skip(1) {
+        let a = v.abs();
+        if a > best_val {
+            best_val = a;
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+/// `x <- x - y` element-wise.
+pub fn sub_assign<T: Scalar>(x: &mut [T], y: &[T]) {
+    assert_eq!(x.len(), y.len());
+    for (xi, &yi) in x.iter_mut().zip(y.iter()) {
+        *xi -= yi;
+    }
+}
+
+/// Copies `src` into `dst`.
+pub fn copy<T: Scalar>(src: &[T], dst: &mut [T]) {
+    dst.copy_from_slice(src);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axpy_basic() {
+        let x = [1.0f64, 2.0, 3.0];
+        let mut y = [10.0, 20.0, 30.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0, 36.0]);
+    }
+
+    #[test]
+    fn dot_matches_pairwise_exactly_on_integers() {
+        // Integer-valued doubles are exact, so both orders must agree.
+        let x: Vec<f64> = (0..1000).map(|i| (i % 7) as f64).collect();
+        let y: Vec<f64> = (0..1000).map(|i| (i % 5) as f64).collect();
+        assert_eq!(dot(&x, &y), dot_pairwise(&x, &y));
+    }
+
+    #[test]
+    fn pairwise_sum_is_more_accurate() {
+        // Classic ill-conditioned sum: many tiny values after a large one.
+        let mut x = vec![1e16f64];
+        x.extend(vec![1.0f64; 1 << 16]);
+        x.push(-1e16);
+        let exact = (1u64 << 16) as f64;
+        let seq: f64 = {
+            let mut acc = 0.0;
+            for &v in &x {
+                acc += v;
+            }
+            acc
+        };
+        let pw = sum_pairwise(&x);
+        assert!((pw - exact).abs() <= (seq - exact).abs());
+    }
+
+    #[test]
+    fn pairwise_is_deterministic() {
+        let x: Vec<f64> = (0..10_000).map(|i| ((i * 37 % 113) as f64).sin()).collect();
+        let a = sum_pairwise(&x);
+        let b = sum_pairwise(&x);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn nrm2_matches_hand_value() {
+        assert!((nrm2(&[3.0f64, 4.0]) - 5.0).abs() < 1e-15);
+        assert!((nrm2(&[3.0f32, 4.0]) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn iamax_finds_largest_magnitude() {
+        assert_eq!(iamax(&[1.0f64, -5.0, 3.0]), Some(1));
+        assert_eq!(iamax::<f64>(&[]), None);
+        // First index wins ties.
+        assert_eq!(iamax(&[2.0f64, -2.0]), Some(0));
+    }
+
+    #[test]
+    fn scal_and_sub() {
+        let mut x = [1.0f64, 2.0];
+        scal(3.0, &mut x);
+        assert_eq!(x, [3.0, 6.0]);
+        sub_assign(&mut x, &[1.0, 1.0]);
+        assert_eq!(x, [2.0, 5.0]);
+    }
+}

@@ -1,0 +1,161 @@
+//! One-norm condition estimation (Hager's method, as in LAPACK `xLACON`).
+//!
+//! Mixed-precision refinement converges iff `κ(A) · u_low ≲ 1`, so a cheap
+//! condition estimate is the dispatcher between classic IR, GMRES-IR, and
+//! a full-precision fallback. Hager's estimator finds a lower bound on
+//! `‖A⁻¹‖₁` with a handful of solves against the already-computed LU
+//! factors — `O(n²)` against the factorization's `O(n³)`.
+
+use crate::factor::{getrf_solve, getrf_solve_transpose};
+use crate::matrix::Matrix;
+use crate::norms;
+use crate::scalar::Scalar;
+
+/// Estimates `‖A⁻¹‖₁` from an LU factorization (`lu`, `piv` from
+/// `getrf_*`). Returns a lower bound that is almost always within a small
+/// factor of the truth.
+pub fn inverse_one_norm_estimate<T: Scalar>(lu: &Matrix<T>, piv: &[usize]) -> f64 {
+    let n = lu.rows();
+    assert!(lu.is_square(), "need a square factorization");
+    if n == 0 {
+        return 0.0;
+    }
+    // Start from the uniform vector.
+    let mut x: Vec<T> = vec![T::from_f64(1.0 / n as f64); n];
+    let mut estimate = 0.0f64;
+    for _iter in 0..5 {
+        // y = A^{-1} x.
+        let mut y = x.clone();
+        getrf_solve(lu, piv, &mut y);
+        let est = y.iter().map(|v| v.abs().to_f64()).sum::<f64>();
+        // ξ = sign(y); z = A^{-T} ξ.
+        let mut z: Vec<T> = y
+            .iter()
+            .map(|v| {
+                if v.to_f64() >= 0.0 {
+                    T::one()
+                } else {
+                    -T::one()
+                }
+            })
+            .collect();
+        getrf_solve_transpose(lu, piv, &mut z);
+        // j = argmax |z_j|.
+        let (j, zmax) = z
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (i, v.abs().to_f64()))
+            .fold((0, 0.0), |acc, cur| if cur.1 > acc.1 { cur } else { acc });
+        let ztx: f64 = z
+            .iter()
+            .zip(x.iter())
+            .map(|(a, b)| a.to_f64() * b.to_f64())
+            .sum();
+        estimate = estimate.max(est);
+        if zmax <= ztx {
+            break; // converged: the current vector is (locally) optimal
+        }
+        // Next probe: the elementary vector at the maximizing index.
+        x = vec![T::zero(); n];
+        x[j] = T::one();
+    }
+    estimate
+}
+
+/// Estimates the one-norm condition number `κ₁(A) = ‖A‖₁ · ‖A⁻¹‖₁` from the
+/// original matrix and its LU factorization.
+pub fn condest<T: Scalar>(a: &Matrix<T>, lu: &Matrix<T>, piv: &[usize]) -> f64 {
+    norms::one_norm(a) * inverse_one_norm_estimate(lu, piv)
+}
+
+/// `true` if iterative refinement at unit roundoff `u_low` can be expected
+/// to converge for this condition estimate (`κ · u_low < threshold`,
+/// threshold 0.1 leaves the customary safety margin).
+pub fn ir_should_converge(cond_estimate: f64, u_low: f64) -> bool {
+    cond_estimate * u_low < 0.1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factor;
+    use crate::gen;
+
+    fn factorize(a: &Matrix<f64>) -> (Matrix<f64>, Vec<usize>) {
+        let mut f = a.clone();
+        let piv = factor::getrf_blocked(&mut f, 16).unwrap();
+        (f, piv)
+    }
+
+    #[test]
+    fn identity_has_condition_one() {
+        let a = Matrix::<f64>::identity(20);
+        let (lu, piv) = factorize(&a);
+        let k = condest(&a, &lu, &piv);
+        assert!((k - 1.0).abs() < 1e-12, "κ(I) = {k}");
+    }
+
+    #[test]
+    fn diagonal_matrix_estimate_is_exact() {
+        // diag(1, 10, 100): ||A||_1 = 100, ||A^{-1}||_1 = 1 => κ = 100.
+        let mut a = Matrix::<f64>::zeros(3, 3);
+        a.set(0, 0, 1.0);
+        a.set(1, 1, 10.0);
+        a.set(2, 2, 100.0);
+        let (lu, piv) = factorize(&a);
+        let k = condest(&a, &lu, &piv);
+        assert!((k - 100.0).abs() < 1e-9, "κ = {k}");
+    }
+
+    #[test]
+    fn estimate_tracks_constructed_condition_number() {
+        for target in [1e2, 1e5, 1e8] {
+            let a = gen::ill_conditioned_spd::<f64>(48, target, 1);
+            let (lu, piv) = factorize(&a);
+            let k = condest(&a, &lu, &piv);
+            // 2-norm condition = target; 1-norm within n of it. Hager's
+            // estimate is a lower bound up to a modest factor.
+            assert!(
+                k > target / 100.0 && k < target * 100.0,
+                "target {target:.0e}, estimate {k:.3e}"
+            );
+        }
+    }
+
+    #[test]
+    fn estimate_is_a_lower_bound_for_small_cases() {
+        // Exact ||A^{-1}||_1 by explicit inversion (solve for each e_j).
+        let a = gen::random_matrix::<f64>(12, 12, 3);
+        let (lu, piv) = factorize(&a);
+        let mut exact = 0.0f64;
+        for j in 0..12 {
+            let mut e = vec![0.0; 12];
+            e[j] = 1.0;
+            factor::getrf_solve(&lu, &piv, &mut e);
+            exact = exact.max(e.iter().map(|v| v.abs()).sum());
+        }
+        let est = inverse_one_norm_estimate(&lu, &piv);
+        assert!(est <= exact * (1.0 + 1e-10), "estimate {est} exceeds exact {exact}");
+        assert!(est >= exact / 10.0, "estimate {est} far below exact {exact}");
+    }
+
+    #[test]
+    fn transpose_solve_is_consistent() {
+        let n = 24;
+        let a = gen::random_matrix::<f64>(n, n, 4);
+        let (lu, piv) = factorize(&a);
+        // Solve A^T x = b and verify against the residual on A^T.
+        let at = a.transpose();
+        let b = gen::random_vector::<f64>(n, 5);
+        let mut x = b.clone();
+        factor::getrf_solve_transpose(&lu, &piv, &mut x);
+        assert!(norms::relative_residual(&at, &x, &b) < 1e-10);
+    }
+
+    #[test]
+    fn ir_dispatcher_thresholds() {
+        assert!(ir_should_converge(1e3, f32::EPSILON as f64));
+        assert!(!ir_should_converge(1e8, f32::EPSILON as f64));
+        assert!(!ir_should_converge(1e3, 1e-3)); // fp16-ish u on κ=1e3: 1.0 > 0.1
+    }
+}

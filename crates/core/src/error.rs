@@ -1,0 +1,114 @@
+//! Error type shared across the `xsc` workspace.
+
+use std::fmt;
+
+/// Convenient result alias used throughout `xsc`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by `xsc` numerical routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Operand shapes are incompatible (e.g. `gemm` inner dimensions differ).
+    DimensionMismatch {
+        /// Human-readable description of the offending operation.
+        context: String,
+    },
+    /// Cholesky factorization found a non-positive pivot at this index;
+    /// the matrix is not (numerically) symmetric positive definite.
+    NotPositiveDefinite {
+        /// Zero-based index of the failing pivot.
+        pivot: usize,
+    },
+    /// LU factorization found an exactly (or numerically) zero pivot.
+    Singular {
+        /// Zero-based index of the zero pivot.
+        pivot: usize,
+    },
+    /// An iterative method exhausted its iteration budget before reaching
+    /// the requested tolerance.
+    DidNotConverge {
+        /// Number of iterations performed.
+        iterations: usize,
+        /// Residual (or error estimate) at the last iteration.
+        residual: f64,
+    },
+    /// A parameter value is outside its valid range.
+    InvalidArgument {
+        /// Human-readable description of the offending parameter.
+        context: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::DimensionMismatch { context } => {
+                write!(f, "dimension mismatch: {context}")
+            }
+            Error::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix is not positive definite (pivot {pivot})")
+            }
+            Error::Singular { pivot } => write!(f, "matrix is singular (pivot {pivot})"),
+            Error::DidNotConverge {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "iteration did not converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+            Error::InvalidArgument { context } => write!(f, "invalid argument: {context}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Error {
+    /// Builds a [`Error::DimensionMismatch`] with a formatted context string.
+    pub fn dims(context: impl Into<String>) -> Self {
+        Error::DimensionMismatch {
+            context: context.into(),
+        }
+    }
+
+    /// Builds a [`Error::InvalidArgument`] with a formatted context string.
+    pub fn invalid(context: impl Into<String>) -> Self {
+        Error::InvalidArgument {
+            context: context.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::dims("gemm: a is 3x4, b is 5x6");
+        assert!(e.to_string().contains("gemm"));
+        let e = Error::NotPositiveDefinite { pivot: 7 };
+        assert!(e.to_string().contains('7'));
+        let e = Error::DidNotConverge {
+            iterations: 50,
+            residual: 1e-3,
+        };
+        assert!(e.to_string().contains("50"));
+        let e = Error::Singular { pivot: 2 };
+        assert!(e.to_string().contains("singular"));
+        let e = Error::invalid("nb must be positive");
+        assert!(e.to_string().contains("nb"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            Error::Singular { pivot: 1 },
+            Error::Singular { pivot: 1 }
+        );
+        assert_ne!(
+            Error::Singular { pivot: 1 },
+            Error::NotPositiveDefinite { pivot: 1 }
+        );
+    }
+}

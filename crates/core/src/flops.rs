@@ -1,0 +1,95 @@
+//! Flop-count formulas used for Gflop/s accounting.
+//!
+//! These are the standard LAPACK working-note formulas; HPL and HPCG rates
+//! in this repository are computed with exactly these counts, so the
+//! %-of-peak numbers are comparable with the published benchmarks'
+//! methodology.
+
+/// Flops of `C <- A(m×k) * B(k×n) + C`: `2 m n k`.
+pub fn gemm(m: usize, n: usize, k: usize) -> u64 {
+    2 * m as u64 * n as u64 * k as u64
+}
+
+/// Flops of a triangular solve with `n × n` triangle and `m` right-hand
+/// sides: `m n²`.
+pub fn trsm(n: usize, m: usize) -> u64 {
+    m as u64 * n as u64 * n as u64
+}
+
+/// Flops of a symmetric rank-k update `C(n×n) += A(n×k) Aᵀ`: `n (n+1) k`.
+pub fn syrk(n: usize, k: usize) -> u64 {
+    n as u64 * (n as u64 + 1) * k as u64
+}
+
+/// Flops of Cholesky factorization: `n³/3 + n²/2 + n/6`.
+pub fn cholesky(n: usize) -> u64 {
+    let n = n as u64;
+    (n * n * n) / 3 + (n * n) / 2 + n / 6
+}
+
+/// Flops of LU factorization: `2n³/3 - n²/2 - n/6` (rounded).
+pub fn lu(n: usize) -> u64 {
+    let n = n as u64;
+    (2 * n * n * n) / 3 - (n * n) / 2
+}
+
+/// Flops of the full HPL benchmark (factor + solve): `2n³/3 + 3n²/2`.
+pub fn hpl(n: usize) -> u64 {
+    let n = n as u64;
+    (2 * n * n * n) / 3 + (3 * n * n) / 2
+}
+
+/// Flops of QR factorization of an `m × n` matrix (`m >= n`):
+/// `2 n² (m - n/3)`.
+pub fn qr(m: usize, n: usize) -> u64 {
+    let (m, n) = (m as u64, n as u64);
+    2 * n * n * m - (2 * n * n * n) / 3
+}
+
+/// Flops of one sparse matrix-vector product with `nnz` nonzeros: `2 nnz`.
+pub fn spmv(nnz: usize) -> u64 {
+    2 * nnz as u64
+}
+
+/// Gflop/s from a flop count and elapsed seconds.
+pub fn gflops(flops: u64, secs: f64) -> f64 {
+    if secs <= 0.0 {
+        return 0.0;
+    }
+    flops as f64 / secs / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leading_terms_match() {
+        let n = 1000usize;
+        let nf = n as f64;
+        assert!((cholesky(n) as f64 - nf.powi(3) / 3.0).abs() / nf.powi(3) < 0.01);
+        assert!((lu(n) as f64 - 2.0 * nf.powi(3) / 3.0).abs() / nf.powi(3) < 0.01);
+        assert!((hpl(n) as f64 - 2.0 * nf.powi(3) / 3.0).abs() / nf.powi(3) < 0.01);
+        assert!((qr(n, n) as f64 - 4.0 * nf.powi(3) / 3.0).abs() / nf.powi(3) < 0.01);
+    }
+
+    #[test]
+    fn gemm_count() {
+        assert_eq!(gemm(2, 3, 4), 48);
+        assert_eq!(spmv(100), 200);
+        assert_eq!(trsm(4, 2), 32);
+        assert_eq!(syrk(3, 2), 24);
+    }
+
+    #[test]
+    fn gflops_helper() {
+        assert_eq!(gflops(2_000_000_000, 1.0), 2.0);
+        assert_eq!(gflops(100, 0.0), 0.0);
+    }
+
+    #[test]
+    fn hpl_dominates_lu() {
+        // HPL includes the solve, so it must exceed plain LU.
+        assert!(hpl(500) > lu(500));
+    }
+}

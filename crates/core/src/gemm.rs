@@ -1,0 +1,378 @@
+//! General matrix-matrix multiply (the flop furnace of HPL).
+//!
+//! `gemm` is the compute-bound kernel whose measured rate defines "machine
+//! peak" for every %-of-peak experiment in this repository (E01, E10, E11).
+//! The implementation is a cache-friendly column-sweep with a 4-way unrolled
+//! rank-1 inner loop that LLVM auto-vectorizes; transposed operands are
+//! materialized once (an `O(n²)` copy against an `O(n³)` multiply).
+
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+use rayon::prelude::*;
+
+/// Whether an operand enters the product transposed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transpose {
+    /// Use the operand as stored.
+    No,
+    /// Use the transpose of the operand.
+    Yes,
+}
+
+/// Reference triple-loop multiply: `C <- alpha * op(A) * op(B) + beta * C`.
+///
+/// Slow but obviously correct; the test suites compare every optimized
+/// kernel against this.
+pub fn naive_gemm<T: Scalar>(
+    transa: Transpose,
+    transb: Transpose,
+    alpha: T,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    beta: T,
+    c: &mut Matrix<T>,
+) {
+    let (m, k) = op_shape(transa, a);
+    let (kb, n) = op_shape(transb, b);
+    assert_eq!(k, kb, "gemm inner dimension mismatch: {k} vs {kb}");
+    assert_eq!((c.rows(), c.cols()), (m, n), "gemm output shape mismatch");
+    for j in 0..n {
+        for i in 0..m {
+            let mut acc = T::zero();
+            for l in 0..k {
+                acc += op_get(transa, a, i, l) * op_get(transb, b, l, j);
+            }
+            let cij = c.get(i, j);
+            c.set(i, j, alpha * acc + beta * cij);
+        }
+    }
+}
+
+#[inline(always)]
+fn op_shape<T: Scalar>(t: Transpose, a: &Matrix<T>) -> (usize, usize) {
+    match t {
+        Transpose::No => (a.rows(), a.cols()),
+        Transpose::Yes => (a.cols(), a.rows()),
+    }
+}
+
+#[inline(always)]
+fn op_get<T: Scalar>(t: Transpose, a: &Matrix<T>, i: usize, j: usize) -> T {
+    match t {
+        Transpose::No => a.get(i, j),
+        Transpose::Yes => a.get(j, i),
+    }
+}
+
+/// Sequential optimized multiply: `C <- alpha * op(A) * op(B) + beta * C`.
+pub fn gemm<T: Scalar>(
+    transa: Transpose,
+    transb: Transpose,
+    alpha: T,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    beta: T,
+    c: &mut Matrix<T>,
+) {
+    let (m, k) = op_shape(transa, a);
+    let (kb, n) = op_shape(transb, b);
+    assert_eq!(k, kb, "gemm inner dimension mismatch: {k} vs {kb}");
+    assert_eq!((c.rows(), c.cols()), (m, n), "gemm output shape mismatch");
+
+    // Materialize transposed operands so the hot loop is always the
+    // stride-1 no-transpose case.
+    let at;
+    let a_nn = match transa {
+        Transpose::No => a,
+        Transpose::Yes => {
+            at = a.transpose();
+            &at
+        }
+    };
+    let bt;
+    let b_nn = match transb {
+        Transpose::No => b,
+        Transpose::Yes => {
+            bt = b.transpose();
+            &bt
+        }
+    };
+    gemm_nn(alpha, a_nn, b_nn, beta, c);
+}
+
+/// Core no-transpose kernel. For each output column `j`, sweeps the columns
+/// of `A` scaled by `B(l, j)` — stride-1 axpy updates, unrolled 4-way over
+/// `l` so each pass over `C(:, j)` does four fused updates.
+fn gemm_nn<T: Scalar>(alpha: T, a: &Matrix<T>, b: &Matrix<T>, beta: T, c: &mut Matrix<T>) {
+    let m = a.rows();
+    let k = a.cols();
+    let n = b.cols();
+    debug_assert_eq!((c.rows(), c.cols()), (m, n));
+    for j in 0..n {
+        let bcol = b.col(j);
+        let ccol = c.col_mut(j);
+        if beta != T::one() {
+            if beta == T::zero() {
+                ccol.fill(T::zero());
+            } else {
+                for x in ccol.iter_mut() {
+                    *x *= beta;
+                }
+            }
+        }
+        let mut l = 0;
+        while l + 4 <= k {
+            let s0 = alpha * bcol[l];
+            let s1 = alpha * bcol[l + 1];
+            let s2 = alpha * bcol[l + 2];
+            let s3 = alpha * bcol[l + 3];
+            let a0 = a.col(l);
+            let a1 = a.col(l + 1);
+            let a2 = a.col(l + 2);
+            let a3 = a.col(l + 3);
+            let ccol = c.col_mut(j);
+            for i in 0..m {
+                let mut v = ccol[i];
+                v = s0.mul_add(a0[i], v);
+                v = s1.mul_add(a1[i], v);
+                v = s2.mul_add(a2[i], v);
+                v = s3.mul_add(a3[i], v);
+                ccol[i] = v;
+            }
+            l += 4;
+        }
+        while l < k {
+            let s = alpha * bcol[l];
+            let acol = a.col(l);
+            let ccol = c.col_mut(j);
+            for i in 0..m {
+                ccol[i] = s.mul_add(acol[i], ccol[i]);
+            }
+            l += 1;
+        }
+    }
+}
+
+/// Thread-parallel multiply (rayon over output-column blocks).
+///
+/// Used as the "compute-bound kernel" side of the strong-scaling experiment
+/// (E10): unlike SpMV, this scales nearly linearly with cores.
+pub fn par_gemm<T: Scalar>(
+    transa: Transpose,
+    transb: Transpose,
+    alpha: T,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    beta: T,
+    c: &mut Matrix<T>,
+) {
+    let (m, k) = op_shape(transa, a);
+    let (kb, n) = op_shape(transb, b);
+    assert_eq!(k, kb, "gemm inner dimension mismatch: {k} vs {kb}");
+    assert_eq!((c.rows(), c.cols()), (m, n), "gemm output shape mismatch");
+
+    let at;
+    let a_nn = match transa {
+        Transpose::No => a,
+        Transpose::Yes => {
+            at = a.transpose();
+            &at
+        }
+    };
+    let bt;
+    let b_nn = match transb {
+        Transpose::No => b,
+        Transpose::Yes => {
+            bt = b.transpose();
+            &bt
+        }
+    };
+
+    // Each worker owns a disjoint block of C's columns.
+    c.as_mut_slice()
+        .par_chunks_mut(m)
+        .enumerate()
+        .for_each(|(j, ccol)| {
+            let bcol = b_nn.col(j);
+            if beta != T::one() {
+                if beta == T::zero() {
+                    ccol.fill(T::zero());
+                } else {
+                    for x in ccol.iter_mut() {
+                        *x *= beta;
+                    }
+                }
+            }
+            for (l, &blj) in bcol.iter().enumerate() {
+                let s = alpha * blj;
+                let acol = a_nn.col(l);
+                for i in 0..m {
+                    ccol[i] = s.mul_add(acol[i], ccol[i]);
+                }
+            }
+        });
+}
+
+/// Matrix-vector multiply: `y <- alpha * op(A) * x + beta * y`.
+pub fn gemv<T: Scalar>(
+    trans: Transpose,
+    alpha: T,
+    a: &Matrix<T>,
+    x: &[T],
+    beta: T,
+    y: &mut [T],
+) {
+    let (m, n) = op_shape(trans, a);
+    assert_eq!(x.len(), n, "gemv x length mismatch");
+    assert_eq!(y.len(), m, "gemv y length mismatch");
+    match trans {
+        Transpose::No => {
+            for yi in y.iter_mut() {
+                *yi *= beta;
+            }
+            for (j, &xj) in x.iter().enumerate() {
+                let s = alpha * xj;
+                let acol = a.col(j);
+                for i in 0..m {
+                    y[i] = s.mul_add(acol[i], y[i]);
+                }
+            }
+        }
+        Transpose::Yes => {
+            for (i, yi) in y.iter_mut().enumerate() {
+                let acol = a.col(i);
+                let mut acc = T::zero();
+                for (l, &al) in acol.iter().enumerate() {
+                    acc = al.mul_add(x[l], acc);
+                }
+                *yi = alpha * acc + beta * *yi;
+            }
+        }
+    }
+}
+
+/// Rank-1 update: `A <- A + alpha * x * y^T`.
+pub fn ger<T: Scalar>(alpha: T, x: &[T], y: &[T], a: &mut Matrix<T>) {
+    assert_eq!(x.len(), a.rows(), "ger x length mismatch");
+    assert_eq!(y.len(), a.cols(), "ger y length mismatch");
+    for (j, &yj) in y.iter().enumerate() {
+        let s = alpha * yj;
+        let acol = a.col_mut(j);
+        for (i, &xi) in x.iter().enumerate() {
+            acol[i] = s.mul_add(xi, acol[i]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    fn check_against_naive(
+        m: usize,
+        k: usize,
+        n: usize,
+        ta: Transpose,
+        tb: Transpose,
+        alpha: f64,
+        beta: f64,
+    ) {
+        let (ar, ac) = match ta {
+            Transpose::No => (m, k),
+            Transpose::Yes => (k, m),
+        };
+        let (br, bc) = match tb {
+            Transpose::No => (k, n),
+            Transpose::Yes => (n, k),
+        };
+        let a = gen::random_matrix::<f64>(ar, ac, 1);
+        let b = gen::random_matrix::<f64>(br, bc, 2);
+        let c0 = gen::random_matrix::<f64>(m, n, 3);
+
+        let mut c_ref = c0.clone();
+        naive_gemm(ta, tb, alpha, &a, &b, beta, &mut c_ref);
+
+        let mut c_opt = c0.clone();
+        gemm(ta, tb, alpha, &a, &b, beta, &mut c_opt);
+        assert!(
+            c_ref.approx_eq(&c_opt, 1e-11),
+            "gemm mismatch m={m} k={k} n={n} ta={ta:?} tb={tb:?}"
+        );
+
+        let mut c_par = c0.clone();
+        par_gemm(ta, tb, alpha, &a, &b, beta, &mut c_par);
+        assert!(c_ref.approx_eq(&c_par, 1e-11), "par_gemm mismatch");
+    }
+
+    #[test]
+    fn gemm_all_transpose_combinations() {
+        for &ta in &[Transpose::No, Transpose::Yes] {
+            for &tb in &[Transpose::No, Transpose::Yes] {
+                check_against_naive(13, 7, 9, ta, tb, 1.5, -0.5);
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_beta_zero_overwrites_nan() {
+        // beta = 0 must not propagate pre-existing NaN in C.
+        let a = Matrix::<f64>::identity(2);
+        let b = Matrix::<f64>::identity(2);
+        let mut c = Matrix::<f64>::zeros(2, 2);
+        c.set(0, 0, f64::NAN);
+        gemm(Transpose::No, Transpose::No, 1.0, &a, &b, 0.0, &mut c);
+        assert!(c.approx_eq(&Matrix::identity(2), 0.0));
+    }
+
+    #[test]
+    fn gemm_sizes_around_unroll_boundary() {
+        for k in [1, 3, 4, 5, 8, 11] {
+            check_against_naive(6, k, 5, Transpose::No, Transpose::No, 1.0, 0.0);
+        }
+    }
+
+    #[test]
+    fn gemm_identity_is_noop() {
+        let a = gen::random_matrix::<f64>(8, 8, 11);
+        let i = Matrix::<f64>::identity(8);
+        let mut c = Matrix::<f64>::zeros(8, 8);
+        gemm(Transpose::No, Transpose::No, 1.0, &a, &i, 0.0, &mut c);
+        assert!(c.approx_eq(&a, 1e-14));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension")]
+    fn gemm_rejects_bad_shapes() {
+        let a = Matrix::<f64>::zeros(3, 4);
+        let b = Matrix::<f64>::zeros(5, 2);
+        let mut c = Matrix::<f64>::zeros(3, 2);
+        gemm(Transpose::No, Transpose::No, 1.0, &a, &b, 0.0, &mut c);
+    }
+
+    #[test]
+    fn gemv_matches_gemm() {
+        let a = gen::random_matrix::<f64>(6, 4, 5);
+        let x = gen::random_vector::<f64>(4, 6);
+        let xm = Matrix::from_col_major(4, 1, x.clone());
+        let mut y = vec![0.0; 6];
+        gemv(Transpose::No, 1.0, &a, &x, 0.0, &mut y);
+        let mut ym = Matrix::zeros(6, 1);
+        gemm(Transpose::No, Transpose::No, 1.0, &a, &xm, 0.0, &mut ym);
+        for i in 0..6 {
+            assert!((y[i] - ym.get(i, 0)).abs() < 1e-13);
+        }
+        // Transposed.
+        let mut yt = vec![1.0; 4];
+        gemv(Transpose::Yes, 2.0, &a, &gen::random_vector::<f64>(6, 7), 0.5, &mut yt);
+        assert!(yt.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn ger_is_rank_one_update() {
+        let mut a = Matrix::<f64>::zeros(3, 2);
+        ger(2.0, &[1.0, 2.0, 3.0], &[10.0, 20.0], &mut a);
+        assert_eq!(a.get(2, 1), 2.0 * 3.0 * 20.0);
+        assert_eq!(a.get(0, 0), 2.0 * 1.0 * 10.0);
+    }
+}

@@ -1,0 +1,215 @@
+//! Reproducible random matrix and vector generators.
+//!
+//! Every generator takes an explicit seed so benchmarks and property tests
+//! are bit-reproducible run to run — one of the keynote's "rules" is that
+//! reproducibility must be engineered, not assumed.
+
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniform random matrix with entries in `[-1, 1)`.
+pub fn random_matrix<T: Scalar>(rows: usize, cols: usize, seed: u64) -> Matrix<T> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    Matrix::from_fn(rows, cols, |_, _| {
+        T::from_f64(rng.gen_range(-1.0..1.0))
+    })
+}
+
+/// Uniform random vector with entries in `[-1, 1)`.
+pub fn random_vector<T: Scalar>(n: usize, seed: u64) -> Vec<T> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n).map(|_| T::from_f64(rng.gen_range(-1.0..1.0))).collect()
+}
+
+/// Random symmetric positive-definite matrix: `A = B Bᵀ / n + I`.
+///
+/// The diagonal shift keeps the condition number moderate, so Cholesky and
+/// CG converge reliably; use [`ill_conditioned_spd`] to stress precision.
+pub fn random_spd<T: Scalar>(n: usize, seed: u64) -> Matrix<T> {
+    let b = random_matrix::<f64>(n, n, seed);
+    let mut a = Matrix::<f64>::zeros(n, n);
+    crate::gemm::gemm(
+        crate::gemm::Transpose::No,
+        crate::gemm::Transpose::Yes,
+        1.0 / n as f64,
+        &b,
+        &b,
+        0.0,
+        &mut a,
+    );
+    for i in 0..n {
+        let v = a.get(i, i) + 1.0;
+        a.set(i, i, v);
+    }
+    a.symmetrize();
+    a.convert()
+}
+
+/// Random diagonally dominant matrix (guaranteed non-singular, LU-safe even
+/// without pivoting) — the matrix class HPL itself generates.
+pub fn diag_dominant<T: Scalar>(n: usize, seed: u64) -> Matrix<T> {
+    let mut a = random_matrix::<f64>(n, n, seed);
+    for i in 0..n {
+        let row_sum: f64 = (0..n).map(|j| a.get(i, j).abs()).sum();
+        a.set(i, i, row_sum + 1.0);
+    }
+    a.convert()
+}
+
+/// SPD matrix with prescribed 2-norm condition number `cond`:
+/// `A = Q D Qᵀ` with log-spaced eigenvalues in `[1/cond, 1]`.
+pub fn ill_conditioned_spd<T: Scalar>(n: usize, cond: f64, seed: u64) -> Matrix<T> {
+    assert!(cond >= 1.0, "condition number must be >= 1");
+    let q = random_orthogonal(n, seed);
+    let mut a = Matrix::<f64>::zeros(n, n);
+    // A = sum_k d_k q_k q_kᵀ, built column by column: A = Q D Qᵀ.
+    let mut qd = q.clone();
+    for k in 0..n {
+        let t = if n == 1 { 0.0 } else { k as f64 / (n - 1) as f64 };
+        let d = cond.powf(-t); // eigenvalues from 1 down to 1/cond
+        for i in 0..n {
+            let v = qd.get(i, k) * d;
+            qd.set(i, k, v);
+        }
+    }
+    crate::gemm::gemm(
+        crate::gemm::Transpose::No,
+        crate::gemm::Transpose::Yes,
+        1.0,
+        &qd,
+        &q,
+        0.0,
+        &mut a,
+    );
+    a.symmetrize();
+    a.convert()
+}
+
+/// Random orthogonal matrix via Gram-Schmidt on a random Gaussian-ish matrix.
+pub fn random_orthogonal(n: usize, seed: u64) -> Matrix<f64> {
+    let mut q = random_matrix::<f64>(n, n, seed.wrapping_add(0x9e37_79b9));
+    // Modified Gram-Schmidt, repeated twice for orthogonality to machine eps.
+    for _pass in 0..2 {
+        for j in 0..n {
+            for i in 0..j {
+                let mut dot = 0.0;
+                for r in 0..n {
+                    dot += q.get(r, i) * q.get(r, j);
+                }
+                for r in 0..n {
+                    let v = q.get(r, j) - dot * q.get(r, i);
+                    q.set(r, j, v);
+                }
+            }
+            let mut nrm = 0.0;
+            for r in 0..n {
+                nrm += q.get(r, j) * q.get(r, j);
+            }
+            let nrm = nrm.sqrt();
+            assert!(nrm > 0.0, "degenerate random matrix");
+            for r in 0..n {
+                let v = q.get(r, j) / nrm;
+                q.set(r, j, v);
+            }
+        }
+    }
+    q
+}
+
+/// Right-hand side `b = A x_true` for a known solution `x_true = [1, 1, ...]`,
+/// accumulated in `f64` — the standard way HPL-style drivers build a
+/// verifiable system.
+pub fn rhs_for_unit_solution<T: Scalar>(a: &Matrix<T>) -> Vec<T> {
+    let n = a.rows();
+    let mut b = vec![0.0f64; n];
+    for j in 0..a.cols() {
+        for (i, &aij) in a.col(j).iter().enumerate() {
+            b[i] += aij.to_f64();
+        }
+    }
+    b.into_iter().map(T::from_f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::norms;
+
+    #[test]
+    fn generators_are_reproducible() {
+        let a = random_matrix::<f64>(10, 10, 7);
+        let b = random_matrix::<f64>(10, 10, 7);
+        assert!(a.approx_eq(&b, 0.0));
+        let c = random_matrix::<f64>(10, 10, 8);
+        assert!(!a.approx_eq(&c, 0.0));
+    }
+
+    #[test]
+    fn spd_is_symmetric_with_positive_diagonal() {
+        let a = random_spd::<f64>(20, 3);
+        for i in 0..20 {
+            assert!(a.get(i, i) > 0.0);
+            for j in 0..20 {
+                assert_eq!(a.get(i, j), a.get(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn diag_dominant_dominates() {
+        let a = diag_dominant::<f64>(15, 4);
+        for i in 0..15 {
+            let off: f64 = (0..15)
+                .filter(|&j| j != i)
+                .map(|j| a.get(i, j).abs())
+                .sum();
+            assert!(a.get(i, i).abs() > off);
+        }
+    }
+
+    #[test]
+    fn orthogonal_has_orthonormal_columns() {
+        let q = random_orthogonal(16, 5);
+        let mut qtq = Matrix::<f64>::zeros(16, 16);
+        crate::gemm::gemm(
+            crate::gemm::Transpose::Yes,
+            crate::gemm::Transpose::No,
+            1.0,
+            &q,
+            &q,
+            0.0,
+            &mut qtq,
+        );
+        assert!(qtq.approx_eq(&Matrix::identity(16), 1e-12));
+    }
+
+    #[test]
+    fn ill_conditioned_spd_has_requested_extremes() {
+        let cond = 1e6;
+        let a = ill_conditioned_spd::<f64>(32, cond, 6);
+        // Largest eigenvalue ~1 bounds the norms.
+        let n1 = norms::one_norm(&a);
+        assert!(n1 < 32.0 && n1 > 0.5, "one-norm {n1} out of expected range");
+        for i in 0..32 {
+            assert_eq!(a.get(i, 7), a.get(7, i));
+        }
+    }
+
+    #[test]
+    fn rhs_matches_unit_solution() {
+        let a = random_matrix::<f64>(9, 9, 10);
+        let b = rhs_for_unit_solution(&a);
+        let x = vec![1.0f64; 9];
+        assert!(norms::relative_residual(&a, &x, &b) < 1e-14);
+    }
+
+    #[test]
+    fn f32_generators_work() {
+        let a = random_spd::<f32>(8, 1);
+        assert!(!a.has_non_finite());
+        let v = random_vector::<f32>(5, 2);
+        assert_eq!(v.len(), 5);
+    }
+}

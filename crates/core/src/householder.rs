@@ -1,0 +1,380 @@
+//! Householder QR kernels — the PLASMA-style tile kernel set
+//! (`geqrt` / `gemqrt` / `tpqrt` / `tpmqrt`) plus full-matrix drivers.
+//!
+//! `tpqrt`/`tpmqrt` (QR of a triangle stacked on a dense block) are the
+//! building blocks of the communication-avoiding TSQR and of the tiled QR
+//! factorization in `xsc-dense`. Reflectors are stored as LAPACK does —
+//! `v[0] = 1` implicit, tail below the diagonal — with an explicit `tau`
+//! vector instead of the compact-WY `T` factor (simpler, and tile sizes keep
+//! the flop difference small).
+
+use crate::gemm::Transpose;
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+use crate::trsm::{trsv, Diag, Uplo};
+
+/// Computes a Householder reflector for the vector `(alpha, x)`:
+/// returns `(beta, tau)` and overwrites `x` with the reflector tail `v[1..]`
+/// (with `v[0] = 1` implicit), such that
+/// `(I - tau * v * v^T) * (alpha, x) = (beta, 0)`.
+pub fn reflector<T: Scalar>(alpha: T, x: &mut [T]) -> (T, T) {
+    let sigma: f64 = x.iter().map(|&v| v.to_f64() * v.to_f64()).sum();
+    if sigma == 0.0 {
+        // Already in triangular form; H = I.
+        return (alpha, T::zero());
+    }
+    let a = alpha.to_f64();
+    let norm = (a * a + sigma).sqrt();
+    let beta = if a >= 0.0 { -norm } else { norm };
+    let tau = (beta - a) / beta;
+    let scale = 1.0 / (a - beta);
+    for v in x.iter_mut() {
+        *v = T::from_f64(v.to_f64() * scale);
+    }
+    (T::from_f64(beta), T::from_f64(tau))
+}
+
+/// QR factorization of an `m × n` tile (`m >= n`): overwrites `a` with `R`
+/// on and above the diagonal and the reflector tails below it. Returns the
+/// `tau` scalars, one per column.
+pub fn geqrf<T: Scalar>(a: &mut Matrix<T>) -> Vec<T> {
+    let m = a.rows();
+    let n = a.cols();
+    assert!(m >= n, "geqrf requires m >= n (got {m} x {n})");
+    let mut taus = Vec::with_capacity(n);
+    for j in 0..n {
+        // Build the reflector from column j, rows j..m.
+        let alpha = a.get(j, j);
+        let mut tail: Vec<T> = (j + 1..m).map(|i| a.get(i, j)).collect();
+        let (beta, tau) = reflector(alpha, &mut tail);
+        a.set(j, j, beta);
+        for (t, i) in tail.iter().zip(j + 1..m) {
+            a.set(i, j, *t);
+        }
+        taus.push(tau);
+        if tau == T::zero() {
+            continue;
+        }
+        // Apply H = I - tau v v^T to the trailing columns.
+        for c in j + 1..n {
+            let mut w = a.get(j, c);
+            for (t, i) in tail.iter().zip(j + 1..m) {
+                w = t.mul_add(a.get(i, c), w);
+            }
+            let tw = tau * w;
+            let v = a.get(j, c);
+            a.set(j, c, v - tw);
+            for (t, i) in tail.iter().zip(j + 1..m) {
+                let v = a.get(i, c);
+                a.set(i, c, (-tw).mul_add(*t, v));
+            }
+        }
+    }
+    taus
+}
+
+/// Applies `Q` or `Q^T` (from [`geqrf`] output) to `c` from the left.
+pub fn ormqr<T: Scalar>(trans: Transpose, qr: &Matrix<T>, taus: &[T], c: &mut Matrix<T>) {
+    let m = qr.rows();
+    let k = taus.len();
+    assert_eq!(c.rows(), m, "ormqr row mismatch");
+    // Q = H_0 H_1 ... H_{k-1}; Q^T applies them in ascending order, Q in
+    // descending order (each H is symmetric).
+    let order: Vec<usize> = match trans {
+        Transpose::Yes => (0..k).collect(),
+        Transpose::No => (0..k).rev().collect(),
+    };
+    for &j in &order {
+        let tau = taus[j];
+        if tau == T::zero() {
+            continue;
+        }
+        for col in 0..c.cols() {
+            // w = v^T * C[:, col] with v = (1, qr[j+1.., j]).
+            let mut w = c.get(j, col);
+            for i in j + 1..m {
+                w = qr.get(i, j).mul_add(c.get(i, col), w);
+            }
+            let tw = tau * w;
+            let v = c.get(j, col);
+            c.set(j, col, v - tw);
+            for i in j + 1..m {
+                let v = c.get(i, col);
+                c.set(i, col, (-tw).mul_add(qr.get(i, j), v));
+            }
+        }
+    }
+}
+
+/// Materializes the thin `Q` factor (`m × n`) from [`geqrf`] output.
+pub fn build_q_thin<T: Scalar>(qr: &Matrix<T>, taus: &[T]) -> Matrix<T> {
+    let m = qr.rows();
+    let n = taus.len();
+    let mut q = Matrix::from_fn(m, n, |i, j| if i == j { T::one() } else { T::zero() });
+    ormqr(Transpose::No, qr, taus, &mut q);
+    q
+}
+
+/// Extracts the upper-triangular `R` factor (`n × n`) from [`geqrf`] output.
+pub fn extract_r<T: Scalar>(qr: &Matrix<T>) -> Matrix<T> {
+    let n = qr.cols();
+    Matrix::from_fn(n, n, |i, j| if i <= j { qr.get(i, j) } else { T::zero() })
+}
+
+/// QR of an upper triangle stacked on a dense block (`[R; B]`, the TSQR /
+/// tiled-QR coupling kernel, LAPACK `tpqrt` with `L = 0`):
+///
+/// * `r` — `n × n`, upper triangular on entry; overwritten with the new `R`.
+/// * `b` — `m × n` dense on entry; overwritten with the reflector tails
+///   (the top part of each reflector is the identity column, held
+///   implicitly).
+///
+/// Returns the `tau` scalars.
+pub fn tpqrt<T: Scalar>(r: &mut Matrix<T>, b: &mut Matrix<T>) -> Vec<T> {
+    let n = r.rows();
+    assert!(r.is_square(), "tpqrt: R must be square");
+    assert_eq!(b.cols(), n, "tpqrt: column count mismatch");
+    let m = b.rows();
+    let mut taus = Vec::with_capacity(n);
+    for j in 0..n {
+        let alpha = r.get(j, j);
+        // The reflector tail is the whole of B[:, j] (top part is e_j).
+        let mut tail: Vec<T> = (0..m).map(|i| b.get(i, j)).collect();
+        let (beta, tau) = reflector(alpha, &mut tail);
+        r.set(j, j, beta);
+        for (i, t) in tail.iter().enumerate() {
+            b.set(i, j, *t);
+        }
+        taus.push(tau);
+        if tau == T::zero() {
+            continue;
+        }
+        // Apply to trailing columns jj > j of the stacked [R; B].
+        for jj in j + 1..n {
+            let mut w = r.get(j, jj);
+            for (i, t) in tail.iter().enumerate() {
+                w = t.mul_add(b.get(i, jj), w);
+            }
+            let tw = tau * w;
+            let v = r.get(j, jj);
+            r.set(j, jj, v - tw);
+            for (i, t) in tail.iter().enumerate() {
+                let v = b.get(i, jj);
+                b.set(i, jj, (-tw).mul_add(*t, v));
+            }
+        }
+    }
+    taus
+}
+
+/// Applies `Q` or `Q^T` from [`tpqrt`] to the stacked pair `[A; B]`:
+/// `a_top` is `n × p` (aligned with the triangle), `b_bot` is `m × p`
+/// (aligned with the dense block `v2` holding the reflector tails).
+pub fn tpmqrt<T: Scalar>(
+    trans: Transpose,
+    v2: &Matrix<T>,
+    taus: &[T],
+    a_top: &mut Matrix<T>,
+    b_bot: &mut Matrix<T>,
+) {
+    let n = taus.len();
+    let m = v2.rows();
+    assert_eq!(v2.cols(), n, "tpmqrt: reflector count mismatch");
+    assert!(a_top.rows() >= n, "tpmqrt: top block too small");
+    assert_eq!(b_bot.rows(), m, "tpmqrt: bottom block row mismatch");
+    assert_eq!(a_top.cols(), b_bot.cols(), "tpmqrt: column count mismatch");
+    let order: Vec<usize> = match trans {
+        Transpose::Yes => (0..n).collect(),
+        Transpose::No => (0..n).rev().collect(),
+    };
+    for &j in &order {
+        let tau = taus[j];
+        if tau == T::zero() {
+            continue;
+        }
+        let vcol = v2.col(j);
+        for c in 0..a_top.cols() {
+            let mut w = a_top.get(j, c);
+            for (i, &vi) in vcol.iter().enumerate() {
+                w = vi.mul_add(b_bot.get(i, c), w);
+            }
+            let tw = tau * w;
+            let v = a_top.get(j, c);
+            a_top.set(j, c, v - tw);
+            let bcol = b_bot.col_mut(c);
+            for (bi, &vi) in bcol.iter_mut().zip(vcol.iter()) {
+                *bi = (-tw).mul_add(vi, *bi);
+            }
+        }
+    }
+}
+
+/// Least-squares solve `min ||A x - b||_2` for `m >= n` via `geqrf`:
+/// returns `x` of length `n`. `A` is consumed as the factorization workspace.
+pub fn qr_solve_ls<T: Scalar>(mut a: Matrix<T>, b: &[T]) -> Vec<T> {
+    let m = a.rows();
+    let n = a.cols();
+    assert_eq!(b.len(), m, "qr_solve_ls rhs length mismatch");
+    let taus = geqrf(&mut a);
+    let mut bm = Matrix::from_col_major(m, 1, b.to_vec());
+    ormqr(Transpose::Yes, &a, &taus, &mut bm);
+    let mut x: Vec<T> = (0..n).map(|i| bm.get(i, 0)).collect();
+    let r = extract_r(&a);
+    trsv(Uplo::Upper, Transpose::No, Diag::NonUnit, &r, &mut x);
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::gemm;
+    use crate::gen;
+    use crate::norms;
+
+    fn orthogonality_error(q: &Matrix<f64>) -> f64 {
+        let n = q.cols();
+        let mut qtq = Matrix::<f64>::zeros(n, n);
+        gemm(Transpose::Yes, Transpose::No, 1.0, q, q, 0.0, &mut qtq);
+        qtq.max_abs_diff(&Matrix::identity(n))
+    }
+
+    #[test]
+    fn geqrf_reconstructs_a() {
+        for (m, n) in [(8, 8), (16, 5), (30, 30), (7, 1)] {
+            let a = gen::random_matrix::<f64>(m, n, 1);
+            let mut f = a.clone();
+            let taus = geqrf(&mut f);
+            let q = build_q_thin(&f, &taus);
+            let r = extract_r(&f);
+            let mut qr = Matrix::zeros(m, n);
+            gemm(Transpose::No, Transpose::No, 1.0, &q, &r, 0.0, &mut qr);
+            assert!(qr.approx_eq(&a, 1e-12), "({m},{n}) diff {}", qr.max_abs_diff(&a));
+            assert!(orthogonality_error(&q) < 1e-13, "({m},{n}) Q not orthogonal");
+        }
+    }
+
+    #[test]
+    fn r_diagonal_handedness_is_consistent() {
+        // R's diagonal must be the negated-sign convention from `reflector`,
+        // and reconstruction must hold even when a column is already zeroed.
+        let mut a = Matrix::<f64>::zeros(5, 3);
+        a.set(0, 0, 2.0); // column 0 already upper-triangular -> tau = 0
+        a.set(1, 1, 1.0);
+        a.set(2, 2, 1.0);
+        let orig = a.clone();
+        let taus = geqrf(&mut a);
+        assert_eq!(taus[0], 0.0);
+        let q = build_q_thin(&a, &taus);
+        let r = extract_r(&a);
+        let mut qr = Matrix::zeros(5, 3);
+        gemm(Transpose::No, Transpose::No, 1.0, &q, &r, 0.0, &mut qr);
+        assert!(qr.approx_eq(&orig, 1e-13));
+    }
+
+    #[test]
+    fn ormqr_transpose_then_notranspose_is_identity() {
+        let a = gen::random_matrix::<f64>(12, 6, 2);
+        let mut f = a.clone();
+        let taus = geqrf(&mut f);
+        let c0 = gen::random_matrix::<f64>(12, 4, 3);
+        let mut c = c0.clone();
+        ormqr(Transpose::Yes, &f, &taus, &mut c);
+        ormqr(Transpose::No, &f, &taus, &mut c);
+        assert!(c.approx_eq(&c0, 1e-12));
+    }
+
+    #[test]
+    fn tpqrt_factors_stacked_matrix() {
+        let n = 6;
+        let m = 9;
+        // Build [R0; B] where R0 is upper triangular.
+        let a_top = gen::random_matrix::<f64>(n, n, 4);
+        let r0 = Matrix::from_fn(n, n, |i, j| if i <= j { a_top.get(i, j) } else { 0.0 });
+        let b0 = gen::random_matrix::<f64>(m, n, 5);
+
+        let mut r = r0.clone();
+        let mut b = b0.clone();
+        let taus = tpqrt(&mut r, &mut b);
+
+        // Applying Q to [R_new; 0] must reproduce [R0; B0].
+        let mut top = Matrix::from_fn(n, n, |i, j| if i <= j { r.get(i, j) } else { 0.0 });
+        let mut bot = Matrix::<f64>::zeros(m, n);
+        tpmqrt(Transpose::No, &b, &taus, &mut top, &mut bot);
+        assert!(top.approx_eq(&r0, 1e-12), "top diff {}", top.max_abs_diff(&r0));
+        assert!(bot.approx_eq(&b0, 1e-12), "bottom diff {}", bot.max_abs_diff(&b0));
+    }
+
+    #[test]
+    fn tpmqrt_transpose_annihilates_bottom() {
+        let n = 5;
+        let m = 7;
+        let a_top = gen::random_matrix::<f64>(n, n, 6);
+        let r0 = Matrix::from_fn(n, n, |i, j| if i <= j { a_top.get(i, j) + if i == j { 3.0 } else { 0.0 } } else { 0.0 });
+        let b0 = gen::random_matrix::<f64>(m, n, 7);
+        let mut r = r0.clone();
+        let mut b = b0.clone();
+        let taus = tpqrt(&mut r, &mut b);
+        // Q^T applied to the original stacked matrix zeroes the bottom block.
+        let mut top = r0.clone();
+        let mut bot = b0.clone();
+        tpmqrt(Transpose::Yes, &b, &taus, &mut top, &mut bot);
+        assert!(norms::max_abs(&bot) < 1e-12, "bottom not annihilated: {}", norms::max_abs(&bot));
+        assert!(top.approx_eq(&r, 1e-12));
+    }
+
+    #[test]
+    fn qr_solve_ls_square_system() {
+        let a = gen::random_matrix::<f64>(10, 10, 8);
+        let b = gen::rhs_for_unit_solution(&a);
+        let x = qr_solve_ls(a.clone(), &b);
+        assert!(norms::relative_residual(&a, &x, &b) < 1e-12);
+    }
+
+    #[test]
+    fn qr_solve_ls_overdetermined_matches_normal_equations() {
+        let m = 20;
+        let n = 4;
+        let a = gen::random_matrix::<f64>(m, n, 9);
+        let b = gen::random_vector::<f64>(m, 10);
+        let x = qr_solve_ls(a.clone(), &b);
+        // Normal equations residual: A^T (A x - b) ~ 0.
+        let mut ax = vec![0.0; m];
+        crate::gemm::gemv(Transpose::No, 1.0, &a, &x, 0.0, &mut ax);
+        for (axi, &bi) in ax.iter_mut().zip(b.iter()) {
+            *axi -= bi;
+        }
+        let mut atr = vec![0.0; n];
+        crate::gemm::gemv(Transpose::Yes, 1.0, &a, &ax, 0.0, &mut atr);
+        assert!(norms::vec_inf_norm(&atr) < 1e-11);
+    }
+
+    #[test]
+    fn reflector_zero_tail_is_identity() {
+        let mut tail: [f64; 0] = [];
+        let (beta, tau) = reflector(5.0, &mut tail[..]);
+        assert_eq!(beta, 5.0);
+        assert_eq!(tau, 0.0);
+        let mut tail = [0.0f64, 0.0];
+        let (beta, tau) = reflector(-3.0, &mut tail);
+        assert_eq!(beta, -3.0);
+        assert_eq!(tau, 0.0);
+    }
+
+    #[test]
+    fn reflector_annihilates_tail() {
+        let x0 = [3.0f64, 4.0];
+        let mut tail = x0;
+        let alpha = 0.0;
+        let (beta, tau) = reflector(alpha, &mut tail);
+        // ||(alpha, x)|| preserved: |beta| = 5.
+        assert!((beta.abs() - 5.0).abs() < 1e-14);
+        // Verify H * (alpha, x) = (beta, 0): v = (1, tail).
+        let v = [1.0, tail[0], tail[1]];
+        let orig = [alpha, x0[0], x0[1]];
+        let w: f64 = v.iter().zip(orig.iter()).map(|(a, b)| a * b).sum();
+        let hx: Vec<f64> = orig.iter().zip(v.iter()).map(|(o, vi)| o - tau * w * vi).collect();
+        assert!((hx[0] - beta).abs() < 1e-14);
+        assert!(hx[1].abs() < 1e-14);
+        assert!(hx[2].abs() < 1e-14);
+    }
+}

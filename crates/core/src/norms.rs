@@ -1,0 +1,155 @@
+//! Matrix norms and the residual metrics used by the HPL-style correctness
+//! checks.
+
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+
+/// Frobenius norm, accumulated in `f64`.
+pub fn frobenius<T: Scalar>(a: &Matrix<T>) -> f64 {
+    a.as_slice()
+        .iter()
+        .map(|&x| x.to_f64() * x.to_f64())
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// One-norm (maximum absolute column sum).
+pub fn one_norm<T: Scalar>(a: &Matrix<T>) -> f64 {
+    (0..a.cols())
+        .map(|j| a.col(j).iter().map(|&x| x.abs().to_f64()).sum::<f64>())
+        .fold(0.0, f64::max)
+}
+
+/// Infinity-norm (maximum absolute row sum).
+pub fn inf_norm<T: Scalar>(a: &Matrix<T>) -> f64 {
+    let mut row_sums = vec![0.0f64; a.rows()];
+    for j in 0..a.cols() {
+        for (i, &x) in a.col(j).iter().enumerate() {
+            row_sums[i] += x.abs().to_f64();
+        }
+    }
+    row_sums.into_iter().fold(0.0, f64::max)
+}
+
+/// Largest absolute entry.
+pub fn max_abs<T: Scalar>(a: &Matrix<T>) -> f64 {
+    a.as_slice()
+        .iter()
+        .map(|&x| x.abs().to_f64())
+        .fold(0.0, f64::max)
+}
+
+/// Infinity-norm of a vector.
+pub fn vec_inf_norm<T: Scalar>(x: &[T]) -> f64 {
+    x.iter().map(|&v| v.abs().to_f64()).fold(0.0, f64::max)
+}
+
+/// The scaled residual used by HPL to accept a solve:
+/// `||b - A x||_inf / (eps * (||A||_inf * ||x||_inf + ||b||_inf) * n)`.
+///
+/// A value of O(1)–O(10) means the solve is backward stable.
+pub fn hpl_scaled_residual<T: Scalar>(a: &Matrix<T>, x: &[T], b: &[T]) -> f64 {
+    let n = a.rows();
+    assert_eq!(a.cols(), n);
+    assert_eq!(x.len(), n);
+    assert_eq!(b.len(), n);
+    // r = b - A x, accumulated in f64.
+    let mut r = vec![0.0f64; n];
+    for (i, &bi) in b.iter().enumerate() {
+        r[i] = bi.to_f64();
+    }
+    for j in 0..n {
+        let xj = x[j].to_f64();
+        for (i, &aij) in a.col(j).iter().enumerate() {
+            r[i] -= aij.to_f64() * xj;
+        }
+    }
+    let rnorm = r.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+    let denom =
+        f64::EPSILON * (inf_norm(a) * vec_inf_norm(x) + vec_inf_norm(b)) * (n as f64);
+    if denom == 0.0 {
+        return if rnorm == 0.0 { 0.0 } else { f64::INFINITY };
+    }
+    rnorm / denom
+}
+
+/// Relative residual `||b - A x||_2 / ||b||_2` (used by the iterative
+/// solvers), accumulated in `f64`.
+pub fn relative_residual<T: Scalar>(a: &Matrix<T>, x: &[T], b: &[T]) -> f64 {
+    let n = a.rows();
+    let mut r = vec![0.0f64; n];
+    for (i, &bi) in b.iter().enumerate() {
+        r[i] = bi.to_f64();
+    }
+    for j in 0..a.cols() {
+        let xj = x[j].to_f64();
+        for (i, &aij) in a.col(j).iter().enumerate() {
+            r[i] -= aij.to_f64() * xj;
+        }
+    }
+    let rn = r.iter().map(|v| v * v).sum::<f64>().sqrt();
+    let bn = b.iter().map(|&v| v.to_f64() * v.to_f64()).sum::<f64>().sqrt();
+    if bn == 0.0 {
+        rn
+    } else {
+        rn / bn
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix<f64> {
+        // [[1, -2], [3, 4]]
+        Matrix::from_fn(2, 2, |i, j| match (i, j) {
+            (0, 0) => 1.0,
+            (0, 1) => -2.0,
+            (1, 0) => 3.0,
+            (1, 1) => 4.0,
+            _ => unreachable!(),
+        })
+    }
+
+    #[test]
+    fn norm_values() {
+        let a = sample();
+        assert!((frobenius(&a) - (30.0f64).sqrt()).abs() < 1e-14);
+        assert_eq!(one_norm(&a), 6.0); // column 1: |-2| + |4| = 6
+        assert_eq!(inf_norm(&a), 7.0); // row 1: |3| + |4| = 7
+        assert_eq!(max_abs(&a), 4.0);
+    }
+
+    #[test]
+    fn norms_of_identity() {
+        let i = Matrix::<f64>::identity(5);
+        assert_eq!(one_norm(&i), 1.0);
+        assert_eq!(inf_norm(&i), 1.0);
+        assert!((frobenius(&i) - 5.0f64.sqrt()).abs() < 1e-14);
+    }
+
+    #[test]
+    fn exact_solve_has_tiny_scaled_residual() {
+        let a = sample();
+        // x = [1, 1] => b = [-1, 7]
+        let x = [1.0, 1.0];
+        let b = [-1.0, 7.0];
+        assert!(hpl_scaled_residual(&a, &x, &b) < 1.0);
+        assert!(relative_residual(&a, &x, &b) < 1e-15);
+    }
+
+    #[test]
+    fn wrong_solve_has_large_residual() {
+        let a = sample();
+        let x = [10.0, -10.0];
+        let b = [-1.0, 7.0];
+        assert!(hpl_scaled_residual(&a, &x, &b) > 1e10);
+        assert!(relative_residual(&a, &x, &b) > 1.0);
+    }
+
+    #[test]
+    fn vec_inf_norm_basic() {
+        assert_eq!(vec_inf_norm(&[1.0f64, -3.0, 2.0]), 3.0);
+        assert_eq!(vec_inf_norm::<f64>(&[]), 0.0);
+    }
+}

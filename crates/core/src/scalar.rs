@@ -1,0 +1,215 @@
+//! Precision-generic scalar traits.
+//!
+//! The keynote's mixed-precision thesis requires running the *same* kernels
+//! at several precisions. [`Scalar`] captures the arithmetic surface the
+//! kernels need; [`Float`] adds the floating-point metadata (machine epsilon,
+//! conversions) that iterative refinement relies on.
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Arithmetic surface required by every dense kernel in `xsc`.
+///
+/// Implemented for `f32` and `f64`; `xsc-precision` adds an emulated half
+/// precision on top of the same trait.
+pub trait Scalar:
+    Copy
+    + Clone
+    + Debug
+    + Display
+    + PartialEq
+    + PartialOrd
+    + Default
+    + Send
+    + Sync
+    + 'static
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum
+{
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Fused (or contracted) multiply-add `self * a + b`.
+    fn mul_add(self, a: Self, b: Self) -> Self;
+    /// Lossless widening to `f64` (used for norms and residual accounting).
+    fn to_f64(self) -> f64;
+    /// Narrowing conversion from `f64` (rounds to the target precision).
+    fn from_f64(v: f64) -> Self;
+    /// `true` if the value is NaN or infinite.
+    fn not_finite(self) -> bool;
+}
+
+/// Floating-point metadata needed by iterative refinement and conditioning
+/// analysis.
+pub trait Float: Scalar {
+    /// Machine epsilon (unit roundoff times two) of this precision.
+    fn epsilon() -> Self;
+    /// Human-readable precision name used in benchmark tables.
+    fn precision_name() -> &'static str;
+    /// Number of significand bits (including the implicit bit).
+    fn mantissa_bits() -> u32;
+}
+
+impl Scalar for f64 {
+    #[inline(always)]
+    fn zero() -> Self {
+        0.0
+    }
+    #[inline(always)]
+    fn one() -> Self {
+        1.0
+    }
+    #[inline(always)]
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+    #[inline(always)]
+    fn sqrt(self) -> Self {
+        f64::sqrt(self)
+    }
+    #[inline(always)]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        // Plain multiply-add: letting LLVM keep separate mul/add vectorizes
+        // better than forcing a fused instruction on targets without FMA.
+        self * a + b
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline(always)]
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    #[inline(always)]
+    fn not_finite(self) -> bool {
+        !self.is_finite()
+    }
+}
+
+impl Scalar for f32 {
+    #[inline(always)]
+    fn zero() -> Self {
+        0.0
+    }
+    #[inline(always)]
+    fn one() -> Self {
+        1.0
+    }
+    #[inline(always)]
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+    #[inline(always)]
+    fn sqrt(self) -> Self {
+        f32::sqrt(self)
+    }
+    #[inline(always)]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        self * a + b
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    #[inline(always)]
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    #[inline(always)]
+    fn not_finite(self) -> bool {
+        !self.is_finite()
+    }
+}
+
+impl Float for f64 {
+    fn epsilon() -> Self {
+        f64::EPSILON
+    }
+    fn precision_name() -> &'static str {
+        "fp64"
+    }
+    fn mantissa_bits() -> u32 {
+        53
+    }
+}
+
+impl Float for f32 {
+    fn epsilon() -> Self {
+        f32::EPSILON
+    }
+    fn precision_name() -> &'static str {
+        "fp32"
+    }
+    fn mantissa_bits() -> u32 {
+        24
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generic_sum<T: Scalar>(xs: &[T]) -> T {
+        xs.iter().copied().sum()
+    }
+
+    #[test]
+    fn scalar_identities_f64() {
+        assert_eq!(f64::zero() + f64::one(), 1.0);
+        assert_eq!((-3.5f64).abs(), 3.5);
+        assert_eq!(4.0f64.sqrt(), 2.0);
+        assert_eq!(2.0f64.mul_add(3.0, 1.0), 7.0);
+    }
+
+    #[test]
+    fn scalar_identities_f32() {
+        assert_eq!(f32::zero() + f32::one(), 1.0);
+        assert_eq!((-3.5f32).abs(), 3.5);
+        assert_eq!(4.0f32.sqrt(), 2.0);
+        assert_eq!(2.0f32.mul_add(3.0, 1.0), 7.0);
+    }
+
+    #[test]
+    fn generic_sum_works_for_both_precisions() {
+        assert_eq!(generic_sum(&[1.0f64, 2.0, 3.0]), 6.0);
+        assert_eq!(generic_sum(&[1.0f32, 2.0, 3.0]), 6.0);
+    }
+
+    #[test]
+    fn float_metadata() {
+        assert!(f32::epsilon().to_f64() > f64::epsilon());
+        assert_eq!(f64::precision_name(), "fp64");
+        assert_eq!(f32::mantissa_bits(), 24);
+    }
+
+    #[test]
+    fn conversions_round_trip_through_f64() {
+        let x = 0.123456789f64;
+        assert_eq!(f64::from_f64(x.to_f64()), x);
+        let y = f32::from_f64(x);
+        assert!((y.to_f64() - x).abs() < 1e-7);
+    }
+
+    #[test]
+    fn not_finite_detects_nan_and_inf() {
+        assert!(f64::NAN.not_finite());
+        assert!(f64::INFINITY.not_finite());
+        assert!(!1.0f64.not_finite());
+        assert!(f32::NAN.not_finite());
+    }
+}

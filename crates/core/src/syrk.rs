@@ -1,0 +1,162 @@
+//! Symmetric rank-k update: the trailing-update kernel of Cholesky.
+
+use crate::gemm::Transpose;
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+use crate::trsm::Uplo;
+
+/// `C <- alpha * A * A^T + beta * C` (trans = No) or
+/// `C <- alpha * A^T * A + beta * C` (trans = Yes), updating only the
+/// `uplo` triangle of `C` (the other triangle is left untouched).
+pub fn syrk<T: Scalar>(
+    uplo: Uplo,
+    trans: Transpose,
+    alpha: T,
+    a: &Matrix<T>,
+    beta: T,
+    c: &mut Matrix<T>,
+) {
+    let n = match trans {
+        Transpose::No => a.rows(),
+        Transpose::Yes => a.cols(),
+    };
+    let k = match trans {
+        Transpose::No => a.cols(),
+        Transpose::Yes => a.rows(),
+    };
+    assert!(c.is_square() && c.rows() == n, "syrk output shape mismatch");
+
+    // Materialize Aᵀ for the trans case so updates stay stride-1.
+    let at;
+    let a_nn: &Matrix<T> = match trans {
+        Transpose::No => a,
+        Transpose::Yes => {
+            at = a.transpose();
+            &at
+        }
+    };
+
+    for j in 0..n {
+        // Scale the stored triangle of column j.
+        let (lo, hi) = match uplo {
+            Uplo::Lower => (j, n),
+            Uplo::Upper => (0, j + 1),
+        };
+        {
+            let ccol = &mut c.col_mut(j)[lo..hi];
+            if beta == T::zero() {
+                ccol.fill(T::zero());
+            } else if beta != T::one() {
+                for x in ccol.iter_mut() {
+                    *x *= beta;
+                }
+            }
+        }
+        for l in 0..k {
+            let s = alpha * a_nn.get(j, l);
+            if s == T::zero() {
+                continue;
+            }
+            let acol = &a_nn.col(l)[lo..hi];
+            let ccol = &mut c.col_mut(j)[lo..hi];
+            for (ci, &ai) in ccol.iter_mut().zip(acol.iter()) {
+                *ci = s.mul_add(ai, *ci);
+            }
+        }
+    }
+}
+
+/// Mirrors the stored triangle into the other one, making `C` explicitly
+/// symmetric (handy after a sequence of `syrk` updates).
+pub fn symmetrize_from<T: Scalar>(uplo: Uplo, c: &mut Matrix<T>) {
+    assert!(c.is_square());
+    let n = c.rows();
+    for j in 0..n {
+        for i in j + 1..n {
+            match uplo {
+                Uplo::Lower => {
+                    let v = c.get(i, j);
+                    c.set(j, i, v);
+                }
+                Uplo::Upper => {
+                    let v = c.get(j, i);
+                    c.set(i, j, v);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::{naive_gemm, Transpose};
+    use crate::gen;
+
+    fn reference(trans: Transpose, alpha: f64, a: &Matrix<f64>, beta: f64, c0: &Matrix<f64>) -> Matrix<f64> {
+        let mut full = c0.clone();
+        match trans {
+            Transpose::No => naive_gemm(Transpose::No, Transpose::Yes, alpha, a, a, beta, &mut full),
+            Transpose::Yes => naive_gemm(Transpose::Yes, Transpose::No, alpha, a, a, beta, &mut full),
+        }
+        full
+    }
+
+    #[test]
+    fn syrk_matches_gemm_on_stored_triangle() {
+        for &trans in &[Transpose::No, Transpose::Yes] {
+            for &uplo in &[Uplo::Lower, Uplo::Upper] {
+                let a = gen::random_matrix::<f64>(9, 5, 1);
+                let n = match trans {
+                    Transpose::No => 9,
+                    Transpose::Yes => 5,
+                };
+                let c0 = gen::random_matrix::<f64>(n, n, 2);
+                let full = reference(trans, 1.5, &a, 0.5, &c0);
+                let mut c = c0.clone();
+                syrk(uplo, trans, 1.5, &a, 0.5, &mut c);
+                for j in 0..n {
+                    for i in 0..n {
+                        let stored = match uplo {
+                            Uplo::Lower => i >= j,
+                            Uplo::Upper => i <= j,
+                        };
+                        let expect = if stored { full.get(i, j) } else { c0.get(i, j) };
+                        assert!(
+                            (c.get(i, j) - expect).abs() < 1e-12,
+                            "mismatch at ({i},{j}) for {uplo:?} {trans:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn beta_zero_clears_stored_triangle_only() {
+        let a = Matrix::<f64>::zeros(4, 3);
+        let mut c = gen::random_matrix::<f64>(4, 4, 3);
+        let c0 = c.clone();
+        syrk(Uplo::Lower, Transpose::No, 1.0, &a, 0.0, &mut c);
+        for j in 0..4 {
+            for i in 0..4 {
+                if i >= j {
+                    assert_eq!(c.get(i, j), 0.0);
+                } else {
+                    assert_eq!(c.get(i, j), c0.get(i, j));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn symmetrize_from_lower() {
+        let mut c = gen::random_matrix::<f64>(5, 5, 4);
+        symmetrize_from(Uplo::Lower, &mut c);
+        for i in 0..5 {
+            for j in 0..5 {
+                assert_eq!(c.get(i, j), c.get(j, i));
+            }
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Tiled matrix storage for PLASMA-style algorithms.
+//!
+//! A [`TileMatrix`] partitions an `m × n` matrix into `nb × nb` tiles, each
+//! a contiguous column-major [`Matrix`] behind its own lock. Tasks in an
+//! `xsc-runtime` graph reference tiles by [`TileIndex`]; the runtime's
+//! dependence analysis guarantees lock acquisitions never contend along a
+//! correct schedule, so the lock is a cheap safety net rather than a
+//! synchronization mechanism.
+
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// `(row-tile, col-tile)` coordinate of a tile.
+pub type TileIndex = (usize, usize);
+
+/// A matrix stored as a grid of independent tiles.
+pub struct TileMatrix<T> {
+    m: usize,
+    n: usize,
+    nb: usize,
+    mt: usize,
+    nt: usize,
+    tiles: Vec<Arc<RwLock<Matrix<T>>>>,
+}
+
+impl<T: Scalar> TileMatrix<T> {
+    /// Creates a zero-filled tiled matrix.
+    pub fn zeros(m: usize, n: usize, nb: usize) -> Self {
+        assert!(nb > 0, "tile size must be positive");
+        assert!(m > 0 && n > 0, "matrix dimensions must be positive");
+        let mt = m.div_ceil(nb);
+        let nt = n.div_ceil(nb);
+        let mut tiles = Vec::with_capacity(mt * nt);
+        for j in 0..nt {
+            for i in 0..mt {
+                let tm = nb.min(m - i * nb);
+                let tn = nb.min(n - j * nb);
+                tiles.push(Arc::new(RwLock::new(Matrix::zeros(tm, tn))));
+            }
+        }
+        TileMatrix { m, n, nb, mt, nt, tiles }
+    }
+
+    /// Partitions a dense matrix into tiles (copies the data).
+    pub fn from_matrix(a: &Matrix<T>, nb: usize) -> Self {
+        let tm = TileMatrix::zeros(a.rows(), a.cols(), nb);
+        for ti in 0..tm.mt {
+            for tj in 0..tm.nt {
+                let (r0, c0) = (ti * nb, tj * nb);
+                let (tr, tc) = tm.tile_dims(ti, tj);
+                let mut tile = tm.tiles[tm.linear(ti, tj)].write();
+                a.copy_block_into(r0, c0, tr, tc, &mut tile, 0, 0);
+            }
+        }
+        tm
+    }
+
+    /// Gathers the tiles back into a dense matrix.
+    pub fn to_matrix(&self) -> Matrix<T> {
+        let mut out = Matrix::zeros(self.m, self.n);
+        for ti in 0..self.mt {
+            for tj in 0..self.nt {
+                let (tr, tc) = self.tile_dims(ti, tj);
+                let tile = self.tiles[self.linear(ti, tj)].read();
+                tile.copy_block_into(0, 0, tr, tc, &mut out, ti * self.nb, tj * self.nb);
+            }
+        }
+        out
+    }
+
+    /// Total rows.
+    pub fn rows(&self) -> usize {
+        self.m
+    }
+
+    /// Total columns.
+    pub fn cols(&self) -> usize {
+        self.n
+    }
+
+    /// Tile size.
+    pub fn nb(&self) -> usize {
+        self.nb
+    }
+
+    /// Number of tile rows.
+    pub fn tile_rows(&self) -> usize {
+        self.mt
+    }
+
+    /// Number of tile columns.
+    pub fn tile_cols(&self) -> usize {
+        self.nt
+    }
+
+    /// Dimensions of tile `(i, j)` (edge tiles may be smaller than `nb`).
+    pub fn tile_dims(&self, i: usize, j: usize) -> (usize, usize) {
+        assert!(i < self.mt && j < self.nt, "tile index out of range");
+        (
+            self.nb.min(self.m - i * self.nb),
+            self.nb.min(self.n - j * self.nb),
+        )
+    }
+
+    #[inline]
+    fn linear(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < self.mt && j < self.nt);
+        i + j * self.mt
+    }
+
+    /// Shared handle to tile `(i, j)`.
+    pub fn tile(&self, i: usize, j: usize) -> Arc<RwLock<Matrix<T>>> {
+        Arc::clone(&self.tiles[self.linear(i, j)])
+    }
+
+    /// Stable data id for tile `(i, j)`, for use as an `xsc-runtime`
+    /// dependence-analysis key.
+    pub fn data_id(&self, i: usize, j: usize) -> usize {
+        self.linear(i, j)
+    }
+
+    /// Number of tiles (= one past the largest [`Self::data_id`]).
+    pub fn num_tiles(&self) -> usize {
+        self.tiles.len()
+    }
+}
+
+impl<T: Scalar> Clone for TileMatrix<T> {
+    /// Deep copy: the clone owns fresh tiles (handles are *not* shared).
+    fn clone(&self) -> Self {
+        TileMatrix {
+            m: self.m,
+            n: self.n,
+            nb: self.nb,
+            mt: self.mt,
+            nt: self.nt,
+            tiles: self
+                .tiles
+                .iter()
+                .map(|t| Arc::new(RwLock::new(t.read().clone())))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn round_trip_exact_division() {
+        let a = gen::random_matrix::<f64>(12, 8, 1);
+        let t = TileMatrix::from_matrix(&a, 4);
+        assert_eq!(t.tile_rows(), 3);
+        assert_eq!(t.tile_cols(), 2);
+        assert!(t.to_matrix().approx_eq(&a, 0.0));
+    }
+
+    #[test]
+    fn round_trip_ragged_edges() {
+        let a = gen::random_matrix::<f64>(13, 9, 2);
+        let t = TileMatrix::from_matrix(&a, 5);
+        assert_eq!(t.tile_rows(), 3);
+        assert_eq!(t.tile_cols(), 2);
+        assert_eq!(t.tile_dims(2, 1), (3, 4));
+        assert!(t.to_matrix().approx_eq(&a, 0.0));
+    }
+
+    #[test]
+    fn tile_contents_match_blocks() {
+        let a = gen::random_matrix::<f64>(10, 10, 3);
+        let t = TileMatrix::from_matrix(&a, 4);
+        let tile = t.tile(1, 2);
+        let tile = tile.read();
+        assert_eq!(tile.rows(), 4);
+        assert_eq!(tile.cols(), 2);
+        assert_eq!(tile.get(0, 0), a.get(4, 8));
+        assert_eq!(tile.get(3, 1), a.get(7, 9));
+    }
+
+    #[test]
+    fn data_ids_are_unique_and_dense() {
+        let t = TileMatrix::<f64>::zeros(9, 9, 3);
+        let mut seen = vec![false; t.num_tiles()];
+        for i in 0..t.tile_rows() {
+            for j in 0..t.tile_cols() {
+                let id = t.data_id(i, j);
+                assert!(!seen[id], "duplicate id {id}");
+                seen[id] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn mutating_a_tile_is_visible_in_gather() {
+        let t = TileMatrix::<f64>::zeros(6, 6, 3);
+        {
+            let h = t.tile(1, 1);
+            h.write().set(2, 2, 7.5);
+        }
+        let m = t.to_matrix();
+        assert_eq!(m.get(5, 5), 7.5);
+    }
+
+    #[test]
+    fn clone_is_deep() {
+        let t = TileMatrix::<f64>::zeros(4, 4, 2);
+        let c = t.clone();
+        t.tile(0, 0).write().set(0, 0, 1.0);
+        assert_eq!(c.tile(0, 0).read().get(0, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "tile size")]
+    fn zero_tile_size_rejected() {
+        let _ = TileMatrix::<f64>::zeros(4, 4, 0);
+    }
+}

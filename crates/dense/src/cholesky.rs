@@ -1,0 +1,330 @@
+//! Tiled Cholesky factorization, dataflow and fork-join engines.
+//!
+//! Right-looking tile algorithm (PLASMA `dpotrf`): for each step `k`
+//!
+//! * `POTRF  A[k][k]`
+//! * `TRSM   A[i][k] <- A[i][k] * A[k][k]^-T`           for `i > k`
+//! * `SYRK   A[i][i] <- A[i][i] - A[i][k]*A[i][k]^T`    for `i > k`
+//! * `GEMM   A[i][j] <- A[i][j] - A[i][k]*A[j][k]^T`    for `i > j > k`
+//!
+//! The dataflow engine submits all `O(nt³)` tasks up front with tile-level
+//! read/write declarations; the fork-join engine synchronizes after every
+//! step (panel barrier, update barrier), which is exactly the utilization
+//! loss experiment E02 measures.
+
+use crate::poison::Poison;
+use rayon::prelude::*;
+use xsc_core::{factor, flops, gemm, syrk, trsm};
+use xsc_core::{Error, Matrix, Result, Scalar, TileMatrix, Transpose};
+use xsc_runtime::{trace::Trace, Access, Executor, TaskGraph};
+
+/// Builds the tiled-Cholesky task graph over `a` (overwriting its lower
+/// triangle of tiles with `L`). Exposed so the discrete-event simulator in
+/// `xsc-machine` can replay the same DAG on a modeled machine.
+pub fn build_graph<T: Scalar>(a: &TileMatrix<T>, poison: &Poison) -> TaskGraph {
+    let nt = a.tile_cols();
+    assert_eq!(a.tile_rows(), nt, "cholesky requires a square tile grid");
+    let nb = a.nb();
+    let mut g = TaskGraph::new();
+    for k in 0..nt {
+        let (kb, _) = a.tile_dims(k, k);
+        let tkk = a.tile(k, k);
+        let p = poison.clone();
+        let base = k * nb;
+        g.add_task_with_cost(
+            format!("potrf({k})"),
+            [Access::Write(a.data_id(k, k))],
+            flops::cholesky(kb),
+            move || {
+                if p.is_set() {
+                    return;
+                }
+                if let Err(e) = factor::potrf_unblocked(&mut tkk.write()) {
+                    p.set(shift_pivot(e, base));
+                }
+            },
+        );
+        for i in k + 1..nt {
+            let tkk = a.tile(k, k);
+            let tik = a.tile(i, k);
+            let p = poison.clone();
+            let (ib, _) = a.tile_dims(i, k);
+            g.add_task_with_cost(
+                format!("trsm({i},{k})"),
+                [Access::Read(a.data_id(k, k)), Access::Write(a.data_id(i, k))],
+                flops::trsm(kb, ib),
+                move || {
+                    if p.is_set() {
+                        return;
+                    }
+                    let l = tkk.read();
+                    trsm::trsm(
+                        trsm::Side::Right,
+                        trsm::Uplo::Lower,
+                        Transpose::Yes,
+                        trsm::Diag::NonUnit,
+                        T::one(),
+                        &l,
+                        &mut tik.write(),
+                    );
+                },
+            );
+        }
+        for i in k + 1..nt {
+            let tik = a.tile(i, k);
+            let tii = a.tile(i, i);
+            let p = poison.clone();
+            let (ib, _) = a.tile_dims(i, k);
+            g.add_task_with_cost(
+                format!("syrk({i},{k})"),
+                [Access::Read(a.data_id(i, k)), Access::Write(a.data_id(i, i))],
+                flops::syrk(ib, kb),
+                move || {
+                    if p.is_set() {
+                        return;
+                    }
+                    let lik = tik.read();
+                    syrk::syrk(
+                        trsm::Uplo::Lower,
+                        Transpose::No,
+                        -T::one(),
+                        &lik,
+                        T::one(),
+                        &mut tii.write(),
+                    );
+                },
+            );
+            for j in k + 1..i {
+                let tik = a.tile(i, k);
+                let tjk = a.tile(j, k);
+                let tij = a.tile(i, j);
+                let p = poison.clone();
+                let (ib2, _) = a.tile_dims(i, k);
+                let (jb, _) = a.tile_dims(j, k);
+                g.add_task_with_cost(
+                    format!("gemm({i},{j},{k})"),
+                    [
+                        Access::Read(a.data_id(i, k)),
+                        Access::Read(a.data_id(j, k)),
+                        Access::Write(a.data_id(i, j)),
+                    ],
+                    flops::gemm(ib2, jb, kb),
+                    move || {
+                        if p.is_set() {
+                            return;
+                        }
+                        let lik = tik.read();
+                        let ljk = tjk.read();
+                        gemm::gemm(
+                            Transpose::No,
+                            Transpose::Yes,
+                            -T::one(),
+                            &lik,
+                            &ljk,
+                            T::one(),
+                            &mut tij.write(),
+                        );
+                    },
+                );
+            }
+        }
+    }
+    g
+}
+
+fn shift_pivot(e: Error, base: usize) -> Error {
+    match e {
+        Error::NotPositiveDefinite { pivot } => Error::NotPositiveDefinite { pivot: base + pivot },
+        other => other,
+    }
+}
+
+/// Dataflow tiled Cholesky: factors `a` in place (lower tiles become `L`)
+/// using `executor`, returning the execution trace.
+pub fn cholesky_dag<T: Scalar>(a: &TileMatrix<T>, executor: &Executor) -> Result<Trace> {
+    let poison = Poison::new();
+    let g = build_graph(a, &poison);
+    let trace = executor.execute_traced(g);
+    poison.into_result()?;
+    Ok(trace)
+}
+
+/// Fork-join (bulk-synchronous) tiled Cholesky: the same tile kernels, but
+/// with a rayon barrier after the panel and after the trailing update of
+/// every step `k`.
+pub fn cholesky_forkjoin<T: Scalar>(a: &TileMatrix<T>) -> Result<()> {
+    let nt = a.tile_cols();
+    assert_eq!(a.tile_rows(), nt, "cholesky requires a square tile grid");
+    for k in 0..nt {
+        {
+            let tkk = a.tile(k, k);
+            let mut tile = tkk.write();
+            factor::potrf_unblocked(&mut tile).map_err(|e| shift_pivot(e, k * a.nb()))?;
+        }
+        // Panel: all TRSMs in parallel, then barrier.
+        let tkk = a.tile(k, k);
+        let l = tkk.read();
+        (k + 1..nt).into_par_iter().for_each(|i| {
+            let tik = a.tile(i, k);
+            trsm::trsm(
+                trsm::Side::Right,
+                trsm::Uplo::Lower,
+                Transpose::Yes,
+                trsm::Diag::NonUnit,
+                T::one(),
+                &l,
+                &mut tik.write(),
+            );
+        });
+        drop(l);
+        // Trailing update: all SYRK/GEMMs in parallel, then barrier.
+        let updates: Vec<(usize, usize)> = (k + 1..nt)
+            .flat_map(|i| (k + 1..=i).map(move |j| (i, j)))
+            .collect();
+        updates.into_par_iter().for_each(|(i, j)| {
+            let tik = a.tile(i, k);
+            let lik = tik.read();
+            if i == j {
+                let tii = a.tile(i, i);
+                syrk::syrk(
+                    trsm::Uplo::Lower,
+                    Transpose::No,
+                    -T::one(),
+                    &lik,
+                    T::one(),
+                    &mut tii.write(),
+                );
+            } else {
+                let tjk = a.tile(j, k);
+                let ljk = tjk.read();
+                let tij = a.tile(i, j);
+                gemm::gemm(
+                    Transpose::No,
+                    Transpose::Yes,
+                    -T::one(),
+                    &lik,
+                    &ljk,
+                    T::one(),
+                    &mut tij.write(),
+                );
+            }
+        });
+    }
+    Ok(())
+}
+
+/// Solves `A x = b` using the tiled factor produced by either engine;
+/// gathers `L` and runs the two triangular solves. `b` is overwritten.
+pub fn solve<T: Scalar>(l_tiles: &TileMatrix<T>, b: &mut [T]) {
+    let l = lower_from_tiles(l_tiles);
+    factor::potrf_solve(&l, b);
+}
+
+/// Gathers the tiled factor into a dense matrix whose lower triangle is `L`
+/// (upper triangle zeroed — the tiled algorithm never touches upper tiles).
+pub fn lower_from_tiles<T: Scalar>(a: &TileMatrix<T>) -> Matrix<T> {
+    let full = a.to_matrix();
+    let n = full.rows();
+    Matrix::from_fn(n, n, |i, j| if i >= j { full.get(i, j) } else { T::zero() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsc_core::{gen, norms};
+    use xsc_runtime::SchedPolicy;
+
+    fn reference_lower(a: &Matrix<f64>, nb: usize) -> Matrix<f64> {
+        let mut f = a.clone();
+        factor::potrf_blocked(&mut f, nb).unwrap();
+        let n = a.rows();
+        Matrix::from_fn(n, n, |i, j| if i >= j { f.get(i, j) } else { 0.0 })
+    }
+
+    #[test]
+    fn dag_matches_reference() {
+        for (n, nb) in [(32, 8), (40, 12), (33, 16)] {
+            let a = gen::random_spd::<f64>(n, 1);
+            let tiles = TileMatrix::from_matrix(&a, nb);
+            let exec = Executor::new(4, SchedPolicy::CriticalPath);
+            cholesky_dag(&tiles, &exec).unwrap();
+            let got = lower_from_tiles(&tiles);
+            let expect = reference_lower(&a, nb);
+            assert!(
+                got.approx_eq(&expect, 1e-9),
+                "n={n} nb={nb} diff {}",
+                got.max_abs_diff(&expect)
+            );
+        }
+    }
+
+    #[test]
+    fn forkjoin_matches_reference() {
+        for (n, nb) in [(32, 8), (37, 10)] {
+            let a = gen::random_spd::<f64>(n, 2);
+            let tiles = TileMatrix::from_matrix(&a, nb);
+            cholesky_forkjoin(&tiles).unwrap();
+            let got = lower_from_tiles(&tiles);
+            let expect = reference_lower(&a, nb);
+            assert!(got.approx_eq(&expect, 1e-9), "n={n} nb={nb}");
+        }
+    }
+
+    #[test]
+    fn dag_solve_end_to_end() {
+        let n = 48;
+        let a = gen::random_spd::<f64>(n, 3);
+        let b = gen::rhs_for_unit_solution(&a);
+        let tiles = TileMatrix::from_matrix(&a, 16);
+        let exec = Executor::new(4, SchedPolicy::CriticalPath);
+        cholesky_dag(&tiles, &exec).unwrap();
+        let mut x = b.clone();
+        solve(&tiles, &mut x);
+        assert!(norms::relative_residual(&a, &x, &b) < 1e-9);
+    }
+
+    #[test]
+    fn dag_reports_not_spd_with_global_pivot() {
+        let n = 24;
+        let mut a = gen::random_spd::<f64>(n, 4);
+        // Poison a diagonal entry deep in the matrix.
+        a.set(17, 17, -100.0);
+        let tiles = TileMatrix::from_matrix(&a, 8);
+        let exec = Executor::new(4, SchedPolicy::CriticalPath);
+        let err = cholesky_dag(&tiles, &exec).unwrap_err();
+        match err {
+            Error::NotPositiveDefinite { pivot } => assert!(pivot >= 16, "pivot {pivot}"),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn forkjoin_reports_not_spd() {
+        let mut a = gen::random_spd::<f64>(16, 5);
+        a.set(3, 3, -1.0);
+        let tiles = TileMatrix::from_matrix(&a, 8);
+        assert!(cholesky_forkjoin(&tiles).is_err());
+    }
+
+    #[test]
+    fn trace_utilization_is_sane() {
+        let a = gen::random_spd::<f64>(64, 6);
+        let tiles = TileMatrix::from_matrix(&a, 16);
+        let exec = Executor::new(2, SchedPolicy::CriticalPath);
+        let trace = cholesky_dag(&tiles, &exec).unwrap();
+        assert!(trace.tasks_run() > 0);
+        let u = trace.utilization();
+        assert!(u > 0.0 && u <= 1.0);
+    }
+
+    #[test]
+    fn graph_task_count_is_nt_choose_formula() {
+        // nt tiles: potrf nt, trsm nt(nt-1)/2, syrk nt(nt-1)/2,
+        // gemm nt(nt-1)(nt-2)/6.
+        let a = TileMatrix::<f64>::zeros(64, 64, 16); // nt = 4
+        let g = build_graph(&a, &Poison::new());
+        let nt = 4u64;
+        let expect = nt + nt * (nt - 1) / 2 + nt * (nt - 1) / 2 + nt * (nt - 1) * (nt - 2) / 6;
+        assert_eq!(g.len() as u64, expect);
+    }
+}

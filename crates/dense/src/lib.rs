@@ -1,0 +1,37 @@
+//! # xsc-dense — tiled dense factorizations, two ways
+//!
+//! This crate implements the keynote's algorithmic program for dense linear
+//! algebra at scale:
+//!
+//! * [`cholesky`], [`lu`], [`qr`] — PLASMA-style **tiled algorithms**, each
+//!   in two engines: a **DAG-dataflow** version driven by `xsc-runtime`
+//!   (tasks fire the moment their input tiles are ready) and a
+//!   **fork-join / bulk-synchronous** baseline (a barrier after every
+//!   algorithmic step — the model the keynote argues is obsolete).
+//! * [`tsqr`] — the **communication-avoiding** tall-skinny QR: a reduction
+//!   tree of small factorizations that moves `O(n²·log P)` words where the
+//!   flat algorithm moves `O(m·n)`.
+//! * [`rbt`] — **random butterfly transforms**: randomization in place of
+//!   pivoting, removing the pivot search's synchronization point.
+//! * [`calu`] — **communication-avoiding LU**: tournament pivoting (TSLU)
+//!   replaces the panel's O(n) pivot reductions with O(log P) tournament
+//!   rounds.
+//! * [`hpl`] — the HPL-like benchmark driver (thread-parallel blocked LU
+//!   with partial pivoting, HPL flop accounting and the HPL acceptance
+//!   residual), one half of the headline HPL-vs-HPCG experiment.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![allow(clippy::needless_range_loop)] // index-coupled updates across multiple slices are the clearest form for these kernels
+
+pub mod calu;
+pub mod cholesky;
+pub mod hpl;
+pub mod lu;
+pub mod qr;
+pub mod rbt;
+pub mod tsqr;
+
+pub mod poison;
+
+pub use hpl::HplResult;

@@ -1,0 +1,83 @@
+//! Error propagation out of DAG task kernels.
+//!
+//! Task closures cannot return `Result`, so factorization failures (e.g. a
+//! non-SPD pivot) are recorded in a shared slot; every subsequent kernel
+//! checks the flag and becomes a no-op, and the driver surfaces the first
+//! recorded error after the graph drains.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use xsc_core::Error;
+
+/// Shared first-error slot for a task graph execution.
+#[derive(Clone, Default)]
+pub struct Poison {
+    inner: Arc<PoisonInner>,
+}
+
+#[derive(Default)]
+struct PoisonInner {
+    flag: AtomicBool,
+    first: Mutex<Option<Error>>,
+}
+
+impl Poison {
+    /// Creates an empty (no-error) slot.
+    pub fn new() -> Self {
+        Poison::default()
+    }
+
+    /// `true` if some kernel already failed — kernels use this to bail out
+    /// early instead of operating on garbage.
+    #[inline]
+    pub fn is_set(&self) -> bool {
+        self.inner.flag.load(Ordering::Acquire)
+    }
+
+    /// Records `err` if it is the first failure.
+    pub fn set(&self, err: Error) {
+        let mut slot = self.inner.first.lock();
+        if slot.is_none() {
+            *slot = Some(err);
+        }
+        self.inner.flag.store(true, Ordering::Release);
+    }
+
+    /// Converts the recorded state into a `Result`.
+    pub fn into_result(self) -> Result<(), Error> {
+        match self.inner.first.lock().take() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_error_wins() {
+        let p = Poison::new();
+        assert!(!p.is_set());
+        p.set(Error::Singular { pivot: 1 });
+        p.set(Error::Singular { pivot: 2 });
+        assert!(p.is_set());
+        assert_eq!(p.into_result(), Err(Error::Singular { pivot: 1 }));
+    }
+
+    #[test]
+    fn clean_poison_is_ok() {
+        let p = Poison::new();
+        assert_eq!(p.into_result(), Ok(()));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let p = Poison::new();
+        let q = p.clone();
+        q.set(Error::Singular { pivot: 0 });
+        assert!(p.is_set());
+    }
+}

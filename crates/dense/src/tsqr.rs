@@ -1,0 +1,190 @@
+//! Communication-avoiding tall-skinny QR (TSQR).
+//!
+//! The keynote's "flops are free, words are expensive" rule: for an
+//! `m × n` matrix with `m ≫ n` split over `P` processors, classic
+//! Householder QR communicates `O(n · log P)` *messages* with `O(m n)`
+//! total words streamed through the panel holder, while TSQR reduces
+//! `n × n` triangles pairwise up a binary tree — `O(log P)` messages of
+//! `O(n²)` words each. This module implements both and counts the words so
+//! experiment E04 can report the crossover.
+
+use rayon::prelude::*;
+use xsc_core::householder::{extract_r, geqrf, tpqrt};
+use xsc_core::{Matrix, Scalar};
+
+/// Result of a TSQR reduction: the `R` factor plus the modeled
+/// communication volume.
+#[derive(Debug)]
+pub struct TsqrResult<T: Scalar> {
+    /// The `n × n` upper-triangular factor (unique up to row signs).
+    pub r: Matrix<T>,
+    /// Words (matrix elements) exchanged between blocks during the tree
+    /// reduction — the distributed-memory communication this algorithm
+    /// is designed to minimize.
+    pub comm_words: u64,
+    /// Number of tree levels executed.
+    pub levels: usize,
+    /// Number of leaf blocks.
+    pub blocks: usize,
+}
+
+/// TSQR of `a` (`m × n`, `m >= n`), with leaf blocks of about `block_rows`
+/// rows (clamped so every leaf has at least `n` rows). Leaf factorizations
+/// and each tree level run in parallel.
+pub fn tsqr<T: Scalar>(a: &Matrix<T>, block_rows: usize) -> TsqrResult<T> {
+    let m = a.rows();
+    let n = a.cols();
+    assert!(m >= n, "tsqr requires m >= n");
+    let br = block_rows.max(n);
+    let nblocks = (m / br).max(1);
+
+    // Leaf stage: independent QR of each row block.
+    let mut rs: Vec<Matrix<T>> = (0..nblocks)
+        .into_par_iter()
+        .map(|b| {
+            let r0 = b * br;
+            let r1 = if b + 1 == nblocks { m } else { (b + 1) * br };
+            let mut blk = a.block(r0, 0, r1 - r0, n);
+            geqrf(&mut blk);
+            extract_r(&blk)
+        })
+        .collect();
+    let blocks = rs.len();
+
+    // Tree stage: pairwise TPQRT merges; each merge "sends" the lower R
+    // (n² words in the dense-tile model HPL-style codes use).
+    let mut levels = 0;
+    let mut comm_words = 0u64;
+    while rs.len() > 1 {
+        levels += 1;
+        let merges = rs.len() / 2;
+        comm_words += (merges as u64) * (n as u64) * (n as u64);
+        let leftover = if rs.len() % 2 == 1 { rs.pop() } else { None };
+        let mut next: Vec<Matrix<T>> = rs
+            .par_chunks_mut(2)
+            .map(|pair| {
+                let (top, bottom) = pair.split_at_mut(1);
+                // The bottom R is upper-triangular but enters TPQRT as a
+                // dense block (pentagonal kernels would save half the flops;
+                // flops are free here, words are not).
+                tpqrt(&mut top[0], &mut bottom[0]);
+                top[0].clone()
+            })
+            .collect();
+        if let Some(l) = leftover {
+            next.push(l);
+        }
+        rs = next;
+    }
+
+    TsqrResult {
+        r: extract_upper(&rs.pop().expect("at least one block")),
+        comm_words,
+        levels,
+        blocks,
+    }
+}
+
+fn extract_upper<T: Scalar>(a: &Matrix<T>) -> Matrix<T> {
+    let n = a.cols();
+    Matrix::from_fn(n, n, |i, j| if i <= j { a.get(i, j) } else { T::zero() })
+}
+
+/// Flat Householder QR baseline: returns `R` and the modeled communication
+/// volume of the panel-cyclic distributed algorithm (every column of the
+/// matrix passes through the reduction owner once: `m · n` words).
+pub fn flat_qr_r<T: Scalar>(a: &Matrix<T>) -> (Matrix<T>, u64) {
+    let mut f = a.clone();
+    geqrf(&mut f);
+    let words = (a.rows() as u64) * (a.cols() as u64);
+    (extract_r(&f), words)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsc_core::gemm::{gemm, Transpose};
+    use xsc_core::gen;
+
+    fn gram(x: &Matrix<f64>) -> Matrix<f64> {
+        let n = x.cols();
+        let mut g = Matrix::zeros(n, n);
+        gemm(Transpose::Yes, Transpose::No, 1.0, x, x, 0.0, &mut g);
+        g
+    }
+
+    #[test]
+    fn tsqr_r_gram_matches_a_gram() {
+        for (m, n, br) in [(200, 8, 32), (333, 5, 40), (64, 16, 16)] {
+            let a = gen::random_matrix::<f64>(m, n, 1);
+            let res = tsqr(&a, br);
+            let ga = gram(&a);
+            let gr = gram(&res.r);
+            assert!(
+                gr.approx_eq(&ga, 1e-9 * m as f64),
+                "({m},{n},{br}) diff {}",
+                gr.max_abs_diff(&ga)
+            );
+        }
+    }
+
+    #[test]
+    fn tsqr_matches_flat_qr_up_to_signs() {
+        let a = gen::random_matrix::<f64>(256, 8, 2);
+        let res = tsqr(&a, 32);
+        let (rf, _) = flat_qr_r(&a);
+        // Rows of R are unique up to sign: compare |R| entries.
+        for i in 0..8 {
+            for j in i..8 {
+                assert!(
+                    (res.r.get(i, j).abs() - rf.get(i, j).abs()).abs() < 1e-9,
+                    "({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tsqr_r_is_upper_triangular() {
+        let a = gen::random_matrix::<f64>(100, 6, 3);
+        let res = tsqr(&a, 25);
+        for j in 0..6 {
+            for i in j + 1..6 {
+                assert_eq!(res.r.get(i, j), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn communication_is_logarithmic_in_blocks() {
+        let n = 8usize;
+        let a = gen::random_matrix::<f64>(1024, n, 4);
+        let res = tsqr(&a, 64); // 16 blocks -> 15 merges over 4 levels
+        assert_eq!(res.blocks, 16);
+        assert_eq!(res.levels, 4);
+        assert_eq!(res.comm_words, 15 * (n * n) as u64);
+        let (_, flat_words) = flat_qr_r(&a);
+        assert!(res.comm_words < flat_words / 5, "TSQR must move far fewer words");
+    }
+
+    #[test]
+    fn single_block_degenerates_to_flat_qr() {
+        let a = gen::random_matrix::<f64>(50, 10, 5);
+        let res = tsqr(&a, 1000);
+        assert_eq!(res.blocks, 1);
+        assert_eq!(res.levels, 0);
+        assert_eq!(res.comm_words, 0);
+        let (rf, _) = flat_qr_r(&a);
+        assert!(res.r.approx_eq(&rf, 1e-12));
+    }
+
+    #[test]
+    fn odd_block_counts_handled() {
+        let a = gen::random_matrix::<f64>(70, 4, 6);
+        let res = tsqr(&a, 10); // 7 blocks
+        assert_eq!(res.blocks, 7);
+        let ga = gram(&a);
+        let gr = gram(&res.r);
+        assert!(gr.approx_eq(&ga, 1e-8));
+    }
+}

@@ -1,0 +1,141 @@
+//! Deterministic fault injection.
+//!
+//! Real extreme-scale faults (DRAM upsets, failed nodes) cannot be
+//! scheduled on a laptop, so experiments inject them: a seeded RNG decides
+//! *when* a fault fires and *which* element it corrupts, making every
+//! resilience experiment reproducible.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use xsc_core::{Matrix, Scalar};
+
+/// How an injected fault perturbs the victim value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Flip a high mantissa/exponent bit: value becomes wildly wrong.
+    BitFlip,
+    /// Overwrite with a fixed garbage value.
+    Stuck(f64),
+    /// Scale by a factor (a "silent" small corruption).
+    Scale(f64),
+}
+
+/// A seeded fault injector with a per-opportunity firing probability.
+pub struct FaultInjector {
+    rng: SmallRng,
+    /// Probability that a given opportunity fires.
+    pub rate: f64,
+    kind: FaultKind,
+    fired: usize,
+}
+
+impl FaultInjector {
+    /// Creates an injector firing with probability `rate` per opportunity.
+    pub fn new(rate: f64, kind: FaultKind, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be a probability");
+        FaultInjector {
+            rng: SmallRng::seed_from_u64(seed),
+            rate,
+            kind,
+            fired: 0,
+        }
+    }
+
+    /// Number of faults injected so far.
+    pub fn faults_fired(&self) -> usize {
+        self.fired
+    }
+
+    /// Rolls the dice for one opportunity.
+    pub fn should_fire(&mut self) -> bool {
+        self.rng.gen_bool(self.rate)
+    }
+
+    /// Corrupts one value according to the configured [`FaultKind`].
+    pub fn corrupt_value<T: Scalar>(&mut self, v: T) -> T {
+        self.fired += 1;
+        match self.kind {
+            FaultKind::BitFlip => {
+                // Flip a high bit of the f64 image: deterministic, large.
+                let bits = v.to_f64().to_bits() ^ (1u64 << 61);
+                T::from_f64(f64::from_bits(bits))
+            }
+            FaultKind::Stuck(g) => T::from_f64(g),
+            FaultKind::Scale(s) => T::from_f64(v.to_f64() * s),
+        }
+    }
+
+    /// Unconditionally corrupts a uniformly chosen element of `m`,
+    /// returning its position.
+    pub fn corrupt_matrix<T: Scalar>(&mut self, m: &mut Matrix<T>) -> (usize, usize) {
+        let i = self.rng.gen_range(0..m.rows());
+        let j = self.rng.gen_range(0..m.cols());
+        let v = m.get(i, j);
+        let c = self.corrupt_value(v);
+        m.set(i, j, c);
+        (i, j)
+    }
+
+    /// Unconditionally corrupts a uniformly chosen element of a vector,
+    /// returning its index.
+    pub fn corrupt_vector<T: Scalar>(&mut self, v: &mut [T]) -> usize {
+        let i = self.rng.gen_range(0..v.len());
+        v[i] = self.corrupt_value(v[i]);
+        i
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injection_is_reproducible() {
+        let mut a = Matrix::<f64>::zeros(8, 8);
+        let mut b = Matrix::<f64>::zeros(8, 8);
+        let p1 = FaultInjector::new(1.0, FaultKind::BitFlip, 7).corrupt_matrix(&mut a);
+        let p2 = FaultInjector::new(1.0, FaultKind::BitFlip, 7).corrupt_matrix(&mut b);
+        assert_eq!(p1, p2);
+        assert!(a.approx_eq(&b, 0.0));
+    }
+
+    #[test]
+    fn bit_flip_changes_value_substantially() {
+        let mut inj = FaultInjector::new(1.0, FaultKind::BitFlip, 1);
+        let v = inj.corrupt_value(1.0f64);
+        assert_ne!(v, 1.0);
+        // Flipping exponent bit 61 either explodes the value (~1e154) or
+        // collapses it (~1e-154); both are a large *relative* change.
+        assert!((v - 1.0).abs() >= 0.5, "bit 61 flip must be large: {v}");
+        assert_eq!(inj.faults_fired(), 1);
+    }
+
+    #[test]
+    fn stuck_and_scale_kinds() {
+        let mut inj = FaultInjector::new(1.0, FaultKind::Stuck(42.0), 2);
+        assert_eq!(inj.corrupt_value(7.0f64), 42.0);
+        let mut inj = FaultInjector::new(1.0, FaultKind::Scale(2.0), 3);
+        assert_eq!(inj.corrupt_value(7.0f64), 14.0);
+    }
+
+    #[test]
+    fn rate_zero_never_fires() {
+        let mut inj = FaultInjector::new(0.0, FaultKind::BitFlip, 4);
+        assert!((0..1000).all(|_| !inj.should_fire()));
+    }
+
+    #[test]
+    fn rate_one_always_fires() {
+        let mut inj = FaultInjector::new(1.0, FaultKind::BitFlip, 5);
+        assert!((0..100).all(|_| inj.should_fire()));
+    }
+
+    #[test]
+    fn vector_corruption_in_bounds() {
+        let mut inj = FaultInjector::new(1.0, FaultKind::BitFlip, 6);
+        let mut v = vec![1.0f64; 17];
+        let i = inj.corrupt_vector(&mut v);
+        assert!(i < 17);
+        assert_ne!(v[i], 1.0);
+    }
+}

@@ -1,0 +1,24 @@
+//! # xsc-ft — algorithm-based fault tolerance
+//!
+//! At extreme scale the mean time between component faults drops below the
+//! runtime of a single job, so the keynote promotes fault handling from the
+//! system layer into the *algorithms*:
+//!
+//! * [`inject`] — a deterministic fault injector (bit flips / value
+//!   corruption) standing in for the hardware faults we cannot schedule;
+//! * [`abft`] — Huang–Abraham checksum encoding for GEMM and Cholesky:
+//!   detect, *locate*, and *correct* a corrupted entry from row/column
+//!   checksums, at `O(n²)` overhead on an `O(n³)` computation;
+//! * [`checkpoint`] — checkpoint/rollback for iterative solvers, plus a
+//!   fault-aware CG driver comparing the two recovery styles (E12).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![allow(clippy::needless_range_loop)] // index-coupled updates across multiple slices are the clearest form for these kernels
+
+pub mod abft;
+pub mod checkpoint;
+pub mod inject;
+
+pub use abft::{abft_gemm, AbftOutcome};
+pub use inject::FaultInjector;

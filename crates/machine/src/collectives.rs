@@ -1,0 +1,176 @@
+//! Analytic models of collective communication — the cost of
+//! synchronization at scale.
+//!
+//! The keynote's "avoid synchronization" rule is quantitative: a global
+//! allreduce costs `O(log P)` network latencies, and a solver that needs
+//! two *dependent* allreduces per iteration pays twice per iteration no
+//! matter how fast the flops get. These latency/bandwidth (Hockney-style)
+//! models price the collectives so experiment E13 can compare classic,
+//! pipelined, and communication-avoiding Krylov formulations at scale.
+
+use crate::model::MachineModel;
+
+/// Collective algorithm being modeled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Collective {
+    /// Recursive-doubling allreduce: `log2(P) (α + n β)` for small n.
+    AllReduceRecursiveDoubling,
+    /// Ring allreduce: `2 (P-1) α / P`-ish latency, bandwidth-optimal
+    /// `2 n β (P-1)/P` — wins for large payloads.
+    AllReduceRing,
+    /// Binomial-tree broadcast: `log2(P) (α + n β)`.
+    BroadcastBinomial,
+}
+
+/// Predicted time of the collective over `p` ranks with an `n_bytes`
+/// payload on machine `m` (α = `net_latency`, β = `1/net_bw`).
+pub fn collective_time(c: Collective, m: &MachineModel, p: usize, n_bytes: usize) -> f64 {
+    if p <= 1 {
+        return 0.0;
+    }
+    let alpha = m.net_latency;
+    let beta = 1.0 / m.net_bw;
+    let nb = n_bytes as f64;
+    let pf = p as f64;
+    let log_p = pf.log2().ceil();
+    match c {
+        Collective::AllReduceRecursiveDoubling => log_p * (alpha + nb * beta),
+        Collective::AllReduceRing => 2.0 * (pf - 1.0) * (alpha + (nb / pf) * beta),
+        Collective::BroadcastBinomial => log_p * (alpha + nb * beta),
+    }
+}
+
+/// The cheapest allreduce for this payload/scale (the crossover the
+/// MPI implementations also switch on).
+pub fn best_allreduce(m: &MachineModel, p: usize, n_bytes: usize) -> (Collective, f64) {
+    let rd = collective_time(Collective::AllReduceRecursiveDoubling, m, p, n_bytes);
+    let ring = collective_time(Collective::AllReduceRing, m, p, n_bytes);
+    if rd <= ring {
+        (Collective::AllReduceRecursiveDoubling, rd)
+    } else {
+        (Collective::AllReduceRing, ring)
+    }
+}
+
+/// Per-iteration time model of a distributed Krylov iteration: local SpMV
+/// work overlapped (or not) with the iteration's reduction phases.
+#[derive(Debug, Clone, Copy)]
+pub struct KrylovIterModel {
+    /// Seconds of local SpMV + vector work per iteration per rank.
+    pub local_compute: f64,
+    /// Number of *dependent* global reduction phases per iteration.
+    pub reduction_phases: usize,
+    /// Whether the formulation overlaps its reduction with the SpMV
+    /// (pipelined variants).
+    pub overlapped: bool,
+    /// Reductions are amortized over this many iterations (s-step methods
+    /// reduce once per `s` iterations; 1 = every iteration).
+    pub amortize: usize,
+}
+
+impl KrylovIterModel {
+    /// Classic CG: two dependent 8-byte allreduces, nothing overlapped.
+    pub fn classic_cg(local_compute: f64) -> Self {
+        KrylovIterModel {
+            local_compute,
+            reduction_phases: 2,
+            overlapped: false,
+            amortize: 1,
+        }
+    }
+
+    /// Pipelined CG: one merged reduction, overlapped with the SpMV.
+    pub fn pipelined_cg(local_compute: f64) -> Self {
+        KrylovIterModel {
+            local_compute,
+            reduction_phases: 1,
+            overlapped: true,
+            amortize: 1,
+        }
+    }
+
+    /// s-step CG: one (block) reduction every `s` iterations, not
+    /// overlapped; local work grows slightly (matrix-powers basis and the
+    /// extra block orthogonalization flops).
+    pub fn s_step_cg(local_compute: f64, s: usize) -> Self {
+        KrylovIterModel {
+            local_compute: local_compute * 1.15,
+            reduction_phases: 1,
+            overlapped: false,
+            amortize: s.max(1),
+        }
+    }
+
+    /// Predicted seconds per iteration over `p` ranks on machine `m`.
+    pub fn time_per_iteration(&self, m: &MachineModel, p: usize) -> f64 {
+        let (_, reduce) = best_allreduce(m, p, 16); // two f64 scalars
+        let total_reduce = self.reduction_phases as f64 * reduce / self.amortize as f64;
+        if self.overlapped {
+            self.local_compute.max(total_reduce)
+        } else {
+            self.local_compute + total_reduce
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collectives_cost_nothing_on_one_rank() {
+        let m = MachineModel::node_2016();
+        for c in [
+            Collective::AllReduceRecursiveDoubling,
+            Collective::AllReduceRing,
+            Collective::BroadcastBinomial,
+        ] {
+            assert_eq!(collective_time(c, &m, 1, 1024), 0.0);
+        }
+    }
+
+    #[test]
+    fn recursive_doubling_wins_small_payloads_ring_wins_large() {
+        let m = MachineModel::node_2016();
+        let p = 1024;
+        let (small_winner, _) = best_allreduce(&m, p, 16);
+        assert_eq!(small_winner, Collective::AllReduceRecursiveDoubling);
+        let (large_winner, _) = best_allreduce(&m, p, 64 * 1024 * 1024);
+        assert_eq!(large_winner, Collective::AllReduceRing);
+    }
+
+    #[test]
+    fn allreduce_latency_grows_logarithmically() {
+        let m = MachineModel::node_2016();
+        let t1k = collective_time(Collective::AllReduceRecursiveDoubling, &m, 1024, 16);
+        let t1m = collective_time(Collective::AllReduceRecursiveDoubling, &m, 1024 * 1024, 16);
+        assert!((t1m / t1k - 2.0).abs() < 0.01, "log scaling: {}", t1m / t1k);
+    }
+
+    #[test]
+    fn pipelined_cg_beats_classic_at_scale() {
+        let m = MachineModel::node_2016();
+        let local = 50e-6; // 50 us of local work per iteration
+        let classic = KrylovIterModel::classic_cg(local);
+        let piped = KrylovIterModel::pipelined_cg(local);
+        // At small scale the difference is negligible.
+        let small = classic.time_per_iteration(&m, 4) / piped.time_per_iteration(&m, 4);
+        // At large scale the two dependent reductions dominate.
+        let large = classic.time_per_iteration(&m, 1 << 20) / piped.time_per_iteration(&m, 1 << 20);
+        assert!(large > small, "advantage must grow with scale: {small} -> {large}");
+        assert!(large > 1.5, "pipelined should win big at 1M ranks: {large}");
+    }
+
+    #[test]
+    fn s_step_amortizes_reductions() {
+        let m = MachineModel::node_2016();
+        let local = 20e-6;
+        let s4 = KrylovIterModel::s_step_cg(local, 4);
+        let s1 = KrylovIterModel::s_step_cg(local, 1);
+        let p = 1 << 18;
+        assert!(
+            s4.time_per_iteration(&m, p) < s1.time_per_iteration(&m, p),
+            "s=4 must amortize the reduction"
+        );
+    }
+}

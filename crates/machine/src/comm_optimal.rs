@@ -1,0 +1,138 @@
+//! Communication lower bounds and communication-optimal matmul variants.
+//!
+//! The theory side of "the rules have changed": for matrix multiplication
+//! on `P` processors with `M` words of memory each, *any* schedule must
+//! move `Ω(n³ / (P·√M))` words per processor (Irony–Toledo–Tiskin / the
+//! Ballard–Demmel–Holtz–Schwartz program the keynote cites). Classic 2-D
+//! SUMMA sits a factor `√c` above the bound that 2.5-D algorithms reach by
+//! replicating the matrices `c` times. These closed forms price that
+//! trade for the experiment suite.
+
+use crate::model::MachineModel;
+
+/// Per-processor communication volume (in matrix *words*) of an `n × n`
+/// matmul on `p` processors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatmulAlgorithm {
+    /// Classic 2-D block SUMMA / Cannon: `O(n² / √p)` words.
+    Summa2d,
+    /// 2.5-D with replication factor `c` (extra memory `c·n²/p` per rank):
+    /// `O(n² / √(c·p))` words.
+    TwoPointFiveD {
+        /// Replication factor (1 = plain 2-D, p^(1/3) = full 3-D).
+        c: usize,
+    },
+}
+
+/// Per-processor words moved by the algorithm.
+pub fn matmul_comm_words(alg: MatmulAlgorithm, n: usize, p: usize) -> f64 {
+    let nf = n as f64;
+    let pf = p as f64;
+    match alg {
+        MatmulAlgorithm::Summa2d => 2.0 * nf * nf / pf.sqrt(),
+        MatmulAlgorithm::TwoPointFiveD { c } => {
+            let cf = (c.max(1)) as f64;
+            2.0 * nf * nf / (cf * pf).sqrt()
+        }
+    }
+}
+
+/// Number of messages (latency term) per processor.
+pub fn matmul_messages(alg: MatmulAlgorithm, p: usize) -> f64 {
+    let pf = p as f64;
+    match alg {
+        MatmulAlgorithm::Summa2d => pf.sqrt(),
+        MatmulAlgorithm::TwoPointFiveD { c } => {
+            let cf = (c.max(1)) as f64;
+            (pf / cf.powi(3)).sqrt().max(1.0) + cf.log2().max(0.0)
+        }
+    }
+}
+
+/// The memory-independent per-processor bandwidth lower bound for matmul:
+/// `n² / p^(2/3)` words (attained by 3-D algorithms).
+pub fn matmul_lower_bound_words(n: usize, p: usize) -> f64 {
+    let nf = n as f64;
+    (nf * nf) / (p as f64).powf(2.0 / 3.0)
+}
+
+/// Modeled communication time of the matmul on machine `m` (per-processor
+/// volume over the injection bandwidth plus message latencies).
+pub fn matmul_comm_time(alg: MatmulAlgorithm, m: &MachineModel, n: usize, p: usize) -> f64 {
+    let words = matmul_comm_words(alg, n, p);
+    let msgs = matmul_messages(alg, p);
+    words * 8.0 / m.net_bw + msgs * m.net_latency
+}
+
+/// Largest replication factor that fits in `mem_words` of per-rank memory
+/// (`c ≤ p^(1/3)` is the useful ceiling — beyond it, 2.5-D degenerates
+/// to 3-D).
+pub fn max_replication(n: usize, p: usize, mem_words: usize) -> usize {
+    let per_copy = 3.0 * (n as f64) * (n as f64) / p as f64; // A, B, C blocks
+    let by_memory = (mem_words as f64 / per_copy).floor().max(1.0) as usize;
+    // Exact integer cube root (powf(1/3) rounds below perfect cubes).
+    let mut by_algorithm = (p as f64).cbrt().round().max(1.0) as usize;
+    while by_algorithm > 1 && by_algorithm.pow(3) > p {
+        by_algorithm -= 1;
+    }
+    by_memory.min(by_algorithm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replication_reduces_communication() {
+        let n = 10_000;
+        let p = 4096;
+        let w2d = matmul_comm_words(MatmulAlgorithm::Summa2d, n, p);
+        let w25 = matmul_comm_words(MatmulAlgorithm::TwoPointFiveD { c: 4 }, n, p);
+        assert!((w2d / w25 - 2.0).abs() < 1e-9, "c=4 halves the words: {}", w2d / w25);
+    }
+
+    #[test]
+    fn c_equals_one_is_plain_2d() {
+        let n = 1000;
+        let p = 64;
+        assert_eq!(
+            matmul_comm_words(MatmulAlgorithm::Summa2d, n, p),
+            matmul_comm_words(MatmulAlgorithm::TwoPointFiveD { c: 1 }, n, p)
+        );
+    }
+
+    #[test]
+    fn nothing_beats_the_lower_bound_at_max_replication() {
+        let n = 10_000;
+        let p = 512; // p^(1/3) = 8
+        let bound = matmul_lower_bound_words(n, p);
+        let w3d = matmul_comm_words(MatmulAlgorithm::TwoPointFiveD { c: 8 }, n, p);
+        // Full replication attains the bound within its constant factor.
+        assert!(w3d >= bound * 0.5, "w3d {w3d} vs bound {bound}");
+        assert!(w3d <= bound * 4.0);
+        // And 2-D sits a factor p^(1/6) above.
+        let w2d = matmul_comm_words(MatmulAlgorithm::Summa2d, n, p);
+        assert!(w2d / w3d > 2.0);
+    }
+
+    #[test]
+    fn max_replication_respects_memory_and_cube_root() {
+        // Plenty of memory: capped by p^(1/3).
+        assert_eq!(max_replication(1000, 512, usize::MAX / 2), 8);
+        // Tight memory: capped by what fits (ceil so 2 copies truly fit).
+        let per_copy = (3.0 * 1000.0 * 1000.0 / 512.0f64).ceil() as usize;
+        assert_eq!(max_replication(1000, 512, 2 * per_copy), 2);
+        // Degenerate: at least 1.
+        assert_eq!(max_replication(1000, 512, 1), 1);
+    }
+
+    #[test]
+    fn comm_time_improves_with_replication_on_real_model() {
+        let m = MachineModel::node_2016();
+        let n = 20_000;
+        let p = 4096;
+        let t2d = matmul_comm_time(MatmulAlgorithm::Summa2d, &m, n, p);
+        let t25 = matmul_comm_time(MatmulAlgorithm::TwoPointFiveD { c: 8 }, &m, n, p);
+        assert!(t25 < t2d, "2.5D {t25} should beat 2D {t2d}");
+    }
+}

@@ -1,0 +1,272 @@
+//! Discrete-event simulation of task DAGs on modeled machines.
+//!
+//! Replays a dependence graph (edges + per-task costs) on `P` simulated
+//! workers under list scheduling with critical-path priorities, optionally
+//! charging a communication delay whenever a dependence crosses workers.
+//! This is the substitute for the thousand-node testbeds the keynote's
+//! scheduling claims were demonstrated on: the host machine caps out at a
+//! few dozen threads, the simulator does not.
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DesConfig {
+    /// Number of simulated workers.
+    pub workers: usize,
+    /// Delay added before a task may start for each predecessor that ran on
+    /// a *different* worker (models moving the tile between memories).
+    pub comm_delay: f64,
+}
+
+/// Simulation result.
+#[derive(Debug, Clone)]
+pub struct DesReport {
+    /// Simulated makespan in seconds.
+    pub makespan: f64,
+    /// Sum of task costs (serial time).
+    pub total_work: f64,
+    /// Critical path length through the DAG (no-comm lower bound).
+    pub critical_path: f64,
+    /// `total_work / (workers · makespan)`.
+    pub utilization: f64,
+    /// Speedup over serial execution (`total_work / makespan`).
+    pub speedup: f64,
+    /// Worker each task ran on.
+    pub placement: Vec<usize>,
+}
+
+/// Simulates list-scheduled execution of a DAG.
+///
+/// * `n` — number of tasks (ids `0..n`);
+/// * `edges` — dependence pairs `(from, to)` with `from < to`;
+/// * `costs` — per-task execution time in seconds;
+/// * `cfg` — worker count and communication delay.
+pub fn simulate(n: usize, edges: &[(usize, usize)], costs: &[f64], cfg: DesConfig) -> DesReport {
+    assert_eq!(costs.len(), n, "cost vector length mismatch");
+    assert!(cfg.workers >= 1, "need at least one worker");
+    for &(a, b) in edges {
+        assert!(a < b && b < n, "edge ({a},{b}) invalid for {n} tasks");
+    }
+
+    let mut successors = vec![Vec::new(); n];
+    for &(a, b) in edges {
+        successors[a].push(b);
+    }
+    // Deduplicate so in-degrees count unique edges.
+    let mut pending = vec![0usize; n];
+    for succ in successors.iter_mut() {
+        succ.sort_unstable();
+        succ.dedup();
+        for &b in succ.iter() {
+            pending[b] += 1;
+        }
+    }
+
+    // Critical-path priorities (reverse sweep works because edges go
+    // forward in id order).
+    let mut priority = vec![0.0f64; n];
+    for id in (0..n).rev() {
+        let best = successors[id]
+            .iter()
+            .map(|&s| priority[s])
+            .fold(0.0f64, f64::max);
+        priority[id] = costs[id] + best;
+    }
+    let critical_path = priority.iter().copied().fold(0.0f64, f64::max);
+
+    // Event-driven list scheduling.
+    let mut ready: Vec<usize> = (0..n).filter(|&i| pending[i] == 0).collect();
+    let mut worker_free = vec![0.0f64; cfg.workers];
+    let mut finish_time = vec![f64::INFINITY; n];
+    let mut placement = vec![usize::MAX; n];
+    let mut pred_info: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n]; // (worker, finish)
+    let mut scheduled = 0usize;
+    let mut makespan = 0.0f64;
+
+    while scheduled < n {
+        assert!(!ready.is_empty(), "cycle or disconnected pending tasks");
+        // Pick the highest-priority ready task (deterministic tie-break on id).
+        let (ri, _) = ready
+            .iter()
+            .enumerate()
+            .max_by(|(_, &a), (_, &b)| {
+                priority[a]
+                    .partial_cmp(&priority[b])
+                    .unwrap()
+                    .then(b.cmp(&a))
+            })
+            .expect("nonempty");
+        let task = ready.swap_remove(ri);
+
+        // Choose the worker with the earliest feasible start: its own free
+        // time vs data arrival (predecessor finish + comm if cross-worker).
+        let mut best_worker = 0;
+        let mut best_start = f64::INFINITY;
+        for w in 0..cfg.workers {
+            let mut data_ready = 0.0f64;
+            for &(pw, pf) in &pred_info[task] {
+                let arrive = if pw == w { pf } else { pf + cfg.comm_delay };
+                data_ready = data_ready.max(arrive);
+            }
+            let start = worker_free[w].max(data_ready);
+            if start < best_start {
+                best_start = start;
+                best_worker = w;
+            }
+        }
+        let finish = best_start + costs[task];
+        worker_free[best_worker] = finish;
+        finish_time[task] = finish;
+        placement[task] = best_worker;
+        makespan = makespan.max(finish);
+        scheduled += 1;
+
+        for &s in &successors[task] {
+            pred_info[s].push((best_worker, finish));
+            pending[s] -= 1;
+            if pending[s] == 0 {
+                ready.push(s);
+            }
+        }
+    }
+
+    let total_work: f64 = costs.iter().sum();
+    DesReport {
+        makespan,
+        total_work,
+        critical_path,
+        utilization: if makespan > 0.0 {
+            total_work / (cfg.workers as f64 * makespan)
+        } else {
+            0.0
+        },
+        speedup: if makespan > 0.0 { total_work / makespan } else { 0.0 },
+        placement,
+    }
+}
+
+/// Convenience: simulate the same graph over a sweep of worker counts.
+pub fn strong_scaling_sweep(
+    n: usize,
+    edges: &[(usize, usize)],
+    costs: &[f64],
+    workers: &[usize],
+    comm_delay: f64,
+) -> Vec<(usize, DesReport)> {
+    workers
+        .iter()
+        .map(|&w| {
+            (
+                w,
+                simulate(
+                    n,
+                    edges,
+                    costs,
+                    DesConfig {
+                        workers: w,
+                        comm_delay,
+                    },
+                ),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(n: usize) -> (Vec<(usize, usize)>, Vec<f64>) {
+        ((0..n - 1).map(|i| (i, i + 1)).collect(), vec![1.0; n])
+    }
+
+    #[test]
+    fn chain_cannot_be_parallelized() {
+        let (edges, costs) = chain(10);
+        let rep = simulate(10, &edges, &costs, DesConfig { workers: 8, comm_delay: 0.0 });
+        assert!((rep.makespan - 10.0).abs() < 1e-12);
+        assert!((rep.speedup - 1.0).abs() < 1e-12);
+        assert!((rep.critical_path - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_tasks_scale_perfectly() {
+        let costs = vec![1.0; 16];
+        let rep = simulate(16, &[], &costs, DesConfig { workers: 4, comm_delay: 0.0 });
+        assert!((rep.makespan - 4.0).abs() < 1e-12);
+        assert!((rep.speedup - 4.0).abs() < 1e-12);
+        assert!((rep.utilization - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn makespan_never_beats_critical_path_or_work_bound() {
+        // Brent's bounds: makespan >= max(cp, work/P).
+        let edges = vec![(0, 2), (1, 2), (2, 3), (1, 4)];
+        let costs = vec![2.0, 1.0, 3.0, 1.0, 5.0];
+        for workers in [1, 2, 3, 8] {
+            let rep = simulate(5, &edges, &costs, DesConfig { workers, comm_delay: 0.0 });
+            let bound = rep.critical_path.max(rep.total_work / workers as f64);
+            assert!(
+                rep.makespan >= bound - 1e-12,
+                "workers={workers}: makespan {} < bound {bound}",
+                rep.makespan
+            );
+        }
+    }
+
+    #[test]
+    fn single_worker_equals_total_work() {
+        let edges = vec![(0, 3), (1, 3), (2, 4)];
+        let costs = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let rep = simulate(5, &edges, &costs, DesConfig { workers: 1, comm_delay: 0.0 });
+        assert!((rep.makespan - 15.0).abs() < 1e-12);
+        assert!((rep.utilization - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn communication_delay_hurts_makespan() {
+        // Fork-join diamond: comm charged when children land on other workers.
+        let edges = vec![(0, 1), (0, 2), (1, 3), (2, 3)];
+        let costs = vec![1.0; 4];
+        let free = simulate(4, &edges, &costs, DesConfig { workers: 2, comm_delay: 0.0 });
+        let slow = simulate(4, &edges, &costs, DesConfig { workers: 2, comm_delay: 0.5 });
+        assert!(slow.makespan >= free.makespan);
+    }
+
+    #[test]
+    fn scheduler_avoids_needless_communication() {
+        // With a huge comm delay, the best schedule keeps the chain on one
+        // worker: makespan equals serial time, not serial + comm.
+        let (edges, costs) = chain(6);
+        let rep = simulate(6, &edges, &costs, DesConfig { workers: 4, comm_delay: 100.0 });
+        assert!((rep.makespan - 6.0).abs() < 1e-12, "makespan {}", rep.makespan);
+    }
+
+    #[test]
+    fn sweep_is_monotone_in_workers_without_comm() {
+        // Wide fork-join graph.
+        let mut edges = Vec::new();
+        for i in 1..33 {
+            edges.push((0, i));
+            edges.push((i, 33));
+        }
+        let costs = vec![1.0; 34];
+        let sweep = strong_scaling_sweep(34, &edges, &costs, &[1, 2, 4, 8, 16], 0.0);
+        for w in sweep.windows(2) {
+            assert!(w[1].1.makespan <= w[0].1.makespan + 1e-12);
+        }
+    }
+
+    #[test]
+    fn duplicate_edges_tolerated() {
+        let edges = vec![(0, 1), (0, 1), (0, 1)];
+        let costs = vec![1.0, 1.0];
+        let rep = simulate(2, &edges, &costs, DesConfig { workers: 2, comm_delay: 0.0 });
+        assert!((rep.makespan - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid")]
+    fn bad_edges_rejected() {
+        simulate(2, &[(1, 1)], &[1.0, 1.0], DesConfig { workers: 1, comm_delay: 0.0 });
+    }
+}

@@ -1,0 +1,32 @@
+//! # xsc-machine — modeled machines
+//!
+//! The keynote's quantitative claims (energy per operation, the widening
+//! peak-vs-achieved gap across machine generations) concern hardware we do
+//! not have. Per the reproduction's substitution rule, this crate provides
+//! the closest synthetic equivalent:
+//!
+//! * [`model`] — an analytic machine model (flops, bandwidths, latencies,
+//!   energy per operation) with presets for a 2008 petascale node, a
+//!   2016-era node, and a projected exascale node, plus roofline-style
+//!   predictions of time, energy, and %-of-peak for the repository's
+//!   algorithms (experiments E05, E11);
+//! * [`collectives`] — latency/bandwidth models of allreduce/broadcast
+//!   algorithms, pricing the synchronization that pipelined and s-step
+//!   Krylov methods exist to avoid (experiment E13);
+//! * [`des`] — a discrete-event simulator that replays an `xsc-runtime`
+//!   task DAG on `P` modeled workers with communication delays, predicting
+//!   makespan and utilization at scales the host machine cannot run
+//!   (experiment E02's extrapolation, E11).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![allow(clippy::needless_range_loop)] // index-coupled updates across multiple slices are the clearest form for these kernels
+
+pub mod collectives;
+pub mod comm_optimal;
+pub mod des;
+pub mod model;
+
+pub use collectives::{best_allreduce, collective_time, Collective, KrylovIterModel};
+pub use des::{simulate, DesConfig, DesReport};
+pub use model::{EnergyModel, KernelProfile, MachineModel, Prediction};

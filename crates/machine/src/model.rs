@@ -1,0 +1,358 @@
+//! Analytic machine and energy models.
+//!
+//! Parameter values follow the orders of magnitude in Dongarra's 2016 deck
+//! (and the Exascale Computing Study report it draws on): a double-
+//! precision flop costs picojoules, while moving its operands from DRAM
+//! costs *nanojoules* — two to three orders of magnitude more — and the gap
+//! widens with each generation. That inversion is the keynote's core
+//! "rules have changed" claim, and everything here exists to expose it
+//! quantitatively.
+
+/// Energy cost per elementary operation, in picojoules.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// One double-precision fused multiply-add counted as two flops.
+    pub pj_per_flop: f64,
+    /// Reading one byte from DRAM.
+    pub pj_per_byte_dram: f64,
+    /// Reading one byte from on-chip cache (for the table's contrast row).
+    pub pj_per_byte_cache: f64,
+    /// Moving one byte across the network fabric.
+    pub pj_per_byte_network: f64,
+}
+
+/// A node-level machine model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineModel {
+    /// Display name of the generation/preset.
+    pub name: &'static str,
+    /// Cores per node.
+    pub cores: usize,
+    /// Peak double-precision flop/s per core.
+    pub flops_per_core: f64,
+    /// Sustained DRAM bandwidth per node, bytes/s.
+    pub mem_bw: f64,
+    /// Network injection bandwidth per node, bytes/s.
+    pub net_bw: f64,
+    /// Network latency per message, seconds.
+    pub net_latency: f64,
+    /// Energy costs.
+    pub energy: EnergyModel,
+}
+
+impl MachineModel {
+    /// Peak node flop/s.
+    pub fn peak_flops(&self) -> f64 {
+        self.cores as f64 * self.flops_per_core
+    }
+
+    /// Machine balance in flops per byte of DRAM bandwidth — the arithmetic
+    /// intensity a kernel must exceed to be compute-bound. The keynote's
+    /// point: this threshold grows every generation.
+    pub fn balance(&self) -> f64 {
+        self.peak_flops() / self.mem_bw
+    }
+
+    /// A 2008-era petascale node (Roadrunner/Jaguar class).
+    pub fn petascale_2008() -> Self {
+        MachineModel {
+            name: "petascale-2008",
+            cores: 8,
+            flops_per_core: 10e9, // ~10 Gflop/s per core
+            mem_bw: 25e9,
+            net_bw: 2e9,
+            net_latency: 2e-6,
+            energy: EnergyModel {
+                pj_per_flop: 100.0,
+                pj_per_byte_dram: 300.0,
+                pj_per_byte_cache: 30.0,
+                pj_per_byte_network: 1000.0,
+            },
+        }
+    }
+
+    /// A 2016-era node (Haswell/KNL class, the keynote's present day).
+    pub fn node_2016() -> Self {
+        MachineModel {
+            name: "node-2016",
+            cores: 32,
+            flops_per_core: 40e9, // wide SIMD + FMA
+            mem_bw: 100e9,
+            net_bw: 12e9,
+            net_latency: 1e-6,
+            energy: EnergyModel {
+                pj_per_flop: 10.0,
+                pj_per_byte_dram: 150.0,
+                pj_per_byte_cache: 8.0,
+                pj_per_byte_network: 500.0,
+            },
+        }
+    }
+
+    /// The keynote's projected exascale node (~2020s): flops nearly free,
+    /// bandwidth growth lags by an order of magnitude.
+    pub fn exascale_projection() -> Self {
+        MachineModel {
+            name: "exascale-projection",
+            cores: 1024,
+            flops_per_core: 40e9,
+            mem_bw: 1.6e12, // HBM-class, but 400x fewer bytes/flop than 2008
+            net_bw: 50e9,
+            net_latency: 0.5e-6,
+            energy: EnergyModel {
+                pj_per_flop: 1.5,
+                pj_per_byte_dram: 100.0,
+                pj_per_byte_cache: 3.0,
+                pj_per_byte_network: 250.0,
+            },
+        }
+    }
+
+    /// The three generations in chronological order.
+    pub fn generations() -> Vec<MachineModel> {
+        vec![
+            MachineModel::petascale_2008(),
+            MachineModel::node_2016(),
+            MachineModel::exascale_projection(),
+        ]
+    }
+
+    /// Roofline-style prediction for a kernel profile on this machine.
+    pub fn predict(&self, k: &KernelProfile) -> Prediction {
+        let t_flops = k.flops / self.peak_flops();
+        let t_mem = k.dram_bytes / self.mem_bw;
+        let t_net = k.net_bytes / self.net_bw + k.messages * self.net_latency;
+        // Compute and memory overlap (roofline); network serializes.
+        let seconds = t_flops.max(t_mem) + t_net;
+        let achieved = if seconds > 0.0 { k.flops / seconds } else { 0.0 };
+        let energy_j = (k.flops * self.energy.pj_per_flop
+            + k.dram_bytes * self.energy.pj_per_byte_dram
+            + k.net_bytes * self.energy.pj_per_byte_network)
+            * 1e-12;
+        Prediction {
+            seconds,
+            achieved_flops: achieved,
+            fraction_of_peak: achieved / self.peak_flops(),
+            energy_joules: energy_j,
+            bound: if t_mem > t_flops {
+                Bound::Memory
+            } else {
+                Bound::Compute
+            },
+        }
+    }
+}
+
+/// What limits a kernel on a given machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bound {
+    /// Flop-limited (HPL-like).
+    Compute,
+    /// Bandwidth-limited (HPCG-like).
+    Memory,
+}
+
+/// Work/traffic profile of a kernel or full benchmark run.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelProfile {
+    /// Total floating-point operations.
+    pub flops: f64,
+    /// Total bytes moved to/from DRAM.
+    pub dram_bytes: f64,
+    /// Total bytes crossing the network.
+    pub net_bytes: f64,
+    /// Number of network messages (latency term).
+    pub messages: f64,
+}
+
+impl KernelProfile {
+    /// HPL (dense LU) at size `n` with panel width `nb`: `2n³/3` flops; the
+    /// trailing matrix is re-streamed once per panel, so DRAM traffic is
+    /// about `8 · n³ / nb` bytes (the blocked-LU traffic lower bound shape).
+    pub fn hpl(n: usize, nb: usize) -> Self {
+        let nf = n as f64;
+        KernelProfile {
+            flops: 2.0 * nf * nf * nf / 3.0,
+            dram_bytes: 8.0 * nf * nf * nf / nb as f64 / 3.0,
+            net_bytes: 0.0,
+            messages: 0.0,
+        }
+    }
+
+    /// HPCG at `n` rows with `nnz` nonzeros for `iters` iterations: each
+    /// iteration streams the matrix several times (~12 bytes/nonzero in
+    /// CSR — an 8-byte value plus a 4-byte index — over SpMV and the MG
+    /// smoother sweeps) and performs ~`10·nnz` flops.
+    pub fn hpcg(n: usize, nnz: usize, iters: usize) -> Self {
+        let it = iters as f64;
+        let nnzf = nnz as f64;
+        let nf = n as f64;
+        KernelProfile {
+            // SpMV (2) + MG pre/post smooth on the fine grid (4+4) ≈ 10·nnz,
+            // coarse grids add ~15 %.
+            flops: it * 1.15 * 10.0 * nnzf,
+            // Matrix streamed ~5x per iteration (spmv + 4 GS sweeps),
+            // vectors ~10x.
+            dram_bytes: it * (5.0 * 12.0 * nnzf + 10.0 * 8.0 * nf),
+            net_bytes: 0.0,
+            messages: 0.0,
+        }
+    }
+
+    /// Distributed TSQR of an `m × n` tall-skinny matrix over `p` nodes:
+    /// local flops plus `log2(p)` rounds of `n²`-word messages.
+    pub fn tsqr(m: usize, n: usize, p: usize) -> Self {
+        let (mf, nf) = (m as f64, n as f64);
+        let levels = (p as f64).log2().ceil().max(0.0);
+        KernelProfile {
+            flops: 2.0 * mf * nf * nf,
+            dram_bytes: 8.0 * mf * nf,
+            net_bytes: levels * 8.0 * nf * nf,
+            messages: levels,
+        }
+    }
+
+    /// Flat distributed Householder QR of the same matrix: the panel owner
+    /// receives contributions from every node in every column step —
+    /// `n` rounds of `m·8/p`-ish traffic; modeled as `m·n` words total.
+    pub fn flat_qr(m: usize, n: usize, p: usize) -> Self {
+        let (mf, nf) = (m as f64, n as f64);
+        KernelProfile {
+            flops: 2.0 * mf * nf * nf,
+            dram_bytes: 8.0 * mf * nf,
+            net_bytes: 8.0 * mf * nf / (p as f64).max(1.0),
+            messages: nf * (p as f64).log2().ceil().max(1.0),
+        }
+    }
+}
+
+/// Model output for one kernel on one machine.
+#[derive(Debug, Clone, Copy)]
+pub struct Prediction {
+    /// Predicted wall-clock seconds.
+    pub seconds: f64,
+    /// Achieved flop/s.
+    pub achieved_flops: f64,
+    /// Achieved / peak.
+    pub fraction_of_peak: f64,
+    /// Predicted energy in joules.
+    pub energy_joules: f64,
+    /// Limiting resource.
+    pub bound: Bound,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_hierarchy_matches_keynote_table() {
+        // The famous table: flop << cache byte << DRAM byte << network byte.
+        for m in MachineModel::generations() {
+            assert!(m.energy.pj_per_flop < m.energy.pj_per_byte_dram);
+            assert!(m.energy.pj_per_byte_cache < m.energy.pj_per_byte_dram);
+            assert!(m.energy.pj_per_byte_dram <= m.energy.pj_per_byte_network);
+        }
+    }
+
+    #[test]
+    fn flops_get_cheaper_faster_than_bytes() {
+        let gens = MachineModel::generations();
+        for w in gens.windows(2) {
+            let flop_ratio = w[0].energy.pj_per_flop / w[1].energy.pj_per_flop;
+            let byte_ratio = w[0].energy.pj_per_byte_dram / w[1].energy.pj_per_byte_dram;
+            assert!(
+                flop_ratio > byte_ratio,
+                "{} -> {}: flops must cheapen faster",
+                w[0].name,
+                w[1].name
+            );
+        }
+    }
+
+    #[test]
+    fn machine_balance_worsens_each_generation() {
+        let gens = MachineModel::generations();
+        for w in gens.windows(2) {
+            assert!(
+                w[1].balance() > w[0].balance(),
+                "{} balance {} should exceed {} balance {}",
+                w[1].name,
+                w[1].balance(),
+                w[0].name,
+                w[0].balance()
+            );
+        }
+    }
+
+    #[test]
+    fn hpl_is_compute_bound_hpcg_memory_bound() {
+        let m = MachineModel::node_2016();
+        let hpl = m.predict(&KernelProfile::hpl(50_000, 256));
+        assert_eq!(hpl.bound, Bound::Compute);
+        assert!(hpl.fraction_of_peak > 0.5, "HPL %peak {}", hpl.fraction_of_peak);
+
+        let n = 104usize.pow(3);
+        let hpcg = m.predict(&KernelProfile::hpcg(n, 27 * n, 50));
+        assert_eq!(hpcg.bound, Bound::Memory);
+        assert!(
+            hpcg.fraction_of_peak < 0.05,
+            "HPCG %peak {}",
+            hpcg.fraction_of_peak
+        );
+        // The headline gap: at least an order of magnitude.
+        assert!(hpl.fraction_of_peak / hpcg.fraction_of_peak > 10.0);
+    }
+
+    #[test]
+    fn hpcg_gap_widens_towards_exascale() {
+        let n = 104usize.pow(3);
+        let frac = |m: &MachineModel| m.predict(&KernelProfile::hpcg(n, 27 * n, 50)).fraction_of_peak;
+        let gens = MachineModel::generations();
+        assert!(
+            frac(&gens[2]) < frac(&gens[1]) && frac(&gens[1]) < frac(&gens[0]),
+            "HPCG fraction of peak must fall each generation: {} {} {}",
+            frac(&gens[0]),
+            frac(&gens[1]),
+            frac(&gens[2])
+        );
+    }
+
+    #[test]
+    fn tsqr_beats_flat_qr_on_latency_bound_network() {
+        let m = MachineModel::node_2016();
+        let tsqr = m.predict(&KernelProfile::tsqr(1_000_000, 32, 1024));
+        let flat = m.predict(&KernelProfile::flat_qr(1_000_000, 32, 1024));
+        assert!(
+            tsqr.seconds < flat.seconds,
+            "TSQR {} should beat flat QR {}",
+            tsqr.seconds,
+            flat.seconds
+        );
+    }
+
+    #[test]
+    fn energy_dominated_by_movement_for_memory_bound_kernels() {
+        let m = MachineModel::exascale_projection();
+        let n = 104usize.pow(3);
+        let k = KernelProfile::hpcg(n, 27 * n, 50);
+        let flop_energy = k.flops * m.energy.pj_per_flop * 1e-12;
+        let pred = m.predict(&k);
+        assert!(
+            pred.energy_joules > 3.0 * flop_energy,
+            "movement must dominate: total {} vs flops {}",
+            pred.energy_joules,
+            flop_energy
+        );
+    }
+
+    #[test]
+    fn prediction_time_is_positive_and_consistent() {
+        let m = MachineModel::petascale_2008();
+        let k = KernelProfile::hpl(10_000, 128);
+        let p = m.predict(&k);
+        assert!(p.seconds > 0.0);
+        assert!((p.achieved_flops * p.seconds - k.flops).abs() / k.flops < 1e-9);
+        assert!(p.fraction_of_peak <= 1.0);
+    }
+}

@@ -1,0 +1,154 @@
+//! The adaptive mixed-precision solver: estimate conditioning, then pick
+//! the cheapest method expected to converge.
+//!
+//! This is the dispatcher production libraries wrap around refinement
+//! (LAPACK's `dsgesv` falls back to full precision when IR stalls; the
+//! keynote's program adds GMRES-IR as the middle tier):
+//!
+//! * `κ·u₃₂ < 0.1`          → classic fp32-LU iterative refinement;
+//! * `κ·u₃₂² < 0.1`         → GMRES-IR with the fp32 factors;
+//! * otherwise               → full f64 factorization.
+//!
+//! The condition estimate reuses the fp32 factorization (Hager's method is
+//! `O(n²)`), so mis-prediction costs little.
+
+use crate::gmres_ir::gmres_ir_solve;
+use crate::ir::{full_f64_solve, lu_ir_solve};
+use xsc_core::{cond, factor, Matrix, Result};
+
+/// Which path the adaptive solver took.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolverChoice {
+    /// Classic fp32 factorization + refinement.
+    ClassicIr,
+    /// GMRES-IR with fp32 factors as preconditioner.
+    GmresIr,
+    /// Full f64 direct solve.
+    FullPrecision,
+}
+
+/// Report from [`adaptive_solve`].
+#[derive(Debug, Clone)]
+pub struct AdaptiveReport {
+    /// The path taken.
+    pub choice: SolverChoice,
+    /// Condition estimate that drove the decision (from fp32 factors).
+    pub cond_estimate: f64,
+    /// Whether a cheaper path was attempted and abandoned first.
+    pub fallbacks: usize,
+}
+
+/// Solves `A x = b` choosing the cheapest reliable precision strategy.
+pub fn adaptive_solve(a: &Matrix<f64>, b: &[f64]) -> Result<(Vec<f64>, AdaptiveReport)> {
+    let n = a.rows();
+    assert!(a.is_square(), "adaptive_solve requires a square matrix");
+    assert_eq!(b.len(), n, "rhs length mismatch");
+    let u32_ = f32::EPSILON as f64;
+
+    // Probe factorization in fp32; its failure alone routes to f64.
+    let mut fallbacks = 0usize;
+    let cond_estimate = {
+        let a32: Matrix<f32> = a.convert();
+        let mut lu = a32;
+        match factor::getrf_blocked(&mut lu, 64.min(n.max(1))) {
+            Ok(piv) => {
+                let a_as_f32: Matrix<f32> = a.convert();
+                cond::condest(&a_as_f32, &lu, &piv) as f64
+            }
+            Err(_) => f64::INFINITY,
+        }
+    };
+
+    if cond::ir_should_converge(cond_estimate, u32_) {
+        match lu_ir_solve::<f32>(a, b, 30, None) {
+            Ok((x, _)) => {
+                return Ok((
+                    x,
+                    AdaptiveReport {
+                        choice: SolverChoice::ClassicIr,
+                        cond_estimate,
+                        fallbacks,
+                    },
+                ))
+            }
+            Err(_) => fallbacks += 1, // estimate was optimistic; escalate
+        }
+    }
+    if cond_estimate * u32_ * u32_ < 0.1 {
+        match gmres_ir_solve::<f32>(a, b, 30, 30, None) {
+            Ok((x, _)) => {
+                return Ok((
+                    x,
+                    AdaptiveReport {
+                        choice: SolverChoice::GmresIr,
+                        cond_estimate,
+                        fallbacks,
+                    },
+                ))
+            }
+            Err(_) => fallbacks += 1,
+        }
+    }
+    let x = full_f64_solve(a, b)?;
+    Ok((
+        x,
+        AdaptiveReport {
+            choice: SolverChoice::FullPrecision,
+            cond_estimate,
+            fallbacks,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsc_core::{gen, norms};
+
+    #[test]
+    fn well_conditioned_takes_classic_ir() {
+        let a = gen::diag_dominant::<f64>(64, 1);
+        let b = gen::rhs_for_unit_solution(&a);
+        let (x, rep) = adaptive_solve(&a, &b).unwrap();
+        assert_eq!(rep.choice, SolverChoice::ClassicIr, "κ≈{}", rep.cond_estimate);
+        assert!(norms::relative_residual(&a, &x, &b) < 1e-9);
+        assert_eq!(rep.fallbacks, 0);
+    }
+
+    #[test]
+    fn moderately_ill_conditioned_takes_gmres_ir() {
+        // κ ~ 3e8 > 1/u32 (~1.2e7) but << 1/u32².
+        let a = gen::ill_conditioned_spd::<f64>(64, 3e8, 2);
+        let b = gen::rhs_for_unit_solution(&a);
+        let (x, rep) = adaptive_solve(&a, &b).unwrap();
+        assert!(
+            matches!(rep.choice, SolverChoice::GmresIr | SolverChoice::FullPrecision),
+            "κ≈{:.2e} chose {:?}",
+            rep.cond_estimate,
+            rep.choice
+        );
+        assert!(norms::relative_residual(&a, &x, &b) < 1e-7);
+    }
+
+    #[test]
+    fn extreme_conditioning_takes_full_precision() {
+        let a = gen::ill_conditioned_spd::<f64>(48, 1e13, 3);
+        let b = gen::rhs_for_unit_solution(&a);
+        let (x, rep) = adaptive_solve(&a, &b).unwrap();
+        assert_eq!(rep.choice, SolverChoice::FullPrecision, "κ≈{:.2e}", rep.cond_estimate);
+        // At κ=1e13 even f64 loses digits; backward stability is the bar.
+        assert!(norms::hpl_scaled_residual(&a, &x, &b) < 16.0);
+    }
+
+    #[test]
+    fn estimate_is_in_the_right_decade() {
+        let a = gen::ill_conditioned_spd::<f64>(48, 1e6, 4);
+        let b = gen::rhs_for_unit_solution(&a);
+        let (_, rep) = adaptive_solve(&a, &b).unwrap();
+        assert!(
+            rep.cond_estimate > 1e4 && rep.cond_estimate < 1e9,
+            "estimate {:.2e}",
+            rep.cond_estimate
+        );
+    }
+}

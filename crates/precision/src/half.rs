@@ -1,0 +1,312 @@
+//! Software-emulated IEEE 754 binary16 ("half") precision.
+//!
+//! Stored as an `f32` whose value is always exactly representable in
+//! binary16; every arithmetic result is immediately re-rounded to the
+//! binary16 grid (round-to-nearest-even), so computations behave like fp16
+//! hardware up to double rounding in a single operation — the standard
+//! software-emulation substitution for machines without fp16 units.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+use xsc_core::{Float, Scalar};
+
+/// An emulated binary16 value (see module docs).
+#[derive(Clone, Copy, Default, PartialEq, PartialOrd)]
+pub struct Half(f32);
+
+/// Rounds an `f32` to the nearest binary16 value, returned as `f32`.
+///
+/// Handles overflow (to ±∞), subnormals, and NaN; uses round-to-nearest,
+/// ties-to-even, via the standard bit algorithm.
+pub fn round_f32_to_f16(x: f32) -> f32 {
+    f16_bits_to_f32(f32_to_f16_bits(x))
+}
+
+/// Converts `f32` to binary16 bits (round-to-nearest-even).
+pub fn f32_to_f16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let mut exp = ((bits >> 23) & 0xff) as i32;
+    let mut frac = bits & 0x007f_ffff;
+
+    if exp == 0xff {
+        // Inf / NaN.
+        let nan = if frac != 0 { 0x0200 } else { 0 };
+        return sign | 0x7c00 | nan;
+    }
+    // Re-bias: f32 bias 127, f16 bias 15.
+    exp -= 127 - 15;
+    if exp >= 0x1f {
+        // Overflow -> infinity.
+        return sign | 0x7c00;
+    }
+    if exp <= 0 {
+        // Subnormal or underflow to zero.
+        if exp < -10 {
+            return sign;
+        }
+        // Add the implicit bit, shift into subnormal position.
+        frac |= 0x0080_0000;
+        let shift = (14 - exp) as u32; // 14..24
+        let sub = frac >> shift;
+        let rem = frac & ((1u32 << shift) - 1);
+        let half = 1u32 << (shift - 1);
+        let mut out = sub as u16;
+        if rem > half || (rem == half && (out & 1) == 1) {
+            out += 1;
+        }
+        return sign | out;
+    }
+    // Normal: round the 23-bit fraction to 10 bits.
+    let mut out = ((exp as u16) << 10) | ((frac >> 13) as u16);
+    let rem = frac & 0x1fff;
+    if rem > 0x1000 || (rem == 0x1000 && (out & 1) == 1) {
+        out = out.wrapping_add(1); // may carry into the exponent: correct.
+    }
+    sign | out
+}
+
+/// Converts binary16 bits to `f32` exactly.
+pub fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = ((h >> 10) & 0x1f) as u32;
+    let frac = (h & 0x03ff) as u32;
+    let bits = if exp == 0x1f {
+        // Inf / NaN.
+        sign | 0x7f80_0000 | (frac << 13)
+    } else if exp == 0 {
+        if frac == 0 {
+            sign
+        } else {
+            // Subnormal: value = frac * 2^-24. With the leading bit of
+            // `frac` at position p, the unbiased exponent is p - 24, i.e.
+            // an f32 exponent field of p + 103; the loop leaves
+            // e = p - 11, so the field is e + 114.
+            let mut e = -1i32;
+            let mut f = frac;
+            while f & 0x0400 == 0 {
+                f <<= 1;
+                e -= 1;
+            }
+            f &= 0x03ff;
+            sign | (((e + 114) as u32) << 23) | (f << 13)
+        }
+    } else {
+        sign | ((exp + 127 - 15) << 23) | (frac << 13)
+    };
+    f32::from_bits(bits)
+}
+
+impl Half {
+    /// Constructs from `f32` with rounding to the binary16 grid.
+    pub fn from_f32(x: f32) -> Self {
+        Half(round_f32_to_f16(x))
+    }
+
+    /// The stored (exactly-binary16) value as `f32`.
+    pub fn to_f32(self) -> f32 {
+        self.0
+    }
+
+    /// Largest finite binary16 value (65504).
+    pub const MAX: f32 = 65504.0;
+}
+
+impl fmt::Debug for Half {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Half({})", self.0)
+    }
+}
+
+impl fmt::Display for Half {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+macro_rules! impl_bin_op {
+    ($trait:ident, $method:ident, $op:tt, $assign_trait:ident, $assign_method:ident) => {
+        impl $trait for Half {
+            type Output = Half;
+            #[inline]
+            fn $method(self, rhs: Half) -> Half {
+                Half(round_f32_to_f16(self.0 $op rhs.0))
+            }
+        }
+        impl $assign_trait for Half {
+            #[inline]
+            fn $assign_method(&mut self, rhs: Half) {
+                *self = *self $op rhs;
+            }
+        }
+    };
+}
+
+impl_bin_op!(Add, add, +, AddAssign, add_assign);
+impl_bin_op!(Sub, sub, -, SubAssign, sub_assign);
+impl_bin_op!(Mul, mul, *, MulAssign, mul_assign);
+impl_bin_op!(Div, div, /, DivAssign, div_assign);
+
+impl Neg for Half {
+    type Output = Half;
+    #[inline]
+    fn neg(self) -> Half {
+        Half(-self.0)
+    }
+}
+
+impl Sum for Half {
+    fn sum<I: Iterator<Item = Half>>(iter: I) -> Half {
+        iter.fold(Half(0.0), |a, b| a + b)
+    }
+}
+
+impl Scalar for Half {
+    #[inline]
+    fn zero() -> Self {
+        Half(0.0)
+    }
+    #[inline]
+    fn one() -> Self {
+        Half(1.0)
+    }
+    #[inline]
+    fn abs(self) -> Self {
+        Half(self.0.abs())
+    }
+    #[inline]
+    fn sqrt(self) -> Self {
+        Half(round_f32_to_f16(self.0.sqrt()))
+    }
+    #[inline]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        // No fused operation in fp16 emulation: round after each step, as
+        // a minimal fp16 FPU would.
+        self * a + b
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self.0 as f64
+    }
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        Half(round_f32_to_f16(v as f32))
+    }
+    #[inline]
+    fn not_finite(self) -> bool {
+        !self.0.is_finite()
+    }
+}
+
+impl Float for Half {
+    fn epsilon() -> Self {
+        Half(9.765_625e-4) // 2^-10
+    }
+    fn precision_name() -> &'static str {
+        "fp16"
+    }
+    fn mantissa_bits() -> u32 {
+        11
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_small_integers_round_trip() {
+        for v in [0.0f32, 1.0, -2.0, 1024.0, 0.5, -0.25] {
+            assert_eq!(round_f32_to_f16(v), v);
+        }
+    }
+
+    #[test]
+    fn rounding_drops_low_mantissa_bits() {
+        // 1 + 2^-11 is not representable in binary16 -> rounds to 1 (even).
+        let x = 1.0f32 + 2.0f32.powi(-11);
+        assert_eq!(round_f32_to_f16(x), 1.0);
+        // 1 + 3*2^-11 is a tie between frac=1 (odd) and frac=2 (even):
+        // ties-to-even rounds UP to 1 + 2^-9.
+        let y = 1.0f32 + 3.0 * 2.0f32.powi(-11);
+        assert_eq!(round_f32_to_f16(y), 1.0 + 2.0f32.powi(-9));
+        // A non-tie just below rounds down to 1 + 2^-10.
+        let z = 1.0f32 + 2.9 * 2.0f32.powi(-11);
+        assert_eq!(round_f32_to_f16(z), 1.0 + 2.0f32.powi(-10));
+    }
+
+    #[test]
+    fn overflow_goes_to_infinity() {
+        assert!(round_f32_to_f16(70000.0).is_infinite());
+        assert!(round_f32_to_f16(-70000.0).is_infinite());
+        assert_eq!(round_f32_to_f16(65504.0), 65504.0);
+        // 65520 rounds up to infinity (beyond max + half ulp).
+        assert!(round_f32_to_f16(65536.0).is_infinite());
+    }
+
+    #[test]
+    fn subnormals_are_representable() {
+        let smallest = 2.0f32.powi(-24);
+        assert_eq!(round_f32_to_f16(smallest), smallest);
+        assert_eq!(round_f32_to_f16(smallest / 4.0), 0.0);
+        let sub = 3.0 * 2.0f32.powi(-24);
+        assert_eq!(round_f32_to_f16(sub), sub);
+    }
+
+    #[test]
+    fn nan_is_preserved() {
+        assert!(round_f32_to_f16(f32::NAN).is_nan());
+        assert!(Half::from_f32(f32::NAN).not_finite());
+    }
+
+    #[test]
+    fn all_f16_bit_patterns_round_trip() {
+        // Every finite binary16 value must convert to f32 and back exactly.
+        for bits in 0..=0xffffu16 {
+            let f = f16_bits_to_f32(bits);
+            if f.is_nan() {
+                assert_eq!(f32_to_f16_bits(f) & 0x7c00, 0x7c00);
+                continue;
+            }
+            let back = f32_to_f16_bits(f);
+            assert_eq!(back, bits, "bits {bits:#06x} -> {f} -> {back:#06x}");
+        }
+    }
+
+    #[test]
+    fn arithmetic_rounds_each_step() {
+        let a = Half::from_f32(1.0);
+        let eps = Half::from_f32(2.0f32.powi(-11)); // below half ulp of 1.0
+        assert_eq!((a + eps).to_f32(), 1.0); // absorbed
+        let big = Half::from_f32(4096.0);
+        let one = Half::one();
+        assert_eq!((big + one).to_f32(), 4096.0); // ulp(4096) = 4 in fp16
+    }
+
+    #[test]
+    fn scalar_trait_surface_works() {
+        let x = Half::from_f64(2.0);
+        assert!((x.sqrt().to_f64() - std::f64::consts::SQRT_2).abs() < 1e-3);
+        assert_eq!(Half::zero() + Half::one(), Half::one());
+        assert_eq!((-Half::one()).abs(), Half::one());
+        assert_eq!(Half::from_f64(2.0).mul_add(Half::from_f64(3.0), Half::one()).to_f64(), 7.0);
+    }
+
+    #[test]
+    fn precision_ordering() {
+        assert!(Half::epsilon().to_f64() > f32::EPSILON as f64);
+        assert_eq!(Half::precision_name(), "fp16");
+    }
+
+    #[test]
+    fn matrix_in_half_precision() {
+        use xsc_core::{gen, Matrix};
+        let a = gen::random_spd::<f64>(8, 1);
+        let h: Matrix<Half> = a.convert();
+        let back: Matrix<f64> = h.convert();
+        // fp16 has ~3 decimal digits: conversion error bounded by ~1e-3
+        // relative on O(1) entries.
+        assert!(a.max_abs_diff(&back) < 5e-3, "diff {}", a.max_abs_diff(&back));
+    }
+}

@@ -1,0 +1,375 @@
+//! Multithreaded DAG executor.
+
+use crate::graph::{TaskGraph, TaskId};
+use crate::trace::{Trace, TraceEvent};
+use parking_lot::{Condvar, Mutex};
+use std::collections::BinaryHeap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Ready-queue ordering policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedPolicy {
+    /// First-in first-out (insertion order among ready tasks).
+    Fifo,
+    /// Highest critical-path-to-sink first — keeps the long chain moving,
+    /// the default in PLASMA-style runtimes.
+    CriticalPath,
+}
+
+/// A dataflow executor with a fixed worker count and scheduling policy.
+pub struct Executor {
+    threads: usize,
+    policy: SchedPolicy,
+}
+
+#[derive(PartialEq, Eq)]
+struct ReadyTask {
+    key: u64,
+    /// Tie-break on insertion order (earlier first) so FIFO is exact and
+    /// critical-path is deterministic.
+    id: TaskId,
+}
+
+impl Ord for ReadyTask {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap on key, then min on id.
+        self.key
+            .cmp(&other.key)
+            .then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+impl PartialOrd for ReadyTask {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+type KernelSlot = Mutex<Option<Box<dyn FnOnce() + Send>>>;
+
+struct Shared {
+    ready: Mutex<BinaryHeap<ReadyTask>>,
+    available: Condvar,
+    remaining: AtomicUsize,
+    abort: std::sync::atomic::AtomicBool,
+    panicked: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl Executor {
+    /// Creates an executor with `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize, policy: SchedPolicy) -> Self {
+        Executor {
+            threads: threads.max(1),
+            policy,
+        }
+    }
+
+    /// An executor using every available hardware thread.
+    pub fn with_all_cores(policy: SchedPolicy) -> Self {
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        Executor::new(threads, policy)
+    }
+
+    /// Number of worker threads this executor spawns.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Executes every task in the graph, respecting its dependence edges.
+    /// Blocks until all tasks have run. Panics from task kernels are
+    /// propagated to the caller after all workers have stopped.
+    pub fn execute(&self, graph: TaskGraph) -> Trace {
+        self.run(graph, false)
+    }
+
+    /// Like [`Executor::execute`], but records a per-worker execution trace
+    /// (start/end timestamps per task) for utilization analysis.
+    pub fn execute_traced(&self, graph: TaskGraph) -> Trace {
+        self.run(graph, true)
+    }
+
+    fn run(&self, mut graph: TaskGraph, record: bool) -> Trace {
+        let n = graph.len();
+        if n == 0 {
+            return Trace::empty(self.threads);
+        }
+        let fin = graph.finalize();
+        let successors = Arc::new(fin.successors);
+        let priority = Arc::new(fin.priority);
+        let names: Arc<Vec<String>> = Arc::new(graph.tasks.iter().map(|t| t.name.clone()).collect());
+
+        // Kernels move into per-task slots the workers take from.
+        let kernels: Arc<Vec<KernelSlot>> = Arc::new(
+            graph
+                .tasks
+                .iter_mut()
+                .map(|t| Mutex::new(t.kernel.take()))
+                .collect(),
+        );
+        let pending: Arc<Vec<AtomicUsize>> = Arc::new(
+            fin.in_degree
+                .iter()
+                .map(|&d| AtomicUsize::new(d))
+                .collect(),
+        );
+
+        let shared = Arc::new(Shared {
+            ready: Mutex::new(BinaryHeap::new()),
+            available: Condvar::new(),
+            remaining: AtomicUsize::new(n),
+            abort: std::sync::atomic::AtomicBool::new(false),
+            panicked: Mutex::new(None),
+        });
+
+        // Seed the ready queue with the sources.
+        {
+            let mut q = shared.ready.lock();
+            for id in 0..n {
+                if pending[id].load(Ordering::Relaxed) == 0 {
+                    q.push(ReadyTask {
+                        key: self.key(&priority, id),
+                        id,
+                    });
+                }
+            }
+        }
+
+        let epoch = Instant::now();
+        let mut handles = Vec::with_capacity(self.threads);
+        for worker in 0..self.threads {
+            let shared = Arc::clone(&shared);
+            let successors = Arc::clone(&successors);
+            let priority = Arc::clone(&priority);
+            let kernels = Arc::clone(&kernels);
+            let pending = Arc::clone(&pending);
+            let policy = self.policy;
+            let handle = std::thread::Builder::new()
+                .name(format!("xsc-worker-{worker}"))
+                .spawn(move || {
+                    let mut events = Vec::new();
+                    loop {
+                        let task = {
+                            let mut q = shared.ready.lock();
+                            loop {
+                                if shared.remaining.load(Ordering::Acquire) == 0
+                                    || shared.abort.load(Ordering::Acquire)
+                                {
+                                    return events;
+                                }
+                                if let Some(t) = q.pop() {
+                                    break t;
+                                }
+                                shared.available.wait(&mut q);
+                            }
+                        };
+                        let id = task.id;
+                        let kernel = kernels[id].lock().take();
+                        let start = epoch.elapsed();
+                        if let Some(k) = kernel {
+                            if let Err(payload) = catch_unwind(AssertUnwindSafe(k)) {
+                                let mut slot = shared.panicked.lock();
+                                if slot.is_none() {
+                                    *slot = Some(payload);
+                                }
+                                // Abort flag (not `remaining`) makes the
+                                // other workers exit: a worker mid-kernel
+                                // will still decrement `remaining` once, and
+                                // zeroing it here would underflow.
+                                shared.abort.store(true, Ordering::Release);
+                                shared.available.notify_all();
+                                return events;
+                            }
+                        }
+                        let end = epoch.elapsed();
+                        if record {
+                            events.push(TraceEvent {
+                                task: id,
+                                worker,
+                                start,
+                                end,
+                            });
+                        }
+                        // Release successors.
+                        let mut newly_ready = Vec::new();
+                        for &s in &successors[id] {
+                            if pending[s].fetch_sub(1, Ordering::AcqRel) == 1 {
+                                newly_ready.push(s);
+                            }
+                        }
+                        if !newly_ready.is_empty() {
+                            let mut q = shared.ready.lock();
+                            for s in newly_ready {
+                                let key = match policy {
+                                    SchedPolicy::Fifo => u64::MAX - s as u64,
+                                    SchedPolicy::CriticalPath => priority[s],
+                                };
+                                q.push(ReadyTask { key, id: s });
+                                shared.available.notify_one();
+                            }
+                        }
+                        if shared.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                            shared.available.notify_all();
+                            return events;
+                        }
+                    }
+                })
+                .expect("failed to spawn worker thread");
+            handles.push(handle);
+        }
+
+        let mut all_events = Vec::new();
+        for h in handles {
+            match h.join() {
+                Ok(events) => all_events.extend(events),
+                Err(payload) => resume_unwind(payload),
+            }
+        }
+        if let Some(payload) = shared.panicked.lock().take() {
+            resume_unwind(payload);
+        }
+        let wall = epoch.elapsed();
+        Trace::new(self.threads, wall, all_events, names)
+    }
+
+    fn key(&self, priority: &[u64], id: TaskId) -> u64 {
+        match self.policy {
+            SchedPolicy::Fifo => u64::MAX - id as u64,
+            SchedPolicy::CriticalPath => priority[id],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Access;
+    use parking_lot::Mutex as PlMutex;
+    use std::sync::Arc;
+
+    fn run_counter_chain(threads: usize, policy: SchedPolicy, n: usize) -> Vec<usize> {
+        let log = Arc::new(PlMutex::new(Vec::new()));
+        let mut g = TaskGraph::new();
+        for i in 0..n {
+            let log = Arc::clone(&log);
+            g.add_task(format!("t{i}"), [Access::Write(0)], move || {
+                log.lock().push(i);
+            });
+        }
+        Executor::new(threads, policy).execute(g);
+        Arc::try_unwrap(log).unwrap().into_inner()
+    }
+
+    #[test]
+    fn chain_preserves_program_order() {
+        for threads in [1, 2, 8] {
+            for policy in [SchedPolicy::Fifo, SchedPolicy::CriticalPath] {
+                let order = run_counter_chain(threads, policy, 50);
+                assert_eq!(order, (0..50).collect::<Vec<_>>(), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn independent_tasks_all_run() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut g = TaskGraph::new();
+        for i in 0..1000 {
+            let c = Arc::clone(&counter);
+            g.add_task("t", [Access::Write(i)], move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        Executor::new(4, SchedPolicy::CriticalPath).execute(g);
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn empty_graph_is_ok() {
+        let g = TaskGraph::new();
+        let trace = Executor::new(4, SchedPolicy::Fifo).execute(g);
+        assert_eq!(trace.tasks_run(), 0);
+    }
+
+    #[test]
+    fn diamond_respects_dependencies() {
+        // a -> (b, c) -> d : d must observe both b's and c's effects.
+        let state = Arc::new(PlMutex::new((0i32, 0i32, 0i32)));
+        let mut g = TaskGraph::new();
+        let s = Arc::clone(&state);
+        g.add_task("a", [Access::Write(0)], move || {
+            s.lock().0 = 1;
+        });
+        let s = Arc::clone(&state);
+        g.add_task("b", [Access::Read(0), Access::Write(1)], move || {
+            let mut st = s.lock();
+            assert_eq!(st.0, 1);
+            st.1 = 2;
+        });
+        let s = Arc::clone(&state);
+        g.add_task("c", [Access::Read(0), Access::Write(2)], move || {
+            let mut st = s.lock();
+            assert_eq!(st.0, 1);
+            st.2 = 3;
+        });
+        let s = Arc::clone(&state);
+        g.add_task("d", [Access::Read(1), Access::Read(2)], move || {
+            let st = s.lock();
+            assert_eq!((st.1, st.2), (2, 3));
+        });
+        Executor::new(4, SchedPolicy::CriticalPath).execute(g);
+    }
+
+    #[test]
+    fn trace_records_all_tasks() {
+        let mut g = TaskGraph::new();
+        for i in 0..16 {
+            g.add_task("t", [Access::Write(i % 4)], move || {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            });
+        }
+        let trace = Executor::new(4, SchedPolicy::CriticalPath).execute_traced(g);
+        assert_eq!(trace.tasks_run(), 16);
+        assert!(trace.makespan().as_nanos() > 0);
+        let u = trace.utilization();
+        assert!(u > 0.0 && u <= 1.0, "utilization {u}");
+    }
+
+    #[test]
+    fn task_panic_propagates() {
+        let mut g = TaskGraph::new();
+        g.add_task("ok", [Access::Write(0)], || {});
+        g.add_task("boom", [Access::Write(0)], || panic!("kernel failure"));
+        for i in 0..32 {
+            g.add_task("later", [Access::Write(i % 3)], || {});
+        }
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            Executor::new(4, SchedPolicy::Fifo).execute(g);
+        }));
+        assert!(result.is_err(), "panic must propagate to caller");
+    }
+
+    #[test]
+    fn single_thread_matches_serial_semantics() {
+        let acc = Arc::new(PlMutex::new(1i64));
+        let build = |acc: Arc<PlMutex<i64>>| {
+            let mut g = TaskGraph::new();
+            for i in 1..=6i64 {
+                let acc = Arc::clone(&acc);
+                g.add_task("mul", [Access::Write(0)], move || {
+                    let mut v = acc.lock();
+                    *v = *v * 3 + i; // non-commutative update
+                });
+            }
+            g
+        };
+        build(Arc::clone(&acc)).execute_serial();
+        let serial = *acc.lock();
+
+        let acc2 = Arc::new(PlMutex::new(1i64));
+        Executor::new(8, SchedPolicy::CriticalPath).execute(build(Arc::clone(&acc2)));
+        assert_eq!(*acc2.lock(), serial);
+    }
+}

@@ -1,0 +1,300 @@
+//! Task graph construction with automatic dependence analysis.
+
+use std::collections::HashMap;
+
+/// Identifier of a datum (e.g. a matrix tile) used for dependence analysis.
+/// The runtime never touches the data itself — the id is only a key.
+pub type DataId = usize;
+
+/// Index of a task within its [`TaskGraph`], in insertion order.
+pub type TaskId = usize;
+
+/// How a task touches a datum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// Shared read: concurrent with other reads of the same datum.
+    Read(DataId),
+    /// Exclusive access (read-modify-write): ordered against every other
+    /// access to the same datum.
+    Write(DataId),
+}
+
+pub(crate) struct Task {
+    pub name: String,
+    pub kernel: Option<Box<dyn FnOnce() + Send + 'static>>,
+    /// A-priori cost estimate used for critical-path priorities.
+    pub cost: u64,
+}
+
+/// Per-datum state for the superscalar dependence scan.
+#[derive(Default)]
+struct DatumState {
+    last_writer: Option<TaskId>,
+    readers_since_write: Vec<TaskId>,
+}
+
+/// A dependence DAG built by inserting tasks in sequential program order.
+///
+/// Insertion performs the classic superscalar hazard analysis:
+///
+/// * **RAW** — a read depends on the previous writer of the datum;
+/// * **WAW** — a write depends on the previous writer;
+/// * **WAR** — a write depends on every read since the previous write.
+///
+/// Executing the tasks in any order consistent with these edges yields the
+/// same result as sequential execution (a property the test-suite checks
+/// with randomized programs).
+#[derive(Default)]
+pub struct TaskGraph {
+    pub(crate) tasks: Vec<Task>,
+    edges: Vec<(TaskId, TaskId)>,
+    state: HashMap<DataId, DatumState>,
+}
+
+impl TaskGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        TaskGraph::default()
+    }
+
+    /// Inserts a task with unit cost. See [`TaskGraph::add_task_with_cost`].
+    pub fn add_task(
+        &mut self,
+        name: impl Into<String>,
+        accesses: impl IntoIterator<Item = Access>,
+        kernel: impl FnOnce() + Send + 'static,
+    ) -> TaskId {
+        self.add_task_with_cost(name, accesses, 1, kernel)
+    }
+
+    /// Inserts a task in program order, declaring its data accesses, and
+    /// returns its id. `cost` is a relative execution-time estimate used by
+    /// the critical-path scheduling policy (e.g. the flop count).
+    pub fn add_task_with_cost(
+        &mut self,
+        name: impl Into<String>,
+        accesses: impl IntoIterator<Item = Access>,
+        cost: u64,
+        kernel: impl FnOnce() + Send + 'static,
+    ) -> TaskId {
+        let id = self.tasks.len();
+        for access in accesses {
+            match access {
+                Access::Read(d) => {
+                    let st = self.state.entry(d).or_default();
+                    if let Some(w) = st.last_writer {
+                        self.edges.push((w, id)); // RAW
+                    }
+                    st.readers_since_write.push(id);
+                }
+                Access::Write(d) => {
+                    let st = self.state.entry(d).or_default();
+                    if let Some(w) = st.last_writer {
+                        self.edges.push((w, id)); // WAW
+                    }
+                    for &r in &st.readers_since_write {
+                        if r != id {
+                            self.edges.push((r, id)); // WAR
+                        }
+                    }
+                    st.readers_since_write.clear();
+                    st.last_writer = Some(id);
+                }
+            }
+        }
+        self.tasks.push(Task {
+            name: name.into(),
+            kernel: Some(Box::new(kernel)),
+            cost: cost.max(1),
+        });
+        id
+    }
+
+    /// Number of tasks inserted so far.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// `true` if no tasks have been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Name of task `id` (for traces and debugging).
+    pub fn task_name(&self, id: TaskId) -> &str {
+        &self.tasks[id].name
+    }
+
+    /// Finalizes the graph: deduplicated successor lists, in-degrees, and
+    /// critical-path-to-sink priorities (computed over the `cost` estimates).
+    pub(crate) fn finalize(&mut self) -> FinalizedGraph {
+        let n = self.tasks.len();
+        let mut successors: Vec<Vec<TaskId>> = vec![Vec::new(); n];
+        let mut in_degree = vec![0usize; n];
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        for &(from, to) in &self.edges {
+            debug_assert!(from < to, "edges must point forward in program order");
+            successors[from].push(to);
+            in_degree[to] += 1;
+        }
+        // Tasks are inserted in program order, so every edge goes from a
+        // lower id to a higher id; a reverse sweep is a reverse topological
+        // order.
+        let mut priority = vec![0u64; n];
+        for id in (0..n).rev() {
+            let best_succ = successors[id].iter().map(|&s| priority[s]).max().unwrap_or(0);
+            priority[id] = self.tasks[id].cost + best_succ;
+        }
+        FinalizedGraph {
+            successors,
+            in_degree,
+            priority,
+        }
+    }
+
+    /// Structural view of the dependence edges (deduplicated, sorted) —
+    /// used by the discrete-event simulator in `xsc-machine` to replay a
+    /// graph on a modeled machine.
+    pub fn edge_list(&mut self) -> Vec<(TaskId, TaskId)> {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        self.edges.clone()
+    }
+
+    /// Per-task cost estimates, in task-id order.
+    pub fn costs(&self) -> Vec<u64> {
+        self.tasks.iter().map(|t| t.cost).collect()
+    }
+
+    /// Runs every task on the calling thread in insertion order (the
+    /// sequential-semantics reference used by the property tests).
+    pub fn execute_serial(mut self) {
+        for t in &mut self.tasks {
+            if let Some(k) = t.kernel.take() {
+                k();
+            }
+        }
+    }
+
+    /// Length of the critical path through the graph in cost units, and the
+    /// total cost — their ratio bounds achievable speedup (Brent's theorem).
+    pub fn critical_path(&mut self) -> (u64, u64) {
+        let fin = self.finalize();
+        let cp = fin.priority.iter().copied().max().unwrap_or(0);
+        let total: u64 = self.tasks.iter().map(|t| t.cost).sum();
+        (cp, total)
+    }
+}
+
+pub(crate) struct FinalizedGraph {
+    pub successors: Vec<Vec<TaskId>>,
+    pub in_degree: Vec<usize>,
+    pub priority: Vec<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn raw_dependency_created() {
+        let mut g = TaskGraph::new();
+        let w = g.add_task("w", [Access::Write(0)], || {});
+        let r = g.add_task("r", [Access::Read(0)], || {});
+        let edges = g.edge_list();
+        assert_eq!(edges, vec![(w, r)]);
+    }
+
+    #[test]
+    fn war_and_waw_dependencies_created() {
+        let mut g = TaskGraph::new();
+        let w0 = g.add_task("w0", [Access::Write(0)], || {});
+        let r1 = g.add_task("r1", [Access::Read(0)], || {});
+        let r2 = g.add_task("r2", [Access::Read(0)], || {});
+        let w1 = g.add_task("w1", [Access::Write(0)], || {});
+        let edges = g.edge_list();
+        // RAW edges w0->r1, w0->r2; WAR edges r1->w1, r2->w1; WAW w0->w1.
+        assert!(edges.contains(&(w0, r1)));
+        assert!(edges.contains(&(w0, r2)));
+        assert!(edges.contains(&(r1, w1)));
+        assert!(edges.contains(&(r2, w1)));
+        assert!(edges.contains(&(w0, w1)));
+    }
+
+    #[test]
+    fn independent_data_have_no_edges() {
+        let mut g = TaskGraph::new();
+        g.add_task("a", [Access::Write(0)], || {});
+        g.add_task("b", [Access::Write(1)], || {});
+        assert!(g.edge_list().is_empty());
+    }
+
+    #[test]
+    fn reads_do_not_depend_on_reads() {
+        let mut g = TaskGraph::new();
+        g.add_task("r1", [Access::Read(0)], || {});
+        g.add_task("r2", [Access::Read(0)], || {});
+        assert!(g.edge_list().is_empty());
+    }
+
+    #[test]
+    fn duplicate_edges_are_deduplicated() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", [Access::Write(0), Access::Write(1)], || {});
+        let b = g.add_task("b", [Access::Read(0), Access::Read(1)], || {});
+        assert_eq!(g.edge_list(), vec![(a, b)]);
+        let fin = g.finalize();
+        assert_eq!(fin.in_degree[b], 1);
+    }
+
+    #[test]
+    fn serial_execution_runs_in_order() {
+        let log = Arc::new(AtomicUsize::new(0));
+        let mut g = TaskGraph::new();
+        for i in 0..10 {
+            let log = Arc::clone(&log);
+            g.add_task("t", [Access::Write(0)], move || {
+                // Encode order check: value must equal i when we run.
+                let v = log.fetch_add(1, Ordering::SeqCst);
+                assert_eq!(v, i);
+            });
+        }
+        g.execute_serial();
+        assert_eq!(log.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn critical_path_of_chain_is_total_cost() {
+        let mut g = TaskGraph::new();
+        for i in 0..5 {
+            g.add_task_with_cost("t", [Access::Write(0)], 10 + i, || {});
+        }
+        let (cp, total) = g.critical_path();
+        assert_eq!(cp, total);
+    }
+
+    #[test]
+    fn critical_path_of_independent_tasks_is_max_cost() {
+        let mut g = TaskGraph::new();
+        for i in 0..5 {
+            g.add_task_with_cost("t", [Access::Write(i)], 10 * (i as u64 + 1), || {});
+        }
+        let (cp, total) = g.critical_path();
+        assert_eq!(cp, 50);
+        assert_eq!(total, 10 + 20 + 30 + 40 + 50);
+    }
+
+    #[test]
+    fn priorities_decrease_along_chain() {
+        let mut g = TaskGraph::new();
+        g.add_task("a", [Access::Write(0)], || {});
+        g.add_task("b", [Access::Write(0)], || {});
+        g.add_task("c", [Access::Write(0)], || {});
+        let fin = g.finalize();
+        assert!(fin.priority[0] > fin.priority[1]);
+        assert!(fin.priority[1] > fin.priority[2]);
+    }
+}

@@ -1,0 +1,244 @@
+//! Execution traces: per-task start/end times per worker, with the derived
+//! utilization statistics experiment E02 reports.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One executed task occurrence.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Task id within the executed graph.
+    pub task: usize,
+    /// Worker index that ran the task.
+    pub worker: usize,
+    /// Start time relative to the execution epoch.
+    pub start: Duration,
+    /// End time relative to the execution epoch.
+    pub end: Duration,
+}
+
+/// Execution record returned by the executor.
+pub struct Trace {
+    threads: usize,
+    wall: Duration,
+    events: Vec<TraceEvent>,
+    names: Arc<Vec<String>>,
+}
+
+impl std::fmt::Debug for Trace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Trace")
+            .field("threads", &self.threads)
+            .field("wall", &self.wall)
+            .field("events", &self.events.len())
+            .finish()
+    }
+}
+
+impl Trace {
+    pub(crate) fn empty(threads: usize) -> Self {
+        Trace {
+            threads,
+            wall: Duration::ZERO,
+            events: Vec::new(),
+            names: Arc::new(Vec::new()),
+        }
+    }
+
+    pub(crate) fn new(
+        threads: usize,
+        wall: Duration,
+        mut events: Vec<TraceEvent>,
+        names: Arc<Vec<String>>,
+    ) -> Self {
+        events.sort_by_key(|e| e.start);
+        Trace {
+            threads,
+            wall,
+            events,
+            names,
+        }
+    }
+
+    /// Number of worker threads used.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Number of task events recorded (0 unless `execute_traced` was used,
+    /// except that the count of *run* tasks is always available via the
+    /// wall-clock path).
+    pub fn tasks_run(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Wall-clock duration of the whole execution.
+    pub fn makespan(&self) -> Duration {
+        self.wall
+    }
+
+    /// All recorded events, sorted by start time.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Name of task `id`.
+    pub fn task_name(&self, id: usize) -> &str {
+        self.names.get(id).map_or("<unknown>", |s| s.as_str())
+    }
+
+    /// Total busy time summed over workers.
+    pub fn busy_time(&self) -> Duration {
+        self.events.iter().map(|e| e.end - e.start).sum()
+    }
+
+    /// Fraction of `threads × makespan` spent executing tasks, in `[0, 1]`.
+    ///
+    /// This is the number the fork-join-vs-dataflow experiment compares:
+    /// barriers show up directly as lost utilization.
+    pub fn utilization(&self) -> f64 {
+        let denom = self.wall.as_secs_f64() * self.threads as f64;
+        if denom <= 0.0 {
+            return 0.0;
+        }
+        (self.busy_time().as_secs_f64() / denom).min(1.0)
+    }
+
+    /// Busy time per worker index.
+    pub fn busy_per_worker(&self) -> Vec<Duration> {
+        let mut busy = vec![Duration::ZERO; self.threads];
+        for e in &self.events {
+            if e.worker < busy.len() {
+                busy[e.worker] += e.end - e.start;
+            }
+        }
+        busy
+    }
+
+    /// Serializes the trace in the Chrome trace-event JSON format
+    /// (load via `chrome://tracing` or Perfetto): one complete ("X") event
+    /// per task, one track per worker. Timestamps are microseconds.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let name = self.task_name(e.task).replace('"', "'");
+            out.push_str(&format!(
+                "{{\"name\":\"{name}\",\"ph\":\"X\",\"pid\":0,\"tid\":{},\"ts\":{:.3},\"dur\":{:.3}}}",
+                e.worker,
+                e.start.as_secs_f64() * 1e6,
+                (e.end - e.start).as_secs_f64() * 1e6
+            ));
+        }
+        out.push(']');
+        out
+    }
+
+    /// A coarse ASCII Gantt chart (`width` columns), one row per worker.
+    /// Busy slots render as `#`, idle as `.`.
+    pub fn ascii_gantt(&self, width: usize) -> String {
+        let width = width.max(10);
+        let total = self.wall.as_secs_f64();
+        let mut rows = vec![vec![b'.'; width]; self.threads];
+        if total > 0.0 {
+            for e in &self.events {
+                let s = ((e.start.as_secs_f64() / total) * width as f64) as usize;
+                let t = ((e.end.as_secs_f64() / total) * width as f64).ceil() as usize;
+                for c in s..t.min(width) {
+                    rows[e.worker][c] = b'#';
+                }
+            }
+        }
+        let mut out = String::new();
+        for (w, row) in rows.into_iter().enumerate() {
+            out.push_str(&format!("w{w:02} |"));
+            out.push_str(std::str::from_utf8(&row).unwrap());
+            out.push_str("|\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        let names = Arc::new(vec!["a".to_string(), "b".to_string()]);
+        Trace::new(
+            2,
+            Duration::from_millis(10),
+            vec![
+                TraceEvent {
+                    task: 1,
+                    worker: 1,
+                    start: Duration::from_millis(5),
+                    end: Duration::from_millis(10),
+                },
+                TraceEvent {
+                    task: 0,
+                    worker: 0,
+                    start: Duration::from_millis(0),
+                    end: Duration::from_millis(10),
+                },
+            ],
+            names,
+        )
+    }
+
+    #[test]
+    fn events_sorted_by_start() {
+        let t = sample_trace();
+        assert_eq!(t.events()[0].task, 0);
+        assert_eq!(t.events()[1].task, 1);
+    }
+
+    #[test]
+    fn utilization_computed_correctly() {
+        let t = sample_trace();
+        // Busy = 10ms + 5ms = 15ms over 2 workers x 10ms = 20ms -> 0.75.
+        assert!((t.utilization() - 0.75).abs() < 1e-9);
+        assert_eq!(t.busy_per_worker(), vec![Duration::from_millis(10), Duration::from_millis(5)]);
+    }
+
+    #[test]
+    fn names_resolve() {
+        let t = sample_trace();
+        assert_eq!(t.task_name(0), "a");
+        assert_eq!(t.task_name(99), "<unknown>");
+    }
+
+    #[test]
+    fn gantt_has_one_row_per_worker() {
+        let t = sample_trace();
+        let g = t.ascii_gantt(40);
+        assert_eq!(g.lines().count(), 2);
+        assert!(g.contains('#'));
+        // Worker 1 idles the first half.
+        let row1 = g.lines().nth(1).unwrap();
+        assert!(row1.contains('.'));
+    }
+
+    #[test]
+    fn chrome_json_is_well_formed() {
+        let t = sample_trace();
+        let j = t.to_chrome_json();
+        assert!(j.starts_with('[') && j.ends_with(']'));
+        assert_eq!(j.matches("\"ph\":\"X\"").count(), 2);
+        assert!(j.contains("\"name\":\"a\""));
+        assert!(j.contains("\"tid\":1"));
+        // Durations in microseconds.
+        assert!(j.contains("\"dur\":10000.000") || j.contains("\"dur\":10000"));
+    }
+
+    #[test]
+    fn empty_trace_is_safe() {
+        let t = Trace::empty(4);
+        assert_eq!(t.utilization(), 0.0);
+        assert_eq!(t.tasks_run(), 0);
+        assert_eq!(t.busy_per_worker().len(), 4);
+        let _ = t.ascii_gantt(20);
+    }
+}

@@ -1,0 +1,220 @@
+//! Preconditioned conjugate gradients with deterministic reductions.
+
+use crate::csr::CsrMatrix;
+use xsc_core::blas1;
+
+/// A (left) preconditioner: `z ≈ A⁻¹ r`.
+pub trait Preconditioner {
+    /// Applies the preconditioner: `z <- M⁻¹ r`.
+    fn apply(&self, r: &[f64], z: &mut [f64]);
+    /// Flops of one application (for benchmark accounting).
+    fn flops_per_apply(&self) -> u64;
+}
+
+/// The identity preconditioner (plain CG).
+pub struct Identity;
+
+impl Preconditioner for Identity {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        z.copy_from_slice(r);
+    }
+    fn flops_per_apply(&self) -> u64 {
+        0
+    }
+}
+
+/// Outcome of a PCG solve.
+#[derive(Debug, Clone)]
+pub struct CgResult {
+    /// Iterations actually performed.
+    pub iterations: usize,
+    /// `‖r‖₂ / ‖b‖₂` after each iteration (index 0 = initial residual).
+    pub residual_history: Vec<f64>,
+    /// Whether the tolerance was reached within the budget.
+    pub converged: bool,
+    /// Total flops executed, HPCG accounting (SpMV `2·nnz`, dot `2n`,
+    /// axpy-like `3n`, plus the preconditioner's own count).
+    pub flops: u64,
+}
+
+impl CgResult {
+    /// Final relative residual.
+    pub fn final_residual(&self) -> f64 {
+        *self.residual_history.last().unwrap_or(&f64::INFINITY)
+    }
+}
+
+/// Preconditioned conjugate gradients on `A x = b` starting from `x` (in
+/// place). Stops when `‖r‖/‖b‖ <= tol` or after `max_iters` iterations.
+///
+/// All inner products use the fixed-tree pairwise reduction, so the
+/// iteration count and iterates are bit-reproducible across thread counts —
+/// one of the keynote's "new rules" for numerical software.
+pub fn pcg<P: Preconditioner>(
+    a: &CsrMatrix<f64>,
+    b: &[f64],
+    x: &mut [f64],
+    max_iters: usize,
+    tol: f64,
+    m: &P,
+) -> CgResult {
+    let n = a.nrows();
+    assert_eq!(b.len(), n, "rhs length mismatch");
+    assert_eq!(x.len(), n, "solution length mismatch");
+
+    let mut flops = 0u64;
+    let nnz = a.nnz() as u64;
+    let nf = n as u64;
+
+    let bnorm = blas1::nrm2(b).max(f64::MIN_POSITIVE);
+    let mut r = vec![0.0; n];
+    a.residual(x, b, &mut r);
+    flops += 2 * nnz + 2 * nf;
+
+    let mut z = vec![0.0; n];
+    m.apply(&r, &mut z);
+    flops += m.flops_per_apply();
+
+    let mut p = z.clone();
+    let mut rz = blas1::dot_pairwise(&r, &z);
+    flops += 2 * nf;
+
+    let mut history = vec![blas1::nrm2(&r) / bnorm];
+    let mut ap = vec![0.0; n];
+    let mut converged = history[0] <= tol;
+    let mut iterations = 0;
+
+    for _ in 0..max_iters {
+        if converged {
+            break;
+        }
+        iterations += 1;
+        a.spmv_par(&p, &mut ap);
+        flops += 2 * nnz;
+        let pap = blas1::dot_pairwise(&p, &ap);
+        flops += 2 * nf;
+        if pap <= 0.0 {
+            // Loss of positive-definiteness (numerically) — stop.
+            break;
+        }
+        let alpha = rz / pap;
+        blas1::axpy(alpha, &p, x);
+        blas1::axpy(-alpha, &ap, &mut r);
+        flops += 6 * nf;
+
+        let rel = blas1::nrm2(&r) / bnorm;
+        flops += 2 * nf;
+        history.push(rel);
+        if rel <= tol {
+            converged = true;
+            break;
+        }
+        m.apply(&r, &mut z);
+        flops += m.flops_per_apply();
+        let rz_new = blas1::dot_pairwise(&r, &z);
+        flops += 2 * nf;
+        let beta = rz_new / rz;
+        rz = rz_new;
+        // p <- z + beta p.
+        for (pi, &zi) in p.iter_mut().zip(z.iter()) {
+            *pi = zi + beta * *pi;
+        }
+        flops += 2 * nf;
+    }
+
+    CgResult {
+        iterations,
+        residual_history: history,
+        converged,
+        flops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mg::MgPreconditioner;
+    use crate::stencil::{build_matrix, build_rhs, Geometry};
+
+    #[test]
+    fn plain_cg_solves_stencil_system() {
+        let g = Geometry::new(8, 8, 8);
+        let a = build_matrix(g);
+        let (b, x_exact) = build_rhs(&a);
+        let mut x = vec![0.0; a.nrows()];
+        let res = pcg(&a, &b, &mut x, 500, 1e-10, &Identity);
+        assert!(res.converged, "final residual {}", res.final_residual());
+        for (xi, ei) in x.iter().zip(x_exact.iter()) {
+            assert!((xi - ei).abs() < 1e-6);
+        }
+        assert!(res.flops > 0);
+    }
+
+    #[test]
+    fn mg_preconditioning_cuts_iterations() {
+        let g = Geometry::new(16, 16, 16);
+        let a = build_matrix(g);
+        let (b, _) = build_rhs(&a);
+
+        let mut x1 = vec![0.0; a.nrows()];
+        let plain = pcg(&a, &b, &mut x1, 500, 1e-9, &Identity);
+
+        let mg = MgPreconditioner::new(g, 3);
+        let mut x2 = vec![0.0; a.nrows()];
+        let pre = pcg(&a, &b, &mut x2, 500, 1e-9, &mg);
+
+        assert!(plain.converged && pre.converged);
+        assert!(
+            pre.iterations < plain.iterations,
+            "MG-CG took {} vs plain {}",
+            pre.iterations,
+            plain.iterations
+        );
+    }
+
+    #[test]
+    fn residual_history_is_recorded_and_final_small() {
+        let g = Geometry::new(6, 6, 6);
+        let a = build_matrix(g);
+        let (b, _) = build_rhs(&a);
+        let mut x = vec![0.0; a.nrows()];
+        let res = pcg(&a, &b, &mut x, 200, 1e-8, &Identity);
+        assert_eq!(res.residual_history.len(), res.iterations + 1);
+        assert!(res.final_residual() <= 1e-8);
+    }
+
+    #[test]
+    fn zero_rhs_converges_immediately() {
+        let g = Geometry::new(4, 4, 4);
+        let a = build_matrix(g);
+        let b = vec![0.0; a.nrows()];
+        let mut x = vec![0.0; a.nrows()];
+        let res = pcg(&a, &b, &mut x, 10, 1e-12, &Identity);
+        assert!(res.converged);
+        assert_eq!(res.iterations, 0);
+    }
+
+    #[test]
+    fn warm_start_from_exact_solution() {
+        let g = Geometry::new(4, 4, 4);
+        let a = build_matrix(g);
+        let (b, x_exact) = build_rhs(&a);
+        let mut x = x_exact;
+        let res = pcg(&a, &b, &mut x, 10, 1e-10, &Identity);
+        assert!(res.converged);
+        assert_eq!(res.iterations, 0);
+    }
+
+    #[test]
+    fn runs_are_bit_reproducible() {
+        let g = Geometry::new(8, 8, 4);
+        let a = build_matrix(g);
+        let (b, _) = build_rhs(&a);
+        let mut x1 = vec![0.0; a.nrows()];
+        let r1 = pcg(&a, &b, &mut x1, 50, 1e-12, &Identity);
+        let mut x2 = vec![0.0; a.nrows()];
+        let r2 = pcg(&a, &b, &mut x2, 50, 1e-12, &Identity);
+        assert_eq!(x1, x2, "iterates must be bit-identical");
+        assert_eq!(r1.residual_history, r2.residual_history);
+    }
+}

@@ -1,0 +1,190 @@
+//! Multi-coloring for parallel Gauss–Seidel.
+//!
+//! The reference SymGS sweep is sequential — the crux of HPCG's difficulty.
+//! The standard remedy (and HPCG's sanctioned optimization) is to color the
+//! grid so that rows of the same color are mutually independent; rows
+//! within a color then update in parallel, color by color. Convergence per
+//! sweep weakens slightly (the update order changes), but each sweep now
+//! scales with cores.
+
+use crate::csr::CsrMatrix;
+use rayon::prelude::*;
+
+/// Greedy graph coloring of the matrix's adjacency structure: returns a
+/// color per row, with no two adjacent rows (i.e. `a[i][j] != 0`) sharing
+/// a color.
+pub fn greedy_coloring(a: &CsrMatrix<f64>) -> Vec<usize> {
+    let n = a.nrows();
+    let mut colors = vec![usize::MAX; n];
+    let mut forbidden = vec![usize::MAX; 64]; // forbidden[c] = row that forbade c
+    for i in 0..n {
+        let (cols, _) = a.row(i);
+        for &j in cols {
+            if j != i && colors[j] != usize::MAX {
+                let c = colors[j];
+                if c >= forbidden.len() {
+                    forbidden.resize(c + 1, usize::MAX);
+                }
+                forbidden[c] = i;
+            }
+        }
+        let mut c = 0;
+        while c < forbidden.len() && forbidden[c] == i {
+            c += 1;
+        }
+        colors[i] = c;
+    }
+    colors
+}
+
+/// Rows grouped by color (ascending color index).
+pub fn color_classes(colors: &[usize]) -> Vec<Vec<usize>> {
+    let num = colors.iter().copied().max().map_or(0, |m| m + 1);
+    let mut classes = vec![Vec::new(); num];
+    for (i, &c) in colors.iter().enumerate() {
+        classes[c].push(i);
+    }
+    classes
+}
+
+/// Checks that no two adjacent rows share a color (testing/validation).
+pub fn is_valid_coloring(a: &CsrMatrix<f64>, colors: &[usize]) -> bool {
+    for i in 0..a.nrows() {
+        let (cols, _) = a.row(i);
+        for &j in cols {
+            if j != i && colors[i] == colors[j] {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// One parallel multi-color symmetric Gauss–Seidel application: colors in
+/// ascending order (forward half-sweep), then descending (backward), rows
+/// within a color updated concurrently.
+pub fn colored_symgs(
+    a: &CsrMatrix<f64>,
+    classes: &[Vec<usize>],
+    b: &[f64],
+    x: &mut [f64],
+) {
+    let sweep = |x: &mut [f64], class: &[usize]| {
+        // Rows in one class are independent: read the shared x snapshot,
+        // write disjoint entries. Collect updates first to satisfy the
+        // borrow rules without unsafe.
+        let updates: Vec<(usize, f64)> = class
+            .par_iter()
+            .map(|&i| {
+                let (cols, vals) = a.row(i);
+                let mut acc = b[i];
+                let mut diag = 0.0;
+                for (&c, &v) in cols.iter().zip(vals.iter()) {
+                    if c == i {
+                        diag = v;
+                    } else {
+                        acc -= v * x[c];
+                    }
+                }
+                (i, acc / diag)
+            })
+            .collect();
+        for (i, v) in updates {
+            x[i] = v;
+        }
+    };
+    for class in classes {
+        sweep(x, class);
+    }
+    for class in classes.iter().rev() {
+        sweep(x, class);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stencil::{build_matrix, build_rhs, Geometry};
+    use crate::symgs::symgs;
+    use xsc_core::blas1;
+
+    fn residual_norm(a: &CsrMatrix<f64>, x: &[f64], b: &[f64]) -> f64 {
+        let mut r = vec![0.0; b.len()];
+        a.residual(x, b, &mut r);
+        blas1::nrm2(&r)
+    }
+
+    #[test]
+    fn coloring_is_valid_on_stencil() {
+        let a = build_matrix(Geometry::new(6, 5, 4));
+        let colors = greedy_coloring(&a);
+        assert!(is_valid_coloring(&a, &colors));
+        // 27-point stencil needs at least 8 colors (a 2x2x2 block clique).
+        let num = colors.iter().max().unwrap() + 1;
+        assert!(num >= 8, "only {num} colors");
+        assert!(num <= 27, "greedy used too many colors: {num}");
+    }
+
+    #[test]
+    fn color_classes_partition_rows() {
+        let a = build_matrix(Geometry::new(4, 4, 4));
+        let colors = greedy_coloring(&a);
+        let classes = color_classes(&colors);
+        let total: usize = classes.iter().map(Vec::len).sum();
+        assert_eq!(total, a.nrows());
+        for (c, class) in classes.iter().enumerate() {
+            for &i in class {
+                assert_eq!(colors[i], c);
+            }
+        }
+    }
+
+    #[test]
+    fn colored_symgs_reduces_residual() {
+        let a = build_matrix(Geometry::new(6, 6, 6));
+        let (b, _) = build_rhs(&a);
+        let classes = color_classes(&greedy_coloring(&a));
+        let mut x = vec![0.0; a.nrows()];
+        let r0 = residual_norm(&a, &x, &b);
+        colored_symgs(&a, &classes, &b, &mut x);
+        let r1 = residual_norm(&a, &x, &b);
+        assert!(r1 < r0 * 0.8, "{r1} vs {r0}");
+        colored_symgs(&a, &classes, &b, &mut x);
+        assert!(residual_norm(&a, &x, &b) < r1);
+    }
+
+    #[test]
+    fn colored_and_natural_order_converge_to_same_solution() {
+        let a = build_matrix(Geometry::new(4, 4, 4));
+        let (b, x_exact) = build_rhs(&a);
+        let classes = color_classes(&greedy_coloring(&a));
+        let mut xc = vec![0.0; a.nrows()];
+        let mut xn = vec![0.0; a.nrows()];
+        for _ in 0..300 {
+            colored_symgs(&a, &classes, &b, &mut xc);
+            symgs(&a, &b, &mut xn);
+        }
+        for ((c, n_), e) in xc.iter().zip(xn.iter()).zip(x_exact.iter()) {
+            assert!((c - e).abs() < 1e-8, "colored {c} vs exact {e}");
+            assert!((n_ - e).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn exact_solution_is_fixed_point_of_colored_sweep() {
+        let a = build_matrix(Geometry::new(4, 4, 2));
+        let (b, x_exact) = build_rhs(&a);
+        let classes = color_classes(&greedy_coloring(&a));
+        let mut x = x_exact.clone();
+        colored_symgs(&a, &classes, &b, &mut x);
+        for (xi, ei) in x.iter().zip(x_exact.iter()) {
+            assert!((xi - ei).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn coloring_deterministic() {
+        let a = build_matrix(Geometry::new(5, 5, 5));
+        assert_eq!(greedy_coloring(&a), greedy_coloring(&a));
+    }
+}

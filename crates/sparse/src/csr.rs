@@ -1,0 +1,291 @@
+//! Compressed sparse row matrix storage and SpMV.
+//!
+//! SpMV is the canonical memory-bound kernel: ~2 flops per 12–16 bytes of
+//! traffic, so its rate is pinned to memory bandwidth no matter how many
+//! flops the machine has — the arithmetic behind the HPCG side of E01 and
+//! the flat scaling curve of E10.
+
+use rayon::prelude::*;
+use xsc_core::{Matrix, Scalar};
+
+/// A sparse matrix in compressed sparse row format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix<T> {
+    nrows: usize,
+    ncols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    vals: Vec<T>,
+}
+
+impl<T: Scalar> CsrMatrix<T> {
+    /// Builds a CSR matrix from `(row, col, value)` triplets. Duplicate
+    /// `(row, col)` entries are summed.
+    pub fn from_triplets(
+        nrows: usize,
+        ncols: usize,
+        triplets: impl IntoIterator<Item = (usize, usize, T)>,
+    ) -> Self {
+        let mut trips: Vec<(usize, usize, T)> = triplets.into_iter().collect();
+        for &(r, c, _) in &trips {
+            assert!(r < nrows && c < ncols, "triplet ({r},{c}) out of bounds");
+        }
+        trips.sort_by_key(|&(r, c, _)| (r, c));
+        // Sum duplicates.
+        let mut merged: Vec<(usize, usize, T)> = Vec::with_capacity(trips.len());
+        for (r, c, v) in trips {
+            match merged.last_mut() {
+                Some(last) if last.0 == r && last.1 == c => last.2 += v,
+                _ => merged.push((r, c, v)),
+            }
+        }
+        let mut row_ptr = vec![0usize; nrows + 1];
+        for &(r, _, _) in &merged {
+            row_ptr[r + 1] += 1;
+        }
+        for i in 0..nrows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let col_idx = merged.iter().map(|&(_, c, _)| c).collect();
+        let vals = merged.into_iter().map(|(_, _, v)| v).collect();
+        CsrMatrix {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            vals,
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// `(columns, values)` of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> (&[usize], &[T]) {
+        let (s, e) = (self.row_ptr[i], self.row_ptr[i + 1]);
+        (&self.col_idx[s..e], &self.vals[s..e])
+    }
+
+    /// Sequential sparse matrix–vector product `y <- A x`.
+    pub fn spmv(&self, x: &[T], y: &mut [T]) {
+        assert_eq!(x.len(), self.ncols, "spmv x length mismatch");
+        assert_eq!(y.len(), self.nrows, "spmv y length mismatch");
+        for i in 0..self.nrows {
+            let (cols, vals) = self.row(i);
+            let mut acc = T::zero();
+            for (&c, &v) in cols.iter().zip(vals.iter()) {
+                acc = v.mul_add(x[c], acc);
+            }
+            y[i] = acc;
+        }
+    }
+
+    /// Thread-parallel SpMV (rayon over row blocks). Bit-identical to the
+    /// sequential version: each row's dot product is computed in the same
+    /// order regardless of thread count.
+    pub fn spmv_par(&self, x: &[T], y: &mut [T]) {
+        assert_eq!(x.len(), self.ncols, "spmv x length mismatch");
+        assert_eq!(y.len(), self.nrows, "spmv y length mismatch");
+        let row_ptr = &self.row_ptr;
+        let col_idx = &self.col_idx;
+        let vals = &self.vals;
+        y.par_iter_mut().enumerate().for_each(|(i, yi)| {
+            let (s, e) = (row_ptr[i], row_ptr[i + 1]);
+            let mut acc = T::zero();
+            for k in s..e {
+                acc = vals[k].mul_add(x[col_idx[k]], acc);
+            }
+            *yi = acc;
+        });
+    }
+
+    /// The diagonal entries (zero where a row has no diagonal entry).
+    pub fn diagonal(&self) -> Vec<T> {
+        let mut d = vec![T::zero(); self.nrows];
+        for i in 0..self.nrows.min(self.ncols) {
+            let (cols, vals) = self.row(i);
+            for (&c, &v) in cols.iter().zip(vals.iter()) {
+                if c == i {
+                    d[i] = v;
+                }
+            }
+        }
+        d
+    }
+
+    /// Residual `r = b - A x`, computed sequentially.
+    pub fn residual(&self, x: &[T], b: &[T], r: &mut [T]) {
+        self.spmv(x, r);
+        for (ri, &bi) in r.iter_mut().zip(b.iter()) {
+            *ri = bi - *ri;
+        }
+    }
+
+    /// Dense materialization (testing helper; quadratic memory).
+    pub fn to_dense(&self) -> Matrix<T> {
+        let mut m = Matrix::zeros(self.nrows, self.ncols);
+        for i in 0..self.nrows {
+            let (cols, vals) = self.row(i);
+            for (&c, &v) in cols.iter().zip(vals.iter()) {
+                m.set(i, c, m.get(i, c) + v);
+            }
+        }
+        m
+    }
+
+    /// `true` if the sparsity pattern and values are symmetric (within
+    /// `tol`); the HPCG operator must be, or CG loses its guarantees.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.nrows != self.ncols {
+            return false;
+        }
+        for i in 0..self.nrows {
+            let (cols, vals) = self.row(i);
+            for (&j, &v) in cols.iter().zip(vals.iter()) {
+                let (jc, jv) = self.row(j);
+                let back = jc
+                    .iter()
+                    .position(|&c| c == i)
+                    .map(|p| jv[p])
+                    .unwrap_or_else(T::zero);
+                if (back - v).abs().to_f64() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix<f64> {
+        // [[2, 0, 1], [0, 3, 0], [1, 0, 4]]
+        CsrMatrix::from_triplets(
+            3,
+            3,
+            vec![
+                (0, 0, 2.0),
+                (0, 2, 1.0),
+                (1, 1, 3.0),
+                (2, 0, 1.0),
+                (2, 2, 4.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn construction_and_layout() {
+        let a = sample();
+        assert_eq!(a.nnz(), 5);
+        assert_eq!(a.nrows(), 3);
+        let (cols, vals) = a.row(0);
+        assert_eq!(cols, &[0, 2]);
+        assert_eq!(vals, &[2.0, 1.0]);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let a = CsrMatrix::from_triplets(2, 2, vec![(0, 0, 1.0), (0, 0, 2.5)]);
+        assert_eq!(a.nnz(), 1);
+        assert_eq!(a.row(0).1, &[3.5]);
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let a = sample();
+        let d = a.to_dense();
+        let x = vec![1.0, 2.0, 3.0];
+        let mut y = vec![0.0; 3];
+        a.spmv(&x, &mut y);
+        let mut yd = vec![0.0; 3];
+        xsc_core::gemm::gemv(xsc_core::Transpose::No, 1.0, &d, &x, 0.0, &mut yd);
+        for i in 0..3 {
+            assert!((y[i] - yd[i]).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn spmv_par_is_bit_identical_to_sequential() {
+        // Larger random-ish matrix.
+        let n = 500;
+        let trips: Vec<(usize, usize, f64)> = (0..n)
+            .flat_map(|i| {
+                let mut v = vec![(i, i, 4.0 + (i % 7) as f64)];
+                if i > 0 {
+                    v.push((i, i - 1, -1.25));
+                }
+                if i + 1 < n {
+                    v.push((i, i + 1, -0.75));
+                }
+                if i >= 50 {
+                    v.push((i, i - 50, 0.1 * (i % 13) as f64));
+                }
+                v
+            })
+            .collect();
+        let a = CsrMatrix::from_triplets(n, n, trips);
+        let x: Vec<f64> = (0..n).map(|i| ((i * 31 % 97) as f64).sin()).collect();
+        let mut y1 = vec![0.0; n];
+        let mut y2 = vec![0.0; n];
+        a.spmv(&x, &mut y1);
+        a.spmv_par(&x, &mut y2);
+        assert_eq!(y1, y2, "parallel SpMV must be bit-identical");
+    }
+
+    #[test]
+    fn diagonal_extraction() {
+        let a = sample();
+        assert_eq!(a.diagonal(), vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn residual_of_exact_solution_is_zero() {
+        let a = sample();
+        let x = vec![1.0, 1.0, 1.0];
+        let mut b = vec![0.0; 3];
+        a.spmv(&x, &mut b);
+        let mut r = vec![1.0; 3];
+        a.residual(&x, &b, &mut r);
+        assert!(r.iter().all(|&v| v.abs() < 1e-15));
+    }
+
+    #[test]
+    fn symmetry_detection() {
+        let a = sample();
+        assert!(a.is_symmetric(1e-12));
+        let b = CsrMatrix::from_triplets(2, 2, vec![(0, 1, 1.0)]);
+        assert!(!b.is_symmetric(1e-12));
+        let c = CsrMatrix::from_triplets(2, 3, vec![(0, 0, 1.0)]);
+        assert!(!c.is_symmetric(1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn triplets_bounds_checked() {
+        let _ = CsrMatrix::from_triplets(2, 2, vec![(2, 0, 1.0)]);
+    }
+
+    #[test]
+    fn empty_rows_are_fine() {
+        let a = CsrMatrix::<f64>::from_triplets(3, 3, vec![(0, 0, 1.0)]);
+        let mut y = vec![9.0; 3];
+        a.spmv(&[1.0, 1.0, 1.0], &mut y);
+        assert_eq!(y, vec![1.0, 0.0, 0.0]);
+    }
+}

@@ -1,0 +1,101 @@
+//! The HPCG-like benchmark driver.
+//!
+//! Mirrors the official benchmark's structure: build the 27-point problem,
+//! build the multigrid hierarchy, run a fixed number of MG-preconditioned
+//! CG iterations, and report Gflop/s using HPCG's flop accounting. The
+//! resulting rate — compared against the same machine's HPL rate — is the
+//! keynote's headline figure (experiment E01).
+
+use crate::cg::{pcg, CgResult};
+use crate::mg::MgPreconditioner;
+use crate::stencil::{build_matrix, build_rhs, Geometry};
+use std::time::Instant;
+use xsc_core::flops;
+
+/// Outcome of one HPCG-like run.
+#[derive(Debug, Clone)]
+pub struct HpcgResult {
+    /// Grid geometry used.
+    pub geometry: Geometry,
+    /// Number of rows of the fine operator.
+    pub n: usize,
+    /// Nonzeros of the fine operator.
+    pub nnz: usize,
+    /// Multigrid levels used.
+    pub levels: usize,
+    /// CG iterations executed.
+    pub iterations: usize,
+    /// Final relative residual.
+    pub final_residual: f64,
+    /// Wall-clock seconds of the timed solve phase.
+    pub seconds: f64,
+    /// Benchmark rate over the solve phase (HPCG flop accounting).
+    pub gflops: f64,
+    /// Whether the residual dropped by at least the expected factor
+    /// (sanity acceptance, analogous to HPCG's verification phase).
+    pub passed: bool,
+}
+
+/// Runs the HPCG-like benchmark on an `nx × ny × nz` grid with `levels`
+/// multigrid levels and `iters` CG iterations (the official benchmark uses
+/// 4 levels and optimizes for 50-iteration batches).
+pub fn run_hpcg(g: Geometry, levels: usize, iters: usize) -> HpcgResult {
+    let a = build_matrix(g);
+    let (b, _) = build_rhs(&a);
+    let mg = MgPreconditioner::new(g, levels);
+
+    let mut x = vec![0.0f64; a.nrows()];
+    let start = Instant::now();
+    let res: CgResult = pcg(&a, &b, &mut x, iters, 0.0, &mg);
+    let seconds = start.elapsed().as_secs_f64();
+
+    let initial = res.residual_history.first().copied().unwrap_or(1.0);
+    let final_residual = res.final_residual();
+    HpcgResult {
+        geometry: g,
+        n: a.nrows(),
+        nnz: a.nnz(),
+        levels,
+        iterations: res.iterations,
+        final_residual,
+        seconds,
+        gflops: flops::gflops(res.flops, seconds),
+        passed: final_residual < initial * 1e-6 || final_residual < 1e-10,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hpcg_run_reports_sane_numbers() {
+        let g = Geometry::new(16, 16, 16);
+        let res = run_hpcg(g, 3, 25);
+        assert_eq!(res.n, 16 * 16 * 16);
+        assert!(res.nnz > res.n * 20, "27-point stencil should be dense-ish");
+        assert!(res.gflops > 0.0);
+        assert_eq!(res.iterations, 25);
+        assert!(
+            res.final_residual < 1e-6,
+            "MG-CG after 25 iters should be well converged: {}",
+            res.final_residual
+        );
+        assert!(res.passed);
+    }
+
+    #[test]
+    fn more_iterations_do_not_hurt_convergence() {
+        let g = Geometry::new(8, 8, 8);
+        let short = run_hpcg(g, 3, 5);
+        let long = run_hpcg(g, 3, 20);
+        assert!(long.final_residual <= short.final_residual * 1.0001);
+    }
+
+    #[test]
+    fn single_level_hpcg_still_works() {
+        let g = Geometry::new(8, 8, 8);
+        let res = run_hpcg(g, 1, 30);
+        assert!(res.final_residual < 1e-4);
+    }
+}

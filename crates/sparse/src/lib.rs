@@ -1,0 +1,49 @@
+//! # xsc-sparse — the HPCG-like substrate
+//!
+//! The keynote's headline evidence that "the rules have changed" is the gap
+//! between HPL and **HPCG**: the same machines that run dense LU at 70–90 %
+//! of peak run a memory-bound PDE solve at 1–5 %. This crate rebuilds the
+//! HPCG benchmark stack from scratch:
+//!
+//! * [`csr::CsrMatrix`] — compressed sparse row storage with sequential and
+//!   thread-parallel SpMV;
+//! * [`stencil`] — the 27-point 3-D stencil problem generator (the HPCG
+//!   operator) and its geometric coarsening;
+//! * [`symgs`] — the symmetric Gauss–Seidel smoother;
+//! * [`mg`] — the 4-level geometric multigrid V-cycle preconditioner;
+//! * [`cg`] — preconditioned conjugate gradients with deterministic
+//!   (pairwise) reductions;
+//! * [`hpcg`] — the benchmark driver with HPCG's flop accounting;
+//! * [`pipelined`] — pipelined CG (one merged reduction per iteration,
+//!   the keynote's synchronization-reducing Krylov variant);
+//! * [`coloring`] — multi-color parallel Gauss–Seidel, HPCG's sanctioned
+//!   smoother optimization;
+//! * [`chebyshev`] — synchronization-free polynomial smoothing (SpMV-only),
+//!   pluggable into the multigrid hierarchy via
+//!   [`mg::MgPreconditioner::with_smoother`];
+//! * [`sstep`] — s-step (communication-avoiding) CG: one Gram-matrix
+//!   reduction per `s` iterations;
+//! * [`matrix_powers`] — the `[x, Ax, …, Aˢx]` kernel with its
+//!   ghost-exchange accounting.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![allow(clippy::needless_range_loop)] // index-coupled updates across multiple slices are the clearest form for these kernels
+
+pub mod cg;
+pub mod chebyshev;
+pub mod coloring;
+pub mod csr;
+pub mod hpcg;
+pub mod matrix_powers;
+pub mod mg;
+pub mod pipelined;
+pub mod sstep;
+pub mod stencil;
+pub mod symgs;
+
+pub use cg::{pcg, CgResult, Identity, Preconditioner};
+pub use csr::CsrMatrix;
+pub use hpcg::{run_hpcg, HpcgResult};
+pub use pipelined::{pipelined_cg, PipelinedCgResult};
+pub use stencil::Geometry;

@@ -1,0 +1,341 @@
+//! Geometric multigrid V-cycle — HPCG's preconditioner.
+//!
+//! Levels are built by coarsening the grid by 2 per dimension (HPCG uses
+//! 4 levels). The cycle is HPCG's: one symmetric Gauss–Seidel pre-smooth,
+//! residual restriction by injection, recursive coarse solve, prolongation
+//! by injection-add, one post-smooth; the coarsest level is a single SymGS.
+
+use crate::cg::Preconditioner;
+use crate::chebyshev::ChebyshevSmoother;
+use crate::coloring::{color_classes, colored_symgs, greedy_coloring};
+use crate::csr::CsrMatrix;
+use crate::stencil::{build_matrix, f2c_map, Geometry};
+use crate::symgs::{symgs, symgs_flops};
+use std::cell::RefCell;
+
+/// Smoother family used on every multigrid level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Smoother {
+    /// Natural-order symmetric Gauss-Seidel (HPCG's reference; sequential).
+    SymGs,
+    /// Multi-color symmetric Gauss-Seidel (parallel sweeps).
+    Colored,
+    /// Chebyshev polynomial smoothing of the given degree (SpMV-only,
+    /// synchronization-free; the extreme-scale choice).
+    Chebyshev {
+        /// Polynomial degree (SpMVs per application).
+        degree: usize,
+    },
+}
+
+enum LevelSmoother {
+    SymGs,
+    Colored(Vec<Vec<usize>>),
+    Chebyshev(ChebyshevSmoother),
+}
+
+impl LevelSmoother {
+    fn apply(&self, a: &CsrMatrix<f64>, b: &[f64], x: &mut [f64]) {
+        match self {
+            LevelSmoother::SymGs => symgs(a, b, x),
+            LevelSmoother::Colored(classes) => colored_symgs(a, classes, b, x),
+            LevelSmoother::Chebyshev(s) => s.apply(a, b, x),
+        }
+    }
+
+    fn flops(&self, a: &CsrMatrix<f64>) -> u64 {
+        match self {
+            LevelSmoother::SymGs | LevelSmoother::Colored(_) => symgs_flops(a),
+            LevelSmoother::Chebyshev(s) => s.flops_per_apply(a),
+        }
+    }
+}
+
+struct Level {
+    a: CsrMatrix<f64>,
+    smoother: LevelSmoother,
+    /// Fine-grid index of each coarse point on the *next* level
+    /// (empty for the coarsest level).
+    f2c: Vec<usize>,
+    /// Scratch vectors, reused across applications.
+    scratch: RefCell<Scratch>,
+}
+
+#[derive(Default)]
+struct Scratch {
+    r: Vec<f64>,
+    rc: Vec<f64>,
+    zc: Vec<f64>,
+}
+
+/// A geometric multigrid V-cycle preconditioner over the HPCG operator.
+pub struct MgPreconditioner {
+    levels: Vec<Level>,
+}
+
+impl MgPreconditioner {
+    /// Builds `num_levels` levels starting from geometry `g` (each
+    /// dimension must be divisible by `2^(num_levels-1)`), smoothing with
+    /// the HPCG-reference symmetric Gauss-Seidel. The level-0 matrix must
+    /// equal the operator the caller is solving with.
+    pub fn new(g: Geometry, num_levels: usize) -> Self {
+        MgPreconditioner::with_smoother(g, num_levels, Smoother::SymGs)
+    }
+
+    /// Like [`MgPreconditioner::new`] but with a chosen smoother family
+    /// (the "optimized HPCG" configurations swap the sequential sweep for
+    /// a parallel one here).
+    pub fn with_smoother(g: Geometry, num_levels: usize, smoother: Smoother) -> Self {
+        assert!(num_levels >= 1, "need at least one level");
+        let mut levels = Vec::with_capacity(num_levels);
+        let mut geom = g;
+        for l in 0..num_levels {
+            let a = build_matrix(geom);
+            let last = l + 1 == num_levels;
+            let f2c = if last {
+                Vec::new()
+            } else {
+                assert!(
+                    geom.coarsenable(),
+                    "geometry {geom:?} cannot be coarsened for level {}",
+                    l + 1
+                );
+                f2c_map(geom)
+            };
+            let n = a.nrows();
+            let level_smoother = match smoother {
+                Smoother::SymGs => LevelSmoother::SymGs,
+                Smoother::Colored => {
+                    LevelSmoother::Colored(color_classes(&greedy_coloring(&a)))
+                }
+                Smoother::Chebyshev { degree } => {
+                    LevelSmoother::Chebyshev(ChebyshevSmoother::for_matrix(&a, degree, 30.0))
+                }
+            };
+            levels.push(Level {
+                a,
+                smoother: level_smoother,
+                f2c,
+                scratch: RefCell::new(Scratch {
+                    r: vec![0.0; n],
+                    rc: Vec::new(),
+                    zc: Vec::new(),
+                }),
+            });
+            if !last {
+                geom = geom.coarsen();
+            }
+        }
+        MgPreconditioner { levels }
+    }
+
+    /// Number of levels.
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The operator at level 0 (callers typically share the same stencil).
+    pub fn fine_matrix(&self) -> &CsrMatrix<f64> {
+        &self.levels[0].a
+    }
+
+    fn cycle(&self, level: usize, b: &[f64], x: &mut [f64]) {
+        let lv = &self.levels[level];
+        let a = &lv.a;
+        // Coarsest level: a single smoother application.
+        if level + 1 == self.levels.len() {
+            x.iter_mut().for_each(|v| *v = 0.0);
+            lv.smoother.apply(a, b, x);
+            return;
+        }
+        let mut s = lv.scratch.borrow_mut();
+        let nc = lv.f2c.len();
+        s.rc.resize(nc, 0.0);
+        s.zc.resize(nc, 0.0);
+
+        // Pre-smooth from zero.
+        x.iter_mut().for_each(|v| *v = 0.0);
+        lv.smoother.apply(a, b, x);
+        // Residual and injection restriction.
+        a.residual(x, b, &mut s.r);
+        for (c, &f) in lv.f2c.iter().enumerate() {
+            s.rc[c] = s.r[f];
+        }
+        // Coarse solve. Scratch for the coarse level belongs to that level,
+        // so the borrow here is disjoint.
+        let (rc, zc) = {
+            let Scratch { rc, zc, .. } = &mut *s;
+            (rc.clone(), zc)
+        };
+        self.cycle(level + 1, &rc, zc);
+        // Prolongation by injection-add.
+        for (c, &f) in lv.f2c.iter().enumerate() {
+            x[f] += s.zc[c];
+        }
+        // Post-smooth.
+        lv.smoother.apply(a, b, x);
+    }
+
+    /// HPCG flop accounting for one V-cycle application.
+    pub fn flops_per_cycle(&self) -> u64 {
+        let mut total = 0u64;
+        for (l, lv) in self.levels.iter().enumerate() {
+            if l + 1 == self.levels.len() {
+                total += lv.smoother.flops(&lv.a);
+            } else {
+                // pre-smooth + post-smooth + residual SpMV.
+                total += 2 * lv.smoother.flops(&lv.a) + 2 * lv.a.nnz() as u64;
+            }
+        }
+        total
+    }
+}
+
+impl Preconditioner for MgPreconditioner {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        self.cycle(0, r, z);
+    }
+
+    fn flops_per_apply(&self) -> u64 {
+        self.flops_per_cycle()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stencil::build_rhs;
+
+    fn residual_norm(a: &CsrMatrix<f64>, x: &[f64], b: &[f64]) -> f64 {
+        let mut r = vec![0.0; b.len()];
+        a.residual(x, b, &mut r);
+        xsc_core::blas1::nrm2(&r)
+    }
+
+    #[test]
+    fn one_vcycle_beats_one_symgs() {
+        let g = Geometry::new(16, 16, 16);
+        let a = build_matrix(g);
+        let (b, _) = build_rhs(&a);
+        let mg = MgPreconditioner::new(g, 3);
+
+        let mut x_mg = vec![0.0; a.nrows()];
+        mg.apply(&b, &mut x_mg);
+        let r_mg = residual_norm(&a, &x_mg, &b);
+
+        let mut x_gs = vec![0.0; a.nrows()];
+        symgs(&a, &b, &mut x_gs);
+        let r_gs = residual_norm(&a, &x_gs, &b);
+
+        assert!(
+            r_mg < r_gs,
+            "one V-cycle ({r_mg:.3e}) must beat one SymGS ({r_gs:.3e})"
+        );
+    }
+
+    #[test]
+    fn single_level_mg_is_just_symgs() {
+        let g = Geometry::new(4, 4, 4);
+        let a = build_matrix(g);
+        let (b, _) = build_rhs(&a);
+        let mg = MgPreconditioner::new(g, 1);
+        let mut x1 = vec![0.0; a.nrows()];
+        mg.apply(&b, &mut x1);
+        let mut x2 = vec![0.0; a.nrows()];
+        symgs(&a, &b, &mut x2);
+        assert_eq!(x1, x2);
+    }
+
+    #[test]
+    fn repeated_vcycles_converge() {
+        let g = Geometry::new(8, 8, 8);
+        let a = build_matrix(g);
+        let (b, _) = build_rhs(&a);
+        let mg = MgPreconditioner::new(g, 3);
+        // Stationary iteration x <- x + M^{-1}(b - Ax).
+        let n = a.nrows();
+        let mut x = vec![0.0; n];
+        let r0 = residual_norm(&a, &x, &b);
+        let mut prev = r0;
+        for _ in 0..8 {
+            let mut r = vec![0.0; n];
+            a.residual(&x, &b, &mut r);
+            let mut z = vec![0.0; n];
+            mg.apply(&r, &mut z);
+            for (xi, zi) in x.iter_mut().zip(z.iter()) {
+                *xi += zi;
+            }
+            let cur = residual_norm(&a, &x, &b);
+            assert!(cur < prev);
+            prev = cur;
+        }
+        assert!(prev < 1e-2 * r0, "8 V-cycles reduced residual only to {prev:.3e} (from {r0:.3e})");
+    }
+
+    #[test]
+    fn flops_accounting_positive_and_ordered() {
+        let g = Geometry::new(8, 8, 8);
+        let mg2 = MgPreconditioner::new(g, 2);
+        let mg3 = MgPreconditioner::new(g, 3);
+        assert!(mg3.flops_per_cycle() > mg2.fine_matrix().nnz() as u64);
+        // More levels -> more flops (coarse grids add work).
+        assert!(mg3.flops_per_cycle() > 0);
+        assert_eq!(mg2.num_levels(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be coarsened")]
+    fn too_many_levels_rejected() {
+        let _ = MgPreconditioner::new(Geometry::new(4, 4, 4), 4);
+    }
+
+    #[test]
+    fn all_smoother_families_precondition_cg() {
+        use crate::cg::pcg;
+        let g = Geometry::new(8, 8, 8);
+        let a = build_matrix(g);
+        let (b, _) = build_rhs(&a);
+        let mut iters = Vec::new();
+        for smoother in [
+            Smoother::SymGs,
+            Smoother::Colored,
+            Smoother::Chebyshev { degree: 4 },
+        ] {
+            let mg = MgPreconditioner::with_smoother(g, 3, smoother);
+            let mut x = vec![0.0; a.nrows()];
+            let res = pcg(&a, &b, &mut x, 100, 1e-9, &mg);
+            assert!(res.converged, "{smoother:?} failed: {:?}", res.final_residual());
+            iters.push((smoother, res.iterations));
+        }
+        // All three should be in the same ballpark (within 3x of the best).
+        let best = iters.iter().map(|&(_, i)| i).min().unwrap();
+        for (s, i) in iters {
+            assert!(i <= best * 3, "{s:?} took {i} iterations (best {best})");
+        }
+    }
+
+    #[test]
+    fn chebyshev_mg_flops_accounting_differs_from_symgs() {
+        let g = Geometry::new(8, 8, 8);
+        let gs = MgPreconditioner::with_smoother(g, 2, Smoother::SymGs);
+        let ch = MgPreconditioner::with_smoother(g, 2, Smoother::Chebyshev { degree: 8 });
+        // Degree-8 Chebyshev does 8 SpMVs (16 nnz flops) vs SymGS's 4 nnz.
+        assert!(ch.flops_per_cycle() > gs.flops_per_cycle());
+    }
+
+    #[test]
+    fn colored_mg_matches_symgs_mg_in_quality() {
+        let g = Geometry::new(8, 8, 8);
+        let a = build_matrix(g);
+        let (b, _) = build_rhs(&a);
+        let mg_gs = MgPreconditioner::with_smoother(g, 3, Smoother::SymGs);
+        let mg_col = MgPreconditioner::with_smoother(g, 3, Smoother::Colored);
+        let mut z1 = vec![0.0; a.nrows()];
+        mg_gs.apply(&b, &mut z1);
+        let mut z2 = vec![0.0; a.nrows()];
+        mg_col.apply(&b, &mut z2);
+        let r1 = residual_norm(&a, &z1, &b);
+        let r2 = residual_norm(&a, &z2, &b);
+        assert!(r2 < r1 * 5.0, "colored V-cycle {r2} vs natural {r1}");
+    }
+}

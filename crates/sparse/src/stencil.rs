@@ -1,0 +1,210 @@
+//! The HPCG model problem: a 27-point stencil on a 3-D grid.
+//!
+//! Each interior grid point couples to its 26 neighbors with weight `-1`
+//! and to itself with weight `26` (at the boundary, missing neighbors are
+//! simply dropped, which makes the operator strictly diagonally dominant
+//! there and symmetric positive definite overall). This synthetic PDE
+//! operator is what HPCG measures machines with.
+
+use crate::csr::CsrMatrix;
+
+/// Dimensions of a 3-D structured grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Geometry {
+    /// Points in x.
+    pub nx: usize,
+    /// Points in y.
+    pub ny: usize,
+    /// Points in z.
+    pub nz: usize,
+}
+
+impl Geometry {
+    /// Creates a geometry (all dimensions must be positive).
+    pub fn new(nx: usize, ny: usize, nz: usize) -> Self {
+        assert!(nx > 0 && ny > 0 && nz > 0, "grid dimensions must be positive");
+        Geometry { nx, ny, nz }
+    }
+
+    /// Total number of grid points.
+    pub fn len(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// `true` for a degenerate empty geometry (never constructible via
+    /// [`Geometry::new`], provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Linear index of grid point `(ix, iy, iz)` (x fastest).
+    #[inline]
+    pub fn index(&self, ix: usize, iy: usize, iz: usize) -> usize {
+        debug_assert!(ix < self.nx && iy < self.ny && iz < self.nz);
+        ix + self.nx * (iy + self.ny * iz)
+    }
+
+    /// `true` if every dimension is even (coarsenable by 2).
+    pub fn coarsenable(&self) -> bool {
+        self.nx % 2 == 0 && self.ny % 2 == 0 && self.nz % 2 == 0 && self.nx >= 2 && self.ny >= 2 && self.nz >= 2
+    }
+
+    /// The geometry coarsened by 2 in each dimension.
+    pub fn coarsen(&self) -> Geometry {
+        assert!(self.coarsenable(), "geometry {self:?} is not coarsenable");
+        Geometry {
+            nx: self.nx / 2,
+            ny: self.ny / 2,
+            nz: self.nz / 2,
+        }
+    }
+}
+
+/// Builds the 27-point HPCG operator on `g`.
+pub fn build_matrix(g: Geometry) -> CsrMatrix<f64> {
+    let n = g.len();
+    let mut trips = Vec::with_capacity(n * 27);
+    for iz in 0..g.nz {
+        for iy in 0..g.ny {
+            for ix in 0..g.nx {
+                let row = g.index(ix, iy, iz);
+                for dz in -1i64..=1 {
+                    for dy in -1i64..=1 {
+                        for dx in -1i64..=1 {
+                            let jx = ix as i64 + dx;
+                            let jy = iy as i64 + dy;
+                            let jz = iz as i64 + dz;
+                            if jx < 0
+                                || jy < 0
+                                || jz < 0
+                                || jx >= g.nx as i64
+                                || jy >= g.ny as i64
+                                || jz >= g.nz as i64
+                            {
+                                continue;
+                            }
+                            let col = g.index(jx as usize, jy as usize, jz as usize);
+                            let v = if col == row { 26.0 } else { -1.0 };
+                            trips.push((row, col, v));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    CsrMatrix::from_triplets(n, n, trips)
+}
+
+/// The HPCG right-hand side: `b = A · 1` (so the exact solution is the
+/// all-ones vector), plus that exact solution.
+pub fn build_rhs(a: &CsrMatrix<f64>) -> (Vec<f64>, Vec<f64>) {
+    let n = a.nrows();
+    let x_exact = vec![1.0f64; n];
+    let mut b = vec![0.0f64; n];
+    a.spmv(&x_exact, &mut b);
+    (b, x_exact)
+}
+
+/// Fine-grid index of each coarse-grid point (HPCG's injection operator:
+/// coarse point `(i,j,k)` maps to fine point `(2i,2j,2k)`).
+pub fn f2c_map(fine: Geometry) -> Vec<usize> {
+    let coarse = fine.coarsen();
+    let mut f2c = Vec::with_capacity(coarse.len());
+    for iz in 0..coarse.nz {
+        for iy in 0..coarse.ny {
+            for ix in 0..coarse.nx {
+                f2c.push(fine.index(2 * ix, 2 * iy, 2 * iz));
+            }
+        }
+    }
+    f2c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_indexing_is_x_fastest() {
+        let g = Geometry::new(4, 3, 2);
+        assert_eq!(g.len(), 24);
+        assert_eq!(g.index(0, 0, 0), 0);
+        assert_eq!(g.index(1, 0, 0), 1);
+        assert_eq!(g.index(0, 1, 0), 4);
+        assert_eq!(g.index(0, 0, 1), 12);
+    }
+
+    #[test]
+    fn interior_rows_have_27_entries() {
+        let g = Geometry::new(4, 4, 4);
+        let a = build_matrix(g);
+        let interior = g.index(1, 2, 1);
+        assert_eq!(a.row(interior).0.len(), 27);
+        // Corner has 8 entries (itself + 7 neighbors).
+        assert_eq!(a.row(g.index(0, 0, 0)).0.len(), 8);
+    }
+
+    #[test]
+    fn matrix_is_symmetric() {
+        let a = build_matrix(Geometry::new(4, 3, 3));
+        assert!(a.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn interior_row_sums_to_zero_boundary_positive() {
+        let g = Geometry::new(6, 6, 6);
+        let a = build_matrix(g);
+        let (b, _) = build_rhs(&a);
+        // b = A*1 = row sums. Interior: 26 - 26 = 0. Boundary: positive.
+        assert!(b[g.index(3, 3, 3)].abs() < 1e-14);
+        assert!(b[g.index(0, 0, 0)] > 0.0);
+    }
+
+    #[test]
+    fn diagonal_is_26() {
+        let a = build_matrix(Geometry::new(3, 3, 3));
+        assert!(a.diagonal().iter().all(|&d| d == 26.0));
+    }
+
+    #[test]
+    fn nnz_matches_hpcg_formula() {
+        // Total nnz = sum over points of (neighbors in range).
+        let g = Geometry::new(4, 4, 4);
+        let a = build_matrix(g);
+        // Per dimension of size 4, the neighbor-pair count is
+        // 2+3+3+2 = 10, and the stencil factorizes across dimensions:
+        // nnz = 10^3.
+        assert_eq!(a.nnz(), 10 * 10 * 10);
+    }
+
+    #[test]
+    fn coarsening_and_f2c() {
+        let g = Geometry::new(8, 4, 6);
+        assert!(g.coarsenable());
+        let c = g.coarsen();
+        assert_eq!(c, Geometry::new(4, 2, 3));
+        let map = f2c_map(g);
+        assert_eq!(map.len(), c.len());
+        assert_eq!(map[0], 0);
+        assert_eq!(map[1], g.index(2, 0, 0));
+        // All distinct fine points.
+        let mut sorted = map.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), map.len());
+    }
+
+    #[test]
+    fn odd_geometry_not_coarsenable() {
+        assert!(!Geometry::new(5, 4, 4).coarsenable());
+        assert!(!Geometry::new(2, 2, 2).coarsen().coarsenable());
+    }
+
+    #[test]
+    fn operator_is_positive_definite_small() {
+        // Dense Cholesky succeeds <=> SPD.
+        let a = build_matrix(Geometry::new(3, 3, 2)).to_dense();
+        let mut f = a;
+        assert!(xsc_core::factor::potrf_unblocked(&mut f).is_ok());
+    }
+}

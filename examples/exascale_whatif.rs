@@ -1,0 +1,59 @@
+//! What-if analysis on modeled machines: price your algorithm on the 2008
+//! petascale node, the 2016 node, and the projected exascale node — the
+//! substitute for hardware nobody has on their desk.
+//!
+//! ```sh
+//! cargo run --release -p xsc-examples --bin exascale_whatif
+//! ```
+
+use xsc_examples::banner;
+use xsc_machine::collectives::{best_allreduce, KrylovIterModel};
+use xsc_machine::comm_optimal::{matmul_comm_words, matmul_lower_bound_words, MatmulAlgorithm};
+use xsc_machine::{KernelProfile, MachineModel};
+
+fn main() {
+    banner("1. The same HPCG run on three machine generations");
+    let n = 104usize.pow(3);
+    let profile = KernelProfile::hpcg(n, 27 * n, 50);
+    for m in MachineModel::generations() {
+        let p = m.predict(&profile);
+        println!(
+            "  {:<22} peak {:>7.2} Tflop/s | achieves {:>5.2}% of it | {:>8.1} J | bound: {:?}",
+            m.name,
+            m.peak_flops() / 1e12,
+            p.fraction_of_peak * 100.0,
+            p.energy_joules,
+            p.bound
+        );
+    }
+    println!("  -> flops multiply ~500x, the achieved fraction FALLS: the keynote's thesis.");
+
+    banner("2. What a global dot product costs as the machine grows");
+    let m = MachineModel::node_2016();
+    for p in [64usize, 4096, 262_144, 1 << 20] {
+        let (alg, t) = best_allreduce(&m, p, 16);
+        println!("  {p:>8} ranks: allreduce(2 f64) = {:>7.1} us  ({alg:?})", t * 1e6);
+    }
+    let classic = KrylovIterModel::classic_cg(50e-6);
+    let piped = KrylovIterModel::pipelined_cg(50e-6);
+    println!(
+        "  at 1M ranks one CG iteration: classic {:.0} us, pipelined {:.0} us",
+        classic.time_per_iteration(&m, 1 << 20) * 1e6,
+        piped.time_per_iteration(&m, 1 << 20) * 1e6
+    );
+
+    banner("3. Communication lower bounds for matmul (n = 50 000)");
+    let n = 50_000;
+    for p in [512usize, 32_768] {
+        let bound = matmul_lower_bound_words(n, p);
+        let w2d = matmul_comm_words(MatmulAlgorithm::Summa2d, n, p);
+        let w25 = matmul_comm_words(MatmulAlgorithm::TwoPointFiveD { c: 8 }, n, p);
+        println!(
+            "  p={p:>6}: lower bound {bound:.2e} words | 2D SUMMA {:.1}x above | 2.5D(c=8) {:.1}x above",
+            w2d / bound,
+            w25 / bound
+        );
+    }
+    println!("\n  Full tables: cargo run --release -p xsc-bench --bin e11_exascale_projection");
+    println!("               cargo run --release -p xsc-bench --bin e16_comm_optimal");
+}

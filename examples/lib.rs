@@ -1,0 +1,8 @@
+//! Shared helpers for the `xsc` examples (each example is a standalone
+//! binary in this directory; run one with
+//! `cargo run --release -p xsc-examples --bin quickstart`).
+
+/// Prints a section banner.
+pub fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}

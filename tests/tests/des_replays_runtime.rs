@@ -1,0 +1,80 @@
+//! The discrete-event simulator replays graphs produced by the *real*
+//! runtime builders, and its predictions respect the DAG-theoretic bounds
+//! observed in real executions.
+
+use xsc_core::TileMatrix;
+use xsc_dense::cholesky;
+use xsc_dense::lu;
+use xsc_dense::poison::Poison;
+use xsc_machine::des::{simulate, DesConfig};
+
+fn cholesky_graph(nt: usize) -> (usize, Vec<(usize, usize)>, Vec<f64>) {
+    let a = TileMatrix::<f64>::zeros(nt * 16, nt * 16, 16);
+    let mut g = cholesky::build_graph(&a, &Poison::new());
+    let edges = g.edge_list();
+    let costs: Vec<f64> = g.costs().iter().map(|&c| c as f64).collect();
+    (costs.len(), edges, costs)
+}
+
+#[test]
+fn replayed_cholesky_respects_brent_bounds() {
+    let (n, edges, costs) = cholesky_graph(8);
+    for workers in [1, 2, 4, 16, 64] {
+        let rep = simulate(n, &edges, &costs, DesConfig { workers, comm_delay: 0.0 });
+        let lower = rep.critical_path.max(rep.total_work / workers as f64);
+        assert!(rep.makespan >= lower - 1e-9);
+        // List scheduling guarantee: within 2x of optimal.
+        assert!(
+            rep.makespan <= 2.0 * lower + 1e-9,
+            "workers={workers}: {} vs bound {}",
+            rep.makespan,
+            lower
+        );
+    }
+}
+
+#[test]
+fn cholesky_dag_speedup_saturates_at_dag_width() {
+    let (n, edges, costs) = cholesky_graph(8);
+    let few = simulate(n, &edges, &costs, DesConfig { workers: 4, comm_delay: 0.0 });
+    let many = simulate(n, &edges, &costs, DesConfig { workers: 4096, comm_delay: 0.0 });
+    assert!(many.speedup >= few.speedup - 1e-9);
+    // Beyond the DAG's parallelism, speedup is capped by work/critical-path.
+    let cap = many.total_work / many.critical_path;
+    assert!(many.speedup <= cap + 1e-9);
+    assert!(
+        many.speedup > 0.8 * cap,
+        "unbounded workers should approach the DAG-width cap: {} vs {}",
+        many.speedup,
+        cap
+    );
+}
+
+#[test]
+fn lu_graph_replays_too() {
+    let a = TileMatrix::<f64>::zeros(64, 64, 16);
+    let mut g = lu::build_graph(&a, &Poison::new());
+    let edges = g.edge_list();
+    let costs: Vec<f64> = g.costs().iter().map(|&c| c as f64).collect();
+    let rep = simulate(costs.len(), &edges, &costs, DesConfig { workers: 8, comm_delay: 0.0 });
+    assert!(rep.makespan > 0.0);
+    assert!(rep.speedup >= 1.0);
+}
+
+#[test]
+fn real_trace_utilization_bounded_by_des_ideal() {
+    // The real runtime (with locking, queueing, memory effects) cannot
+    // exceed the idealized simulator's utilization for the same DAG shape
+    // by more than measurement noise.
+    let nt = 6;
+    let a_real = TileMatrix::from_matrix(&xsc_core::gen::random_spd::<f64>(nt * 32, 1), 32);
+    let exec = xsc_runtime::Executor::new(2, xsc_runtime::SchedPolicy::CriticalPath);
+    let trace = cholesky::cholesky_dag(&a_real, &exec).unwrap();
+
+    let (n, edges, costs) = cholesky_graph(nt);
+    let ideal = simulate(n, &edges, &costs, DesConfig { workers: 2, comm_delay: 0.0 });
+    assert!(trace.utilization() <= 1.0);
+    assert!(ideal.utilization <= 1.0);
+    // Both should be reasonably high for 2 workers on this DAG.
+    assert!(ideal.utilization > 0.5);
+}

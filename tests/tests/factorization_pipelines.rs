@@ -1,0 +1,124 @@
+//! Cross-crate factorization pipelines: tiled engines against sequential
+//! references, RBT feeding no-pivot tiled LU, and QR-based least squares.
+
+use xsc_core::{factor, gen, norms, Matrix, TileMatrix, Transpose};
+use xsc_dense::{cholesky, lu, qr, rbt, tsqr};
+use xsc_runtime::{Executor, SchedPolicy};
+
+#[test]
+fn dag_cholesky_solve_matches_direct_solve() {
+    let n = 96;
+    let a = gen::random_spd::<f64>(n, 1);
+    let b = gen::rhs_for_unit_solution(&a);
+
+    let tiles = TileMatrix::from_matrix(&a, 32);
+    let exec = Executor::new(4, SchedPolicy::CriticalPath);
+    cholesky::cholesky_dag(&tiles, &exec).unwrap();
+    let mut x_dag = b.clone();
+    cholesky::solve(&tiles, &mut x_dag);
+
+    let mut f = a.clone();
+    factor::potrf_blocked(&mut f, 32).unwrap();
+    let mut x_ref = b.clone();
+    factor::potrf_solve(&f, &mut x_ref);
+
+    for (p, s) in x_dag.iter().zip(x_ref.iter()) {
+        assert!((p - s).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn rbt_preconditioned_tiled_lu_pipeline() {
+    // RBT makes the matrix safe for the *tiled no-pivot* LU — the full
+    // pipeline the keynote advocates (randomize, then pivot-free dataflow).
+    let n = 64;
+    let mut a = gen::random_matrix::<f64>(n, n, 2);
+    a.set(0, 0, 0.0); // break plain no-pivot LU
+    let b = gen::rhs_for_unit_solution(&a);
+
+    // Transform with butterflies (dense API), then factor the transformed
+    // matrix with the tiled dataflow engine.
+    let u = rbt::Butterfly::<f64>::random(n, 2, 3);
+    let v = rbt::Butterfly::<f64>::random(n, 2, 4);
+    let mut t = a.clone();
+    u.apply_transpose_left(&mut t);
+    v.apply_right(&mut t);
+
+    let tiles = TileMatrix::from_matrix(&t, 16);
+    let exec = Executor::new(4, SchedPolicy::CriticalPath);
+    lu::lu_nopiv_dag(&tiles, &exec).expect("RBT should have regularized the pivots");
+
+    // Solve (U^T A V) y = U^T b, x = V y.
+    let mut y = b.clone();
+    u.apply_transpose(&mut y);
+    lu::solve_nopiv(&tiles, &mut y);
+    v.apply(&mut y);
+    assert!(
+        norms::relative_residual(&a, &y, &b) < 1e-8,
+        "residual {}",
+        norms::relative_residual(&a, &y, &b)
+    );
+}
+
+#[test]
+fn tiled_qr_and_tsqr_agree_on_r_magnitudes() {
+    let m = 96;
+    let n = 32;
+    let a = gen::random_matrix::<f64>(m, n, 5);
+    let f = qr::qr_seq(TileMatrix::from_matrix(&a, 32)).unwrap();
+    let r_tiled = f.r_matrix();
+    let res = tsqr::tsqr(&a, 32);
+    for i in 0..n {
+        for j in i..n {
+            assert!(
+                (r_tiled.get(i, j).abs() - res.r.get(i, j).abs()).abs() < 1e-9,
+                "|R| mismatch at ({i},{j})"
+            );
+        }
+    }
+}
+
+#[test]
+fn qr_least_squares_beats_normal_equations_on_conditioning() {
+    // Classic: QR solves LS stably where explicit normal equations square
+    // the condition number.
+    let m = 80;
+    let n = 8;
+    let q = gen::random_orthogonal(m, 6);
+    // Build A with geometric singular values 1..1e-7.
+    let mut a = Matrix::<f64>::zeros(m, n);
+    for j in 0..n {
+        let s = 10.0f64.powi(-(j as i32));
+        for i in 0..m {
+            a.set(i, j, q.get(i, j) * s);
+        }
+    }
+    let x_true: Vec<f64> = (0..n).map(|i| 1.0 + i as f64).collect();
+    let mut b = vec![0.0; m];
+    xsc_core::gemm::gemv(Transpose::No, 1.0, &a, &x_true, 0.0, &mut b);
+
+    let f = qr::qr_seq(TileMatrix::from_matrix(&a, 8)).unwrap();
+    let x_qr = f.solve_ls(&b);
+    let err: f64 = x_qr
+        .iter()
+        .zip(x_true.iter())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max);
+    assert!(err < 1e-6, "QR LS error {err}");
+}
+
+#[test]
+fn forkjoin_and_dag_engines_agree_bitwise_per_tile_kernel_order() {
+    // Both engines run the same kernel sequence per tile; the results must
+    // agree to roundoff regardless of interleaving.
+    let n = 80;
+    let a = gen::random_spd::<f64>(n, 7);
+    let t1 = TileMatrix::from_matrix(&a, 16);
+    let t2 = TileMatrix::from_matrix(&a, 16);
+    let exec = Executor::new(4, SchedPolicy::Fifo);
+    cholesky::cholesky_dag(&t1, &exec).unwrap();
+    cholesky::cholesky_forkjoin(&t2).unwrap();
+    let m1 = cholesky::lower_from_tiles(&t1);
+    let m2 = cholesky::lower_from_tiles(&t2);
+    assert!(m1.approx_eq(&m2, 0.0), "engines diverged: {}", m1.max_abs_diff(&m2));
+}

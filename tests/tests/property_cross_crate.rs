@@ -1,0 +1,84 @@
+//! Property-based tests spanning crates: the parallel engines must agree
+//! with the sequential references for arbitrary shapes and seeds.
+
+use proptest::prelude::*;
+use xsc_core::{factor, gen, norms, TileMatrix};
+use xsc_dense::{cholesky, lu, tsqr};
+use xsc_precision::ir::lu_ir_solve;
+use xsc_runtime::{Executor, SchedPolicy};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn dag_cholesky_equals_blocked_reference(
+        n in 8usize..48,
+        nb in 4usize..24,
+        seed in 0u64..1000,
+    ) {
+        let a = gen::random_spd::<f64>(n, seed);
+        let tiles = TileMatrix::from_matrix(&a, nb);
+        let exec = Executor::new(3, SchedPolicy::CriticalPath);
+        cholesky::cholesky_dag(&tiles, &exec).unwrap();
+        let got = cholesky::lower_from_tiles(&tiles);
+
+        let mut f = a.clone();
+        factor::potrf_blocked(&mut f, nb).unwrap();
+        for j in 0..n {
+            for i in j..n {
+                prop_assert!((got.get(i, j) - f.get(i, j)).abs() < 1e-8,
+                    "mismatch at ({},{})", i, j);
+            }
+        }
+    }
+
+    #[test]
+    fn dag_lu_nopiv_equals_reference(
+        n in 8usize..40,
+        nb in 4usize..20,
+        seed in 0u64..1000,
+    ) {
+        let a = gen::diag_dominant::<f64>(n, seed);
+        let tiles = TileMatrix::from_matrix(&a, nb);
+        let exec = Executor::new(3, SchedPolicy::Fifo);
+        lu::lu_nopiv_dag(&tiles, &exec).unwrap();
+        let got = tiles.to_matrix();
+
+        let mut f = a.clone();
+        factor::getrf_nopiv(&mut f).unwrap();
+        prop_assert!(got.approx_eq(&f, 1e-7), "diff {}", got.max_abs_diff(&f));
+    }
+
+    #[test]
+    fn tsqr_gram_identity_holds(
+        m in 20usize..120,
+        n in 1usize..8,
+        blocks in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(m >= n);
+        let a = gen::random_matrix::<f64>(m, n, seed);
+        let res = tsqr::tsqr(&a, (m / blocks).max(n));
+        // R^T R == A^T A.
+        let mut ga = xsc_core::Matrix::<f64>::zeros(n, n);
+        xsc_core::gemm::gemm(xsc_core::Transpose::Yes, xsc_core::Transpose::No,
+            1.0, &a, &a, 0.0, &mut ga);
+        let mut gr = xsc_core::Matrix::<f64>::zeros(n, n);
+        xsc_core::gemm::gemm(xsc_core::Transpose::Yes, xsc_core::Transpose::No,
+            1.0, &res.r, &res.r, 0.0, &mut gr);
+        prop_assert!(gr.approx_eq(&ga, 1e-8 * m as f64),
+            "gram diff {}", gr.max_abs_diff(&ga));
+    }
+
+    #[test]
+    fn ir_solution_satisfies_hpl_criterion(
+        n in 8usize..64,
+        seed in 0u64..1000,
+    ) {
+        let a = gen::diag_dominant::<f64>(n, seed);
+        let b = gen::random_vector::<f64>(n, seed.wrapping_add(1));
+        let (x, rep) = lu_ir_solve::<f32>(&a, &b, 40, None).unwrap();
+        prop_assert!(rep.converged);
+        prop_assert!(norms::hpl_scaled_residual(&a, &x, &b) < 16.0);
+    }
+}
