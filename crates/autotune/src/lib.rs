@@ -71,7 +71,11 @@ pub fn hill_climb<P: Copy + PartialEq>(
     let mut samples = Vec::new();
     let mut evals = 0usize;
 
-    let mut eval = |i: usize, cache: &mut Vec<Option<f64>>, samples: &mut Vec<(P, f64)>, evals: &mut usize| -> f64 {
+    let mut eval = |i: usize,
+                    cache: &mut Vec<Option<f64>>,
+                    samples: &mut Vec<(P, f64)>,
+                    evals: &mut usize|
+     -> f64 {
         if let Some(c) = cache[i] {
             return c;
         }
@@ -89,7 +93,10 @@ pub fn hill_climb<P: Copy + PartialEq>(
         let mut moved = false;
         // Look at both neighbors; move to the best strictly-better one.
         let mut best_next = None;
-        for next in [pos.checked_sub(1), (pos + 1 < n).then_some(pos + 1)].into_iter().flatten() {
+        for next in [pos.checked_sub(1), (pos + 1 < n).then_some(pos + 1)]
+            .into_iter()
+            .flatten()
+        {
             if evals >= max_evals && cost_cache[next].is_none() {
                 continue;
             }

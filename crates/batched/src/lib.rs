@@ -109,13 +109,7 @@ impl<T: Scalar> Batch<T> {
 
 /// Batched `C[k] <- alpha * A[k] * B[k] + beta * C[k]`, one rayon pass over
 /// the flat storage.
-pub fn batched_gemm<T: Scalar>(
-    alpha: T,
-    a: &Batch<T>,
-    b: &Batch<T>,
-    beta: T,
-    c: &mut Batch<T>,
-) {
+pub fn batched_gemm<T: Scalar>(alpha: T, a: &Batch<T>, b: &Batch<T>, beta: T, c: &mut Batch<T>) {
     assert_eq!(a.count, b.count, "batch counts differ");
     assert_eq!(a.count, c.count, "batch counts differ");
     assert_eq!(a.cols, b.rows, "inner dimensions differ");
@@ -124,46 +118,37 @@ pub fn batched_gemm<T: Scalar>(
     let sa = a.stride();
     let sb = b.stride();
     let sc = c.stride();
-    c.data
-        .par_chunks_mut(sc)
-        .enumerate()
-        .for_each(|(idx, cm)| {
-            let am = &a.data[idx * sa..(idx + 1) * sa];
-            let bm = &b.data[idx * sb..(idx + 1) * sb];
-            // Tiny column-sweep gemm on raw slices (no per-call allocation).
-            for j in 0..n {
-                let cj = &mut cm[j * m..(j + 1) * m];
-                if beta == T::zero() {
-                    cj.fill(T::zero());
-                } else if beta != T::one() {
-                    for x in cj.iter_mut() {
-                        *x *= beta;
-                    }
-                }
-                for l in 0..k {
-                    let s = alpha * bm[l + j * k];
-                    if s == T::zero() {
-                        continue;
-                    }
-                    let al = &am[l * m..(l + 1) * m];
-                    for i in 0..m {
-                        cj[i] = s.mul_add(al[i], cj[i]);
-                    }
+    c.data.par_chunks_mut(sc).enumerate().for_each(|(idx, cm)| {
+        let am = &a.data[idx * sa..(idx + 1) * sa];
+        let bm = &b.data[idx * sb..(idx + 1) * sb];
+        // Tiny column-sweep gemm on raw slices (no per-call allocation).
+        for j in 0..n {
+            let cj = &mut cm[j * m..(j + 1) * m];
+            if beta == T::zero() {
+                cj.fill(T::zero());
+            } else if beta != T::one() {
+                for x in cj.iter_mut() {
+                    *x *= beta;
                 }
             }
-        });
+            for l in 0..k {
+                let s = alpha * bm[l + j * k];
+                if s == T::zero() {
+                    continue;
+                }
+                let al = &am[l * m..(l + 1) * m];
+                for i in 0..m {
+                    cj[i] = s.mul_add(al[i], cj[i]);
+                }
+            }
+        }
+    });
 }
 
 /// Per-matrix baseline: allocates `Matrix` wrappers and calls the general
 /// [`xsc_core::gemm::gemm`] once per batch element, sequentially — the
 /// pattern batched BLAS exists to replace.
-pub fn looped_gemm<T: Scalar>(
-    alpha: T,
-    a: &Batch<T>,
-    b: &Batch<T>,
-    beta: T,
-    c: &mut Batch<T>,
-) {
+pub fn looped_gemm<T: Scalar>(alpha: T, a: &Batch<T>, b: &Batch<T>, beta: T, c: &mut Batch<T>) {
     for k in 0..a.count {
         let am = a.to_matrix(k);
         let bm = b.to_matrix(k);
@@ -464,7 +449,9 @@ mod tests {
     fn batched_solve_recovers_solutions() {
         let count = 9;
         let n = 6;
-        let ms: Vec<Matrix<f64>> = (0..count).map(|k| gen::random_spd(n, 70 + k as u64)).collect();
+        let ms: Vec<Matrix<f64>> = (0..count)
+            .map(|k| gen::random_spd(n, 70 + k as u64))
+            .collect();
         let mut factors = Batch::from_matrices(&ms);
         batched_potrf(&mut factors).unwrap();
         // b[k] = A[k] * ones.
@@ -505,7 +492,9 @@ mod tests {
     fn batched_getrf_matches_reference() {
         let count = 11;
         let n = 7;
-        let ms: Vec<Matrix<f64>> = (0..count).map(|k| gen::random_matrix(n, n, 30 + k as u64)).collect();
+        let ms: Vec<Matrix<f64>> = (0..count)
+            .map(|k| gen::random_matrix(n, n, 30 + k as u64))
+            .collect();
         let mut batch = Batch::from_matrices(&ms);
         let pivots = batched_getrf(&mut batch).unwrap();
         for (k, m) in ms.iter().enumerate() {
@@ -523,12 +512,15 @@ mod tests {
     fn batched_getrf_solve_end_to_end() {
         let count = 6;
         let n = 9;
-        let ms: Vec<Matrix<f64>> = (0..count).map(|k| gen::random_matrix(n, n, 40 + k as u64)).collect();
+        let ms: Vec<Matrix<f64>> = (0..count)
+            .map(|k| gen::random_matrix(n, n, 40 + k as u64))
+            .collect();
         let mut factors = Batch::from_matrices(&ms);
         let pivots = batched_getrf(&mut factors).unwrap();
         let mut rhs = Batch::<f64>::zeros(n, 1, count);
         for (k, m) in ms.iter().enumerate() {
-            rhs.matrix_mut(k).copy_from_slice(&gen::rhs_for_unit_solution(m));
+            rhs.matrix_mut(k)
+                .copy_from_slice(&gen::rhs_for_unit_solution(m));
         }
         batched_getrf_solve(&factors, &pivots, &mut rhs);
         for k in 0..count {
@@ -558,10 +550,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "ragged")]
     fn ragged_batches_rejected() {
-        let _ = Batch::from_matrices(&[
-            Matrix::<f64>::zeros(2, 2),
-            Matrix::<f64>::zeros(3, 3),
-        ]);
+        let _ = Batch::from_matrices(&[Matrix::<f64>::zeros(2, 2), Matrix::<f64>::zeros(3, 3)]);
     }
 
     #[test]

@@ -1,0 +1,4 @@
+//! Standalone driver for experiment `e17_chaos_runtime` (see DESIGN.md's index).
+fn main() {
+    xsc_bench::experiments::e17_chaos_runtime::run(xsc_bench::Scale::from_env());
+}

@@ -13,7 +13,14 @@ pub fn run(scale: Scale) {
     let peak = hpl::measure_peak_gflops(scale.pick(256, 512), 3);
     println!("\n[E01] measured machine peak (parallel dgemm): {peak:.2} Gflop/s");
 
-    let mut t = Table::new(&["benchmark", "problem", "time", "Gflop/s", "% of peak", "check"]);
+    let mut t = Table::new(&[
+        "benchmark",
+        "problem",
+        "time",
+        "Gflop/s",
+        "% of peak",
+        "check",
+    ]);
     let hpl_sizes: Vec<usize> = scale.pick(vec![512, 768, 1024], vec![1024, 2048, 4096]);
     for n in hpl_sizes {
         let r = hpl::run_hpl(n, 128, 42).expect("HPL run failed");
@@ -23,7 +30,11 @@ pub fn run(scale: Scale) {
             secs(r.seconds),
             f2(r.gflops),
             pct(r.gflops / peak),
-            if r.passed { "resid OK".into() } else { "RESID FAIL".into() },
+            if r.passed {
+                "resid OK".into()
+            } else {
+                "RESID FAIL".into()
+            },
         ]);
     }
     let grids: Vec<usize> = scale.pick(vec![32, 48], vec![64, 96]);
@@ -35,7 +46,11 @@ pub fn run(scale: Scale) {
             secs(r.seconds),
             f2(r.gflops),
             pct(r.gflops / peak),
-            if r.passed { "conv OK".into() } else { "CONV FAIL".into() },
+            if r.passed {
+                "conv OK".into()
+            } else {
+                "CONV FAIL".into()
+            },
         ]);
     }
     t.print("E01: HPL vs HPCG — % of measured peak");

@@ -52,7 +52,9 @@ pub fn run(scale: Scale) {
             pct(trace.utilization()),
         ]);
     }
-    t.print(&format!("E02: tiled Cholesky n={n} nb={nb} — DAG dataflow vs fork-join (live)"));
+    t.print(&format!(
+        "E02: tiled Cholesky n={n} nb={nb} — DAG dataflow vs fork-join (live)"
+    ));
 
     // The host may expose only a few cores; the keynote's claim is about
     // many. Replay the same algorithm on modeled machines: dataflow uses
@@ -70,7 +72,10 @@ pub fn run(scale: Scale) {
         "DAG utilization",
     ]);
     for workers in [4usize, 16, 64, 256] {
-        let cfg = DesConfig { workers, comm_delay: 0.0 };
+        let cfg = DesConfig {
+            workers,
+            comm_delay: 0.0,
+        };
         let bsp = simulate(ntasks, &edges_bsp, &costs, cfg);
         let df = simulate(ntasks, &edges_df, &costs, cfg);
         t2.row(vec![
@@ -85,7 +90,9 @@ pub fn run(scale: Scale) {
     t2.print(&format!(
         "E02b: DES replay, {nt}x{nt} tiles ({ntasks} tasks) — barriers vs dataflow"
     ));
-    println!("  keynote claim: removing step barriers raises utilization; the gap grows with cores.");
+    println!(
+        "  keynote claim: removing step barriers raises utilization; the gap grows with cores."
+    );
 }
 
 type Edges = Vec<(usize, usize)>;
@@ -127,7 +134,11 @@ fn cholesky_graphs(nt: usize, nb: usize) -> (Edges, Edges, Vec<f64>) {
             phases.push(update);
         }
     }
-    assert_eq!(id, costs.len(), "phase reconstruction out of sync with build_graph");
+    assert_eq!(
+        id,
+        costs.len(),
+        "phase reconstruction out of sync with build_graph"
+    );
     let mut edges_bsp = Vec::new();
     for w in phases.windows(2) {
         for &from in &w[0] {

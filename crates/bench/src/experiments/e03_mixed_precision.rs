@@ -1,7 +1,7 @@
 //! E03 — mixed-precision iterative refinement vs full f64 solve, with the
 //! stopping-criterion ablation (default √n·ε vs loose 1e-8).
 
-use crate::table::{secs, sci, Table};
+use crate::table::{sci, secs, Table};
 use crate::{best_of, Scale};
 use xsc_core::{gen, norms};
 use xsc_precision::ir::{full_f64_solve, lu_ir_solve};
@@ -12,7 +12,12 @@ pub fn run(scale: Scale) {
     let sizes: Vec<usize> = scale.pick(vec![256, 512, 768], vec![512, 1024, 2048]);
     let reps = scale.pick(2, 3);
     let mut t = Table::new(&[
-        "n", "method", "time", "speedup vs f64", "IR iters", "scaled residual",
+        "n",
+        "method",
+        "time",
+        "speedup vs f64",
+        "IR iters",
+        "scaled residual",
     ]);
     for n in sizes {
         let a = gen::diag_dominant::<f64>(n, 11);
@@ -30,7 +35,9 @@ pub fn run(scale: Scale) {
         ]);
 
         let mut out32 = None;
-        let t32 = best_of(reps, || out32 = Some(lu_ir_solve::<f32>(&a, &b, 30, None).unwrap()));
+        let t32 = best_of(reps, || {
+            out32 = Some(lu_ir_solve::<f32>(&a, &b, 30, None).unwrap())
+        });
         let (x32, rep32) = out32.unwrap();
         t.row(vec![
             n.to_string(),

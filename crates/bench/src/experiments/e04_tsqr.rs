@@ -14,7 +14,13 @@ pub fn run(scale: Scale) {
     let n = 32;
     let reps = scale.pick(2, 3);
     let mut t = Table::new(&[
-        "m", "n", "method", "time", "speedup", "comm words", "tree levels",
+        "m",
+        "n",
+        "method",
+        "time",
+        "speedup",
+        "comm words",
+        "tree levels",
     ]);
     for m in ms {
         let a = gen::random_matrix::<f64>(m, n, 3);

@@ -37,7 +37,10 @@ pub fn run(_scale: Scale) {
     for m in &gens {
         for (name, prof) in [
             ("HPL n=50k", KernelProfile::hpl(50_000, 256)),
-            ("HPCG 104^3 x50", KernelProfile::hpcg(104usize.pow(3), 27 * 104usize.pow(3), 50)),
+            (
+                "HPCG 104^3 x50",
+                KernelProfile::hpcg(104usize.pow(3), 27 * 104usize.pow(3), 50),
+            ),
         ] {
             let flop_j = prof.flops * m.energy.pj_per_flop * 1e-12;
             let move_j = prof.dram_bytes * m.energy.pj_per_byte_dram * 1e-12

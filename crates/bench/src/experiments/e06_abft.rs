@@ -1,7 +1,7 @@
 //! E06 — ABFT overhead and recovery: checksum-protected GEMM/Cholesky,
 //! with the verification-frequency ablation (per-gemm vs per-factorization).
 
-use crate::table::{pct, secs, sci, Table};
+use crate::table::{pct, sci, secs, Table};
 use crate::{best_of, Scale};
 use xsc_core::gemm::{gemm, Transpose};
 use xsc_core::{factor, gen, norms, Matrix};
@@ -13,7 +13,14 @@ use xsc_ft::AbftOutcome;
 pub fn run(scale: Scale) {
     let sizes: Vec<usize> = scale.pick(vec![256, 512], vec![512, 1024, 1536]);
     let reps = scale.pick(2, 3);
-    let mut t = Table::new(&["n", "plain gemm", "ABFT gemm", "overhead", "fault outcome", "resid after repair"]);
+    let mut t = Table::new(&[
+        "n",
+        "plain gemm",
+        "ABFT gemm",
+        "overhead",
+        "fault outcome",
+        "resid after repair",
+    ]);
     for n in sizes {
         let a = gen::random_matrix::<f64>(n, n, 1);
         let b = gen::random_matrix::<f64>(n, n, 2);
@@ -69,7 +76,13 @@ pub fn run(scale: Scale) {
         l.set(n / 2, n / 4, v + 1.0);
     })
     .unwrap();
-    let mut t2 = Table::new(&["n", "plain potrf", "verified potrf", "overhead", "tampered run detected"]);
+    let mut t2 = Table::new(&[
+        "n",
+        "plain potrf",
+        "verified potrf",
+        "overhead",
+        "tampered run detected",
+    ]);
     t2.row(vec![
         n.to_string(),
         secs(t_plain),

@@ -20,7 +20,9 @@ pub fn run(scale: Scale) {
     for m in [4usize, 8, 16, 32] {
         let per = flops::gemm(m, m, m);
         let count = (total_flops / per).max(1) as usize;
-        let a = Batch::<f64>::from_fn(m, m, count, |k, i, j| ((k + i * 3 + j) % 7) as f64 * 0.25 - 0.5);
+        let a = Batch::<f64>::from_fn(m, m, count, |k, i, j| {
+            ((k + i * 3 + j) % 7) as f64 * 0.25 - 0.5
+        });
         let b = a.clone();
         let mut c = Batch::<f64>::zeros(m, m, count);
         let t_loop = best_of(reps, || looped_gemm(1.0, &a, &b, 0.0, &mut c));
@@ -52,7 +54,10 @@ pub fn run(scale: Scale) {
         batched_potrf(&mut work).unwrap();
     });
     let rate = count as f64 / t_potrf;
-    println!("\n  batched potrf: {count} x {m}x{m} factorizations in {:.3}s = {:.0} factors/s", t_potrf, rate);
+    println!(
+        "\n  batched potrf: {count} x {m}x{m} factorizations in {:.3}s = {:.0} factors/s",
+        t_potrf, rate
+    );
     println!("  keynote claim: flat batched execution beats per-call dispatch by integer factors");
     println!("  for tiny matrices, where call overhead rivals the arithmetic.");
 }

@@ -32,7 +32,11 @@ pub fn run(scale: Scale) {
             nb.to_string(),
             secs(cost),
             f2(flops::gflops(flops::cholesky(n), cost)),
-            if nb == sweep.best { "<-- best".into() } else { String::new() },
+            if nb == sweep.best {
+                "<-- best".into()
+            } else {
+                String::new()
+            },
         ]);
     }
     t.print(&format!("E08: tile-size sweep, tiled DAG Cholesky n={n}"));

@@ -1,7 +1,7 @@
 //! E09 — randomization instead of pivoting: random butterfly transforms
 //! make no-pivot LU safe, removing the pivot search's synchronization.
 
-use crate::table::{secs, sci, Table};
+use crate::table::{sci, secs, Table};
 use crate::{best_of, Scale};
 use xsc_core::{factor, gen, norms};
 use xsc_dense::rbt::rbt_lu;

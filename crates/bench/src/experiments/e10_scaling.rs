@@ -74,7 +74,12 @@ pub fn run(scale: Scale) {
     let m = xsc_machine::MachineModel::node_2016();
     let bw = m.mem_bw;
     let per_core = m.flops_per_core;
-    let mut t2 = Table::new(&["cores", "GEMM modeled Gflop/s", "SpMV modeled Gflop/s", "SpMV % of linear"]);
+    let mut t2 = Table::new(&[
+        "cores",
+        "GEMM modeled Gflop/s",
+        "SpMV modeled Gflop/s",
+        "SpMV % of linear",
+    ]);
     let spmv_ai = 1.0 / 6.0; // flops per DRAM byte for CSR SpMV
     for cores in [1usize, 2, 4, 8, 16, 32, 64] {
         let gemm_rate = per_core * cores as f64; // compute-bound: scales

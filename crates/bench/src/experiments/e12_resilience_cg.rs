@@ -47,7 +47,9 @@ pub fn run(scale: Scale) {
             ]);
         }
     }
-    t.print(&format!("E12: fault-injected CG on the {g}^3 stencil — recovery strategies"));
+    t.print(&format!(
+        "E12: fault-injected CG on the {g}^3 stencil — recovery strategies"
+    ));
     println!("  keynote claim: at extreme scale faults are events, not exceptions; solvers");
     println!("  must detect silent corruption and recover with bounded re-done work.");
 }

@@ -2,7 +2,7 @@
 //! live, plus the collective-cost model showing why one reduction phase per
 //! iteration matters at scale.
 
-use crate::table::{f2, secs, sci, Table};
+use crate::table::{f2, sci, secs, Table};
 use crate::{best_of, Scale};
 use xsc_machine::{collective_time, Collective, KrylovIterModel, MachineModel};
 use xsc_sparse::pipelined::pipelined_cg;
@@ -36,7 +36,13 @@ pub fn run(scale: Scale) {
     });
     let piped = piped.unwrap();
 
-    let mut t = Table::new(&["method", "time", "iterations", "final residual", "reduction phases"]);
+    let mut t = Table::new(&[
+        "method",
+        "time",
+        "iterations",
+        "final residual",
+        "reduction phases",
+    ]);
     t.row(vec![
         "classic CG".into(),
         secs(t_classic),
@@ -64,11 +70,20 @@ pub fn run(scale: Scale) {
         sci(*ca.residual_history.last().unwrap()),
         ca.outer_steps.to_string(),
     ]);
-    t.print(&format!("E13: classic vs pipelined vs s-step CG on the {g}^3 stencil (live)"));
+    t.print(&format!(
+        "E13: classic vs pipelined vs s-step CG on the {g}^3 stencil (live)"
+    ));
 
     // Scale model: price the reductions.
     let m = MachineModel::node_2016();
-    let mut t2 = Table::new(&["ranks", "allreduce (16B)", "classic CG iter", "pipelined iter", "s-step(4) iter", "pipelined speedup"]);
+    let mut t2 = Table::new(&[
+        "ranks",
+        "allreduce (16B)",
+        "classic CG iter",
+        "pipelined iter",
+        "s-step(4) iter",
+        "pipelined speedup",
+    ]);
     let local = 50e-6; // 50 µs of local work per iteration per rank
     for p in [16usize, 256, 4096, 65_536, 1 << 20] {
         let ar = collective_time(Collective::AllReduceRecursiveDoubling, &m, p, 16);

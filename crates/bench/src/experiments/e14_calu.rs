@@ -1,7 +1,7 @@
 //! E14 — communication-avoiding LU: tournament pivoting vs partial
 //! pivoting, accuracy and pivot-search synchronization counts.
 
-use crate::table::{secs, sci, Table};
+use crate::table::{sci, secs, Table};
 use crate::{best_of, Scale};
 use xsc_core::{factor, gen, norms};
 use xsc_dense::calu::calu;

@@ -1,7 +1,7 @@
 //! E15 — making the HPCG smoother parallel: multi-color Gauss–Seidel vs
 //! the sequential natural-order sweep (HPCG's sanctioned optimization).
 
-use crate::table::{f2, secs, sci, Table};
+use crate::table::{f2, sci, secs, Table};
 use crate::{best_of, Scale};
 use xsc_core::blas1;
 use xsc_sparse::coloring::{color_classes, colored_symgs, greedy_coloring};
@@ -64,12 +64,18 @@ pub fn run(scale: Scale) {
 
     // Full pipeline ablation: the three smoother families inside MG-CG.
     use xsc_sparse::mg::{MgPreconditioner, Smoother};
-    use xsc_sparse::{pcg};
+    use xsc_sparse::pcg;
     let g2 = scale.pick(16usize, 32);
     let geom2 = Geometry::new(g2, g2, g2);
     let a2 = build_matrix(geom2);
     let (b2, _) = build_rhs(&a2);
-    let mut t2 = Table::new(&["MG smoother", "CG iterations", "time", "final residual", "sequential?"]);
+    let mut t2 = Table::new(&[
+        "MG smoother",
+        "CG iterations",
+        "time",
+        "final residual",
+        "sequential?",
+    ]);
     for (name, sm, seq) in [
         ("SymGS (natural)", Smoother::SymGs, "yes"),
         ("SymGS (8-color)", Smoother::Colored, "no"),

@@ -1,11 +1,10 @@
 //! E16 — communication lower bounds: how far 2-D matmul sits above the
 //! bound, and what 2.5-D replication buys back.
 
-use crate::table::{f2, secs, sci, Table};
+use crate::table::{f2, sci, secs, Table};
 use crate::Scale;
 use xsc_machine::comm_optimal::{
-    matmul_comm_time, matmul_comm_words, matmul_lower_bound_words, max_replication,
-    MatmulAlgorithm,
+    matmul_comm_time, matmul_comm_words, matmul_lower_bound_words, max_replication, MatmulAlgorithm,
 };
 use xsc_machine::MachineModel;
 
@@ -26,7 +25,10 @@ pub fn run(_scale: Scale) {
         let cmax = max_replication(n, p, mem_words.max(16 * n * n / p));
         for (name, alg) in [
             ("2D SUMMA".to_string(), MatmulAlgorithm::Summa2d),
-            (format!("2.5D c={cmax}"), MatmulAlgorithm::TwoPointFiveD { c: cmax }),
+            (
+                format!("2.5D c={cmax}"),
+                MatmulAlgorithm::TwoPointFiveD { c: cmax },
+            ),
         ] {
             let words = matmul_comm_words(alg, n, p);
             t.row(vec![
@@ -38,7 +40,9 @@ pub fn run(_scale: Scale) {
             ]);
         }
     }
-    t.print(&format!("E16: matmul communication vs the lower bound (n={n})"));
+    t.print(&format!(
+        "E16: matmul communication vs the lower bound (n={n})"
+    ));
     println!("  keynote claim: communication lower bounds are now the design target;");
     println!("  2.5D replication trades memory for a sqrt(c) reduction in words moved,");
     println!("  closing the gap to the Omega(n^2/p^(2/3)) bound that 3D attains.");

@@ -1,0 +1,292 @@
+//! E17 — chaos campaign over the resilient DAG runtime: fault rate ×
+//! fault species × recovery policy on an ABFT-guarded tiled Cholesky.
+//!
+//! Two tables, deliberately separated:
+//!
+//! 1. a **deterministic** campaign summary — only schedule-independent
+//!    counts (retries, recoveries, skips, detections, injected faults,
+//!    simulated backoff) and the solved-system residual. Because
+//!    [`FaultPlan`] decides faults from a pure hash of
+//!    `(seed, task, attempt)` and retried kernels restore their snapshot
+//!    before recomputing, two runs with the same seed produce this table
+//!    **byte for byte** — that property is asserted by a test below.
+//! 2. a **timing** table (explicitly non-deterministic) — the wall-clock
+//!    price of the resilience layer at fault rate 0, versus the plain
+//!    fail-stop executor.
+
+use crate::table::{pct, sci, secs, Table};
+use crate::{best_of, Scale};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+use xsc_core::{gen, norms, Matrix, TileMatrix};
+use xsc_dense::cholesky;
+use xsc_dense::resilient::cholesky_resilient_abft;
+use xsc_ft::inject::FaultKind;
+use xsc_ft::plan::{ChaosKind, FaultPlan};
+use xsc_runtime::{Backoff, Executor, ExhaustedAction, RecoveryPolicy, SchedPolicy, TaskGraph};
+
+/// Campaign base seed: every (rate, kind, policy) cell derives its
+/// [`FaultPlan`] seed from this, so the whole sweep replays exactly.
+pub const CAMPAIGN_SEED: u64 = 0xE17;
+
+fn policies() -> Vec<(&'static str, RecoveryPolicy)> {
+    vec![
+        (
+            "retry*6",
+            RecoveryPolicy::with_max_attempts(6)
+                .backoff(Backoff::Jittered {
+                    base: Duration::from_micros(20),
+                    factor: 2.0,
+                    max: Duration::from_millis(1),
+                })
+                .seed(CAMPAIGN_SEED),
+        ),
+        (
+            "skip*2",
+            RecoveryPolicy::with_max_attempts(2).on_exhausted(ExhaustedAction::SkipSubtree),
+        ),
+    ]
+}
+
+fn kinds() -> Vec<(&'static str, ChaosKind)> {
+    vec![
+        ("panic", ChaosKind::Panic),
+        ("bitflip", ChaosKind::SilentCorrupt(FaultKind::BitFlip)),
+        ("zero", ChaosKind::SilentCorrupt(FaultKind::Zero)),
+        ("stall", ChaosKind::Stall),
+    ]
+}
+
+struct Problem {
+    a: Matrix<f64>,
+    b: Vec<f64>,
+    nb: usize,
+    threads: usize,
+}
+
+fn problem(scale: Scale) -> Problem {
+    let n = scale.pick(128, 256);
+    let nb = scale.pick(16, 32); // 8x8 tile grid at either scale
+    let a = gen::random_spd::<f64>(n, 3407);
+    let b = gen::rhs_for_unit_solution(&a);
+    Problem {
+        a,
+        b,
+        nb,
+        threads: 4,
+    }
+}
+
+/// Installs (once) a panic hook that swallows *injected* chaos panics —
+/// they are caught and handled by the resilient executor, and the default
+/// hook's per-panic backtrace would otherwise drown the campaign output.
+/// Genuine panics still print through the previous hook.
+fn silence_chaos_panics() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|s| s.starts_with("chaos:"));
+            if !injected {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Runs the full campaign and renders the deterministic summary table.
+///
+/// Everything in this table is schedule-independent: fault decisions are
+/// pure hashes, taint propagation is DAG-structural, backoff is simulated
+/// (accumulated, never slept beyond the stall species), and a recovered
+/// factorization is bitwise identical to a fault-free one. Same seed in,
+/// same bytes out — on any thread count.
+pub fn campaign_summary(scale: Scale) -> String {
+    silence_chaos_panics();
+    let p = problem(scale);
+    let mut t = Table::new(&[
+        "rate",
+        "kind",
+        "policy",
+        "done",
+        "retries",
+        "recov",
+        "failed",
+        "skipped",
+        "detect",
+        "inj p/c/s",
+        "backoff",
+        "residual",
+    ]);
+
+    let mut cell =
+        |rate: f64, kname: &str, kind: Option<ChaosKind>, pname: &str, pol: RecoveryPolicy| {
+            let tiles = TileMatrix::from_matrix(&p.a, p.nb);
+            let exec = Executor::new(p.threads, SchedPolicy::CriticalPath);
+            let plan = kind.map(|k| {
+                // Derive a distinct, reproducible seed per campaign cell.
+                let seed =
+                    CAMPAIGN_SEED ^ ((rate * 1000.0) as u64) << 16 ^ (kname.len() as u64) << 8;
+                Arc::new(FaultPlan::new(seed, rate, k).stall_duration(Duration::from_micros(100)))
+            });
+            let run = cholesky_resilient_abft(&tiles, &exec, pol, plan.clone())
+                .expect("campaign matrix is SPD; math errors impossible");
+            let stats = run.trace.resilience().expect("resilient run carries stats");
+            let residual = if stats.completed() {
+                let mut x = p.b.clone();
+                cholesky::solve(&tiles, &mut x);
+                sci(norms::hpl_scaled_residual(&p.a, &x, &p.b))
+            } else {
+                "-".into()
+            };
+            let (ip, ic, is) = plan.as_ref().map_or((0, 0, 0), |pl| pl.fired());
+            t.row(vec![
+                format!("{rate:.2}"),
+                kname.into(),
+                pname.into(),
+                stats.completed().to_string(),
+                stats.retries.to_string(),
+                stats.recoveries.to_string(),
+                stats.permanent_failures.to_string(),
+                stats.skipped.to_string(),
+                run.detections.to_string(),
+                format!("{ip}/{ic}/{is}"),
+                format!("{}us", stats.simulated_backoff.as_micros()),
+                residual,
+            ]);
+        };
+
+    cell(0.0, "none", None, "retry*6", policies()[0].1);
+    for rate in [0.01, 0.05] {
+        for (kname, kind) in kinds() {
+            for (pname, pol) in policies() {
+                cell(rate, kname, Some(kind), pname, pol);
+            }
+        }
+    }
+
+    let nt = p.a.rows() / p.nb;
+    t.render(&format!(
+        "E17: chaos campaign — ABFT-guarded resilient Cholesky, {}x{} tiles of {} (seed {CAMPAIGN_SEED:#x}, deterministic counts)",
+        nt, nt, p.nb
+    ))
+}
+
+/// Synthetic DAG with `tasks` independent compute kernels of fixed work —
+/// isolates the resilience layer's bookkeeping from ABFT detector cost.
+fn synthetic_graph(tasks: usize, work: usize, fallible: bool) -> TaskGraph {
+    let mut g = TaskGraph::new();
+    let spin = move || {
+        let mut acc = 1.000000001f64;
+        for i in 0..work {
+            acc = acc.mul_add(1.0000001, (i & 7) as f64 * 1e-12);
+        }
+        black_box(acc);
+    };
+    for i in 0..tasks {
+        if fallible {
+            g.add_fallible_task(format!("t{i}"), [], move |_at| {
+                spin();
+                Ok(())
+            });
+        } else {
+            g.add_task(format!("t{i}"), [], spin);
+        }
+    }
+    g
+}
+
+/// Runs the experiment and prints both tables.
+pub fn run(scale: Scale) {
+    print!("{}", campaign_summary(scale));
+    println!("  wasted work = retries (re-executed attempts); recovered runs solve to the");
+    println!("  same residual as the fault-free row because retried kernels restore their");
+    println!("  tile snapshot and recompute bitwise-identically.");
+
+    // ---- timing (non-deterministic, informational) ----
+    let p = problem(scale);
+    let exec = Executor::new(p.threads, SchedPolicy::CriticalPath);
+    let reps = scale.pick(3, 5);
+
+    let tasks = 256;
+    let work = scale.pick(20_000, 80_000);
+    let plain_synth = best_of(reps, || {
+        exec.execute(synthetic_graph(tasks, work, false));
+    });
+    let resil_synth = best_of(reps, || {
+        exec.execute_resilient(synthetic_graph(tasks, work, true), policies()[0].1);
+    });
+
+    let plain_chol = best_of(reps, || {
+        let tiles = TileMatrix::from_matrix(&p.a, p.nb);
+        cholesky::cholesky_dag(&tiles, &exec).unwrap();
+    });
+    let abft_chol = best_of(reps, || {
+        let tiles = TileMatrix::from_matrix(&p.a, p.nb);
+        cholesky_resilient_abft(&tiles, &exec, policies()[0].1, None).unwrap();
+    });
+
+    let mut t = Table::new(&["workload", "plain", "resilient", "overhead"]);
+    t.row(vec![
+        format!("synthetic {tasks} tasks (layer only)"),
+        secs(plain_synth),
+        secs(resil_synth),
+        pct(resil_synth / plain_synth - 1.0),
+    ]);
+    t.row(vec![
+        "cholesky (layer + ABFT detector)".into(),
+        secs(plain_chol),
+        secs(abft_chol),
+        pct(abft_chol / plain_chol - 1.0),
+    ]);
+    t.print("E17: fault-free overhead of the resilience layer (wall clock — NON-deterministic)");
+    println!("  keynote claim: at extreme scale faults are continuous events; the runtime,");
+    println!("  not the batch system, must own recovery — and the fault domain must shrink");
+    println!("  from the job to the task. The campaign shows task-level retry healing");
+    println!("  panics and silent corruption at 5% per-task rates with bounded wasted work.");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaign_summary_is_byte_identical_across_runs() {
+        // The PR's reproducibility gate: same seed, same bytes — twice,
+        // on a live multi-threaded executor.
+        let one = campaign_summary(Scale::Quick);
+        let two = campaign_summary(Scale::Quick);
+        assert_eq!(one, two, "campaign summary must be deterministic");
+        assert!(one.contains("retry*6") && one.contains("skip*2"));
+    }
+
+    #[test]
+    fn fault_free_layer_overhead_is_modest() {
+        // Acceptance: at rate 0 the resilience machinery (fallible
+        // kernels, attempt accounting, outcome tracking) stays under 5%
+        // makespan overhead on a synthetic DAG where kernels dominate.
+        let exec = Executor::new(4, SchedPolicy::CriticalPath);
+        let tasks = 128;
+        let work = 60_000;
+        let plain = best_of(5, || {
+            exec.execute(synthetic_graph(tasks, work, false));
+        });
+        let resil = best_of(5, || {
+            exec.execute_resilient(
+                synthetic_graph(tasks, work, true),
+                RecoveryPolicy::default(),
+            );
+        });
+        let overhead = resil / plain - 1.0;
+        assert!(
+            overhead < 0.05,
+            "resilience layer overhead {:.2}% >= 5% (plain {plain:.4}s resilient {resil:.4}s)",
+            overhead * 100.0
+        );
+    }
+}

@@ -17,6 +17,7 @@ pub mod e13_sync_reducing;
 pub mod e14_calu;
 pub mod e15_colored_smoother;
 pub mod e16_comm_optimal;
+pub mod e17_chaos_runtime;
 
 use crate::Scale;
 
@@ -38,4 +39,5 @@ pub fn run_all(scale: Scale) {
     e14_calu::run(scale);
     e15_colored_smoother::run(scale);
     e16_comm_optimal::run(scale);
+    e17_chaos_runtime::run(scale);
 }

@@ -96,7 +96,10 @@ mod tests {
         assert!(s.contains("== demo =="));
         assert!(s.contains("longer"));
         // Both data rows share the same width for column 0.
-        let lines: Vec<&str> = s.lines().filter(|l| l.contains('1') || l.contains("22")).collect();
+        let lines: Vec<&str> = s
+            .lines()
+            .filter(|l| l.contains('1') || l.contains("22"))
+            .collect();
         assert_eq!(lines.len(), 2);
     }
 

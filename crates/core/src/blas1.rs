@@ -71,7 +71,10 @@ pub fn sum_pairwise<T: Scalar>(x: &[T]) -> T {
 /// Euclidean norm computed in `f64` accumulation (safe against overflow for
 /// the magnitudes used here).
 pub fn nrm2<T: Scalar>(x: &[T]) -> f64 {
-    x.iter().map(|&v| v.to_f64() * v.to_f64()).sum::<f64>().sqrt()
+    x.iter()
+        .map(|&v| v.to_f64() * v.to_f64())
+        .sum::<f64>()
+        .sqrt()
 }
 
 /// Index of the entry with the largest absolute value (first on ties).

@@ -135,8 +135,14 @@ mod tests {
             exact = exact.max(e.iter().map(|v| v.abs()).sum());
         }
         let est = inverse_one_norm_estimate(&lu, &piv);
-        assert!(est <= exact * (1.0 + 1e-10), "estimate {est} exceeds exact {exact}");
-        assert!(est >= exact / 10.0, "estimate {est} far below exact {exact}");
+        assert!(
+            est <= exact * (1.0 + 1e-10),
+            "estimate {est} exceeds exact {exact}"
+        );
+        assert!(
+            est >= exact / 10.0,
+            "estimate {est} far below exact {exact}"
+        );
     }
 
     #[test]

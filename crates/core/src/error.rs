@@ -102,10 +102,7 @@ mod tests {
 
     #[test]
     fn errors_are_comparable() {
-        assert_eq!(
-            Error::Singular { pivot: 1 },
-            Error::Singular { pivot: 1 }
-        );
+        assert_eq!(Error::Singular { pivot: 1 }, Error::Singular { pivot: 1 });
         assert_ne!(
             Error::Singular { pivot: 1 },
             Error::NotPositiveDefinite { pivot: 1 }

@@ -65,11 +65,26 @@ pub fn potrf_blocked<T: Scalar>(a: &mut Matrix<T>, nb: usize) -> Result<()> {
         if m2 > 0 {
             // Panel below: A21 <- A21 * L11^-T.
             let mut a21 = a.block(k + kb, k, m2, kb);
-            trsm(Side::Right, Uplo::Lower, Transpose::Yes, Diag::NonUnit, T::one(), &akk, &mut a21);
+            trsm(
+                Side::Right,
+                Uplo::Lower,
+                Transpose::Yes,
+                Diag::NonUnit,
+                T::one(),
+                &akk,
+                &mut a21,
+            );
             a21.copy_block_into(0, 0, m2, kb, a, k + kb, k);
             // Trailing: A22 <- A22 - A21 * A21^T (lower triangle).
             let mut a22 = a.block(k + kb, k + kb, m2, m2);
-            syrk(Uplo::Lower, Transpose::No, -T::one(), &a21, T::one(), &mut a22);
+            syrk(
+                Uplo::Lower,
+                Transpose::No,
+                -T::one(),
+                &a21,
+                T::one(),
+                &mut a22,
+            );
             a22.copy_block_into(0, 0, m2, m2, a, k + kb, k + kb);
         }
         k += kb;
@@ -91,7 +106,12 @@ pub fn potrf_solve<T: Scalar>(l: &Matrix<T>, b: &mut [T]) {
 ///
 /// This in-place panel form is shared by the unblocked and blocked drivers
 /// here and by the thread-parallel HPL driver in `xsc-dense`.
-pub fn getrf_panel<T: Scalar>(a: &mut Matrix<T>, j0: usize, ncols: usize, piv: &mut [usize]) -> Result<()> {
+pub fn getrf_panel<T: Scalar>(
+    a: &mut Matrix<T>,
+    j0: usize,
+    ncols: usize,
+    piv: &mut [usize],
+) -> Result<()> {
     let m = a.rows();
     for jj in 0..ncols {
         let j = j0 + jj;
@@ -210,13 +230,29 @@ pub fn getrf_blocked<T: Scalar>(a: &mut Matrix<T>, nb: usize) -> Result<Vec<usiz
             // U12 <- L11^{-1} * A12 (unit lower triangular solve).
             let l11 = a.block(k, k, kb, kb);
             let mut a12 = a.block(k, k + kb, kb, n2);
-            trsm(Side::Left, Uplo::Lower, Transpose::No, Diag::Unit, T::one(), &l11, &mut a12);
+            trsm(
+                Side::Left,
+                Uplo::Lower,
+                Transpose::No,
+                Diag::Unit,
+                T::one(),
+                &l11,
+                &mut a12,
+            );
             a12.copy_block_into(0, 0, kb, n2, a, k, k + kb);
             // A22 <- A22 - L21 * U12.
             let m2 = n - k - kb;
             let l21 = a.block(k + kb, k, m2, kb);
             let mut a22 = a.block(k + kb, k + kb, m2, n2);
-            gemm(Transpose::No, Transpose::No, -T::one(), &l21, &a12, T::one(), &mut a22);
+            gemm(
+                Transpose::No,
+                Transpose::No,
+                -T::one(),
+                &l21,
+                &a12,
+                T::one(),
+                &mut a22,
+            );
             a22.copy_block_into(0, 0, m2, n2, a, k + kb, k + kb);
         }
         k += kb;
@@ -263,9 +299,23 @@ pub fn getrf_nopiv_solve<T: Scalar>(lu: &Matrix<T>, b: &mut [T]) {
 /// Reconstructs `L * L^T` from a Cholesky factor (testing helper).
 pub fn reconstruct_from_cholesky<T: Scalar>(l_packed: &Matrix<T>) -> Matrix<T> {
     let n = l_packed.rows();
-    let l = Matrix::from_fn(n, n, |i, j| if i >= j { l_packed.get(i, j) } else { T::zero() });
+    let l = Matrix::from_fn(n, n, |i, j| {
+        if i >= j {
+            l_packed.get(i, j)
+        } else {
+            T::zero()
+        }
+    });
     let mut out = Matrix::zeros(n, n);
-    gemm(Transpose::No, Transpose::Yes, T::one(), &l, &l, T::zero(), &mut out);
+    gemm(
+        Transpose::No,
+        Transpose::Yes,
+        T::one(),
+        &l,
+        &l,
+        T::zero(),
+        &mut out,
+    );
     out
 }
 
@@ -284,7 +334,15 @@ pub fn reconstruct_from_lu<T: Scalar>(lu: &Matrix<T>, piv: &[usize]) -> Matrix<T
     });
     let u = Matrix::from_fn(n, n, |i, j| if i <= j { lu.get(i, j) } else { T::zero() });
     let mut plu = Matrix::zeros(n, n);
-    gemm(Transpose::No, Transpose::No, T::one(), &l, &u, T::zero(), &mut plu);
+    gemm(
+        Transpose::No,
+        Transpose::No,
+        T::one(),
+        &l,
+        &u,
+        T::zero(),
+        &mut plu,
+    );
     // Undo the pivoting: swaps were applied in order k = 0..n, so invert in
     // reverse order.
     for k in (0..n).rev() {

@@ -214,14 +214,7 @@ pub fn par_gemm<T: Scalar>(
 }
 
 /// Matrix-vector multiply: `y <- alpha * op(A) * x + beta * y`.
-pub fn gemv<T: Scalar>(
-    trans: Transpose,
-    alpha: T,
-    a: &Matrix<T>,
-    x: &[T],
-    beta: T,
-    y: &mut [T],
-) {
+pub fn gemv<T: Scalar>(trans: Transpose, alpha: T, a: &Matrix<T>, x: &[T], beta: T, y: &mut [T]) {
     let (m, n) = op_shape(trans, a);
     assert_eq!(x.len(), n, "gemv x length mismatch");
     assert_eq!(y.len(), m, "gemv y length mismatch");
@@ -364,7 +357,14 @@ mod tests {
         }
         // Transposed.
         let mut yt = vec![1.0; 4];
-        gemv(Transpose::Yes, 2.0, &a, &gen::random_vector::<f64>(6, 7), 0.5, &mut yt);
+        gemv(
+            Transpose::Yes,
+            2.0,
+            &a,
+            &gen::random_vector::<f64>(6, 7),
+            0.5,
+            &mut yt,
+        );
         assert!(yt.iter().all(|v| v.is_finite()));
     }
 

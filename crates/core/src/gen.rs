@@ -12,15 +12,15 @@ use rand::{Rng, SeedableRng};
 /// Uniform random matrix with entries in `[-1, 1)`.
 pub fn random_matrix<T: Scalar>(rows: usize, cols: usize, seed: u64) -> Matrix<T> {
     let mut rng = SmallRng::seed_from_u64(seed);
-    Matrix::from_fn(rows, cols, |_, _| {
-        T::from_f64(rng.gen_range(-1.0..1.0))
-    })
+    Matrix::from_fn(rows, cols, |_, _| T::from_f64(rng.gen_range(-1.0..1.0)))
 }
 
 /// Uniform random vector with entries in `[-1, 1)`.
 pub fn random_vector<T: Scalar>(n: usize, seed: u64) -> Vec<T> {
     let mut rng = SmallRng::seed_from_u64(seed);
-    (0..n).map(|_| T::from_f64(rng.gen_range(-1.0..1.0))).collect()
+    (0..n)
+        .map(|_| T::from_f64(rng.gen_range(-1.0..1.0)))
+        .collect()
 }
 
 /// Random symmetric positive-definite matrix: `A = B Bᵀ / n + I`.
@@ -67,7 +67,11 @@ pub fn ill_conditioned_spd<T: Scalar>(n: usize, cond: f64, seed: u64) -> Matrix<
     // A = sum_k d_k q_k q_kᵀ, built column by column: A = Q D Qᵀ.
     let mut qd = q.clone();
     for k in 0..n {
-        let t = if n == 1 { 0.0 } else { k as f64 / (n - 1) as f64 };
+        let t = if n == 1 {
+            0.0
+        } else {
+            k as f64 / (n - 1) as f64
+        };
         let d = cond.powf(-t); // eigenvalues from 1 down to 1/cond
         for i in 0..n {
             let v = qd.get(i, k) * d;
@@ -161,10 +165,7 @@ mod tests {
     fn diag_dominant_dominates() {
         let a = diag_dominant::<f64>(15, 4);
         for i in 0..15 {
-            let off: f64 = (0..15)
-                .filter(|&j| j != i)
-                .map(|j| a.get(i, j).abs())
-                .sum();
+            let off: f64 = (0..15).filter(|&j| j != i).map(|j| a.get(i, j).abs()).sum();
             assert!(a.get(i, i).abs() > off);
         }
     }

@@ -248,8 +248,15 @@ mod tests {
             let r = extract_r(&f);
             let mut qr = Matrix::zeros(m, n);
             gemm(Transpose::No, Transpose::No, 1.0, &q, &r, 0.0, &mut qr);
-            assert!(qr.approx_eq(&a, 1e-12), "({m},{n}) diff {}", qr.max_abs_diff(&a));
-            assert!(orthogonality_error(&q) < 1e-13, "({m},{n}) Q not orthogonal");
+            assert!(
+                qr.approx_eq(&a, 1e-12),
+                "({m},{n}) diff {}",
+                qr.max_abs_diff(&a)
+            );
+            assert!(
+                orthogonality_error(&q) < 1e-13,
+                "({m},{n}) Q not orthogonal"
+            );
         }
     }
 
@@ -300,8 +307,16 @@ mod tests {
         let mut top = Matrix::from_fn(n, n, |i, j| if i <= j { r.get(i, j) } else { 0.0 });
         let mut bot = Matrix::<f64>::zeros(m, n);
         tpmqrt(Transpose::No, &b, &taus, &mut top, &mut bot);
-        assert!(top.approx_eq(&r0, 1e-12), "top diff {}", top.max_abs_diff(&r0));
-        assert!(bot.approx_eq(&b0, 1e-12), "bottom diff {}", bot.max_abs_diff(&b0));
+        assert!(
+            top.approx_eq(&r0, 1e-12),
+            "top diff {}",
+            top.max_abs_diff(&r0)
+        );
+        assert!(
+            bot.approx_eq(&b0, 1e-12),
+            "bottom diff {}",
+            bot.max_abs_diff(&b0)
+        );
     }
 
     #[test]
@@ -309,7 +324,13 @@ mod tests {
         let n = 5;
         let m = 7;
         let a_top = gen::random_matrix::<f64>(n, n, 6);
-        let r0 = Matrix::from_fn(n, n, |i, j| if i <= j { a_top.get(i, j) + if i == j { 3.0 } else { 0.0 } } else { 0.0 });
+        let r0 = Matrix::from_fn(n, n, |i, j| {
+            if i <= j {
+                a_top.get(i, j) + if i == j { 3.0 } else { 0.0 }
+            } else {
+                0.0
+            }
+        });
         let b0 = gen::random_matrix::<f64>(m, n, 7);
         let mut r = r0.clone();
         let mut b = b0.clone();
@@ -318,7 +339,11 @@ mod tests {
         let mut top = r0.clone();
         let mut bot = b0.clone();
         tpmqrt(Transpose::Yes, &b, &taus, &mut top, &mut bot);
-        assert!(norms::max_abs(&bot) < 1e-12, "bottom not annihilated: {}", norms::max_abs(&bot));
+        assert!(
+            norms::max_abs(&bot) < 1e-12,
+            "bottom not annihilated: {}",
+            norms::max_abs(&bot)
+        );
         assert!(top.approx_eq(&r, 1e-12));
     }
 
@@ -372,7 +397,11 @@ mod tests {
         let v = [1.0, tail[0], tail[1]];
         let orig = [alpha, x0[0], x0[1]];
         let w: f64 = v.iter().zip(orig.iter()).map(|(a, b)| a * b).sum();
-        let hx: Vec<f64> = orig.iter().zip(v.iter()).map(|(o, vi)| o - tau * w * vi).collect();
+        let hx: Vec<f64> = orig
+            .iter()
+            .zip(v.iter())
+            .map(|(o, vi)| o - tau * w * vi)
+            .collect();
         assert!((hx[0] - beta).abs() < 1e-14);
         assert!(hx[1].abs() < 1e-14);
         assert!(hx[2].abs() < 1e-14);

@@ -160,8 +160,14 @@ impl<T: Scalar> Matrix<T> {
         dst_i: usize,
         dst_j: usize,
     ) {
-        assert!(src_i + m <= self.rows && src_j + n <= self.cols, "source block out of range");
-        assert!(dst_i + m <= dst.rows && dst_j + n <= dst.cols, "destination block out of range");
+        assert!(
+            src_i + m <= self.rows && src_j + n <= self.cols,
+            "source block out of range"
+        );
+        assert!(
+            dst_i + m <= dst.rows && dst_j + n <= dst.cols,
+            "destination block out of range"
+        );
         for j in 0..n {
             let src_col = &self.col(src_j + j)[src_i..src_i + m];
             let dst_col = &mut dst.col_mut(dst_j + j)[dst_i..dst_i + m];
@@ -203,7 +209,11 @@ impl<T: Scalar> Matrix<T> {
     /// # Panics
     /// Panics if shapes differ.
     pub fn axpy(&mut self, alpha: T, other: &Matrix<T>) {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "axpy shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "axpy shape mismatch"
+        );
         for (x, &y) in self.data.iter_mut().zip(other.data.iter()) {
             *x = alpha.mul_add(y, *x);
         }

@@ -65,8 +65,7 @@ pub fn hpl_scaled_residual<T: Scalar>(a: &Matrix<T>, x: &[T], b: &[T]) -> f64 {
         }
     }
     let rnorm = r.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
-    let denom =
-        f64::EPSILON * (inf_norm(a) * vec_inf_norm(x) + vec_inf_norm(b)) * (n as f64);
+    let denom = f64::EPSILON * (inf_norm(a) * vec_inf_norm(x) + vec_inf_norm(b)) * (n as f64);
     if denom == 0.0 {
         return if rnorm == 0.0 { 0.0 } else { f64::INFINITY };
     }
@@ -88,7 +87,11 @@ pub fn relative_residual<T: Scalar>(a: &Matrix<T>, x: &[T], b: &[T]) -> f64 {
         }
     }
     let rn = r.iter().map(|v| v * v).sum::<f64>().sqrt();
-    let bn = b.iter().map(|&v| v.to_f64() * v.to_f64()).sum::<f64>().sqrt();
+    let bn = b
+        .iter()
+        .map(|&v| v.to_f64() * v.to_f64())
+        .sum::<f64>()
+        .sqrt();
     if bn == 0.0 {
         rn
     } else {

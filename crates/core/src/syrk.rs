@@ -93,11 +93,21 @@ mod tests {
     use crate::gemm::{naive_gemm, Transpose};
     use crate::gen;
 
-    fn reference(trans: Transpose, alpha: f64, a: &Matrix<f64>, beta: f64, c0: &Matrix<f64>) -> Matrix<f64> {
+    fn reference(
+        trans: Transpose,
+        alpha: f64,
+        a: &Matrix<f64>,
+        beta: f64,
+        c0: &Matrix<f64>,
+    ) -> Matrix<f64> {
         let mut full = c0.clone();
         match trans {
-            Transpose::No => naive_gemm(Transpose::No, Transpose::Yes, alpha, a, a, beta, &mut full),
-            Transpose::Yes => naive_gemm(Transpose::Yes, Transpose::No, alpha, a, a, beta, &mut full),
+            Transpose::No => {
+                naive_gemm(Transpose::No, Transpose::Yes, alpha, a, a, beta, &mut full)
+            }
+            Transpose::Yes => {
+                naive_gemm(Transpose::Yes, Transpose::No, alpha, a, a, beta, &mut full)
+            }
         }
         full
     }

@@ -40,7 +40,14 @@ impl<T: Scalar> TileMatrix<T> {
                 tiles.push(Arc::new(RwLock::new(Matrix::zeros(tm, tn))));
             }
         }
-        TileMatrix { m, n, nb, mt, nt, tiles }
+        TileMatrix {
+            m,
+            n,
+            nb,
+            mt,
+            nt,
+            tiles,
+        }
     }
 
     /// Partitions a dense matrix into tiles (copies the data).

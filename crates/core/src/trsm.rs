@@ -130,7 +130,13 @@ pub fn trsv<T: Scalar>(uplo: Uplo, trans: Transpose, diag: Diag, a: &Matrix<T>, 
 
 /// Right-side solve `X op(A) = B`, processed as a column recurrence so every
 /// update is a stride-1 axpy on a column of `X`.
-fn trsm_right<T: Scalar>(uplo: Uplo, trans: Transpose, diag: Diag, a: &Matrix<T>, b: &mut Matrix<T>) {
+fn trsm_right<T: Scalar>(
+    uplo: Uplo,
+    trans: Transpose,
+    diag: Diag,
+    a: &Matrix<T>,
+    b: &mut Matrix<T>,
+) {
     let n = a.rows();
     let m = b.rows();
     // Effective upper/lower structure of op(A) as a right factor determines
@@ -246,7 +252,9 @@ mod tests {
                         let mut b = Matrix::zeros(br, bc);
                         match side {
                             Side::Left => gemm(trans, Transpose::No, 1.0, &t, &x_true, 0.0, &mut b),
-                            Side::Right => gemm(Transpose::No, trans, 1.0, &x_true, &t, 0.0, &mut b),
+                            Side::Right => {
+                                gemm(Transpose::No, trans, 1.0, &x_true, &t, 0.0, &mut b)
+                            }
                         }
                         trsm(side, uplo, trans, diag, 1.0, &a, &mut b);
                         assert!(
@@ -265,7 +273,15 @@ mod tests {
         let a = Matrix::<f64>::identity(3);
         let mut b = Matrix::from_fn(3, 2, |i, j| (i + j) as f64);
         let expect = Matrix::from_fn(3, 2, |i, j| 2.0 * (i + j) as f64);
-        trsm(Side::Left, Uplo::Lower, Transpose::No, Diag::NonUnit, 2.0, &a, &mut b);
+        trsm(
+            Side::Left,
+            Uplo::Lower,
+            Transpose::No,
+            Diag::NonUnit,
+            2.0,
+            &a,
+            &mut b,
+        );
         assert!(b.approx_eq(&expect, 1e-14));
     }
 
@@ -287,6 +303,14 @@ mod tests {
     fn rejects_non_square_triangle() {
         let a = Matrix::<f64>::zeros(3, 4);
         let mut b = Matrix::<f64>::zeros(3, 2);
-        trsm(Side::Left, Uplo::Lower, Transpose::No, Diag::NonUnit, 1.0, &a, &mut b);
+        trsm(
+            Side::Left,
+            Uplo::Lower,
+            Transpose::No,
+            Diag::NonUnit,
+            1.0,
+            &a,
+            &mut b,
+        );
     }
 }

@@ -18,7 +18,10 @@ use xsc_core::{Error, Matrix, Result, Scalar, Transpose};
 /// not guaranteed; the first index corresponds to pivot position 0, etc.).
 ///
 /// `block_rows` is the leaf block height (clamped to at least `b`).
-pub fn tournament_pivot_rows<T: Scalar>(panel: &Matrix<T>, block_rows: usize) -> Result<Vec<usize>> {
+pub fn tournament_pivot_rows<T: Scalar>(
+    panel: &Matrix<T>,
+    block_rows: usize,
+) -> Result<Vec<usize>> {
     let m = panel.rows();
     let b = panel.cols();
     assert!(m >= b, "panel must be at least as tall as wide");
@@ -30,7 +33,11 @@ pub fn tournament_pivot_rows<T: Scalar>(panel: &Matrix<T>, block_rows: usize) ->
         .into_par_iter()
         .map(|blk| {
             let r0 = blk * br;
-            let r1 = if blk + 1 == nblocks { m } else { (blk + 1) * br };
+            let r1 = if blk + 1 == nblocks {
+                m
+            } else {
+                (blk + 1) * br
+            };
             let rows: Vec<usize> = (r0..r1).collect();
             let data = panel.block(r0, 0, r1 - r0, b);
             elect(rows, data)
@@ -144,7 +151,15 @@ pub fn calu<T: Scalar>(a: &mut Matrix<T>, nb: usize, block_rows: usize) -> Resul
             let m2 = n - k - kb;
             let l21 = a.block(k + kb, k, m2, kb);
             let mut a22 = a.block(k + kb, k + kb, m2, ntrail);
-            gemm::gemm(Transpose::No, Transpose::No, -T::one(), &l21, &a12, T::one(), &mut a22);
+            gemm::gemm(
+                Transpose::No,
+                Transpose::No,
+                -T::one(),
+                &l21,
+                &a12,
+                T::one(),
+                &mut a22,
+            );
             a22.copy_block_into(0, 0, m2, ntrail, a, k + kb, k + kb);
         }
         k += kb;

@@ -51,7 +51,10 @@ pub fn build_graph<T: Scalar>(a: &TileMatrix<T>, poison: &Poison) -> TaskGraph {
             let (ib, _) = a.tile_dims(i, k);
             g.add_task_with_cost(
                 format!("trsm({i},{k})"),
-                [Access::Read(a.data_id(k, k)), Access::Write(a.data_id(i, k))],
+                [
+                    Access::Read(a.data_id(k, k)),
+                    Access::Write(a.data_id(i, k)),
+                ],
                 flops::trsm(kb, ib),
                 move || {
                     if p.is_set() {
@@ -77,7 +80,10 @@ pub fn build_graph<T: Scalar>(a: &TileMatrix<T>, poison: &Poison) -> TaskGraph {
             let (ib, _) = a.tile_dims(i, k);
             g.add_task_with_cost(
                 format!("syrk({i},{k})"),
-                [Access::Read(a.data_id(i, k)), Access::Write(a.data_id(i, i))],
+                [
+                    Access::Read(a.data_id(i, k)),
+                    Access::Write(a.data_id(i, i)),
+                ],
                 flops::syrk(ib, kb),
                 move || {
                     if p.is_set() {
@@ -134,7 +140,9 @@ pub fn build_graph<T: Scalar>(a: &TileMatrix<T>, poison: &Poison) -> TaskGraph {
 
 fn shift_pivot(e: Error, base: usize) -> Error {
     match e {
-        Error::NotPositiveDefinite { pivot } => Error::NotPositiveDefinite { pivot: base + pivot },
+        Error::NotPositiveDefinite { pivot } => Error::NotPositiveDefinite {
+            pivot: base + pivot,
+        },
         other => other,
     }
 }

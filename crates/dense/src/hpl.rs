@@ -7,9 +7,9 @@
 //! "new rules" counterpart.
 
 use rayon::prelude::*;
+use std::time::Instant;
 use xsc_core::{factor, flops, gen, norms};
 use xsc_core::{Matrix, Result, Scalar, Transpose};
-use std::time::Instant;
 
 /// Thread-parallel blocked right-looking LU with partial pivoting.
 ///

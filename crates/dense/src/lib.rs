@@ -19,6 +19,10 @@
 //! * [`hpl`] — the HPL-like benchmark driver (thread-parallel blocked LU
 //!   with partial pivoting, HPL flop accounting and the HPL acceptance
 //!   residual), one half of the headline HPL-vs-HPCG experiment.
+//! * [`resilient`] — **ABFT-guarded resilient Cholesky**: each tile kernel
+//!   verifies an `O(nb²)` checksum identity over its output and fails the
+//!   task on mismatch, letting the resilient runtime re-execute exactly the
+//!   corrupted tile operation (E17).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -30,6 +34,7 @@ pub mod hpl;
 pub mod lu;
 pub mod qr;
 pub mod rbt;
+pub mod resilient;
 pub mod tsqr;
 
 pub mod poison;

@@ -49,7 +49,10 @@ pub fn build_graph<T: Scalar>(a: &TileMatrix<T>, poison: &Poison) -> TaskGraph {
             let (_, jb) = a.tile_dims(k, j);
             g.add_task_with_cost(
                 format!("trsm_l({k},{j})"),
-                [Access::Read(a.data_id(k, k)), Access::Write(a.data_id(k, j))],
+                [
+                    Access::Read(a.data_id(k, k)),
+                    Access::Write(a.data_id(k, j)),
+                ],
                 flops::trsm(kb, jb),
                 move || {
                     if p.is_set() {
@@ -75,7 +78,10 @@ pub fn build_graph<T: Scalar>(a: &TileMatrix<T>, poison: &Poison) -> TaskGraph {
             let (ib, _) = a.tile_dims(i, k);
             g.add_task_with_cost(
                 format!("trsm_u({i},{k})"),
-                [Access::Read(a.data_id(k, k)), Access::Write(a.data_id(i, k))],
+                [
+                    Access::Read(a.data_id(k, k)),
+                    Access::Write(a.data_id(i, k)),
+                ],
                 flops::trsm(kb, ib),
                 move || {
                     if p.is_set() {

@@ -45,10 +45,7 @@ fn check_shape<T: Scalar>(a: &TileMatrix<T>) {
 
 /// Builds the task graph for the tiled QR of `a`, allocating the `τ` slots
 /// that the returned [`TiledQr`] will own.
-pub fn build_graph<T: Scalar>(
-    a: TileMatrix<T>,
-    poison: &Poison,
-) -> (TaskGraph, TiledQr<T>) {
+pub fn build_graph<T: Scalar>(a: TileMatrix<T>, poison: &Poison) -> (TaskGraph, TiledQr<T>) {
     check_shape(&a);
     let mt = a.tile_rows();
     let nt = a.tile_cols();
@@ -88,7 +85,10 @@ pub fn build_graph<T: Scalar>(
             let p = poison.clone();
             g.add_task_with_cost(
                 format!("gemqrt({k},{j})"),
-                [Access::Read(a.data_id(k, k)), Access::Write(a.data_id(k, j))],
+                [
+                    Access::Read(a.data_id(k, k)),
+                    Access::Write(a.data_id(k, j)),
+                ],
                 flops::gemm(nb, nb, nb),
                 move || {
                     if p.is_set() {
@@ -108,7 +108,10 @@ pub fn build_graph<T: Scalar>(
                 let p = poison.clone();
                 g.add_task_with_cost(
                     format!("tpqrt({i},{k})"),
-                    [Access::Write(a.data_id(k, k)), Access::Write(a.data_id(i, k))],
+                    [
+                        Access::Write(a.data_id(k, k)),
+                        Access::Write(a.data_id(i, k)),
+                    ],
                     2 * flops::gemm(nb, nb, nb),
                     move || {
                         if p.is_set() {
@@ -140,7 +143,13 @@ pub fn build_graph<T: Scalar>(
                         }
                         let v2 = tik.read();
                         let tau = tau.lock();
-                        tpmqrt(Transpose::Yes, &v2, &tau, &mut tkj.write(), &mut tij.write());
+                        tpmqrt(
+                            Transpose::Yes,
+                            &v2,
+                            &tau,
+                            &mut tkj.write(),
+                            &mut tij.write(),
+                        );
                     },
                 );
             }
@@ -223,7 +232,13 @@ pub fn qr_forkjoin<T: Scalar>(a: TileMatrix<T>) -> Result<TiledQr<T>> {
             (k + 1..nt).into_par_iter().for_each(|j| {
                 let tkj = a.tile(k, j);
                 let tij = a.tile(i, j);
-                tpmqrt(Transpose::Yes, &v2, &tau, &mut tkj.write(), &mut tij.write());
+                tpmqrt(
+                    Transpose::Yes,
+                    &v2,
+                    &tau,
+                    &mut tkj.write(),
+                    &mut tij.write(),
+                );
             });
         }
     }
@@ -262,7 +277,13 @@ impl<T: Scalar> TiledQr<T> {
                             let tau = self.taus_ts[&(i, k)].lock();
                             let bkj = b.tile(k, j);
                             let bij = b.tile(i, j);
-                            tpmqrt(Transpose::Yes, &v2, &tau, &mut bkj.write(), &mut bij.write());
+                            tpmqrt(
+                                Transpose::Yes,
+                                &v2,
+                                &tau,
+                                &mut bkj.write(),
+                                &mut bij.write(),
+                            );
                         }
                     }
                 }
@@ -310,7 +331,13 @@ impl<T: Scalar> TiledQr<T> {
         let qtb = bt.to_matrix();
         let mut x: Vec<T> = (0..n).map(|i| qtb.get(i, 0)).collect();
         let r = self.r_matrix();
-        trsm::trsv(trsm::Uplo::Upper, Transpose::No, trsm::Diag::NonUnit, &r, &mut x);
+        trsm::trsv(
+            trsm::Uplo::Upper,
+            Transpose::No,
+            trsm::Diag::NonUnit,
+            &r,
+            &mut x,
+        );
         x
     }
 }
@@ -358,7 +385,11 @@ mod tests {
         assert!(trace.tasks_run() > 0);
         let got = f_dag.tiles.to_matrix();
         let expect = f_seq.tiles.to_matrix();
-        assert!(got.approx_eq(&expect, 1e-10), "diff {}", got.max_abs_diff(&expect));
+        assert!(
+            got.approx_eq(&expect, 1e-10),
+            "diff {}",
+            got.max_abs_diff(&expect)
+        );
     }
 
     #[test]
@@ -371,7 +402,10 @@ mod tests {
         let f_fj = qr_forkjoin(TileMatrix::from_matrix(&a, nb)).unwrap();
         let got = f_fj.tiles.to_matrix();
         let expect = f_seq.tiles.to_matrix();
-        assert!(got.approx_eq(&expect, 0.0), "identical kernel order must be bitwise equal");
+        assert!(
+            got.approx_eq(&expect, 0.0),
+            "identical kernel order must be bitwise equal"
+        );
         // And the factorization solves.
         let b = gen::random_vector::<f64>(m, 12);
         let x = f_fj.solve_ls(&b);

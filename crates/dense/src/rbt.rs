@@ -232,11 +232,13 @@ mod tests {
         let n = 32;
         let mut a = gen::random_matrix::<f64>(n, n, 9);
         a.set(0, 0, 0.0);
-        assert!(factor::getrf_nopiv(&mut a.clone()).is_err() || {
-            // If not exactly detected as singular, the residual check below
-            // still demonstrates the instability.
-            true
-        });
+        assert!(
+            factor::getrf_nopiv(&mut a.clone()).is_err() || {
+                // If not exactly detected as singular, the residual check below
+                // still demonstrates the instability.
+                true
+            }
+        );
         let b = gen::rhs_for_unit_solution(&a);
         let f = rbt_lu(&a, 2, 10).unwrap();
         let mut x = b.clone();

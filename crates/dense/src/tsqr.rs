@@ -164,7 +164,10 @@ mod tests {
         assert_eq!(res.levels, 4);
         assert_eq!(res.comm_words, 15 * (n * n) as u64);
         let (_, flat_words) = flat_qr_r(&a);
-        assert!(res.comm_words < flat_words / 5, "TSQR must move far fewer words");
+        assert!(
+            res.comm_words < flat_words / 5,
+            "TSQR must move far fewer words"
+        );
     }
 
     #[test]

@@ -154,7 +154,15 @@ pub fn abft_gemm<T: Scalar>(
     let ae = encode_rows(a);
     let be = encode_cols(b);
     let mut ce = Matrix::zeros(m + 1, n + 1);
-    gemm(Transpose::No, Transpose::No, T::one(), &ae, &be, T::zero(), &mut ce);
+    gemm(
+        Transpose::No,
+        Transpose::No,
+        T::one(),
+        &ae,
+        &be,
+        T::zero(),
+        &mut ce,
+    );
     tamper(&mut ce);
     let scale = norms::max_abs(&ce);
     let outcome = verify_and_correct(&mut ce, checksum_tolerance(m, n, k, scale));
@@ -246,7 +254,11 @@ mod tests {
             ce.set(4, 6, v + 37.5);
         });
         match outcome {
-            AbftOutcome::Corrected { row, col, magnitude } => {
+            AbftOutcome::Corrected {
+                row,
+                col,
+                magnitude,
+            } => {
                 assert_eq!((row, col), (4, 6));
                 assert!((magnitude - 37.5).abs() < 1e-9);
             }
@@ -254,7 +266,10 @@ mod tests {
         }
         let mut c_ref = Matrix::zeros(10, 10);
         gemm(Transpose::No, Transpose::No, 1.0, &a, &b, 0.0, &mut c_ref);
-        assert!(c.approx_eq(&c_ref, 1e-10), "corrected product must be exact");
+        assert!(
+            c.approx_eq(&c_ref, 1e-10),
+            "corrected product must be exact"
+        );
     }
 
     #[test]
@@ -268,7 +283,17 @@ mod tests {
             let v = ce.get(i, j);
             ce.set(i, j, inj.corrupt_value(v));
         });
-        assert!(matches!(outcome, AbftOutcome::Corrected { row: 3, col: 11, .. }), "{outcome:?}");
+        assert!(
+            matches!(
+                outcome,
+                AbftOutcome::Corrected {
+                    row: 3,
+                    col: 11,
+                    ..
+                }
+            ),
+            "{outcome:?}"
+        );
         let mut c_ref = Matrix::zeros(16, 16);
         gemm(Transpose::No, Transpose::No, 1.0, &a, &b, 0.0, &mut c_ref);
         assert!(c.approx_eq(&c_ref, 1e-9));

@@ -228,7 +228,9 @@ mod tests {
     #[test]
     fn converges_through_faults_with_checkpointing() {
         let (a, b) = problem();
-        let mut inj = FaultInjector::new(0.15, FaultKind::BitFlip, 2);
+        // Seed 3 fires within the first few iterations under the in-repo
+        // RNG stream; seed 2's first fire came after CG had converged.
+        let mut inj = FaultInjector::new(0.15, FaultKind::BitFlip, 3);
         let rep = resilient_cg(
             &a,
             &b,
@@ -240,7 +242,10 @@ mod tests {
             1e-6,
         );
         assert!(rep.converged, "report: {rep:?}");
-        assert!(rep.faults > 0, "fault rate 15% over dozens of iters must fire");
+        assert!(
+            rep.faults > 0,
+            "fault rate 15% over dozens of iters must fire"
+        );
         assert!(rep.recoveries > 0);
         assert!(rep.final_residual < 1e-7);
     }
@@ -299,7 +304,10 @@ mod tests {
             witnessed = true;
             break;
         }
-        assert!(witnessed, "no seed in 0..50 produced an unprotected failure");
+        assert!(
+            witnessed,
+            "no seed in 0..50 produced an unprotected failure"
+        );
     }
 
     #[test]

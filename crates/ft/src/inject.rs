@@ -18,13 +18,34 @@ pub enum FaultKind {
     Stuck(f64),
     /// Scale by a factor (a "silent" small corruption).
     Scale(f64),
+    /// Overwrite with exactly zero (a dead tile / lost update).
+    Zero,
+}
+
+impl FaultKind {
+    /// Applies this corruption to one value — the single implementation
+    /// shared by [`FaultInjector`] and the chaos-plan adapter
+    /// ([`crate::plan::FaultPlan`]).
+    pub fn apply(self, v: f64) -> f64 {
+        match self {
+            FaultKind::BitFlip => {
+                // Flip a high bit of the f64 image: deterministic, large.
+                f64::from_bits(v.to_bits() ^ (1u64 << 61))
+            }
+            FaultKind::Stuck(g) => g,
+            FaultKind::Scale(s) => v * s,
+            FaultKind::Zero => 0.0,
+        }
+    }
 }
 
 /// A seeded fault injector with a per-opportunity firing probability.
 pub struct FaultInjector {
     rng: SmallRng,
-    /// Probability that a given opportunity fires.
-    pub rate: f64,
+    /// Probability that a given opportunity fires. Kept private so it can
+    /// only be set through the validated constructor/setter — a rate
+    /// outside `[0, 1]` would silently skew every resilience experiment.
+    rate: f64,
     kind: FaultKind,
     fired: usize,
 }
@@ -41,6 +62,20 @@ impl FaultInjector {
         }
     }
 
+    /// The per-opportunity firing probability.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Changes the firing probability.
+    ///
+    /// # Panics
+    /// If `rate` is not in `[0, 1]` (NaN included).
+    pub fn set_rate(&mut self, rate: f64) {
+        assert!((0.0..=1.0).contains(&rate), "rate must be a probability");
+        self.rate = rate;
+    }
+
     /// Number of faults injected so far.
     pub fn faults_fired(&self) -> usize {
         self.fired
@@ -54,15 +89,7 @@ impl FaultInjector {
     /// Corrupts one value according to the configured [`FaultKind`].
     pub fn corrupt_value<T: Scalar>(&mut self, v: T) -> T {
         self.fired += 1;
-        match self.kind {
-            FaultKind::BitFlip => {
-                // Flip a high bit of the f64 image: deterministic, large.
-                let bits = v.to_f64().to_bits() ^ (1u64 << 61);
-                T::from_f64(f64::from_bits(bits))
-            }
-            FaultKind::Stuck(g) => T::from_f64(g),
-            FaultKind::Scale(s) => T::from_f64(v.to_f64() * s),
-        }
+        T::from_f64(self.kind.apply(v.to_f64()))
     }
 
     /// Unconditionally corrupts a uniformly chosen element of `m`,
@@ -116,6 +143,23 @@ mod tests {
         assert_eq!(inj.corrupt_value(7.0f64), 42.0);
         let mut inj = FaultInjector::new(1.0, FaultKind::Scale(2.0), 3);
         assert_eq!(inj.corrupt_value(7.0f64), 14.0);
+    }
+
+    #[test]
+    fn zero_kind_kills_value() {
+        let mut inj = FaultInjector::new(1.0, FaultKind::Zero, 11);
+        assert_eq!(inj.corrupt_value(3.5f64), 0.0);
+        assert_eq!(FaultKind::Zero.apply(-7.0), 0.0);
+    }
+
+    #[test]
+    fn rate_is_validated_and_readable() {
+        let mut inj = FaultInjector::new(0.25, FaultKind::BitFlip, 12);
+        assert_eq!(inj.rate(), 0.25);
+        inj.set_rate(0.5);
+        assert_eq!(inj.rate(), 0.5);
+        assert!(std::panic::catch_unwind(move || inj.set_rate(1.5)).is_err());
+        assert!(std::panic::catch_unwind(|| FaultInjector::new(-0.1, FaultKind::Zero, 0)).is_err());
     }
 
     #[test]

@@ -10,7 +10,11 @@
 //!   detect, *locate*, and *correct* a corrupted entry from row/column
 //!   checksums, at `O(n²)` overhead on an `O(n³)` computation;
 //! * [`checkpoint`] — checkpoint/rollback for iterative solvers, plus a
-//!   fault-aware CG driver comparing the two recovery styles (E12).
+//!   fault-aware CG driver comparing the two recovery styles (E12);
+//! * [`plan`] — schedule-independent chaos plans for task DAGs: a pure
+//!   hash of `(seed, task, attempt)` decides which attempts panic, emit
+//!   silently corrupted output, or stall, so chaos campaigns reproduce
+//!   exactly across runs and thread counts (E17).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -19,6 +23,8 @@
 pub mod abft;
 pub mod checkpoint;
 pub mod inject;
+pub mod plan;
 
 pub use abft::{abft_gemm, AbftOutcome};
 pub use inject::FaultInjector;
+pub use plan::{chaos_kernel, ChaosKind, FaultPlan, Injection};

@@ -157,7 +157,10 @@ mod tests {
         let small = classic.time_per_iteration(&m, 4) / piped.time_per_iteration(&m, 4);
         // At large scale the two dependent reductions dominate.
         let large = classic.time_per_iteration(&m, 1 << 20) / piped.time_per_iteration(&m, 1 << 20);
-        assert!(large > small, "advantage must grow with scale: {small} -> {large}");
+        assert!(
+            large > small,
+            "advantage must grow with scale: {small} -> {large}"
+        );
         assert!(large > 1.5, "pipelined should win big at 1M ranks: {large}");
     }
 

@@ -88,7 +88,11 @@ mod tests {
         let p = 4096;
         let w2d = matmul_comm_words(MatmulAlgorithm::Summa2d, n, p);
         let w25 = matmul_comm_words(MatmulAlgorithm::TwoPointFiveD { c: 4 }, n, p);
-        assert!((w2d / w25 - 2.0).abs() < 1e-9, "c=4 halves the words: {}", w2d / w25);
+        assert!(
+            (w2d / w25 - 2.0).abs() < 1e-9,
+            "c=4 halves the words: {}",
+            w2d / w25
+        );
     }
 
     #[test]

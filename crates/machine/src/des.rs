@@ -139,7 +139,11 @@ pub fn simulate(n: usize, edges: &[(usize, usize)], costs: &[f64], cfg: DesConfi
         } else {
             0.0
         },
-        speedup: if makespan > 0.0 { total_work / makespan } else { 0.0 },
+        speedup: if makespan > 0.0 {
+            total_work / makespan
+        } else {
+            0.0
+        },
         placement,
     }
 }
@@ -182,7 +186,15 @@ mod tests {
     #[test]
     fn chain_cannot_be_parallelized() {
         let (edges, costs) = chain(10);
-        let rep = simulate(10, &edges, &costs, DesConfig { workers: 8, comm_delay: 0.0 });
+        let rep = simulate(
+            10,
+            &edges,
+            &costs,
+            DesConfig {
+                workers: 8,
+                comm_delay: 0.0,
+            },
+        );
         assert!((rep.makespan - 10.0).abs() < 1e-12);
         assert!((rep.speedup - 1.0).abs() < 1e-12);
         assert!((rep.critical_path - 10.0).abs() < 1e-12);
@@ -191,7 +203,15 @@ mod tests {
     #[test]
     fn independent_tasks_scale_perfectly() {
         let costs = vec![1.0; 16];
-        let rep = simulate(16, &[], &costs, DesConfig { workers: 4, comm_delay: 0.0 });
+        let rep = simulate(
+            16,
+            &[],
+            &costs,
+            DesConfig {
+                workers: 4,
+                comm_delay: 0.0,
+            },
+        );
         assert!((rep.makespan - 4.0).abs() < 1e-12);
         assert!((rep.speedup - 4.0).abs() < 1e-12);
         assert!((rep.utilization - 1.0).abs() < 1e-12);
@@ -203,7 +223,15 @@ mod tests {
         let edges = vec![(0, 2), (1, 2), (2, 3), (1, 4)];
         let costs = vec![2.0, 1.0, 3.0, 1.0, 5.0];
         for workers in [1, 2, 3, 8] {
-            let rep = simulate(5, &edges, &costs, DesConfig { workers, comm_delay: 0.0 });
+            let rep = simulate(
+                5,
+                &edges,
+                &costs,
+                DesConfig {
+                    workers,
+                    comm_delay: 0.0,
+                },
+            );
             let bound = rep.critical_path.max(rep.total_work / workers as f64);
             assert!(
                 rep.makespan >= bound - 1e-12,
@@ -217,7 +245,15 @@ mod tests {
     fn single_worker_equals_total_work() {
         let edges = vec![(0, 3), (1, 3), (2, 4)];
         let costs = vec![1.0, 2.0, 3.0, 4.0, 5.0];
-        let rep = simulate(5, &edges, &costs, DesConfig { workers: 1, comm_delay: 0.0 });
+        let rep = simulate(
+            5,
+            &edges,
+            &costs,
+            DesConfig {
+                workers: 1,
+                comm_delay: 0.0,
+            },
+        );
         assert!((rep.makespan - 15.0).abs() < 1e-12);
         assert!((rep.utilization - 1.0).abs() < 1e-12);
     }
@@ -227,8 +263,24 @@ mod tests {
         // Fork-join diamond: comm charged when children land on other workers.
         let edges = vec![(0, 1), (0, 2), (1, 3), (2, 3)];
         let costs = vec![1.0; 4];
-        let free = simulate(4, &edges, &costs, DesConfig { workers: 2, comm_delay: 0.0 });
-        let slow = simulate(4, &edges, &costs, DesConfig { workers: 2, comm_delay: 0.5 });
+        let free = simulate(
+            4,
+            &edges,
+            &costs,
+            DesConfig {
+                workers: 2,
+                comm_delay: 0.0,
+            },
+        );
+        let slow = simulate(
+            4,
+            &edges,
+            &costs,
+            DesConfig {
+                workers: 2,
+                comm_delay: 0.5,
+            },
+        );
         assert!(slow.makespan >= free.makespan);
     }
 
@@ -237,8 +289,20 @@ mod tests {
         // With a huge comm delay, the best schedule keeps the chain on one
         // worker: makespan equals serial time, not serial + comm.
         let (edges, costs) = chain(6);
-        let rep = simulate(6, &edges, &costs, DesConfig { workers: 4, comm_delay: 100.0 });
-        assert!((rep.makespan - 6.0).abs() < 1e-12, "makespan {}", rep.makespan);
+        let rep = simulate(
+            6,
+            &edges,
+            &costs,
+            DesConfig {
+                workers: 4,
+                comm_delay: 100.0,
+            },
+        );
+        assert!(
+            (rep.makespan - 6.0).abs() < 1e-12,
+            "makespan {}",
+            rep.makespan
+        );
     }
 
     #[test]
@@ -260,13 +324,29 @@ mod tests {
     fn duplicate_edges_tolerated() {
         let edges = vec![(0, 1), (0, 1), (0, 1)];
         let costs = vec![1.0, 1.0];
-        let rep = simulate(2, &edges, &costs, DesConfig { workers: 2, comm_delay: 0.0 });
+        let rep = simulate(
+            2,
+            &edges,
+            &costs,
+            DesConfig {
+                workers: 2,
+                comm_delay: 0.0,
+            },
+        );
         assert!((rep.makespan - 2.0).abs() < 1e-12);
     }
 
     #[test]
     #[should_panic(expected = "invalid")]
     fn bad_edges_rejected() {
-        simulate(2, &[(1, 1)], &[1.0, 1.0], DesConfig { workers: 1, comm_delay: 0.0 });
+        simulate(
+            2,
+            &[(1, 1)],
+            &[1.0, 1.0],
+            DesConfig {
+                workers: 1,
+                comm_delay: 0.0,
+            },
+        );
     }
 }

@@ -124,7 +124,11 @@ impl MachineModel {
         let t_net = k.net_bytes / self.net_bw + k.messages * self.net_latency;
         // Compute and memory overlap (roofline); network serializes.
         let seconds = t_flops.max(t_mem) + t_net;
-        let achieved = if seconds > 0.0 { k.flops / seconds } else { 0.0 };
+        let achieved = if seconds > 0.0 {
+            k.flops / seconds
+        } else {
+            0.0
+        };
         let energy_j = (k.flops * self.energy.pj_per_flop
             + k.dram_bytes * self.energy.pj_per_byte_dram
             + k.net_bytes * self.energy.pj_per_byte_network)
@@ -290,7 +294,11 @@ mod tests {
         let m = MachineModel::node_2016();
         let hpl = m.predict(&KernelProfile::hpl(50_000, 256));
         assert_eq!(hpl.bound, Bound::Compute);
-        assert!(hpl.fraction_of_peak > 0.5, "HPL %peak {}", hpl.fraction_of_peak);
+        assert!(
+            hpl.fraction_of_peak > 0.5,
+            "HPL %peak {}",
+            hpl.fraction_of_peak
+        );
 
         let n = 104usize.pow(3);
         let hpcg = m.predict(&KernelProfile::hpcg(n, 27 * n, 50));
@@ -307,7 +315,10 @@ mod tests {
     #[test]
     fn hpcg_gap_widens_towards_exascale() {
         let n = 104usize.pow(3);
-        let frac = |m: &MachineModel| m.predict(&KernelProfile::hpcg(n, 27 * n, 50)).fraction_of_peak;
+        let frac = |m: &MachineModel| {
+            m.predict(&KernelProfile::hpcg(n, 27 * n, 50))
+                .fraction_of_peak
+        };
         let gens = MachineModel::generations();
         assert!(
             frac(&gens[2]) < frac(&gens[1]) && frac(&gens[1]) < frac(&gens[0]),

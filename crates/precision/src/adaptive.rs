@@ -110,7 +110,12 @@ mod tests {
         let a = gen::diag_dominant::<f64>(64, 1);
         let b = gen::rhs_for_unit_solution(&a);
         let (x, rep) = adaptive_solve(&a, &b).unwrap();
-        assert_eq!(rep.choice, SolverChoice::ClassicIr, "κ≈{}", rep.cond_estimate);
+        assert_eq!(
+            rep.choice,
+            SolverChoice::ClassicIr,
+            "κ≈{}",
+            rep.cond_estimate
+        );
         assert!(norms::relative_residual(&a, &x, &b) < 1e-9);
         assert_eq!(rep.fallbacks, 0);
     }
@@ -122,7 +127,10 @@ mod tests {
         let b = gen::rhs_for_unit_solution(&a);
         let (x, rep) = adaptive_solve(&a, &b).unwrap();
         assert!(
-            matches!(rep.choice, SolverChoice::GmresIr | SolverChoice::FullPrecision),
+            matches!(
+                rep.choice,
+                SolverChoice::GmresIr | SolverChoice::FullPrecision
+            ),
             "κ≈{:.2e} chose {:?}",
             rep.cond_estimate,
             rep.choice
@@ -135,7 +143,12 @@ mod tests {
         let a = gen::ill_conditioned_spd::<f64>(48, 1e13, 3);
         let b = gen::rhs_for_unit_solution(&a);
         let (x, rep) = adaptive_solve(&a, &b).unwrap();
-        assert_eq!(rep.choice, SolverChoice::FullPrecision, "κ≈{:.2e}", rep.cond_estimate);
+        assert_eq!(
+            rep.choice,
+            SolverChoice::FullPrecision,
+            "κ≈{:.2e}",
+            rep.cond_estimate
+        );
         // At κ=1e13 even f64 loses digits; backward stability is the bar.
         assert!(norms::hpl_scaled_residual(&a, &x, &b) < 16.0);
     }

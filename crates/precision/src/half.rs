@@ -290,7 +290,12 @@ mod tests {
         assert!((x.sqrt().to_f64() - std::f64::consts::SQRT_2).abs() < 1e-3);
         assert_eq!(Half::zero() + Half::one(), Half::one());
         assert_eq!((-Half::one()).abs(), Half::one());
-        assert_eq!(Half::from_f64(2.0).mul_add(Half::from_f64(3.0), Half::one()).to_f64(), 7.0);
+        assert_eq!(
+            Half::from_f64(2.0)
+                .mul_add(Half::from_f64(3.0), Half::one())
+                .to_f64(),
+            7.0
+        );
     }
 
     #[test]
@@ -307,6 +312,10 @@ mod tests {
         let back: Matrix<f64> = h.convert();
         // fp16 has ~3 decimal digits: conversion error bounded by ~1e-3
         // relative on O(1) entries.
-        assert!(a.max_abs_diff(&back) < 5e-3, "diff {}", a.max_abs_diff(&back));
+        assert!(
+            a.max_abs_diff(&back) < 5e-3,
+            "diff {}",
+            a.max_abs_diff(&back)
+        );
     }
 }

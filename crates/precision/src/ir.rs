@@ -98,7 +98,9 @@ pub fn lu_ir_solve<Lo: Float>(
         // Stall detection: refinement must contract; if the error stops
         // improving before reaching tol, the conditioning is too bad for
         // this low precision.
-        let stalled = history.last().is_some_and(|&prev| be >= prev * 0.5 && be > tol);
+        let stalled = history
+            .last()
+            .is_some_and(|&prev| be >= prev * 0.5 && be > tol);
         history.push(be);
         if be <= tol {
             converged = true;
@@ -180,11 +182,21 @@ mod tests {
         let b = gen::rhs_for_unit_solution(&a);
         let (_, r32) = lu_ir_solve::<f32>(&a, &b, 60, None).unwrap();
         let (_, r16) = lu_ir_solve::<Half>(&a, &b, 60, None).unwrap();
+        // On a strongly diag-dominant system both precisions can land on
+        // the same small iteration count, so compare what is robustly
+        // ordered: the initial low-precision solve's backward error
+        // (u_fp16/u_fp32 ≈ 8000×) and the refinement effort (never less).
         assert!(
-            r16.iterations > r32.iterations,
-            "fp16 ({}) should need more refinement than fp32 ({})",
+            r16.iterations >= r32.iterations,
+            "fp16 ({}) should need at least as much refinement as fp32 ({})",
             r16.iterations,
             r32.iterations
+        );
+        assert!(
+            r16.residual_history[0] > r32.residual_history[0] * 100.0,
+            "fp16 initial solve ({:.3e}) should be far less accurate than fp32 ({:.3e})",
+            r16.residual_history[0],
+            r32.residual_history[0]
         );
     }
 

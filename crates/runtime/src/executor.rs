@@ -1,13 +1,24 @@
 //! Multithreaded DAG executor.
+//!
+//! Two execution modes share one worker loop:
+//!
+//! * **fail-stop** ([`Executor::execute`]) — the first kernel panic or
+//!   task fault aborts the run and propagates to the caller, the
+//!   pre-resilience semantics;
+//! * **resilient** ([`Executor::execute_resilient`]) — failed attempts of
+//!   fallible kernels are retried under a [`RecoveryPolicy`], and a task
+//!   that exhausts its budget either aborts the run or has its dependent
+//!   subtree skipped, with full telemetry in the returned trace.
 
-use crate::graph::{TaskGraph, TaskId};
+use crate::graph::{Kernel, TaskGraph, TaskId};
+use crate::resilience::{Attempt, ExhaustedAction, RecoveryPolicy, ResilienceStats, TaskOutcome};
 use crate::trace::{Trace, TraceEvent};
 use parking_lot::{Condvar, Mutex};
 use std::collections::BinaryHeap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Ready-queue ordering policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,14 +59,87 @@ impl PartialOrd for ReadyTask {
     }
 }
 
-type KernelSlot = Mutex<Option<Box<dyn FnOnce() + Send>>>;
+type KernelSlot = Mutex<Option<Kernel>>;
 
 struct Shared {
     ready: Mutex<BinaryHeap<ReadyTask>>,
     available: Condvar,
     remaining: AtomicUsize,
-    abort: std::sync::atomic::AtomicBool,
+    abort: AtomicBool,
     panicked: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+/// Per-task outcome codes stored in [`Resilient::outcome`].
+const OUT_NOT_RUN: u8 = 0;
+const OUT_SUCCEEDED: u8 = 1;
+const OUT_FAILED: u8 = 2;
+const OUT_SKIPPED: u8 = 3;
+
+/// Shared state for a resilient execution.
+struct Resilient {
+    policy: RecoveryPolicy,
+    /// Final execution count per task.
+    attempts: Vec<AtomicU32>,
+    /// Final disposition per task (`OUT_*` codes).
+    outcome: Vec<AtomicU8>,
+    /// Set on every transitive successor of a permanently failed task
+    /// (under [`ExhaustedAction::SkipSubtree`]); tainted tasks are skipped.
+    tainted: Vec<AtomicBool>,
+    /// Accumulated simulated backoff, in nanoseconds.
+    backoff_nanos: AtomicU64,
+    /// Accumulated wall time of failed attempts, in nanoseconds.
+    wasted_nanos: AtomicU64,
+}
+
+impl Resilient {
+    fn new(policy: RecoveryPolicy, n: usize) -> Self {
+        Resilient {
+            policy,
+            attempts: (0..n).map(|_| AtomicU32::new(0)).collect(),
+            outcome: (0..n).map(|_| AtomicU8::new(OUT_NOT_RUN)).collect(),
+            tainted: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            backoff_nanos: AtomicU64::new(0),
+            wasted_nanos: AtomicU64::new(0),
+        }
+    }
+
+    fn into_stats(self) -> ResilienceStats {
+        let mut stats = ResilienceStats {
+            simulated_backoff: Duration::from_nanos(self.backoff_nanos.into_inner()),
+            wasted_time: Duration::from_nanos(self.wasted_nanos.into_inner()),
+            ..ResilienceStats::default()
+        };
+        for (a, o) in self.attempts.into_iter().zip(self.outcome) {
+            let attempts = a.into_inner();
+            let outcome = match o.into_inner() {
+                OUT_SUCCEEDED => {
+                    if attempts > 1 {
+                        stats.recoveries += 1;
+                    }
+                    TaskOutcome::Succeeded { attempts }
+                }
+                OUT_FAILED => {
+                    stats.permanent_failures += 1;
+                    TaskOutcome::Failed { attempts }
+                }
+                OUT_SKIPPED => {
+                    stats.skipped += 1;
+                    TaskOutcome::Skipped
+                }
+                _ => TaskOutcome::NotRun,
+            };
+            stats.retries += u64::from(attempts.saturating_sub(1));
+            stats.outcomes.push(outcome);
+        }
+        stats
+    }
+}
+
+/// Result of running one task's kernel to its final disposition.
+enum TaskRun {
+    Succeeded,
+    /// All attempts failed (budget exhausted or kernel not re-runnable).
+    FailedPermanently,
 }
 
 impl Executor {
@@ -79,27 +163,53 @@ impl Executor {
     }
 
     /// Executes every task in the graph, respecting its dependence edges.
-    /// Blocks until all tasks have run. Panics from task kernels are
-    /// propagated to the caller after all workers have stopped.
+    /// Blocks until all tasks have run. Panics from task kernels — and
+    /// faults from fallible kernels — are propagated to the caller after
+    /// all workers have stopped (fail-stop).
     pub fn execute(&self, graph: TaskGraph) -> Trace {
-        self.run(graph, false)
+        self.run(graph, false, None)
     }
 
     /// Like [`Executor::execute`], but records a per-worker execution trace
     /// (start/end timestamps per task) for utilization analysis.
     pub fn execute_traced(&self, graph: TaskGraph) -> Trace {
-        self.run(graph, true)
+        self.run(graph, true, None)
     }
 
-    fn run(&self, mut graph: TaskGraph, record: bool) -> Trace {
+    /// Executes the graph with task-level fault recovery: failed attempts
+    /// of fallible kernels ([`TaskGraph::add_fallible_task`]) are retried
+    /// up to `policy.max_attempts`, with deterministic simulated backoff.
+    /// Kernel *panics* are contained to the task as well; a panicking
+    /// infallible (`add_task`) kernel cannot be re-run, so it fails
+    /// permanently on its first attempt.
+    ///
+    /// The returned trace always carries [`ResilienceStats`] (via
+    /// [`Trace::resilience`]); this method never panics on task failure —
+    /// inspect `stats.completed()` / `stats.aborted` instead.
+    pub fn execute_resilient(&self, graph: TaskGraph, policy: RecoveryPolicy) -> Trace {
+        self.run(graph, false, Some(policy))
+    }
+
+    /// [`Executor::execute_resilient`] with per-attempt trace events (one
+    /// event per attempt, carrying its attempt number).
+    pub fn execute_resilient_traced(&self, graph: TaskGraph, policy: RecoveryPolicy) -> Trace {
+        self.run(graph, true, Some(policy))
+    }
+
+    fn run(&self, mut graph: TaskGraph, record: bool, recovery: Option<RecoveryPolicy>) -> Trace {
         let n = graph.len();
         if n == 0 {
-            return Trace::empty(self.threads);
+            let trace = Trace::empty(self.threads);
+            return match recovery {
+                Some(policy) => trace.with_resilience(Resilient::new(policy, 0).into_stats()),
+                None => trace,
+            };
         }
         let fin = graph.finalize();
         let successors = Arc::new(fin.successors);
         let priority = Arc::new(fin.priority);
-        let names: Arc<Vec<String>> = Arc::new(graph.tasks.iter().map(|t| t.name.clone()).collect());
+        let names: Arc<Vec<String>> =
+            Arc::new(graph.tasks.iter().map(|t| t.name.clone()).collect());
 
         // Kernels move into per-task slots the workers take from.
         let kernels: Arc<Vec<KernelSlot>> = Arc::new(
@@ -109,20 +219,17 @@ impl Executor {
                 .map(|t| Mutex::new(t.kernel.take()))
                 .collect(),
         );
-        let pending: Arc<Vec<AtomicUsize>> = Arc::new(
-            fin.in_degree
-                .iter()
-                .map(|&d| AtomicUsize::new(d))
-                .collect(),
-        );
+        let pending: Arc<Vec<AtomicUsize>> =
+            Arc::new(fin.in_degree.iter().map(|&d| AtomicUsize::new(d)).collect());
 
         let shared = Arc::new(Shared {
             ready: Mutex::new(BinaryHeap::new()),
             available: Condvar::new(),
             remaining: AtomicUsize::new(n),
-            abort: std::sync::atomic::AtomicBool::new(false),
+            abort: AtomicBool::new(false),
             panicked: Mutex::new(None),
         });
+        let resilient = recovery.map(|policy| Arc::new(Resilient::new(policy, n)));
 
         // Seed the ready queue with the sources.
         {
@@ -145,6 +252,7 @@ impl Executor {
             let priority = Arc::clone(&priority);
             let kernels = Arc::clone(&kernels);
             let pending = Arc::clone(&pending);
+            let resilient = resilient.clone();
             let policy = self.policy;
             let handle = std::thread::Builder::new()
                 .name(format!("xsc-worker-{worker}"))
@@ -167,34 +275,96 @@ impl Executor {
                         };
                         let id = task.id;
                         let kernel = kernels[id].lock().take();
-                        let start = epoch.elapsed();
-                        if let Some(k) = kernel {
-                            if let Err(payload) = catch_unwind(AssertUnwindSafe(k)) {
-                                let mut slot = shared.panicked.lock();
-                                if slot.is_none() {
-                                    *slot = Some(payload);
+
+                        let disposition = match &resilient {
+                            Some(res) => {
+                                if res.tainted[id].load(Ordering::Acquire) {
+                                    // A transitive predecessor failed:
+                                    // drop the kernel without running it.
+                                    res.outcome[id].store(OUT_SKIPPED, Ordering::Release);
+                                    drop(kernel);
+                                    TaskRun::FailedPermanently
+                                } else {
+                                    let run = run_resilient(
+                                        kernel,
+                                        id,
+                                        worker,
+                                        res,
+                                        &epoch,
+                                        record,
+                                        &mut events,
+                                    );
+                                    if matches!(run, TaskRun::FailedPermanently)
+                                        && res.policy.on_exhausted == ExhaustedAction::Abort
+                                    {
+                                        shared.abort.store(true, Ordering::Release);
+                                        shared.available.notify_all();
+                                        return events;
+                                    }
+                                    run
                                 }
-                                // Abort flag (not `remaining`) makes the
-                                // other workers exit: a worker mid-kernel
-                                // will still decrement `remaining` once, and
-                                // zeroing it here would underflow.
-                                shared.abort.store(true, Ordering::Release);
-                                shared.available.notify_all();
-                                return events;
                             }
-                        }
-                        let end = epoch.elapsed();
-                        if record {
-                            events.push(TraceEvent {
-                                task: id,
-                                worker,
-                                start,
-                                end,
-                            });
-                        }
-                        // Release successors.
+                            None => {
+                                // Fail-stop: the first panic or fault ends
+                                // the whole execution.
+                                let start = epoch.elapsed();
+                                let failure: Option<Box<dyn std::any::Any + Send>> = match kernel {
+                                    None => None,
+                                    Some(Kernel::Once(k)) => {
+                                        catch_unwind(AssertUnwindSafe(k)).err()
+                                    }
+                                    Some(Kernel::Fallible(k)) => {
+                                        match catch_unwind(AssertUnwindSafe(|| {
+                                            k(Attempt {
+                                                task: id,
+                                                attempt: 1,
+                                            })
+                                        })) {
+                                            Ok(Ok(())) => None,
+                                            Ok(Err(fault)) => {
+                                                Some(Box::new(format!("task {id} failed: {fault}")))
+                                            }
+                                            Err(payload) => Some(payload),
+                                        }
+                                    }
+                                };
+                                if let Some(payload) = failure {
+                                    let mut slot = shared.panicked.lock();
+                                    if slot.is_none() {
+                                        *slot = Some(payload);
+                                    }
+                                    // Abort flag (not `remaining`) makes the
+                                    // other workers exit: a worker mid-kernel
+                                    // will still decrement `remaining` once,
+                                    // and zeroing it here would underflow.
+                                    shared.abort.store(true, Ordering::Release);
+                                    shared.available.notify_all();
+                                    return events;
+                                }
+                                if record {
+                                    events.push(TraceEvent {
+                                        task: id,
+                                        worker,
+                                        start,
+                                        end: epoch.elapsed(),
+                                        attempt: 1,
+                                    });
+                                }
+                                TaskRun::Succeeded
+                            }
+                        };
+
+                        // Release successors; a permanent failure (or skip)
+                        // taints them so the subtree is abandoned, not run
+                        // against bad data.
+                        let taint = matches!(disposition, TaskRun::FailedPermanently);
                         let mut newly_ready = Vec::new();
                         for &s in &successors[id] {
+                            if taint {
+                                if let Some(res) = &resilient {
+                                    res.tainted[s].store(true, Ordering::Release);
+                                }
+                            }
                             if pending[s].fetch_sub(1, Ordering::AcqRel) == 1 {
                                 newly_ready.push(s);
                             }
@@ -231,7 +401,18 @@ impl Executor {
             resume_unwind(payload);
         }
         let wall = epoch.elapsed();
-        Trace::new(self.threads, wall, all_events, names)
+        let trace = Trace::new(self.threads, wall, all_events, names);
+        match resilient {
+            Some(res) => {
+                let aborted = shared.abort.load(Ordering::Acquire);
+                let res = Arc::try_unwrap(res)
+                    .unwrap_or_else(|_| unreachable!("workers joined; sole Arc owner"));
+                let mut stats = res.into_stats();
+                stats.aborted = aborted;
+                trace.with_resilience(stats)
+            }
+            None => trace,
+        }
     }
 
     fn key(&self, priority: &[u64], id: TaskId) -> u64 {
@@ -242,10 +423,99 @@ impl Executor {
     }
 }
 
+/// Runs one task under the recovery policy: retries fallible kernels up to
+/// the budget, contains panics to the task, and accounts wasted time and
+/// simulated backoff. Returns the task's final disposition.
+fn run_resilient(
+    kernel: Option<Kernel>,
+    id: TaskId,
+    worker: usize,
+    res: &Resilient,
+    epoch: &Instant,
+    record: bool,
+    events: &mut Vec<TraceEvent>,
+) -> TaskRun {
+    match kernel {
+        None => {
+            res.outcome[id].store(OUT_SUCCEEDED, Ordering::Release);
+            TaskRun::Succeeded
+        }
+        Some(Kernel::Once(k)) => {
+            // A FnOnce kernel cannot be re-run: one attempt, no retry.
+            res.attempts[id].store(1, Ordering::Release);
+            let start = epoch.elapsed();
+            let result = catch_unwind(AssertUnwindSafe(k));
+            let end = epoch.elapsed();
+            if record {
+                events.push(TraceEvent {
+                    task: id,
+                    worker,
+                    start,
+                    end,
+                    attempt: 1,
+                });
+            }
+            match result {
+                Ok(()) => {
+                    res.outcome[id].store(OUT_SUCCEEDED, Ordering::Release);
+                    TaskRun::Succeeded
+                }
+                Err(_) => {
+                    add_nanos(&res.wasted_nanos, end - start);
+                    res.outcome[id].store(OUT_FAILED, Ordering::Release);
+                    TaskRun::FailedPermanently
+                }
+            }
+        }
+        Some(Kernel::Fallible(k)) => {
+            let mut attempt = 1u32;
+            loop {
+                let start = epoch.elapsed();
+                let result = catch_unwind(AssertUnwindSafe(|| k(Attempt { task: id, attempt })));
+                let end = epoch.elapsed();
+                if record {
+                    events.push(TraceEvent {
+                        task: id,
+                        worker,
+                        start,
+                        end,
+                        attempt,
+                    });
+                }
+                match result {
+                    Ok(Ok(())) => {
+                        res.attempts[id].store(attempt, Ordering::Release);
+                        res.outcome[id].store(OUT_SUCCEEDED, Ordering::Release);
+                        return TaskRun::Succeeded;
+                    }
+                    // A returned fault and a panic are the same event: the
+                    // attempt produced no trustworthy output.
+                    Ok(Err(_)) | Err(_) => {
+                        add_nanos(&res.wasted_nanos, end - start);
+                        if attempt >= res.policy.max_attempts {
+                            res.attempts[id].store(attempt, Ordering::Release);
+                            res.outcome[id].store(OUT_FAILED, Ordering::Release);
+                            return TaskRun::FailedPermanently;
+                        }
+                        let delay = res.policy.backoff.delay(id, attempt, res.policy.seed);
+                        add_nanos(&res.backoff_nanos, delay);
+                        attempt += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn add_nanos(counter: &AtomicU64, d: Duration) {
+    counter.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::graph::Access;
+    use crate::resilience::{Backoff, TaskFault};
     use parking_lot::Mutex as PlMutex;
     use std::sync::Arc;
 
@@ -371,5 +641,173 @@ mod tests {
         let acc2 = Arc::new(PlMutex::new(1i64));
         Executor::new(8, SchedPolicy::CriticalPath).execute(build(Arc::clone(&acc2)));
         assert_eq!(*acc2.lock(), serial);
+    }
+
+    // ---- resilient-mode tests -------------------------------------------
+
+    /// A fallible task that fails its first `fail_count` attempts.
+    fn flaky(g: &mut TaskGraph, name: &str, data: usize, fail_count: u32) -> TaskId {
+        g.add_fallible_task(name, [Access::Write(data)], move |a: Attempt| {
+            if a.attempt <= fail_count {
+                Err(TaskFault::new(format!("induced failure {}", a.attempt)))
+            } else {
+                Ok(())
+            }
+        })
+    }
+
+    #[test]
+    fn fallible_fault_is_fail_stop_under_plain_execute() {
+        let mut g = TaskGraph::new();
+        flaky(&mut g, "always-fails", 0, u32::MAX);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            Executor::new(2, SchedPolicy::Fifo).execute(g);
+        }));
+        assert!(result.is_err(), "fault must abort a fail-stop execution");
+    }
+
+    #[test]
+    fn retry_recovers_flaky_task() {
+        let mut g = TaskGraph::new();
+        flaky(&mut g, "flaky", 0, 2); // fails attempts 1 and 2
+        g.add_task("after", [Access::Read(0)], || {});
+        let policy =
+            RecoveryPolicy::with_max_attempts(3).backoff(Backoff::Fixed(Duration::from_millis(1)));
+        let trace = Executor::new(2, SchedPolicy::Fifo).execute_resilient(g, policy);
+        let stats = trace.resilience().expect("resilient trace has stats");
+        assert!(stats.completed(), "{}", stats.summary());
+        assert_eq!(stats.retries, 2);
+        assert_eq!(stats.recoveries, 1);
+        assert_eq!(stats.attempts(0), 3);
+        assert_eq!(stats.attempts(1), 1);
+        assert_eq!(stats.simulated_backoff, Duration::from_millis(2));
+        assert!(stats.wasted_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn traced_attempts_are_numbered() {
+        let mut g = TaskGraph::new();
+        flaky(&mut g, "flaky", 0, 1);
+        let policy = RecoveryPolicy::with_max_attempts(2);
+        let trace = Executor::new(1, SchedPolicy::Fifo).execute_resilient_traced(g, policy);
+        let attempts: Vec<u32> = trace.events().iter().map(|e| e.attempt).collect();
+        assert_eq!(attempts, vec![1, 2]);
+        assert!(trace.to_chrome_json().contains("attempt 2"));
+    }
+
+    #[test]
+    fn exhausted_budget_aborts_by_default() {
+        let mut g = TaskGraph::new();
+        flaky(&mut g, "doomed", 0, u32::MAX);
+        let ran_after = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&ran_after);
+        g.add_task("after", [Access::Read(0)], move || {
+            c.fetch_add(1, Ordering::Relaxed);
+        });
+        let policy = RecoveryPolicy::with_max_attempts(3);
+        let trace = Executor::new(2, SchedPolicy::Fifo).execute_resilient(g, policy);
+        let stats = trace.resilience().unwrap();
+        assert!(stats.aborted);
+        assert!(!stats.completed());
+        assert_eq!(stats.permanent_failures, 1);
+        assert_eq!(stats.attempts(0), 3);
+        assert_eq!(stats.outcomes[1], TaskOutcome::NotRun);
+        assert_eq!(ran_after.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn skip_subtree_contains_failure() {
+        // doomed -> dep1 -> dep2 (all tainted); independent chain completes.
+        let mut g = TaskGraph::new();
+        flaky(&mut g, "doomed", 0, u32::MAX);
+        g.add_task("dep1", [Access::Read(0), Access::Write(1)], || {});
+        g.add_task("dep2", [Access::Read(1)], || {});
+        let ok_count = Arc::new(AtomicUsize::new(0));
+        for _ in 0..8 {
+            let c = Arc::clone(&ok_count);
+            g.add_task("independent", [Access::Write(7)], move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        let policy =
+            RecoveryPolicy::with_max_attempts(2).on_exhausted(ExhaustedAction::SkipSubtree);
+        let trace = Executor::new(4, SchedPolicy::Fifo).execute_resilient(g, policy);
+        let stats = trace.resilience().unwrap();
+        assert!(!stats.aborted, "skip-subtree must not abort");
+        assert_eq!(stats.permanent_failures, 1);
+        assert_eq!(stats.skipped, 2, "{:?}", stats.outcomes);
+        assert_eq!(stats.outcomes[1], TaskOutcome::Skipped);
+        assert_eq!(stats.outcomes[2], TaskOutcome::Skipped);
+        assert_eq!(ok_count.load(Ordering::Relaxed), 8);
+        assert!(!stats.completed());
+    }
+
+    #[test]
+    fn panicking_once_kernel_fails_permanently_without_retry() {
+        let mut g = TaskGraph::new();
+        g.add_task("boom", [Access::Write(0)], || panic!("not re-runnable"));
+        g.add_task("dep", [Access::Read(0)], || {});
+        let policy =
+            RecoveryPolicy::with_max_attempts(5).on_exhausted(ExhaustedAction::SkipSubtree);
+        let trace = Executor::new(2, SchedPolicy::Fifo).execute_resilient(g, policy);
+        let stats = trace.resilience().unwrap();
+        assert_eq!(stats.attempts(0), 1, "FnOnce gets exactly one attempt");
+        assert_eq!(stats.permanent_failures, 1);
+        assert_eq!(stats.skipped, 1);
+    }
+
+    #[test]
+    fn panicking_fallible_kernel_is_retried() {
+        let mut g = TaskGraph::new();
+        g.add_fallible_task("panics-once", [Access::Write(0)], |a: Attempt| {
+            if a.attempt == 1 {
+                panic!("first attempt dies");
+            }
+            Ok(())
+        });
+        let policy = RecoveryPolicy::with_max_attempts(2);
+        let trace = Executor::new(2, SchedPolicy::Fifo).execute_resilient(g, policy);
+        let stats = trace.resilience().unwrap();
+        assert!(stats.completed(), "{}", stats.summary());
+        assert_eq!(stats.retries, 1);
+        assert_eq!(stats.recoveries, 1);
+    }
+
+    #[test]
+    fn resilient_clean_run_reports_no_retries() {
+        let mut g = TaskGraph::new();
+        for i in 0..20 {
+            g.add_task("t", [Access::Write(i % 4)], || {});
+        }
+        let trace = Executor::new(4, SchedPolicy::CriticalPath)
+            .execute_resilient(g, RecoveryPolicy::default());
+        let stats = trace.resilience().unwrap();
+        assert!(stats.completed());
+        assert_eq!(stats.retries, 0);
+        assert_eq!(stats.recoveries, 0);
+        assert_eq!(stats.simulated_backoff, Duration::ZERO);
+    }
+
+    #[test]
+    fn resilient_chain_preserves_program_order_through_retries() {
+        let log = Arc::new(PlMutex::new(Vec::new()));
+        let mut g = TaskGraph::new();
+        for i in 0..30usize {
+            let log = Arc::clone(&log);
+            g.add_fallible_task(format!("t{i}"), [Access::Write(0)], move |a: Attempt| {
+                // Every third task fails its first attempt.
+                if i % 3 == 0 && a.attempt == 1 {
+                    return Err("transient".into());
+                }
+                log.lock().push(i);
+                Ok(())
+            });
+        }
+        let policy = RecoveryPolicy::with_max_attempts(2);
+        let trace = Executor::new(4, SchedPolicy::Fifo).execute_resilient(g, policy);
+        let stats = trace.resilience().unwrap();
+        assert!(stats.completed());
+        assert_eq!(stats.retries, 10);
+        assert_eq!(*log.lock(), (0..30).collect::<Vec<_>>());
     }
 }

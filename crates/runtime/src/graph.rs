@@ -1,5 +1,6 @@
 //! Task graph construction with automatic dependence analysis.
 
+use crate::resilience::{Attempt, TaskFault};
 use std::collections::HashMap;
 
 /// Identifier of a datum (e.g. a matrix tile) used for dependence analysis.
@@ -19,9 +20,18 @@ pub enum Access {
     Write(DataId),
 }
 
+/// A task body. `Once` kernels are the classic fire-and-forget closure;
+/// `Fallible` kernels can be called repeatedly (once per attempt) and
+/// report failure as a value, which is what makes task-level retry
+/// possible — the fault domain is the task, not the process.
+pub(crate) enum Kernel {
+    Once(Box<dyn FnOnce() + Send + 'static>),
+    Fallible(Box<dyn Fn(Attempt) -> Result<(), TaskFault> + Send + Sync + 'static>),
+}
+
 pub(crate) struct Task {
     pub name: String,
-    pub kernel: Option<Box<dyn FnOnce() + Send + 'static>>,
+    pub kernel: Option<Kernel>,
     /// A-priori cost estimate used for critical-path priorities.
     pub cost: u64,
 }
@@ -77,6 +87,50 @@ impl TaskGraph {
         cost: u64,
         kernel: impl FnOnce() + Send + 'static,
     ) -> TaskId {
+        self.insert(name, accesses, cost, Kernel::Once(Box::new(kernel)))
+    }
+
+    /// Inserts a *fallible* task with unit cost.
+    /// See [`TaskGraph::add_fallible_task_with_cost`].
+    pub fn add_fallible_task(
+        &mut self,
+        name: impl Into<String>,
+        accesses: impl IntoIterator<Item = Access>,
+        kernel: impl Fn(Attempt) -> Result<(), TaskFault> + Send + Sync + 'static,
+    ) -> TaskId {
+        self.add_fallible_task_with_cost(name, accesses, 1, kernel)
+    }
+
+    /// Inserts a task whose kernel may fail and be re-executed.
+    ///
+    /// The kernel is called with an [`Attempt`] (1-based attempt number);
+    /// returning `Err(TaskFault)` — or panicking — marks the attempt
+    /// failed. Under [`Executor::execute_resilient`] the task is then
+    /// retried up to the policy's budget; a kernel that mutates its output
+    /// in place should snapshot it on attempt 1 and restore it when
+    /// [`Attempt::is_retry`] is set. Under the plain [`Executor::execute`]
+    /// a returned fault aborts the run (fail-stop), preserving the
+    /// pre-resilience semantics.
+    ///
+    /// [`Executor::execute`]: crate::Executor::execute
+    /// [`Executor::execute_resilient`]: crate::Executor::execute_resilient
+    pub fn add_fallible_task_with_cost(
+        &mut self,
+        name: impl Into<String>,
+        accesses: impl IntoIterator<Item = Access>,
+        cost: u64,
+        kernel: impl Fn(Attempt) -> Result<(), TaskFault> + Send + Sync + 'static,
+    ) -> TaskId {
+        self.insert(name, accesses, cost, Kernel::Fallible(Box::new(kernel)))
+    }
+
+    fn insert(
+        &mut self,
+        name: impl Into<String>,
+        accesses: impl IntoIterator<Item = Access>,
+        cost: u64,
+        kernel: Kernel,
+    ) -> TaskId {
         let id = self.tasks.len();
         for access in accesses {
             match access {
@@ -104,7 +158,7 @@ impl TaskGraph {
         }
         self.tasks.push(Task {
             name: name.into(),
-            kernel: Some(Box::new(kernel)),
+            kernel: Some(kernel),
             cost: cost.max(1),
         });
         id
@@ -143,7 +197,11 @@ impl TaskGraph {
         // order.
         let mut priority = vec![0u64; n];
         for id in (0..n).rev() {
-            let best_succ = successors[id].iter().map(|&s| priority[s]).max().unwrap_or(0);
+            let best_succ = successors[id]
+                .iter()
+                .map(|&s| priority[s])
+                .max()
+                .unwrap_or(0);
             priority[id] = self.tasks[id].cost + best_succ;
         }
         FinalizedGraph {
@@ -169,10 +227,21 @@ impl TaskGraph {
 
     /// Runs every task on the calling thread in insertion order (the
     /// sequential-semantics reference used by the property tests).
+    /// Fallible kernels run exactly once; a fault panics (fail-stop), so
+    /// serial execution matches the plain executor's semantics.
     pub fn execute_serial(mut self) {
-        for t in &mut self.tasks {
-            if let Some(k) = t.kernel.take() {
-                k();
+        for (id, t) in self.tasks.iter_mut().enumerate() {
+            match t.kernel.take() {
+                Some(Kernel::Once(k)) => k(),
+                Some(Kernel::Fallible(k)) => {
+                    if let Err(fault) = k(Attempt {
+                        task: id,
+                        attempt: 1,
+                    }) {
+                        panic!("task {id} ({}) failed: {}", t.name, fault.message());
+                    }
+                }
+                None => {}
             }
         }
     }

@@ -17,6 +17,10 @@
 //! * [`trace::Trace`] — per-worker execution traces with utilization,
 //!   makespan, and critical-path statistics, used by experiment E02 to show
 //!   the dataflow-vs-fork-join utilization gap.
+//! * [`resilience`] — task-level fault domains: fallible kernels
+//!   ([`TaskGraph::add_fallible_task`]) are retried under a per-execution
+//!   [`RecoveryPolicy`] with deterministic simulated backoff, and the trace
+//!   reports retries, recoveries, and skipped subtrees ([`ResilienceStats`]).
 //!
 //! ```
 //! use std::sync::Arc;
@@ -43,7 +47,11 @@
 
 mod executor;
 mod graph;
+pub mod resilience;
 pub mod trace;
 
 pub use executor::{Executor, SchedPolicy};
 pub use graph::{Access, DataId, TaskGraph, TaskId};
+pub use resilience::{
+    Attempt, Backoff, ExhaustedAction, RecoveryPolicy, ResilienceStats, TaskFault, TaskOutcome,
+};

@@ -1,10 +1,14 @@
 //! Execution traces: per-task start/end times per worker, with the derived
-//! utilization statistics experiment E02 reports.
+//! utilization statistics experiment E02 reports, plus the resilience
+//! telemetry (retries/recoveries/skips) recorded by resilient executions.
 
+use crate::resilience::ResilienceStats;
 use std::sync::Arc;
 use std::time::Duration;
 
-/// One executed task occurrence.
+/// One executed task *attempt*. In fail-stop executions every task has at
+/// most one attempt; resilient executions record one event per attempt, so
+/// retried tasks appear multiple times with increasing `attempt`.
 #[derive(Debug, Clone)]
 pub struct TraceEvent {
     /// Task id within the executed graph.
@@ -15,6 +19,8 @@ pub struct TraceEvent {
     pub start: Duration,
     /// End time relative to the execution epoch.
     pub end: Duration,
+    /// 1-based attempt number (always 1 for fail-stop executions).
+    pub attempt: u32,
 }
 
 /// Execution record returned by the executor.
@@ -23,6 +29,7 @@ pub struct Trace {
     wall: Duration,
     events: Vec<TraceEvent>,
     names: Arc<Vec<String>>,
+    resilience: Option<ResilienceStats>,
 }
 
 impl std::fmt::Debug for Trace {
@@ -42,6 +49,7 @@ impl Trace {
             wall: Duration::ZERO,
             events: Vec::new(),
             names: Arc::new(Vec::new()),
+            resilience: None,
         }
     }
 
@@ -57,7 +65,19 @@ impl Trace {
             wall,
             events,
             names,
+            resilience: None,
         }
+    }
+
+    pub(crate) fn with_resilience(mut self, stats: ResilienceStats) -> Self {
+        self.resilience = Some(stats);
+        self
+    }
+
+    /// Resilience telemetry, present when the trace came from
+    /// [`Executor::execute_resilient`](crate::Executor::execute_resilient).
+    pub fn resilience(&self) -> Option<&ResilienceStats> {
+        self.resilience.as_ref()
     }
 
     /// Number of worker threads used.
@@ -124,7 +144,10 @@ impl Trace {
             if i > 0 {
                 out.push(',');
             }
-            let name = self.task_name(e.task).replace('"', "'");
+            let mut name = self.task_name(e.task).replace('"', "'");
+            if e.attempt > 1 {
+                name.push_str(&format!(" (attempt {})", e.attempt));
+            }
             out.push_str(&format!(
                 "{{\"name\":\"{name}\",\"ph\":\"X\",\"pid\":0,\"tid\":{},\"ts\":{:.3},\"dur\":{:.3}}}",
                 e.worker,
@@ -176,12 +199,14 @@ mod tests {
                     worker: 1,
                     start: Duration::from_millis(5),
                     end: Duration::from_millis(10),
+                    attempt: 1,
                 },
                 TraceEvent {
                     task: 0,
                     worker: 0,
                     start: Duration::from_millis(0),
                     end: Duration::from_millis(10),
+                    attempt: 1,
                 },
             ],
             names,
@@ -200,7 +225,10 @@ mod tests {
         let t = sample_trace();
         // Busy = 10ms + 5ms = 15ms over 2 workers x 10ms = 20ms -> 0.75.
         assert!((t.utilization() - 0.75).abs() < 1e-9);
-        assert_eq!(t.busy_per_worker(), vec![Duration::from_millis(10), Duration::from_millis(5)]);
+        assert_eq!(
+            t.busy_per_worker(),
+            vec![Duration::from_millis(10), Duration::from_millis(5)]
+        );
     }
 
     #[test]

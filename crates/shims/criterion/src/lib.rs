@@ -1,0 +1,220 @@
+//! Offline stand-in for the `criterion` crate (API subset used by `xsc`).
+//!
+//! A plain timing harness: each benchmark runs `sample_size` timed
+//! iterations after one warm-up and prints min / mean wall time (plus
+//! throughput when declared). No statistical analysis, HTML reports, or
+//! baseline comparison — enough to run `cargo bench` offline and eyeball
+//! regressions.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Prevents the optimizer from discarding a value (identity in the shim —
+/// good enough given the kernels all write through shared memory).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declared work per iteration, for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements (e.g. flops) processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterized benchmark (`name/param`).
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id rendered as `name/param`.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), param),
+        }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    results: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `f` over the configured number of samples (after one
+    /// warm-up call) and records the per-iteration seconds.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        black_box(f()); // warm-up
+        self.results.clear();
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            black_box(f());
+            self.results.push(t.elapsed().as_secs_f64());
+        }
+    }
+}
+
+/// Benchmark registry (the shim just runs and prints immediately).
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbench group: {name}");
+        BenchmarkGroup {
+            _parent: self,
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(name, 10, None, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing sample size and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares per-iteration work for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs a named benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(name, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Runs a parameterized benchmark (the input is passed through to the
+    /// closure, as with real criterion).
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(&id.label, self.sample_size, self.throughput, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (no-op beyond symmetry with real criterion).
+    pub fn finish(self) {}
+}
+
+fn run_one(
+    name: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        samples,
+        results: Vec::new(),
+    };
+    f(&mut b);
+    if b.results.is_empty() {
+        println!("  {name:<28} (no samples)");
+        return;
+    }
+    let min = b.results.iter().copied().fold(f64::INFINITY, f64::min);
+    let mean = b.results.iter().sum::<f64>() / b.results.len() as f64;
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!("  {:>8.2} Melem/s", n as f64 / min / 1e6),
+        Throughput::Bytes(n) => format!("  {:>8.2} MB/s", n as f64 / min / 1e6),
+    });
+    println!(
+        "  {name:<28} min {:>10} mean {:>10}{}",
+        fmt_secs(min),
+        fmt_secs(mean),
+        rate.unwrap_or_default()
+    );
+}
+
+fn fmt_secs(x: f64) -> String {
+    if x >= 1.0 {
+        format!("{x:.3}s")
+    } else if x >= 1e-3 {
+        format!("{:.3}ms", x * 1e3)
+    } else {
+        format!("{:.1}us", x * 1e6)
+    }
+}
+
+/// Collects benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running one or more [`criterion_group!`] registries.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Accept and ignore criterion CLI flags (e.g. `--bench`).
+            let _args: Vec<String> = std::env::args().collect();
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(100));
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("param", 7), &7usize, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+
+    criterion_group!(demo_group, sample_bench);
+
+    #[test]
+    fn group_runs_without_panicking() {
+        demo_group();
+    }
+
+    #[test]
+    fn id_formats_like_criterion() {
+        assert_eq!(BenchmarkId::new("seq", 128).label, "seq/128");
+    }
+}

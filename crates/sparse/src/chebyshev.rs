@@ -185,8 +185,16 @@ mod tests {
     #[test]
     fn flops_accounting_scales_with_degree() {
         let a = build_matrix(Geometry::new(4, 4, 4));
-        let s2 = ChebyshevSmoother { lmax: 50.0, lmin: 5.0, degree: 2 };
-        let s4 = ChebyshevSmoother { lmax: 50.0, lmin: 5.0, degree: 4 };
+        let s2 = ChebyshevSmoother {
+            lmax: 50.0,
+            lmin: 5.0,
+            degree: 2,
+        };
+        let s4 = ChebyshevSmoother {
+            lmax: 50.0,
+            lmin: 5.0,
+            degree: 4,
+        };
         assert!(s4.flops_per_apply(&a) > s2.flops_per_apply(&a));
     }
 }

@@ -63,12 +63,7 @@ pub fn is_valid_coloring(a: &CsrMatrix<f64>, colors: &[usize]) -> bool {
 /// One parallel multi-color symmetric Gauss–Seidel application: colors in
 /// ascending order (forward half-sweep), then descending (backward), rows
 /// within a color updated concurrently.
-pub fn colored_symgs(
-    a: &CsrMatrix<f64>,
-    classes: &[Vec<usize>],
-    b: &[f64],
-    x: &mut [f64],
-) {
+pub fn colored_symgs(a: &CsrMatrix<f64>, classes: &[Vec<usize>], b: &[f64], x: &mut [f64]) {
     let sweep = |x: &mut [f64], class: &[usize]| {
         // Rows in one class are independent: read the shared x snapshot,
         // write disjoint entries. Collect updates first to satisfy the

@@ -105,9 +105,7 @@ impl MgPreconditioner {
             let n = a.nrows();
             let level_smoother = match smoother {
                 Smoother::SymGs => LevelSmoother::SymGs,
-                Smoother::Colored => {
-                    LevelSmoother::Colored(color_classes(&greedy_coloring(&a)))
-                }
+                Smoother::Colored => LevelSmoother::Colored(color_classes(&greedy_coloring(&a))),
                 Smoother::Chebyshev { degree } => {
                     LevelSmoother::Chebyshev(ChebyshevSmoother::for_matrix(&a, degree, 30.0))
                 }
@@ -269,7 +267,10 @@ mod tests {
             assert!(cur < prev);
             prev = cur;
         }
-        assert!(prev < 1e-2 * r0, "8 V-cycles reduced residual only to {prev:.3e} (from {r0:.3e})");
+        assert!(
+            prev < 1e-2 * r0,
+            "8 V-cycles reduced residual only to {prev:.3e} (from {r0:.3e})"
+        );
     }
 
     #[test]
@@ -304,7 +305,11 @@ mod tests {
             let mg = MgPreconditioner::with_smoother(g, 3, smoother);
             let mut x = vec![0.0; a.nrows()];
             let res = pcg(&a, &b, &mut x, 100, 1e-9, &mg);
-            assert!(res.converged, "{smoother:?} failed: {:?}", res.final_residual());
+            assert!(
+                res.converged,
+                "{smoother:?} failed: {:?}",
+                res.final_residual()
+            );
             iters.push((smoother, res.iterations));
         }
         // All three should be in the same ballpark (within 3x of the best).

@@ -150,7 +150,11 @@ mod tests {
         let (a, b) = problem(Geometry::new(8, 8, 8));
         let mut x = vec![0.0; a.nrows()];
         let res = pipelined_cg(&a, &b, &mut x, 500, 1e-9);
-        assert!(res.converged, "history tail {:?}", res.residual_history.last());
+        assert!(
+            res.converged,
+            "history tail {:?}",
+            res.residual_history.last()
+        );
         let mut r = vec![0.0; a.nrows()];
         a.residual(&x, &b, &mut r);
         assert!(

@@ -258,7 +258,12 @@ mod tests {
         let ca = s_step_cg(&a, &b, &mut x1, 1, 300, 1e-10);
         assert!(classic.converged && ca.converged);
         let diff = (classic.iterations as i64 - ca.iterations as i64).abs();
-        assert!(diff <= 3, "classic {} vs s=1 {}", classic.iterations, ca.iterations);
+        assert!(
+            diff <= 3,
+            "classic {} vs s=1 {}",
+            classic.iterations,
+            ca.iterations
+        );
     }
 
     #[test]

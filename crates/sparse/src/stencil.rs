@@ -22,7 +22,10 @@ pub struct Geometry {
 impl Geometry {
     /// Creates a geometry (all dimensions must be positive).
     pub fn new(nx: usize, ny: usize, nz: usize) -> Self {
-        assert!(nx > 0 && ny > 0 && nz > 0, "grid dimensions must be positive");
+        assert!(
+            nx > 0 && ny > 0 && nz > 0,
+            "grid dimensions must be positive"
+        );
         Geometry { nx, ny, nz }
     }
 
@@ -46,7 +49,12 @@ impl Geometry {
 
     /// `true` if every dimension is even (coarsenable by 2).
     pub fn coarsenable(&self) -> bool {
-        self.nx % 2 == 0 && self.ny % 2 == 0 && self.nz % 2 == 0 && self.nx >= 2 && self.ny >= 2 && self.nz >= 2
+        self.nx % 2 == 0
+            && self.ny % 2 == 0
+            && self.nz % 2 == 0
+            && self.nx >= 2
+            && self.ny >= 2
+            && self.nz >= 2
     }
 
     /// The geometry coarsened by 2 in each dimension.

@@ -117,7 +117,13 @@ mod tests {
         let a = CsrMatrix::from_triplets(
             3,
             3,
-            vec![(0, 0, 2.0), (1, 0, 1.0), (1, 1, 4.0), (2, 1, -1.0), (2, 2, 5.0)],
+            vec![
+                (0, 0, 2.0),
+                (1, 0, 1.0),
+                (1, 1, 4.0),
+                (2, 1, -1.0),
+                (2, 2, 5.0),
+            ],
         );
         let b = vec![2.0, 9.0, 3.0];
         let mut x = vec![0.0; 3];

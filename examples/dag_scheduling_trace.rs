@@ -38,7 +38,10 @@ fn main() {
     let tiles_fj = TileMatrix::from_matrix(&a, nb);
     let t = std::time::Instant::now();
     cholesky::cholesky_forkjoin(&tiles_fj).unwrap();
-    println!("fork-join wall clock: {:.1} ms", t.elapsed().as_secs_f64() * 1e3);
+    println!(
+        "fork-join wall clock: {:.1} ms",
+        t.elapsed().as_secs_f64() * 1e3
+    );
 
     banner("Discrete-event replay of the same DAG on a 64-worker model");
     let model_tiles = TileMatrix::<f64>::zeros(2048, 2048, nb); // 16x16 tiles

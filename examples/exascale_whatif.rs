@@ -32,7 +32,10 @@ fn main() {
     let m = MachineModel::node_2016();
     for p in [64usize, 4096, 262_144, 1 << 20] {
         let (alg, t) = best_allreduce(&m, p, 16);
-        println!("  {p:>8} ranks: allreduce(2 f64) = {:>7.1} us  ({alg:?})", t * 1e6);
+        println!(
+            "  {p:>8} ranks: allreduce(2 f64) = {:>7.1} us  ({alg:?})",
+            t * 1e6
+        );
     }
     let classic = KrylovIterModel::classic_cg(50e-6);
     let piped = KrylovIterModel::pipelined_cg(50e-6);

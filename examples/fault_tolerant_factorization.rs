@@ -34,7 +34,15 @@ fn main() {
         other => println!("  unexpected outcome: {other:?}"),
     }
     let mut reference = Matrix::<f64>::zeros(n, n);
-    gemm(Transpose::No, Transpose::No, 1.0, &a, &b, 0.0, &mut reference);
+    gemm(
+        Transpose::No,
+        Transpose::No,
+        1.0,
+        &a,
+        &b,
+        0.0,
+        &mut reference,
+    );
     println!(
         "  repaired product matches the fault-free run: max diff {:.2e}",
         repaired.max_abs_diff(&reference)
@@ -48,7 +56,10 @@ fn main() {
         l.set(100, 37, v + 1.0);
     })
     .unwrap();
-    println!("  verification flagged the tampered factorization: detected = {}", !clean);
+    println!(
+        "  verification flagged the tampered factorization: detected = {}",
+        !clean
+    );
 
     banner("3. CG under silent faults: checkpoint/rollback recovery");
     let g = Geometry::new(8, 8, 8);

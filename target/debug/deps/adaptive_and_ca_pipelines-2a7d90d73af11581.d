@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adaptive_and_ca_pipelines-2a7d90d73af11581.d: tests/tests/adaptive_and_ca_pipelines.rs
+
+/root/repo/target/debug/deps/adaptive_and_ca_pipelines-2a7d90d73af11581: tests/tests/adaptive_and_ca_pipelines.rs
+
+tests/tests/adaptive_and_ca_pipelines.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adaptive_and_ca_pipelines-3c8ffbf93736159a.d: tests/tests/adaptive_and_ca_pipelines.rs
+
+/root/repo/target/debug/deps/adaptive_and_ca_pipelines-3c8ffbf93736159a: tests/tests/adaptive_and_ca_pipelines.rs
+
+tests/tests/adaptive_and_ca_pipelines.rs:

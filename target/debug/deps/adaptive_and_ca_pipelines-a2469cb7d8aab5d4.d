@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/adaptive_and_ca_pipelines-a2469cb7d8aab5d4.d: tests/tests/adaptive_and_ca_pipelines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadaptive_and_ca_pipelines-a2469cb7d8aab5d4.rmeta: tests/tests/adaptive_and_ca_pipelines.rs Cargo.toml
+
+tests/tests/adaptive_and_ca_pipelines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

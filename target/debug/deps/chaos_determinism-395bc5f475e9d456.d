@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos_determinism-395bc5f475e9d456.d: tests/tests/chaos_determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos_determinism-395bc5f475e9d456.rmeta: tests/tests/chaos_determinism.rs Cargo.toml
+
+tests/tests/chaos_determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos_determinism-751b0b49e4cc2024.d: tests/tests/chaos_determinism.rs
+
+/root/repo/target/debug/deps/chaos_determinism-751b0b49e4cc2024: tests/tests/chaos_determinism.rs
+
+tests/tests/chaos_determinism.rs:

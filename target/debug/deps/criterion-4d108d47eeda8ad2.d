@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-4d108d47eeda8ad2.d: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-4d108d47eeda8ad2.rlib: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-4d108d47eeda8ad2.rmeta: crates/shims/criterion/src/lib.rs
+
+crates/shims/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-a81952a52a52b7b0.d: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-a81952a52a52b7b0: crates/shims/criterion/src/lib.rs
+
+crates/shims/criterion/src/lib.rs:

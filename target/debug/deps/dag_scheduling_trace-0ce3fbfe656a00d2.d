@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dag_scheduling_trace-0ce3fbfe656a00d2.d: examples/dag_scheduling_trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdag_scheduling_trace-0ce3fbfe656a00d2.rmeta: examples/dag_scheduling_trace.rs Cargo.toml
+
+examples/dag_scheduling_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dag_scheduling_trace-222da1763e817274.d: examples/dag_scheduling_trace.rs
+
+/root/repo/target/debug/deps/dag_scheduling_trace-222da1763e817274: examples/dag_scheduling_trace.rs
+
+examples/dag_scheduling_trace.rs:

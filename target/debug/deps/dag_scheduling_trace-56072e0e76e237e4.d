@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dag_scheduling_trace-56072e0e76e237e4.d: examples/dag_scheduling_trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdag_scheduling_trace-56072e0e76e237e4.rmeta: examples/dag_scheduling_trace.rs Cargo.toml
+
+examples/dag_scheduling_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

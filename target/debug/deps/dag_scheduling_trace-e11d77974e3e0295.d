@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dag_scheduling_trace-e11d77974e3e0295.d: examples/dag_scheduling_trace.rs
+
+/root/repo/target/debug/deps/dag_scheduling_trace-e11d77974e3e0295: examples/dag_scheduling_trace.rs
+
+examples/dag_scheduling_trace.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/des_replays_runtime-6729dc6d21a101c8.d: tests/tests/des_replays_runtime.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdes_replays_runtime-6729dc6d21a101c8.rmeta: tests/tests/des_replays_runtime.rs Cargo.toml
+
+tests/tests/des_replays_runtime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/des_replays_runtime-8900a7eb76992e36.d: tests/tests/des_replays_runtime.rs
+
+/root/repo/target/debug/deps/des_replays_runtime-8900a7eb76992e36: tests/tests/des_replays_runtime.rs
+
+tests/tests/des_replays_runtime.rs:

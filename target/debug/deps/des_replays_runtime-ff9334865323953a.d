@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/des_replays_runtime-ff9334865323953a.d: tests/tests/des_replays_runtime.rs
+
+/root/repo/target/debug/deps/des_replays_runtime-ff9334865323953a: tests/tests/des_replays_runtime.rs
+
+tests/tests/des_replays_runtime.rs:

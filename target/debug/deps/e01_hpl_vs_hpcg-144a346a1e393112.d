@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e01_hpl_vs_hpcg-144a346a1e393112.d: crates/bench/src/bin/e01_hpl_vs_hpcg.rs
+
+/root/repo/target/debug/deps/e01_hpl_vs_hpcg-144a346a1e393112: crates/bench/src/bin/e01_hpl_vs_hpcg.rs
+
+crates/bench/src/bin/e01_hpl_vs_hpcg.rs:

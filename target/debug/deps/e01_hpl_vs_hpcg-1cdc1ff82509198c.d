@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e01_hpl_vs_hpcg-1cdc1ff82509198c.d: crates/bench/src/bin/e01_hpl_vs_hpcg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe01_hpl_vs_hpcg-1cdc1ff82509198c.rmeta: crates/bench/src/bin/e01_hpl_vs_hpcg.rs Cargo.toml
+
+crates/bench/src/bin/e01_hpl_vs_hpcg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e01_hpl_vs_hpcg-98f5e50d289d99ba.d: crates/bench/src/bin/e01_hpl_vs_hpcg.rs
+
+/root/repo/target/debug/deps/e01_hpl_vs_hpcg-98f5e50d289d99ba: crates/bench/src/bin/e01_hpl_vs_hpcg.rs
+
+crates/bench/src/bin/e01_hpl_vs_hpcg.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e01_hpl_vs_hpcg-b7fd282d8ef6bb07.d: crates/bench/src/bin/e01_hpl_vs_hpcg.rs
+
+/root/repo/target/debug/deps/e01_hpl_vs_hpcg-b7fd282d8ef6bb07: crates/bench/src/bin/e01_hpl_vs_hpcg.rs
+
+crates/bench/src/bin/e01_hpl_vs_hpcg.rs:

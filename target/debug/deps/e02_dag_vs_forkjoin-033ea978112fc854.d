@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e02_dag_vs_forkjoin-033ea978112fc854.d: crates/bench/src/bin/e02_dag_vs_forkjoin.rs
+
+/root/repo/target/debug/deps/e02_dag_vs_forkjoin-033ea978112fc854: crates/bench/src/bin/e02_dag_vs_forkjoin.rs
+
+crates/bench/src/bin/e02_dag_vs_forkjoin.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e02_dag_vs_forkjoin-15b7803b90a752ee.d: crates/bench/src/bin/e02_dag_vs_forkjoin.rs
+
+/root/repo/target/debug/deps/e02_dag_vs_forkjoin-15b7803b90a752ee: crates/bench/src/bin/e02_dag_vs_forkjoin.rs
+
+crates/bench/src/bin/e02_dag_vs_forkjoin.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e02_dag_vs_forkjoin-9b440ea8ead05032.d: crates/bench/src/bin/e02_dag_vs_forkjoin.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe02_dag_vs_forkjoin-9b440ea8ead05032.rmeta: crates/bench/src/bin/e02_dag_vs_forkjoin.rs Cargo.toml
+
+crates/bench/src/bin/e02_dag_vs_forkjoin.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

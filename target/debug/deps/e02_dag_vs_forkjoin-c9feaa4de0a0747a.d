@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e02_dag_vs_forkjoin-c9feaa4de0a0747a.d: crates/bench/src/bin/e02_dag_vs_forkjoin.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe02_dag_vs_forkjoin-c9feaa4de0a0747a.rmeta: crates/bench/src/bin/e02_dag_vs_forkjoin.rs Cargo.toml
+
+crates/bench/src/bin/e02_dag_vs_forkjoin.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

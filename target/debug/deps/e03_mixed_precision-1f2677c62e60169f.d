@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e03_mixed_precision-1f2677c62e60169f.d: crates/bench/src/bin/e03_mixed_precision.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe03_mixed_precision-1f2677c62e60169f.rmeta: crates/bench/src/bin/e03_mixed_precision.rs Cargo.toml
+
+crates/bench/src/bin/e03_mixed_precision.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

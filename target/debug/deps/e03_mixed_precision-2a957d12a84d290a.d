@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e03_mixed_precision-2a957d12a84d290a.d: crates/bench/src/bin/e03_mixed_precision.rs
+
+/root/repo/target/debug/deps/e03_mixed_precision-2a957d12a84d290a: crates/bench/src/bin/e03_mixed_precision.rs
+
+crates/bench/src/bin/e03_mixed_precision.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e03_mixed_precision-593ee3b584ee598f.d: crates/bench/src/bin/e03_mixed_precision.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe03_mixed_precision-593ee3b584ee598f.rmeta: crates/bench/src/bin/e03_mixed_precision.rs Cargo.toml
+
+crates/bench/src/bin/e03_mixed_precision.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e03_mixed_precision-7813c6bdc754a1ce.d: crates/bench/src/bin/e03_mixed_precision.rs
+
+/root/repo/target/debug/deps/e03_mixed_precision-7813c6bdc754a1ce: crates/bench/src/bin/e03_mixed_precision.rs
+
+crates/bench/src/bin/e03_mixed_precision.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e03_mixed_precision-a23cfcefad0e0dc7.d: crates/bench/src/bin/e03_mixed_precision.rs
+
+/root/repo/target/debug/deps/e03_mixed_precision-a23cfcefad0e0dc7: crates/bench/src/bin/e03_mixed_precision.rs
+
+crates/bench/src/bin/e03_mixed_precision.rs:

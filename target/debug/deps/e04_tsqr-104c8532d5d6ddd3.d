@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e04_tsqr-104c8532d5d6ddd3.d: crates/bench/src/bin/e04_tsqr.rs
+
+/root/repo/target/debug/deps/e04_tsqr-104c8532d5d6ddd3: crates/bench/src/bin/e04_tsqr.rs
+
+crates/bench/src/bin/e04_tsqr.rs:

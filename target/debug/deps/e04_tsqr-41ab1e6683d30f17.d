@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e04_tsqr-41ab1e6683d30f17.d: crates/bench/src/bin/e04_tsqr.rs
+
+/root/repo/target/debug/deps/e04_tsqr-41ab1e6683d30f17: crates/bench/src/bin/e04_tsqr.rs
+
+crates/bench/src/bin/e04_tsqr.rs:

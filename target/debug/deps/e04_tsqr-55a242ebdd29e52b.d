@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e04_tsqr-55a242ebdd29e52b.d: crates/bench/src/bin/e04_tsqr.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe04_tsqr-55a242ebdd29e52b.rmeta: crates/bench/src/bin/e04_tsqr.rs Cargo.toml
+
+crates/bench/src/bin/e04_tsqr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e05_energy_table-4fc2bfb92fb6495a.d: crates/bench/src/bin/e05_energy_table.rs
+
+/root/repo/target/debug/deps/e05_energy_table-4fc2bfb92fb6495a: crates/bench/src/bin/e05_energy_table.rs
+
+crates/bench/src/bin/e05_energy_table.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e05_energy_table-52ff038008003a37.d: crates/bench/src/bin/e05_energy_table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe05_energy_table-52ff038008003a37.rmeta: crates/bench/src/bin/e05_energy_table.rs Cargo.toml
+
+crates/bench/src/bin/e05_energy_table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e05_energy_table-cb6e7a381746abc4.d: crates/bench/src/bin/e05_energy_table.rs
+
+/root/repo/target/debug/deps/e05_energy_table-cb6e7a381746abc4: crates/bench/src/bin/e05_energy_table.rs
+
+crates/bench/src/bin/e05_energy_table.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e05_energy_table-cf9929017d306d85.d: crates/bench/src/bin/e05_energy_table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe05_energy_table-cf9929017d306d85.rmeta: crates/bench/src/bin/e05_energy_table.rs Cargo.toml
+
+crates/bench/src/bin/e05_energy_table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

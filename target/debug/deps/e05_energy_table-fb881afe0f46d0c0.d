@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e05_energy_table-fb881afe0f46d0c0.d: crates/bench/src/bin/e05_energy_table.rs
+
+/root/repo/target/debug/deps/e05_energy_table-fb881afe0f46d0c0: crates/bench/src/bin/e05_energy_table.rs
+
+crates/bench/src/bin/e05_energy_table.rs:

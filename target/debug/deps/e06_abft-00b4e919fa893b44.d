@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e06_abft-00b4e919fa893b44.d: crates/bench/src/bin/e06_abft.rs
+
+/root/repo/target/debug/deps/e06_abft-00b4e919fa893b44: crates/bench/src/bin/e06_abft.rs
+
+crates/bench/src/bin/e06_abft.rs:

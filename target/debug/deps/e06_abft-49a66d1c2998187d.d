@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e06_abft-49a66d1c2998187d.d: crates/bench/src/bin/e06_abft.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe06_abft-49a66d1c2998187d.rmeta: crates/bench/src/bin/e06_abft.rs Cargo.toml
+
+crates/bench/src/bin/e06_abft.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

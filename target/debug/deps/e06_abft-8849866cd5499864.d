@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e06_abft-8849866cd5499864.d: crates/bench/src/bin/e06_abft.rs
+
+/root/repo/target/debug/deps/e06_abft-8849866cd5499864: crates/bench/src/bin/e06_abft.rs
+
+crates/bench/src/bin/e06_abft.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e06_abft-c09fdb0ec12fa355.d: crates/bench/src/bin/e06_abft.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe06_abft-c09fdb0ec12fa355.rmeta: crates/bench/src/bin/e06_abft.rs Cargo.toml
+
+crates/bench/src/bin/e06_abft.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

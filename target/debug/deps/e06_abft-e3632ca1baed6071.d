@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e06_abft-e3632ca1baed6071.d: crates/bench/src/bin/e06_abft.rs
+
+/root/repo/target/debug/deps/e06_abft-e3632ca1baed6071: crates/bench/src/bin/e06_abft.rs
+
+crates/bench/src/bin/e06_abft.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e07_batched-4291497a0b1827b8.d: crates/bench/src/bin/e07_batched.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe07_batched-4291497a0b1827b8.rmeta: crates/bench/src/bin/e07_batched.rs Cargo.toml
+
+crates/bench/src/bin/e07_batched.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

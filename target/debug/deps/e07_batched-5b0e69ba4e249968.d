@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e07_batched-5b0e69ba4e249968.d: crates/bench/src/bin/e07_batched.rs
+
+/root/repo/target/debug/deps/e07_batched-5b0e69ba4e249968: crates/bench/src/bin/e07_batched.rs
+
+crates/bench/src/bin/e07_batched.rs:

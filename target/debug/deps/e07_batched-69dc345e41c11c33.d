@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e07_batched-69dc345e41c11c33.d: crates/bench/src/bin/e07_batched.rs
+
+/root/repo/target/debug/deps/e07_batched-69dc345e41c11c33: crates/bench/src/bin/e07_batched.rs
+
+crates/bench/src/bin/e07_batched.rs:

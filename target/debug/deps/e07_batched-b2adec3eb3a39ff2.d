@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e07_batched-b2adec3eb3a39ff2.d: crates/bench/src/bin/e07_batched.rs
+
+/root/repo/target/debug/deps/e07_batched-b2adec3eb3a39ff2: crates/bench/src/bin/e07_batched.rs
+
+crates/bench/src/bin/e07_batched.rs:

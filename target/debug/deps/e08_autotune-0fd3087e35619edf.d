@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e08_autotune-0fd3087e35619edf.d: crates/bench/src/bin/e08_autotune.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe08_autotune-0fd3087e35619edf.rmeta: crates/bench/src/bin/e08_autotune.rs Cargo.toml
+
+crates/bench/src/bin/e08_autotune.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

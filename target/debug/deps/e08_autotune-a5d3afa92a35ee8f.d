@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e08_autotune-a5d3afa92a35ee8f.d: crates/bench/src/bin/e08_autotune.rs
+
+/root/repo/target/debug/deps/e08_autotune-a5d3afa92a35ee8f: crates/bench/src/bin/e08_autotune.rs
+
+crates/bench/src/bin/e08_autotune.rs:

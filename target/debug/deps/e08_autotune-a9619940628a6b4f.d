@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e08_autotune-a9619940628a6b4f.d: crates/bench/src/bin/e08_autotune.rs
+
+/root/repo/target/debug/deps/e08_autotune-a9619940628a6b4f: crates/bench/src/bin/e08_autotune.rs
+
+crates/bench/src/bin/e08_autotune.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e08_autotune-c140eb7bee156bda.d: crates/bench/src/bin/e08_autotune.rs
+
+/root/repo/target/debug/deps/e08_autotune-c140eb7bee156bda: crates/bench/src/bin/e08_autotune.rs
+
+crates/bench/src/bin/e08_autotune.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e08_autotune-ef4e48e2037cd1e1.d: crates/bench/src/bin/e08_autotune.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe08_autotune-ef4e48e2037cd1e1.rmeta: crates/bench/src/bin/e08_autotune.rs Cargo.toml
+
+crates/bench/src/bin/e08_autotune.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

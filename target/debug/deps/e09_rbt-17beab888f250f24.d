@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e09_rbt-17beab888f250f24.d: crates/bench/src/bin/e09_rbt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe09_rbt-17beab888f250f24.rmeta: crates/bench/src/bin/e09_rbt.rs Cargo.toml
+
+crates/bench/src/bin/e09_rbt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

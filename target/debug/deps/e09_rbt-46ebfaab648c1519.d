@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e09_rbt-46ebfaab648c1519.d: crates/bench/src/bin/e09_rbt.rs
+
+/root/repo/target/debug/deps/e09_rbt-46ebfaab648c1519: crates/bench/src/bin/e09_rbt.rs
+
+crates/bench/src/bin/e09_rbt.rs:

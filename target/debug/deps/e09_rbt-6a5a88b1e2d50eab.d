@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e09_rbt-6a5a88b1e2d50eab.d: crates/bench/src/bin/e09_rbt.rs
+
+/root/repo/target/debug/deps/e09_rbt-6a5a88b1e2d50eab: crates/bench/src/bin/e09_rbt.rs
+
+crates/bench/src/bin/e09_rbt.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e09_rbt-d78229d62afc7843.d: crates/bench/src/bin/e09_rbt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe09_rbt-d78229d62afc7843.rmeta: crates/bench/src/bin/e09_rbt.rs Cargo.toml
+
+crates/bench/src/bin/e09_rbt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

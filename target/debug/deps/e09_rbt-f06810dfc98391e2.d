@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e09_rbt-f06810dfc98391e2.d: crates/bench/src/bin/e09_rbt.rs
+
+/root/repo/target/debug/deps/e09_rbt-f06810dfc98391e2: crates/bench/src/bin/e09_rbt.rs
+
+crates/bench/src/bin/e09_rbt.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e10_scaling-71c81d3fb5158ce8.d: crates/bench/src/bin/e10_scaling.rs
+
+/root/repo/target/debug/deps/e10_scaling-71c81d3fb5158ce8: crates/bench/src/bin/e10_scaling.rs
+
+crates/bench/src/bin/e10_scaling.rs:

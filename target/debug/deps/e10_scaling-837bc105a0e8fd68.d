@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e10_scaling-837bc105a0e8fd68.d: crates/bench/src/bin/e10_scaling.rs
+
+/root/repo/target/debug/deps/e10_scaling-837bc105a0e8fd68: crates/bench/src/bin/e10_scaling.rs
+
+crates/bench/src/bin/e10_scaling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e10_scaling-b81bd1f1c064d8f0.d: crates/bench/src/bin/e10_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe10_scaling-b81bd1f1c064d8f0.rmeta: crates/bench/src/bin/e10_scaling.rs Cargo.toml
+
+crates/bench/src/bin/e10_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

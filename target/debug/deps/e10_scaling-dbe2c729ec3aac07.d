@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e10_scaling-dbe2c729ec3aac07.d: crates/bench/src/bin/e10_scaling.rs
+
+/root/repo/target/debug/deps/e10_scaling-dbe2c729ec3aac07: crates/bench/src/bin/e10_scaling.rs
+
+crates/bench/src/bin/e10_scaling.rs:

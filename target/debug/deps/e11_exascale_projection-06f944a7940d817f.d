@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e11_exascale_projection-06f944a7940d817f.d: crates/bench/src/bin/e11_exascale_projection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe11_exascale_projection-06f944a7940d817f.rmeta: crates/bench/src/bin/e11_exascale_projection.rs Cargo.toml
+
+crates/bench/src/bin/e11_exascale_projection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e11_exascale_projection-b81c36dfdda5f332.d: crates/bench/src/bin/e11_exascale_projection.rs
+
+/root/repo/target/debug/deps/e11_exascale_projection-b81c36dfdda5f332: crates/bench/src/bin/e11_exascale_projection.rs
+
+crates/bench/src/bin/e11_exascale_projection.rs:

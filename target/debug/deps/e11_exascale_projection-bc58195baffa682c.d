@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e11_exascale_projection-bc58195baffa682c.d: crates/bench/src/bin/e11_exascale_projection.rs
+
+/root/repo/target/debug/deps/e11_exascale_projection-bc58195baffa682c: crates/bench/src/bin/e11_exascale_projection.rs
+
+crates/bench/src/bin/e11_exascale_projection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e11_exascale_projection-d6043a3376e3f782.d: crates/bench/src/bin/e11_exascale_projection.rs
+
+/root/repo/target/debug/deps/e11_exascale_projection-d6043a3376e3f782: crates/bench/src/bin/e11_exascale_projection.rs
+
+crates/bench/src/bin/e11_exascale_projection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e12_resilience_cg-37ec4ae69b7e3112.d: crates/bench/src/bin/e12_resilience_cg.rs
+
+/root/repo/target/debug/deps/e12_resilience_cg-37ec4ae69b7e3112: crates/bench/src/bin/e12_resilience_cg.rs
+
+crates/bench/src/bin/e12_resilience_cg.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e12_resilience_cg-3a1f171c7f7e35ba.d: crates/bench/src/bin/e12_resilience_cg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe12_resilience_cg-3a1f171c7f7e35ba.rmeta: crates/bench/src/bin/e12_resilience_cg.rs Cargo.toml
+
+crates/bench/src/bin/e12_resilience_cg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e12_resilience_cg-3df81b14ddf279ed.d: crates/bench/src/bin/e12_resilience_cg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe12_resilience_cg-3df81b14ddf279ed.rmeta: crates/bench/src/bin/e12_resilience_cg.rs Cargo.toml
+
+crates/bench/src/bin/e12_resilience_cg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

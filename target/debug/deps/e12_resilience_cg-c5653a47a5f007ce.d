@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e12_resilience_cg-c5653a47a5f007ce.d: crates/bench/src/bin/e12_resilience_cg.rs
+
+/root/repo/target/debug/deps/e12_resilience_cg-c5653a47a5f007ce: crates/bench/src/bin/e12_resilience_cg.rs
+
+crates/bench/src/bin/e12_resilience_cg.rs:

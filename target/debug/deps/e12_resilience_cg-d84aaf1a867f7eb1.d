@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e12_resilience_cg-d84aaf1a867f7eb1.d: crates/bench/src/bin/e12_resilience_cg.rs
+
+/root/repo/target/debug/deps/e12_resilience_cg-d84aaf1a867f7eb1: crates/bench/src/bin/e12_resilience_cg.rs
+
+crates/bench/src/bin/e12_resilience_cg.rs:

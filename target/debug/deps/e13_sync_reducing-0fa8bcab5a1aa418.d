@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e13_sync_reducing-0fa8bcab5a1aa418.d: crates/bench/src/bin/e13_sync_reducing.rs
+
+/root/repo/target/debug/deps/e13_sync_reducing-0fa8bcab5a1aa418: crates/bench/src/bin/e13_sync_reducing.rs
+
+crates/bench/src/bin/e13_sync_reducing.rs:

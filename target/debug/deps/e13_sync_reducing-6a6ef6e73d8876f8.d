@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e13_sync_reducing-6a6ef6e73d8876f8.d: crates/bench/src/bin/e13_sync_reducing.rs
+
+/root/repo/target/debug/deps/e13_sync_reducing-6a6ef6e73d8876f8: crates/bench/src/bin/e13_sync_reducing.rs
+
+crates/bench/src/bin/e13_sync_reducing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e13_sync_reducing-ca84057d8db28b04.d: crates/bench/src/bin/e13_sync_reducing.rs
+
+/root/repo/target/debug/deps/e13_sync_reducing-ca84057d8db28b04: crates/bench/src/bin/e13_sync_reducing.rs
+
+crates/bench/src/bin/e13_sync_reducing.rs:

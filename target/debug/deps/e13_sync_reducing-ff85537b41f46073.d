@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e13_sync_reducing-ff85537b41f46073.d: crates/bench/src/bin/e13_sync_reducing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe13_sync_reducing-ff85537b41f46073.rmeta: crates/bench/src/bin/e13_sync_reducing.rs Cargo.toml
+
+crates/bench/src/bin/e13_sync_reducing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

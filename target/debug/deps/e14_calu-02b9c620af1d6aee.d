@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e14_calu-02b9c620af1d6aee.d: crates/bench/src/bin/e14_calu.rs
+
+/root/repo/target/debug/deps/e14_calu-02b9c620af1d6aee: crates/bench/src/bin/e14_calu.rs
+
+crates/bench/src/bin/e14_calu.rs:

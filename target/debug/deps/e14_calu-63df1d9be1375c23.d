@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e14_calu-63df1d9be1375c23.d: crates/bench/src/bin/e14_calu.rs
+
+/root/repo/target/debug/deps/e14_calu-63df1d9be1375c23: crates/bench/src/bin/e14_calu.rs
+
+crates/bench/src/bin/e14_calu.rs:

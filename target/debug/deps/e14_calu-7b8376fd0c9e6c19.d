@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e14_calu-7b8376fd0c9e6c19.d: crates/bench/src/bin/e14_calu.rs
+
+/root/repo/target/debug/deps/e14_calu-7b8376fd0c9e6c19: crates/bench/src/bin/e14_calu.rs
+
+crates/bench/src/bin/e14_calu.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e14_calu-b20491a7e08ca314.d: crates/bench/src/bin/e14_calu.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe14_calu-b20491a7e08ca314.rmeta: crates/bench/src/bin/e14_calu.rs Cargo.toml
+
+crates/bench/src/bin/e14_calu.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e15_colored_smoother-212c367db30d5dc7.d: crates/bench/src/bin/e15_colored_smoother.rs
+
+/root/repo/target/debug/deps/e15_colored_smoother-212c367db30d5dc7: crates/bench/src/bin/e15_colored_smoother.rs
+
+crates/bench/src/bin/e15_colored_smoother.rs:

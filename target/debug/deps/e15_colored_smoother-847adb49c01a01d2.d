@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e15_colored_smoother-847adb49c01a01d2.d: crates/bench/src/bin/e15_colored_smoother.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe15_colored_smoother-847adb49c01a01d2.rmeta: crates/bench/src/bin/e15_colored_smoother.rs Cargo.toml
+
+crates/bench/src/bin/e15_colored_smoother.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

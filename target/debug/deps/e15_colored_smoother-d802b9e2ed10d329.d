@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e15_colored_smoother-d802b9e2ed10d329.d: crates/bench/src/bin/e15_colored_smoother.rs
+
+/root/repo/target/debug/deps/e15_colored_smoother-d802b9e2ed10d329: crates/bench/src/bin/e15_colored_smoother.rs
+
+crates/bench/src/bin/e15_colored_smoother.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e15_colored_smoother-ea2da1eac42e102d.d: crates/bench/src/bin/e15_colored_smoother.rs
+
+/root/repo/target/debug/deps/e15_colored_smoother-ea2da1eac42e102d: crates/bench/src/bin/e15_colored_smoother.rs
+
+crates/bench/src/bin/e15_colored_smoother.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e16_comm_optimal-007f8920479c8bdd.d: crates/bench/src/bin/e16_comm_optimal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe16_comm_optimal-007f8920479c8bdd.rmeta: crates/bench/src/bin/e16_comm_optimal.rs Cargo.toml
+
+crates/bench/src/bin/e16_comm_optimal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

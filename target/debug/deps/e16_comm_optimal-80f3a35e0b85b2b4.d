@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e16_comm_optimal-80f3a35e0b85b2b4.d: crates/bench/src/bin/e16_comm_optimal.rs
+
+/root/repo/target/debug/deps/e16_comm_optimal-80f3a35e0b85b2b4: crates/bench/src/bin/e16_comm_optimal.rs
+
+crates/bench/src/bin/e16_comm_optimal.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e16_comm_optimal-cc189e8a71f4559a.d: crates/bench/src/bin/e16_comm_optimal.rs
+
+/root/repo/target/debug/deps/e16_comm_optimal-cc189e8a71f4559a: crates/bench/src/bin/e16_comm_optimal.rs
+
+crates/bench/src/bin/e16_comm_optimal.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e16_comm_optimal-f37b69c80fc0e2a0.d: crates/bench/src/bin/e16_comm_optimal.rs
+
+/root/repo/target/debug/deps/e16_comm_optimal-f37b69c80fc0e2a0: crates/bench/src/bin/e16_comm_optimal.rs
+
+crates/bench/src/bin/e16_comm_optimal.rs:

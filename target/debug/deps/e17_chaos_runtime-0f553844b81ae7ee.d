@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e17_chaos_runtime-0f553844b81ae7ee.d: crates/bench/src/bin/e17_chaos_runtime.rs
+
+/root/repo/target/debug/deps/e17_chaos_runtime-0f553844b81ae7ee: crates/bench/src/bin/e17_chaos_runtime.rs
+
+crates/bench/src/bin/e17_chaos_runtime.rs:

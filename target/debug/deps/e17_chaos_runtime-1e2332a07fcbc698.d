@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e17_chaos_runtime-1e2332a07fcbc698.d: crates/bench/src/bin/e17_chaos_runtime.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe17_chaos_runtime-1e2332a07fcbc698.rmeta: crates/bench/src/bin/e17_chaos_runtime.rs Cargo.toml
+
+crates/bench/src/bin/e17_chaos_runtime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e17_chaos_runtime-92aacce4a5cd1b56.d: crates/bench/src/bin/e17_chaos_runtime.rs
+
+/root/repo/target/debug/deps/e17_chaos_runtime-92aacce4a5cd1b56: crates/bench/src/bin/e17_chaos_runtime.rs
+
+crates/bench/src/bin/e17_chaos_runtime.rs:

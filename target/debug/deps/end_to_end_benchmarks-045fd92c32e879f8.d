@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/end_to_end_benchmarks-045fd92c32e879f8.d: tests/tests/end_to_end_benchmarks.rs Cargo.toml
+
+/root/repo/target/debug/deps/libend_to_end_benchmarks-045fd92c32e879f8.rmeta: tests/tests/end_to_end_benchmarks.rs Cargo.toml
+
+tests/tests/end_to_end_benchmarks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

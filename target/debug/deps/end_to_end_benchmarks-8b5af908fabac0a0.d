@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_benchmarks-8b5af908fabac0a0.d: tests/tests/end_to_end_benchmarks.rs
+
+/root/repo/target/debug/deps/end_to_end_benchmarks-8b5af908fabac0a0: tests/tests/end_to_end_benchmarks.rs
+
+tests/tests/end_to_end_benchmarks.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_benchmarks-eb252a9b37c84219.d: tests/tests/end_to_end_benchmarks.rs
+
+/root/repo/target/debug/deps/end_to_end_benchmarks-eb252a9b37c84219: tests/tests/end_to_end_benchmarks.rs
+
+tests/tests/end_to_end_benchmarks.rs:

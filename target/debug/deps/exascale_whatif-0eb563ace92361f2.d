@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exascale_whatif-0eb563ace92361f2.d: examples/exascale_whatif.rs
+
+/root/repo/target/debug/deps/exascale_whatif-0eb563ace92361f2: examples/exascale_whatif.rs
+
+examples/exascale_whatif.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exascale_whatif-376d4ca7c3a9b43b.d: examples/exascale_whatif.rs
+
+/root/repo/target/debug/deps/exascale_whatif-376d4ca7c3a9b43b: examples/exascale_whatif.rs
+
+examples/exascale_whatif.rs:

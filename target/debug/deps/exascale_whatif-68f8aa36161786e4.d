@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exascale_whatif-68f8aa36161786e4.d: examples/exascale_whatif.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexascale_whatif-68f8aa36161786e4.rmeta: examples/exascale_whatif.rs Cargo.toml
+
+examples/exascale_whatif.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/factorization_pipelines-4ba561761f42bb1d.d: tests/tests/factorization_pipelines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfactorization_pipelines-4ba561761f42bb1d.rmeta: tests/tests/factorization_pipelines.rs Cargo.toml
+
+tests/tests/factorization_pipelines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

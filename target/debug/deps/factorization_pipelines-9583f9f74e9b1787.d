@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/factorization_pipelines-9583f9f74e9b1787.d: tests/tests/factorization_pipelines.rs
+
+/root/repo/target/debug/deps/factorization_pipelines-9583f9f74e9b1787: tests/tests/factorization_pipelines.rs
+
+tests/tests/factorization_pipelines.rs:

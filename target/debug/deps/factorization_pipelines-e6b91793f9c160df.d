@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/factorization_pipelines-e6b91793f9c160df.d: tests/tests/factorization_pipelines.rs
+
+/root/repo/target/debug/deps/factorization_pipelines-e6b91793f9c160df: tests/tests/factorization_pipelines.rs
+
+tests/tests/factorization_pipelines.rs:

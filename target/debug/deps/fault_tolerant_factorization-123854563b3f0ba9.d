@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_tolerant_factorization-123854563b3f0ba9.d: examples/fault_tolerant_factorization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_tolerant_factorization-123854563b3f0ba9.rmeta: examples/fault_tolerant_factorization.rs Cargo.toml
+
+examples/fault_tolerant_factorization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

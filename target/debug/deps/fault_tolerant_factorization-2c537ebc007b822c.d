@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerant_factorization-2c537ebc007b822c.d: examples/fault_tolerant_factorization.rs
+
+/root/repo/target/debug/deps/fault_tolerant_factorization-2c537ebc007b822c: examples/fault_tolerant_factorization.rs
+
+examples/fault_tolerant_factorization.rs:

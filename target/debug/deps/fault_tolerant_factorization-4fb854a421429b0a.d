@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_tolerant_factorization-4fb854a421429b0a.d: examples/fault_tolerant_factorization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_tolerant_factorization-4fb854a421429b0a.rmeta: examples/fault_tolerant_factorization.rs Cargo.toml
+
+examples/fault_tolerant_factorization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerant_factorization-5305d62ca3cbc9b4.d: examples/fault_tolerant_factorization.rs
+
+/root/repo/target/debug/deps/fault_tolerant_factorization-5305d62ca3cbc9b4: examples/fault_tolerant_factorization.rs
+
+examples/fault_tolerant_factorization.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hpl_vs_hpcg-1cb68f22ade43753.d: examples/hpl_vs_hpcg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhpl_vs_hpcg-1cb68f22ade43753.rmeta: examples/hpl_vs_hpcg.rs Cargo.toml
+
+examples/hpl_vs_hpcg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

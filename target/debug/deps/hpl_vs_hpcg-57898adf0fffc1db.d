@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hpl_vs_hpcg-57898adf0fffc1db.d: examples/hpl_vs_hpcg.rs
+
+/root/repo/target/debug/deps/hpl_vs_hpcg-57898adf0fffc1db: examples/hpl_vs_hpcg.rs
+
+examples/hpl_vs_hpcg.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hpl_vs_hpcg-612da442b25b78c2.d: examples/hpl_vs_hpcg.rs
+
+/root/repo/target/debug/deps/hpl_vs_hpcg-612da442b25b78c2: examples/hpl_vs_hpcg.rs
+
+examples/hpl_vs_hpcg.rs:

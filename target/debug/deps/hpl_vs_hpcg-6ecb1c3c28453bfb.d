@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hpl_vs_hpcg-6ecb1c3c28453bfb.d: examples/hpl_vs_hpcg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhpl_vs_hpcg-6ecb1c3c28453bfb.rmeta: examples/hpl_vs_hpcg.rs Cargo.toml
+
+examples/hpl_vs_hpcg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mixed_precision_solver-785b39ce596a2b1f.d: examples/mixed_precision_solver.rs
+
+/root/repo/target/debug/deps/mixed_precision_solver-785b39ce596a2b1f: examples/mixed_precision_solver.rs
+
+examples/mixed_precision_solver.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mixed_precision_solver-f627d228fb313df8.d: examples/mixed_precision_solver.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmixed_precision_solver-f627d228fb313df8.rmeta: examples/mixed_precision_solver.rs Cargo.toml
+
+examples/mixed_precision_solver.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mixed_precision_solver-fb64e4339efbf3a6.d: examples/mixed_precision_solver.rs
+
+/root/repo/target/debug/deps/mixed_precision_solver-fb64e4339efbf3a6: examples/mixed_precision_solver.rs
+
+examples/mixed_precision_solver.rs:

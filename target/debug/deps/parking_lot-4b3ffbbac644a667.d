@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-4b3ffbbac644a667.d: crates/shims/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/parking_lot-4b3ffbbac644a667: crates/shims/parking_lot/src/lib.rs
+
+crates/shims/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-dabe1ad8858e5156.d: crates/shims/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-dabe1ad8858e5156.rlib: crates/shims/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-dabe1ad8858e5156.rmeta: crates/shims/parking_lot/src/lib.rs
+
+crates/shims/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-9d52215da4c9abc3.d: crates/core/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-9d52215da4c9abc3: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_cross_crate-3e8b688d1c46b174.d: tests/tests/property_cross_crate.rs
+
+/root/repo/target/debug/deps/property_cross_crate-3e8b688d1c46b174: tests/tests/property_cross_crate.rs
+
+tests/tests/property_cross_crate.rs:

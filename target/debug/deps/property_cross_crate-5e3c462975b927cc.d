@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_cross_crate-5e3c462975b927cc.d: tests/tests/property_cross_crate.rs
+
+/root/repo/target/debug/deps/property_cross_crate-5e3c462975b927cc: tests/tests/property_cross_crate.rs
+
+tests/tests/property_cross_crate.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/property_cross_crate-78d9d507b143b29f.d: tests/tests/property_cross_crate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperty_cross_crate-78d9d507b143b29f.rmeta: tests/tests/property_cross_crate.rs Cargo.toml
+
+tests/tests/property_cross_crate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-1c7682762bf85632.d: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-1c7682762bf85632: crates/shims/proptest/src/lib.rs
+
+crates/shims/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-6e7c8146d0a7b221.d: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-6e7c8146d0a7b221.rlib: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-6e7c8146d0a7b221.rmeta: crates/shims/proptest/src/lib.rs
+
+crates/shims/proptest/src/lib.rs:

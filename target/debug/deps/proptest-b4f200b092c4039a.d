@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-b4f200b092c4039a.d: crates/shims/proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-b4f200b092c4039a.rmeta: crates/shims/proptest/src/lib.rs Cargo.toml
+
+crates/shims/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quickstart-256ff6132b722c00.d: examples/quickstart.rs
+
+/root/repo/target/debug/deps/quickstart-256ff6132b722c00: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quickstart-4f4cc642c325d204.d: examples/quickstart.rs
+
+/root/repo/target/debug/deps/quickstart-4f4cc642c325d204: examples/quickstart.rs
+
+examples/quickstart.rs:

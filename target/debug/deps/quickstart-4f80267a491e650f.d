@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/quickstart-4f80267a491e650f.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquickstart-4f80267a491e650f.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

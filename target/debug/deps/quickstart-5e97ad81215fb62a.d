@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/quickstart-5e97ad81215fb62a.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquickstart-5e97ad81215fb62a.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

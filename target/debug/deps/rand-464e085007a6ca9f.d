@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-464e085007a6ca9f.d: crates/shims/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-464e085007a6ca9f.rmeta: crates/shims/rand/src/lib.rs Cargo.toml
+
+crates/shims/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

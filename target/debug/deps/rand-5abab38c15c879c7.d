@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-5abab38c15c879c7.d: crates/shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-5abab38c15c879c7.rlib: crates/shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-5abab38c15c879c7.rmeta: crates/shims/rand/src/lib.rs
+
+crates/shims/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-88ba05f639619bf7.d: crates/shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-88ba05f639619bf7: crates/shims/rand/src/lib.rs
+
+crates/shims/rand/src/lib.rs:

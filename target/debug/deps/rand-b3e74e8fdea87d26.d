@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-b3e74e8fdea87d26.d: crates/shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-b3e74e8fdea87d26.rlib: crates/shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-b3e74e8fdea87d26.rmeta: crates/shims/rand/src/lib.rs
+
+crates/shims/rand/src/lib.rs:

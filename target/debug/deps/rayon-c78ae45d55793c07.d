@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rayon-c78ae45d55793c07.d: crates/shims/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-c78ae45d55793c07.rlib: crates/shims/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-c78ae45d55793c07.rmeta: crates/shims/rayon/src/lib.rs
+
+crates/shims/rayon/src/lib.rs:

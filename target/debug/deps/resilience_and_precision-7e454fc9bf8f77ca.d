@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/resilience_and_precision-7e454fc9bf8f77ca.d: tests/tests/resilience_and_precision.rs
+
+/root/repo/target/debug/deps/resilience_and_precision-7e454fc9bf8f77ca: tests/tests/resilience_and_precision.rs
+
+tests/tests/resilience_and_precision.rs:

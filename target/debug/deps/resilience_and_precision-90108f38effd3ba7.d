@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/resilience_and_precision-90108f38effd3ba7.d: tests/tests/resilience_and_precision.rs
+
+/root/repo/target/debug/deps/resilience_and_precision-90108f38effd3ba7: tests/tests/resilience_and_precision.rs
+
+tests/tests/resilience_and_precision.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/resilience_and_precision-dd3487318bf3d4d5.d: tests/tests/resilience_and_precision.rs Cargo.toml
+
+/root/repo/target/debug/deps/libresilience_and_precision-dd3487318bf3d4d5.rmeta: tests/tests/resilience_and_precision.rs Cargo.toml
+
+tests/tests/resilience_and_precision.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serializability-012d1c7427d1cfe3.d: crates/runtime/tests/serializability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserializability-012d1c7427d1cfe3.rmeta: crates/runtime/tests/serializability.rs Cargo.toml
+
+crates/runtime/tests/serializability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

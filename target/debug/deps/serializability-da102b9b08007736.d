@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serializability-da102b9b08007736.d: crates/runtime/tests/serializability.rs
+
+/root/repo/target/debug/deps/serializability-da102b9b08007736: crates/runtime/tests/serializability.rs
+
+crates/runtime/tests/serializability.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xsc_autotune-0a363a316a7bc0ed.d: crates/autotune/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxsc_autotune-0a363a316a7bc0ed.rmeta: crates/autotune/src/lib.rs Cargo.toml
+
+crates/autotune/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/xsc_autotune-13e6340daa70fb3c.d: crates/autotune/src/lib.rs
+
+/root/repo/target/debug/deps/libxsc_autotune-13e6340daa70fb3c.rlib: crates/autotune/src/lib.rs
+
+/root/repo/target/debug/deps/libxsc_autotune-13e6340daa70fb3c.rmeta: crates/autotune/src/lib.rs
+
+crates/autotune/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xsc_autotune-3c143bc4941ab395.d: crates/autotune/src/lib.rs
+
+/root/repo/target/debug/deps/xsc_autotune-3c143bc4941ab395: crates/autotune/src/lib.rs
+
+crates/autotune/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/xsc_autotune-83eba0170d2c5551.d: crates/autotune/src/lib.rs
+
+/root/repo/target/debug/deps/libxsc_autotune-83eba0170d2c5551.rlib: crates/autotune/src/lib.rs
+
+/root/repo/target/debug/deps/libxsc_autotune-83eba0170d2c5551.rmeta: crates/autotune/src/lib.rs
+
+crates/autotune/src/lib.rs:

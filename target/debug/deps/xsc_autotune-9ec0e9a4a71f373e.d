@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xsc_autotune-9ec0e9a4a71f373e.d: crates/autotune/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxsc_autotune-9ec0e9a4a71f373e.rmeta: crates/autotune/src/lib.rs Cargo.toml
+
+crates/autotune/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

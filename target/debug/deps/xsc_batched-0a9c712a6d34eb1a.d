@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xsc_batched-0a9c712a6d34eb1a.d: crates/batched/src/lib.rs
+
+/root/repo/target/debug/deps/xsc_batched-0a9c712a6d34eb1a: crates/batched/src/lib.rs
+
+crates/batched/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/xsc_batched-bbbf70f9afd83869.d: crates/batched/src/lib.rs
+
+/root/repo/target/debug/deps/libxsc_batched-bbbf70f9afd83869.rlib: crates/batched/src/lib.rs
+
+/root/repo/target/debug/deps/libxsc_batched-bbbf70f9afd83869.rmeta: crates/batched/src/lib.rs
+
+crates/batched/src/lib.rs:

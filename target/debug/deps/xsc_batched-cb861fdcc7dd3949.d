@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xsc_batched-cb861fdcc7dd3949.d: crates/batched/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxsc_batched-cb861fdcc7dd3949.rmeta: crates/batched/src/lib.rs Cargo.toml
+
+crates/batched/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

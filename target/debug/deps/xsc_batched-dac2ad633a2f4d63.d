@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/xsc_batched-dac2ad633a2f4d63.d: crates/batched/src/lib.rs
+
+/root/repo/target/debug/deps/libxsc_batched-dac2ad633a2f4d63.rlib: crates/batched/src/lib.rs
+
+/root/repo/target/debug/deps/libxsc_batched-dac2ad633a2f4d63.rmeta: crates/batched/src/lib.rs
+
+crates/batched/src/lib.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/xsc_core-2412abf536ec9859.d: crates/core/src/lib.rs crates/core/src/blas1.rs crates/core/src/cond.rs crates/core/src/error.rs crates/core/src/factor.rs crates/core/src/flops.rs crates/core/src/gemm.rs crates/core/src/gen.rs crates/core/src/householder.rs crates/core/src/matrix.rs crates/core/src/norms.rs crates/core/src/scalar.rs crates/core/src/syrk.rs crates/core/src/tile.rs crates/core/src/trsm.rs
+
+/root/repo/target/debug/deps/libxsc_core-2412abf536ec9859.rlib: crates/core/src/lib.rs crates/core/src/blas1.rs crates/core/src/cond.rs crates/core/src/error.rs crates/core/src/factor.rs crates/core/src/flops.rs crates/core/src/gemm.rs crates/core/src/gen.rs crates/core/src/householder.rs crates/core/src/matrix.rs crates/core/src/norms.rs crates/core/src/scalar.rs crates/core/src/syrk.rs crates/core/src/tile.rs crates/core/src/trsm.rs
+
+/root/repo/target/debug/deps/libxsc_core-2412abf536ec9859.rmeta: crates/core/src/lib.rs crates/core/src/blas1.rs crates/core/src/cond.rs crates/core/src/error.rs crates/core/src/factor.rs crates/core/src/flops.rs crates/core/src/gemm.rs crates/core/src/gen.rs crates/core/src/householder.rs crates/core/src/matrix.rs crates/core/src/norms.rs crates/core/src/scalar.rs crates/core/src/syrk.rs crates/core/src/tile.rs crates/core/src/trsm.rs
+
+crates/core/src/lib.rs:
+crates/core/src/blas1.rs:
+crates/core/src/cond.rs:
+crates/core/src/error.rs:
+crates/core/src/factor.rs:
+crates/core/src/flops.rs:
+crates/core/src/gemm.rs:
+crates/core/src/gen.rs:
+crates/core/src/householder.rs:
+crates/core/src/matrix.rs:
+crates/core/src/norms.rs:
+crates/core/src/scalar.rs:
+crates/core/src/syrk.rs:
+crates/core/src/tile.rs:
+crates/core/src/trsm.rs:

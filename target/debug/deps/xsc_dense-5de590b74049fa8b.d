@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/xsc_dense-5de590b74049fa8b.d: crates/dense/src/lib.rs crates/dense/src/calu.rs crates/dense/src/cholesky.rs crates/dense/src/hpl.rs crates/dense/src/lu.rs crates/dense/src/qr.rs crates/dense/src/rbt.rs crates/dense/src/tsqr.rs crates/dense/src/poison.rs
+
+/root/repo/target/debug/deps/xsc_dense-5de590b74049fa8b: crates/dense/src/lib.rs crates/dense/src/calu.rs crates/dense/src/cholesky.rs crates/dense/src/hpl.rs crates/dense/src/lu.rs crates/dense/src/qr.rs crates/dense/src/rbt.rs crates/dense/src/tsqr.rs crates/dense/src/poison.rs
+
+crates/dense/src/lib.rs:
+crates/dense/src/calu.rs:
+crates/dense/src/cholesky.rs:
+crates/dense/src/hpl.rs:
+crates/dense/src/lu.rs:
+crates/dense/src/qr.rs:
+crates/dense/src/rbt.rs:
+crates/dense/src/tsqr.rs:
+crates/dense/src/poison.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/xsc_dense-8f6cc18896ccb5ab.d: crates/dense/src/lib.rs crates/dense/src/calu.rs crates/dense/src/cholesky.rs crates/dense/src/hpl.rs crates/dense/src/lu.rs crates/dense/src/qr.rs crates/dense/src/rbt.rs crates/dense/src/resilient.rs crates/dense/src/tsqr.rs crates/dense/src/poison.rs
+
+/root/repo/target/debug/deps/libxsc_dense-8f6cc18896ccb5ab.rlib: crates/dense/src/lib.rs crates/dense/src/calu.rs crates/dense/src/cholesky.rs crates/dense/src/hpl.rs crates/dense/src/lu.rs crates/dense/src/qr.rs crates/dense/src/rbt.rs crates/dense/src/resilient.rs crates/dense/src/tsqr.rs crates/dense/src/poison.rs
+
+/root/repo/target/debug/deps/libxsc_dense-8f6cc18896ccb5ab.rmeta: crates/dense/src/lib.rs crates/dense/src/calu.rs crates/dense/src/cholesky.rs crates/dense/src/hpl.rs crates/dense/src/lu.rs crates/dense/src/qr.rs crates/dense/src/rbt.rs crates/dense/src/resilient.rs crates/dense/src/tsqr.rs crates/dense/src/poison.rs
+
+crates/dense/src/lib.rs:
+crates/dense/src/calu.rs:
+crates/dense/src/cholesky.rs:
+crates/dense/src/hpl.rs:
+crates/dense/src/lu.rs:
+crates/dense/src/qr.rs:
+crates/dense/src/rbt.rs:
+crates/dense/src/resilient.rs:
+crates/dense/src/tsqr.rs:
+crates/dense/src/poison.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/xsc_dense-a2ba256c5f359941.d: crates/dense/src/lib.rs crates/dense/src/calu.rs crates/dense/src/cholesky.rs crates/dense/src/hpl.rs crates/dense/src/lu.rs crates/dense/src/qr.rs crates/dense/src/rbt.rs crates/dense/src/resilient.rs crates/dense/src/tsqr.rs crates/dense/src/poison.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxsc_dense-a2ba256c5f359941.rmeta: crates/dense/src/lib.rs crates/dense/src/calu.rs crates/dense/src/cholesky.rs crates/dense/src/hpl.rs crates/dense/src/lu.rs crates/dense/src/qr.rs crates/dense/src/rbt.rs crates/dense/src/resilient.rs crates/dense/src/tsqr.rs crates/dense/src/poison.rs Cargo.toml
+
+crates/dense/src/lib.rs:
+crates/dense/src/calu.rs:
+crates/dense/src/cholesky.rs:
+crates/dense/src/hpl.rs:
+crates/dense/src/lu.rs:
+crates/dense/src/qr.rs:
+crates/dense/src/rbt.rs:
+crates/dense/src/resilient.rs:
+crates/dense/src/tsqr.rs:
+crates/dense/src/poison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

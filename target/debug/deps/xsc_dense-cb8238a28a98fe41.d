@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/xsc_dense-cb8238a28a98fe41.d: crates/dense/src/lib.rs crates/dense/src/calu.rs crates/dense/src/cholesky.rs crates/dense/src/hpl.rs crates/dense/src/lu.rs crates/dense/src/qr.rs crates/dense/src/rbt.rs crates/dense/src/resilient.rs crates/dense/src/tsqr.rs crates/dense/src/poison.rs
+
+/root/repo/target/debug/deps/xsc_dense-cb8238a28a98fe41: crates/dense/src/lib.rs crates/dense/src/calu.rs crates/dense/src/cholesky.rs crates/dense/src/hpl.rs crates/dense/src/lu.rs crates/dense/src/qr.rs crates/dense/src/rbt.rs crates/dense/src/resilient.rs crates/dense/src/tsqr.rs crates/dense/src/poison.rs
+
+crates/dense/src/lib.rs:
+crates/dense/src/calu.rs:
+crates/dense/src/cholesky.rs:
+crates/dense/src/hpl.rs:
+crates/dense/src/lu.rs:
+crates/dense/src/qr.rs:
+crates/dense/src/rbt.rs:
+crates/dense/src/resilient.rs:
+crates/dense/src/tsqr.rs:
+crates/dense/src/poison.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/xsc_dense-ffa5e92784ce44e5.d: crates/dense/src/lib.rs crates/dense/src/calu.rs crates/dense/src/cholesky.rs crates/dense/src/hpl.rs crates/dense/src/lu.rs crates/dense/src/qr.rs crates/dense/src/rbt.rs crates/dense/src/resilient.rs crates/dense/src/tsqr.rs crates/dense/src/poison.rs
+
+/root/repo/target/debug/deps/libxsc_dense-ffa5e92784ce44e5.rlib: crates/dense/src/lib.rs crates/dense/src/calu.rs crates/dense/src/cholesky.rs crates/dense/src/hpl.rs crates/dense/src/lu.rs crates/dense/src/qr.rs crates/dense/src/rbt.rs crates/dense/src/resilient.rs crates/dense/src/tsqr.rs crates/dense/src/poison.rs
+
+/root/repo/target/debug/deps/libxsc_dense-ffa5e92784ce44e5.rmeta: crates/dense/src/lib.rs crates/dense/src/calu.rs crates/dense/src/cholesky.rs crates/dense/src/hpl.rs crates/dense/src/lu.rs crates/dense/src/qr.rs crates/dense/src/rbt.rs crates/dense/src/resilient.rs crates/dense/src/tsqr.rs crates/dense/src/poison.rs
+
+crates/dense/src/lib.rs:
+crates/dense/src/calu.rs:
+crates/dense/src/cholesky.rs:
+crates/dense/src/hpl.rs:
+crates/dense/src/lu.rs:
+crates/dense/src/qr.rs:
+crates/dense/src/rbt.rs:
+crates/dense/src/resilient.rs:
+crates/dense/src/tsqr.rs:
+crates/dense/src/poison.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/xsc_examples-06d77c97ee3de94a.d: examples/lib.rs
+
+/root/repo/target/debug/deps/libxsc_examples-06d77c97ee3de94a.rlib: examples/lib.rs
+
+/root/repo/target/debug/deps/libxsc_examples-06d77c97ee3de94a.rmeta: examples/lib.rs
+
+examples/lib.rs:

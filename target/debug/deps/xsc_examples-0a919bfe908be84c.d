@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xsc_examples-0a919bfe908be84c.d: examples/lib.rs
+
+/root/repo/target/debug/deps/xsc_examples-0a919bfe908be84c: examples/lib.rs
+
+examples/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xsc_examples-67ae10781790ecdc.d: examples/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxsc_examples-67ae10781790ecdc.rmeta: examples/lib.rs Cargo.toml
+
+examples/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xsc_examples-d3758b8e582890b9.d: examples/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxsc_examples-d3758b8e582890b9.rmeta: examples/lib.rs Cargo.toml
+
+examples/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/xsc_examples-e284f2fd6b9b0021.d: examples/lib.rs
+
+/root/repo/target/debug/deps/libxsc_examples-e284f2fd6b9b0021.rlib: examples/lib.rs
+
+/root/repo/target/debug/deps/libxsc_examples-e284f2fd6b9b0021.rmeta: examples/lib.rs
+
+examples/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xsc_examples-f1634d9bb7a8ae0e.d: examples/lib.rs
+
+/root/repo/target/debug/deps/xsc_examples-f1634d9bb7a8ae0e: examples/lib.rs
+
+examples/lib.rs:

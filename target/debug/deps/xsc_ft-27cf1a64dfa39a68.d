@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/xsc_ft-27cf1a64dfa39a68.d: crates/ft/src/lib.rs crates/ft/src/abft.rs crates/ft/src/checkpoint.rs crates/ft/src/inject.rs crates/ft/src/plan.rs
+
+/root/repo/target/debug/deps/libxsc_ft-27cf1a64dfa39a68.rlib: crates/ft/src/lib.rs crates/ft/src/abft.rs crates/ft/src/checkpoint.rs crates/ft/src/inject.rs crates/ft/src/plan.rs
+
+/root/repo/target/debug/deps/libxsc_ft-27cf1a64dfa39a68.rmeta: crates/ft/src/lib.rs crates/ft/src/abft.rs crates/ft/src/checkpoint.rs crates/ft/src/inject.rs crates/ft/src/plan.rs
+
+crates/ft/src/lib.rs:
+crates/ft/src/abft.rs:
+crates/ft/src/checkpoint.rs:
+crates/ft/src/inject.rs:
+crates/ft/src/plan.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/xsc_ft-5dfd2d5f201b6a78.d: crates/ft/src/lib.rs crates/ft/src/abft.rs crates/ft/src/checkpoint.rs crates/ft/src/inject.rs
+
+/root/repo/target/debug/deps/libxsc_ft-5dfd2d5f201b6a78.rlib: crates/ft/src/lib.rs crates/ft/src/abft.rs crates/ft/src/checkpoint.rs crates/ft/src/inject.rs
+
+/root/repo/target/debug/deps/libxsc_ft-5dfd2d5f201b6a78.rmeta: crates/ft/src/lib.rs crates/ft/src/abft.rs crates/ft/src/checkpoint.rs crates/ft/src/inject.rs
+
+crates/ft/src/lib.rs:
+crates/ft/src/abft.rs:
+crates/ft/src/checkpoint.rs:
+crates/ft/src/inject.rs:

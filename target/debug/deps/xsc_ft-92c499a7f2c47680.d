@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xsc_ft-92c499a7f2c47680.d: crates/ft/src/lib.rs crates/ft/src/abft.rs crates/ft/src/checkpoint.rs crates/ft/src/inject.rs crates/ft/src/plan.rs
+
+/root/repo/target/debug/deps/xsc_ft-92c499a7f2c47680: crates/ft/src/lib.rs crates/ft/src/abft.rs crates/ft/src/checkpoint.rs crates/ft/src/inject.rs crates/ft/src/plan.rs
+
+crates/ft/src/lib.rs:
+crates/ft/src/abft.rs:
+crates/ft/src/checkpoint.rs:
+crates/ft/src/inject.rs:
+crates/ft/src/plan.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/xsc_ft-98968089cd31a040.d: crates/ft/src/lib.rs crates/ft/src/abft.rs crates/ft/src/checkpoint.rs crates/ft/src/inject.rs crates/ft/src/plan.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxsc_ft-98968089cd31a040.rmeta: crates/ft/src/lib.rs crates/ft/src/abft.rs crates/ft/src/checkpoint.rs crates/ft/src/inject.rs crates/ft/src/plan.rs Cargo.toml
+
+crates/ft/src/lib.rs:
+crates/ft/src/abft.rs:
+crates/ft/src/checkpoint.rs:
+crates/ft/src/inject.rs:
+crates/ft/src/plan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/xsc_ft-f9107432689d0e90.d: crates/ft/src/lib.rs crates/ft/src/abft.rs crates/ft/src/checkpoint.rs crates/ft/src/inject.rs
+
+/root/repo/target/debug/deps/xsc_ft-f9107432689d0e90: crates/ft/src/lib.rs crates/ft/src/abft.rs crates/ft/src/checkpoint.rs crates/ft/src/inject.rs
+
+crates/ft/src/lib.rs:
+crates/ft/src/abft.rs:
+crates/ft/src/checkpoint.rs:
+crates/ft/src/inject.rs:

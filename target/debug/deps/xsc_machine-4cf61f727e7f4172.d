@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/xsc_machine-4cf61f727e7f4172.d: crates/machine/src/lib.rs crates/machine/src/collectives.rs crates/machine/src/comm_optimal.rs crates/machine/src/des.rs crates/machine/src/model.rs
+
+/root/repo/target/debug/deps/libxsc_machine-4cf61f727e7f4172.rlib: crates/machine/src/lib.rs crates/machine/src/collectives.rs crates/machine/src/comm_optimal.rs crates/machine/src/des.rs crates/machine/src/model.rs
+
+/root/repo/target/debug/deps/libxsc_machine-4cf61f727e7f4172.rmeta: crates/machine/src/lib.rs crates/machine/src/collectives.rs crates/machine/src/comm_optimal.rs crates/machine/src/des.rs crates/machine/src/model.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/collectives.rs:
+crates/machine/src/comm_optimal.rs:
+crates/machine/src/des.rs:
+crates/machine/src/model.rs:

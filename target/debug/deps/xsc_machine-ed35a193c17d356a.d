@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xsc_machine-ed35a193c17d356a.d: crates/machine/src/lib.rs crates/machine/src/collectives.rs crates/machine/src/comm_optimal.rs crates/machine/src/des.rs crates/machine/src/model.rs
+
+/root/repo/target/debug/deps/xsc_machine-ed35a193c17d356a: crates/machine/src/lib.rs crates/machine/src/collectives.rs crates/machine/src/comm_optimal.rs crates/machine/src/des.rs crates/machine/src/model.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/collectives.rs:
+crates/machine/src/comm_optimal.rs:
+crates/machine/src/des.rs:
+crates/machine/src/model.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/xsc_machine-f5dab5916d950d74.d: crates/machine/src/lib.rs crates/machine/src/collectives.rs crates/machine/src/comm_optimal.rs crates/machine/src/des.rs crates/machine/src/model.rs
+
+/root/repo/target/debug/deps/libxsc_machine-f5dab5916d950d74.rlib: crates/machine/src/lib.rs crates/machine/src/collectives.rs crates/machine/src/comm_optimal.rs crates/machine/src/des.rs crates/machine/src/model.rs
+
+/root/repo/target/debug/deps/libxsc_machine-f5dab5916d950d74.rmeta: crates/machine/src/lib.rs crates/machine/src/collectives.rs crates/machine/src/comm_optimal.rs crates/machine/src/des.rs crates/machine/src/model.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/collectives.rs:
+crates/machine/src/comm_optimal.rs:
+crates/machine/src/des.rs:
+crates/machine/src/model.rs:

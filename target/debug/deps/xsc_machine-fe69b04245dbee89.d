@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/xsc_machine-fe69b04245dbee89.d: crates/machine/src/lib.rs crates/machine/src/collectives.rs crates/machine/src/comm_optimal.rs crates/machine/src/des.rs crates/machine/src/model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxsc_machine-fe69b04245dbee89.rmeta: crates/machine/src/lib.rs crates/machine/src/collectives.rs crates/machine/src/comm_optimal.rs crates/machine/src/des.rs crates/machine/src/model.rs Cargo.toml
+
+crates/machine/src/lib.rs:
+crates/machine/src/collectives.rs:
+crates/machine/src/comm_optimal.rs:
+crates/machine/src/des.rs:
+crates/machine/src/model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

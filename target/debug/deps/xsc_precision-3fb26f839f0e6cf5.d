@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xsc_precision-3fb26f839f0e6cf5.d: crates/precision/src/lib.rs crates/precision/src/adaptive.rs crates/precision/src/gmres_ir.rs crates/precision/src/half.rs crates/precision/src/ir.rs
+
+/root/repo/target/debug/deps/xsc_precision-3fb26f839f0e6cf5: crates/precision/src/lib.rs crates/precision/src/adaptive.rs crates/precision/src/gmres_ir.rs crates/precision/src/half.rs crates/precision/src/ir.rs
+
+crates/precision/src/lib.rs:
+crates/precision/src/adaptive.rs:
+crates/precision/src/gmres_ir.rs:
+crates/precision/src/half.rs:
+crates/precision/src/ir.rs:

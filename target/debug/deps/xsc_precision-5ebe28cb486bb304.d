@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/xsc_precision-5ebe28cb486bb304.d: crates/precision/src/lib.rs crates/precision/src/adaptive.rs crates/precision/src/gmres_ir.rs crates/precision/src/half.rs crates/precision/src/ir.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxsc_precision-5ebe28cb486bb304.rmeta: crates/precision/src/lib.rs crates/precision/src/adaptive.rs crates/precision/src/gmres_ir.rs crates/precision/src/half.rs crates/precision/src/ir.rs Cargo.toml
+
+crates/precision/src/lib.rs:
+crates/precision/src/adaptive.rs:
+crates/precision/src/gmres_ir.rs:
+crates/precision/src/half.rs:
+crates/precision/src/ir.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

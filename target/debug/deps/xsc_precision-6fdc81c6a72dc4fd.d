@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/xsc_precision-6fdc81c6a72dc4fd.d: crates/precision/src/lib.rs crates/precision/src/adaptive.rs crates/precision/src/gmres_ir.rs crates/precision/src/half.rs crates/precision/src/ir.rs
+
+/root/repo/target/debug/deps/libxsc_precision-6fdc81c6a72dc4fd.rlib: crates/precision/src/lib.rs crates/precision/src/adaptive.rs crates/precision/src/gmres_ir.rs crates/precision/src/half.rs crates/precision/src/ir.rs
+
+/root/repo/target/debug/deps/libxsc_precision-6fdc81c6a72dc4fd.rmeta: crates/precision/src/lib.rs crates/precision/src/adaptive.rs crates/precision/src/gmres_ir.rs crates/precision/src/half.rs crates/precision/src/ir.rs
+
+crates/precision/src/lib.rs:
+crates/precision/src/adaptive.rs:
+crates/precision/src/gmres_ir.rs:
+crates/precision/src/half.rs:
+crates/precision/src/ir.rs:

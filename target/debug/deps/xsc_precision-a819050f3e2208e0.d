@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/xsc_precision-a819050f3e2208e0.d: crates/precision/src/lib.rs crates/precision/src/adaptive.rs crates/precision/src/gmres_ir.rs crates/precision/src/half.rs crates/precision/src/ir.rs
+
+/root/repo/target/debug/deps/libxsc_precision-a819050f3e2208e0.rlib: crates/precision/src/lib.rs crates/precision/src/adaptive.rs crates/precision/src/gmres_ir.rs crates/precision/src/half.rs crates/precision/src/ir.rs
+
+/root/repo/target/debug/deps/libxsc_precision-a819050f3e2208e0.rmeta: crates/precision/src/lib.rs crates/precision/src/adaptive.rs crates/precision/src/gmres_ir.rs crates/precision/src/half.rs crates/precision/src/ir.rs
+
+crates/precision/src/lib.rs:
+crates/precision/src/adaptive.rs:
+crates/precision/src/gmres_ir.rs:
+crates/precision/src/half.rs:
+crates/precision/src/ir.rs:

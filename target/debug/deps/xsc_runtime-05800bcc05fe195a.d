@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/xsc_runtime-05800bcc05fe195a.d: crates/runtime/src/lib.rs crates/runtime/src/executor.rs crates/runtime/src/graph.rs crates/runtime/src/resilience.rs crates/runtime/src/trace.rs
+
+/root/repo/target/debug/deps/libxsc_runtime-05800bcc05fe195a.rlib: crates/runtime/src/lib.rs crates/runtime/src/executor.rs crates/runtime/src/graph.rs crates/runtime/src/resilience.rs crates/runtime/src/trace.rs
+
+/root/repo/target/debug/deps/libxsc_runtime-05800bcc05fe195a.rmeta: crates/runtime/src/lib.rs crates/runtime/src/executor.rs crates/runtime/src/graph.rs crates/runtime/src/resilience.rs crates/runtime/src/trace.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/executor.rs:
+crates/runtime/src/graph.rs:
+crates/runtime/src/resilience.rs:
+crates/runtime/src/trace.rs:

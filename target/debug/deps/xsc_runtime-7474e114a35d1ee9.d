@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/xsc_runtime-7474e114a35d1ee9.d: crates/runtime/src/lib.rs crates/runtime/src/executor.rs crates/runtime/src/graph.rs crates/runtime/src/resilience.rs crates/runtime/src/trace.rs
+
+/root/repo/target/debug/deps/libxsc_runtime-7474e114a35d1ee9.rlib: crates/runtime/src/lib.rs crates/runtime/src/executor.rs crates/runtime/src/graph.rs crates/runtime/src/resilience.rs crates/runtime/src/trace.rs
+
+/root/repo/target/debug/deps/libxsc_runtime-7474e114a35d1ee9.rmeta: crates/runtime/src/lib.rs crates/runtime/src/executor.rs crates/runtime/src/graph.rs crates/runtime/src/resilience.rs crates/runtime/src/trace.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/executor.rs:
+crates/runtime/src/graph.rs:
+crates/runtime/src/resilience.rs:
+crates/runtime/src/trace.rs:

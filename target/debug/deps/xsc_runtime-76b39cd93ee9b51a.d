@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/xsc_runtime-76b39cd93ee9b51a.d: crates/runtime/src/lib.rs crates/runtime/src/executor.rs crates/runtime/src/graph.rs crates/runtime/src/resilience.rs crates/runtime/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxsc_runtime-76b39cd93ee9b51a.rmeta: crates/runtime/src/lib.rs crates/runtime/src/executor.rs crates/runtime/src/graph.rs crates/runtime/src/resilience.rs crates/runtime/src/trace.rs Cargo.toml
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/executor.rs:
+crates/runtime/src/graph.rs:
+crates/runtime/src/resilience.rs:
+crates/runtime/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

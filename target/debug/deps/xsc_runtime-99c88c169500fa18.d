@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xsc_runtime-99c88c169500fa18.d: crates/runtime/src/lib.rs crates/runtime/src/executor.rs crates/runtime/src/graph.rs crates/runtime/src/resilience.rs crates/runtime/src/trace.rs
+
+/root/repo/target/debug/deps/xsc_runtime-99c88c169500fa18: crates/runtime/src/lib.rs crates/runtime/src/executor.rs crates/runtime/src/graph.rs crates/runtime/src/resilience.rs crates/runtime/src/trace.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/executor.rs:
+crates/runtime/src/graph.rs:
+crates/runtime/src/resilience.rs:
+crates/runtime/src/trace.rs:

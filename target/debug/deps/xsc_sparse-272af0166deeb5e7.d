@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/xsc_sparse-272af0166deeb5e7.d: crates/sparse/src/lib.rs crates/sparse/src/cg.rs crates/sparse/src/chebyshev.rs crates/sparse/src/coloring.rs crates/sparse/src/csr.rs crates/sparse/src/hpcg.rs crates/sparse/src/matrix_powers.rs crates/sparse/src/mg.rs crates/sparse/src/pipelined.rs crates/sparse/src/sstep.rs crates/sparse/src/stencil.rs crates/sparse/src/symgs.rs
+
+/root/repo/target/debug/deps/libxsc_sparse-272af0166deeb5e7.rlib: crates/sparse/src/lib.rs crates/sparse/src/cg.rs crates/sparse/src/chebyshev.rs crates/sparse/src/coloring.rs crates/sparse/src/csr.rs crates/sparse/src/hpcg.rs crates/sparse/src/matrix_powers.rs crates/sparse/src/mg.rs crates/sparse/src/pipelined.rs crates/sparse/src/sstep.rs crates/sparse/src/stencil.rs crates/sparse/src/symgs.rs
+
+/root/repo/target/debug/deps/libxsc_sparse-272af0166deeb5e7.rmeta: crates/sparse/src/lib.rs crates/sparse/src/cg.rs crates/sparse/src/chebyshev.rs crates/sparse/src/coloring.rs crates/sparse/src/csr.rs crates/sparse/src/hpcg.rs crates/sparse/src/matrix_powers.rs crates/sparse/src/mg.rs crates/sparse/src/pipelined.rs crates/sparse/src/sstep.rs crates/sparse/src/stencil.rs crates/sparse/src/symgs.rs
+
+crates/sparse/src/lib.rs:
+crates/sparse/src/cg.rs:
+crates/sparse/src/chebyshev.rs:
+crates/sparse/src/coloring.rs:
+crates/sparse/src/csr.rs:
+crates/sparse/src/hpcg.rs:
+crates/sparse/src/matrix_powers.rs:
+crates/sparse/src/mg.rs:
+crates/sparse/src/pipelined.rs:
+crates/sparse/src/sstep.rs:
+crates/sparse/src/stencil.rs:
+crates/sparse/src/symgs.rs:

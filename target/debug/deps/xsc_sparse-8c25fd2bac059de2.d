@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/xsc_sparse-8c25fd2bac059de2.d: crates/sparse/src/lib.rs crates/sparse/src/cg.rs crates/sparse/src/chebyshev.rs crates/sparse/src/coloring.rs crates/sparse/src/csr.rs crates/sparse/src/hpcg.rs crates/sparse/src/matrix_powers.rs crates/sparse/src/mg.rs crates/sparse/src/pipelined.rs crates/sparse/src/sstep.rs crates/sparse/src/stencil.rs crates/sparse/src/symgs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxsc_sparse-8c25fd2bac059de2.rmeta: crates/sparse/src/lib.rs crates/sparse/src/cg.rs crates/sparse/src/chebyshev.rs crates/sparse/src/coloring.rs crates/sparse/src/csr.rs crates/sparse/src/hpcg.rs crates/sparse/src/matrix_powers.rs crates/sparse/src/mg.rs crates/sparse/src/pipelined.rs crates/sparse/src/sstep.rs crates/sparse/src/stencil.rs crates/sparse/src/symgs.rs Cargo.toml
+
+crates/sparse/src/lib.rs:
+crates/sparse/src/cg.rs:
+crates/sparse/src/chebyshev.rs:
+crates/sparse/src/coloring.rs:
+crates/sparse/src/csr.rs:
+crates/sparse/src/hpcg.rs:
+crates/sparse/src/matrix_powers.rs:
+crates/sparse/src/mg.rs:
+crates/sparse/src/pipelined.rs:
+crates/sparse/src/sstep.rs:
+crates/sparse/src/stencil.rs:
+crates/sparse/src/symgs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

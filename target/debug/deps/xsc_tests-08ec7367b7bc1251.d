@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xsc_tests-08ec7367b7bc1251.d: tests/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxsc_tests-08ec7367b7bc1251.rmeta: tests/src/lib.rs Cargo.toml
+
+tests/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

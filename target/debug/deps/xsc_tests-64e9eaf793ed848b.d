@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/xsc_tests-64e9eaf793ed848b.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libxsc_tests-64e9eaf793ed848b.rlib: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libxsc_tests-64e9eaf793ed848b.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

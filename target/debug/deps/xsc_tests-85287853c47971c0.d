@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xsc_tests-85287853c47971c0.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/xsc_tests-85287853c47971c0: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xsc_tests-8abb5f2403f3e9a0.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/xsc_tests-8abb5f2403f3e9a0: tests/src/lib.rs
+
+tests/src/lib.rs:

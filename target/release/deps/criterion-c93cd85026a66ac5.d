@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-c93cd85026a66ac5.d: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-c93cd85026a66ac5.rlib: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-c93cd85026a66ac5.rmeta: crates/shims/criterion/src/lib.rs
+
+crates/shims/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dag_scheduling_trace-8e3a640c6df4635f.d: examples/dag_scheduling_trace.rs
+
+/root/repo/target/release/deps/dag_scheduling_trace-8e3a640c6df4635f: examples/dag_scheduling_trace.rs
+
+examples/dag_scheduling_trace.rs:

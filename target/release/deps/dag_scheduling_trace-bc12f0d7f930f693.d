@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dag_scheduling_trace-bc12f0d7f930f693.d: examples/dag_scheduling_trace.rs
+
+/root/repo/target/release/deps/dag_scheduling_trace-bc12f0d7f930f693: examples/dag_scheduling_trace.rs
+
+examples/dag_scheduling_trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e01_hpl_vs_hpcg-58365b6e2927b12e.d: crates/bench/src/bin/e01_hpl_vs_hpcg.rs
+
+/root/repo/target/release/deps/e01_hpl_vs_hpcg-58365b6e2927b12e: crates/bench/src/bin/e01_hpl_vs_hpcg.rs
+
+crates/bench/src/bin/e01_hpl_vs_hpcg.rs:

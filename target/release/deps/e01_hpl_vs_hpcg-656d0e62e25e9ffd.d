@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e01_hpl_vs_hpcg-656d0e62e25e9ffd.d: crates/bench/src/bin/e01_hpl_vs_hpcg.rs
+
+/root/repo/target/release/deps/e01_hpl_vs_hpcg-656d0e62e25e9ffd: crates/bench/src/bin/e01_hpl_vs_hpcg.rs
+
+crates/bench/src/bin/e01_hpl_vs_hpcg.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e02_dag_vs_forkjoin-2686c37b56cf18c8.d: crates/bench/src/bin/e02_dag_vs_forkjoin.rs
+
+/root/repo/target/release/deps/e02_dag_vs_forkjoin-2686c37b56cf18c8: crates/bench/src/bin/e02_dag_vs_forkjoin.rs
+
+crates/bench/src/bin/e02_dag_vs_forkjoin.rs:

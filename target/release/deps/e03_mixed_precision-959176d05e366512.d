@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e03_mixed_precision-959176d05e366512.d: crates/bench/src/bin/e03_mixed_precision.rs
+
+/root/repo/target/release/deps/e03_mixed_precision-959176d05e366512: crates/bench/src/bin/e03_mixed_precision.rs
+
+crates/bench/src/bin/e03_mixed_precision.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e04_tsqr-27606591e4fb62ef.d: crates/bench/src/bin/e04_tsqr.rs
+
+/root/repo/target/release/deps/e04_tsqr-27606591e4fb62ef: crates/bench/src/bin/e04_tsqr.rs
+
+crates/bench/src/bin/e04_tsqr.rs:

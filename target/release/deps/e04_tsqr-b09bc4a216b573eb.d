@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e04_tsqr-b09bc4a216b573eb.d: crates/bench/src/bin/e04_tsqr.rs
+
+/root/repo/target/release/deps/e04_tsqr-b09bc4a216b573eb: crates/bench/src/bin/e04_tsqr.rs
+
+crates/bench/src/bin/e04_tsqr.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e05_energy_table-a48d2a15bf9fcd96.d: crates/bench/src/bin/e05_energy_table.rs
+
+/root/repo/target/release/deps/e05_energy_table-a48d2a15bf9fcd96: crates/bench/src/bin/e05_energy_table.rs
+
+crates/bench/src/bin/e05_energy_table.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e05_energy_table-f8c2cc22a499320b.d: crates/bench/src/bin/e05_energy_table.rs
+
+/root/repo/target/release/deps/e05_energy_table-f8c2cc22a499320b: crates/bench/src/bin/e05_energy_table.rs
+
+crates/bench/src/bin/e05_energy_table.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e06_abft-13a87ffc599eb009.d: crates/bench/src/bin/e06_abft.rs
+
+/root/repo/target/release/deps/e06_abft-13a87ffc599eb009: crates/bench/src/bin/e06_abft.rs
+
+crates/bench/src/bin/e06_abft.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e06_abft-bd70ee5229a66897.d: crates/bench/src/bin/e06_abft.rs
+
+/root/repo/target/release/deps/e06_abft-bd70ee5229a66897: crates/bench/src/bin/e06_abft.rs
+
+crates/bench/src/bin/e06_abft.rs:

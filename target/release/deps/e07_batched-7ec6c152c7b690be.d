@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e07_batched-7ec6c152c7b690be.d: crates/bench/src/bin/e07_batched.rs
+
+/root/repo/target/release/deps/e07_batched-7ec6c152c7b690be: crates/bench/src/bin/e07_batched.rs
+
+crates/bench/src/bin/e07_batched.rs:

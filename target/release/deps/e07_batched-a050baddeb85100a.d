@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e07_batched-a050baddeb85100a.d: crates/bench/src/bin/e07_batched.rs
+
+/root/repo/target/release/deps/e07_batched-a050baddeb85100a: crates/bench/src/bin/e07_batched.rs
+
+crates/bench/src/bin/e07_batched.rs:

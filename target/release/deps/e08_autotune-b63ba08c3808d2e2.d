@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e08_autotune-b63ba08c3808d2e2.d: crates/bench/src/bin/e08_autotune.rs
+
+/root/repo/target/release/deps/e08_autotune-b63ba08c3808d2e2: crates/bench/src/bin/e08_autotune.rs
+
+crates/bench/src/bin/e08_autotune.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e08_autotune-ef6a063eaf0ebd9d.d: crates/bench/src/bin/e08_autotune.rs
+
+/root/repo/target/release/deps/e08_autotune-ef6a063eaf0ebd9d: crates/bench/src/bin/e08_autotune.rs
+
+crates/bench/src/bin/e08_autotune.rs:

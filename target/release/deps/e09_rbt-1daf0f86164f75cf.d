@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e09_rbt-1daf0f86164f75cf.d: crates/bench/src/bin/e09_rbt.rs
+
+/root/repo/target/release/deps/e09_rbt-1daf0f86164f75cf: crates/bench/src/bin/e09_rbt.rs
+
+crates/bench/src/bin/e09_rbt.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e09_rbt-8a4050b9663db340.d: crates/bench/src/bin/e09_rbt.rs
+
+/root/repo/target/release/deps/e09_rbt-8a4050b9663db340: crates/bench/src/bin/e09_rbt.rs
+
+crates/bench/src/bin/e09_rbt.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e10_scaling-c530a7ab714153cb.d: crates/bench/src/bin/e10_scaling.rs
+
+/root/repo/target/release/deps/e10_scaling-c530a7ab714153cb: crates/bench/src/bin/e10_scaling.rs
+
+crates/bench/src/bin/e10_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e10_scaling-f70784ccda8e2ebf.d: crates/bench/src/bin/e10_scaling.rs
+
+/root/repo/target/release/deps/e10_scaling-f70784ccda8e2ebf: crates/bench/src/bin/e10_scaling.rs
+
+crates/bench/src/bin/e10_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e11_exascale_projection-aa08270b4a1d1ea1.d: crates/bench/src/bin/e11_exascale_projection.rs
+
+/root/repo/target/release/deps/e11_exascale_projection-aa08270b4a1d1ea1: crates/bench/src/bin/e11_exascale_projection.rs
+
+crates/bench/src/bin/e11_exascale_projection.rs:

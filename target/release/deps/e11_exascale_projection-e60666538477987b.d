@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e11_exascale_projection-e60666538477987b.d: crates/bench/src/bin/e11_exascale_projection.rs
+
+/root/repo/target/release/deps/e11_exascale_projection-e60666538477987b: crates/bench/src/bin/e11_exascale_projection.rs
+
+crates/bench/src/bin/e11_exascale_projection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e12_resilience_cg-1955a2721437bc3a.d: crates/bench/src/bin/e12_resilience_cg.rs
+
+/root/repo/target/release/deps/e12_resilience_cg-1955a2721437bc3a: crates/bench/src/bin/e12_resilience_cg.rs
+
+crates/bench/src/bin/e12_resilience_cg.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e12_resilience_cg-da00b0ba7e37a2ef.d: crates/bench/src/bin/e12_resilience_cg.rs
+
+/root/repo/target/release/deps/e12_resilience_cg-da00b0ba7e37a2ef: crates/bench/src/bin/e12_resilience_cg.rs
+
+crates/bench/src/bin/e12_resilience_cg.rs:

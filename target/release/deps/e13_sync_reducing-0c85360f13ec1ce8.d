@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e13_sync_reducing-0c85360f13ec1ce8.d: crates/bench/src/bin/e13_sync_reducing.rs
+
+/root/repo/target/release/deps/e13_sync_reducing-0c85360f13ec1ce8: crates/bench/src/bin/e13_sync_reducing.rs
+
+crates/bench/src/bin/e13_sync_reducing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e13_sync_reducing-aa13ab83b7ab9f41.d: crates/bench/src/bin/e13_sync_reducing.rs
+
+/root/repo/target/release/deps/e13_sync_reducing-aa13ab83b7ab9f41: crates/bench/src/bin/e13_sync_reducing.rs
+
+crates/bench/src/bin/e13_sync_reducing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e14_calu-077f692fe16e62cd.d: crates/bench/src/bin/e14_calu.rs
+
+/root/repo/target/release/deps/e14_calu-077f692fe16e62cd: crates/bench/src/bin/e14_calu.rs
+
+crates/bench/src/bin/e14_calu.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e14_calu-978cb7c5abaa8a83.d: crates/bench/src/bin/e14_calu.rs
+
+/root/repo/target/release/deps/e14_calu-978cb7c5abaa8a83: crates/bench/src/bin/e14_calu.rs
+
+crates/bench/src/bin/e14_calu.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e15_colored_smoother-af9495ab8d23a6df.d: crates/bench/src/bin/e15_colored_smoother.rs
+
+/root/repo/target/release/deps/e15_colored_smoother-af9495ab8d23a6df: crates/bench/src/bin/e15_colored_smoother.rs
+
+crates/bench/src/bin/e15_colored_smoother.rs:

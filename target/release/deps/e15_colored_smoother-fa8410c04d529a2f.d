@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e15_colored_smoother-fa8410c04d529a2f.d: crates/bench/src/bin/e15_colored_smoother.rs
+
+/root/repo/target/release/deps/e15_colored_smoother-fa8410c04d529a2f: crates/bench/src/bin/e15_colored_smoother.rs
+
+crates/bench/src/bin/e15_colored_smoother.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e16_comm_optimal-8f016e0118cb9a07.d: crates/bench/src/bin/e16_comm_optimal.rs
+
+/root/repo/target/release/deps/e16_comm_optimal-8f016e0118cb9a07: crates/bench/src/bin/e16_comm_optimal.rs
+
+crates/bench/src/bin/e16_comm_optimal.rs:

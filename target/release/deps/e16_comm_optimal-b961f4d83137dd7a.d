@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e16_comm_optimal-b961f4d83137dd7a.d: crates/bench/src/bin/e16_comm_optimal.rs
+
+/root/repo/target/release/deps/e16_comm_optimal-b961f4d83137dd7a: crates/bench/src/bin/e16_comm_optimal.rs
+
+crates/bench/src/bin/e16_comm_optimal.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e17_chaos_runtime-3f86081a9964075f.d: crates/bench/src/bin/e17_chaos_runtime.rs
+
+/root/repo/target/release/deps/e17_chaos_runtime-3f86081a9964075f: crates/bench/src/bin/e17_chaos_runtime.rs
+
+crates/bench/src/bin/e17_chaos_runtime.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exascale_whatif-1b5f24444fc52af8.d: examples/exascale_whatif.rs
+
+/root/repo/target/release/deps/exascale_whatif-1b5f24444fc52af8: examples/exascale_whatif.rs
+
+examples/exascale_whatif.rs:

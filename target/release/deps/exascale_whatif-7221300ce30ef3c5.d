@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exascale_whatif-7221300ce30ef3c5.d: examples/exascale_whatif.rs
+
+/root/repo/target/release/deps/exascale_whatif-7221300ce30ef3c5: examples/exascale_whatif.rs
+
+examples/exascale_whatif.rs:

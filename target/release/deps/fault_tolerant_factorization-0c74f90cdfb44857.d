@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_tolerant_factorization-0c74f90cdfb44857.d: examples/fault_tolerant_factorization.rs
+
+/root/repo/target/release/deps/fault_tolerant_factorization-0c74f90cdfb44857: examples/fault_tolerant_factorization.rs
+
+examples/fault_tolerant_factorization.rs:

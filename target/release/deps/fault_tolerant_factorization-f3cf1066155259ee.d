@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_tolerant_factorization-f3cf1066155259ee.d: examples/fault_tolerant_factorization.rs
+
+/root/repo/target/release/deps/fault_tolerant_factorization-f3cf1066155259ee: examples/fault_tolerant_factorization.rs
+
+examples/fault_tolerant_factorization.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hpl_vs_hpcg-012d5b9021843923.d: examples/hpl_vs_hpcg.rs
+
+/root/repo/target/release/deps/hpl_vs_hpcg-012d5b9021843923: examples/hpl_vs_hpcg.rs
+
+examples/hpl_vs_hpcg.rs:

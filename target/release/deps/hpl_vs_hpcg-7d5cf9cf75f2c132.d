@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hpl_vs_hpcg-7d5cf9cf75f2c132.d: examples/hpl_vs_hpcg.rs
+
+/root/repo/target/release/deps/hpl_vs_hpcg-7d5cf9cf75f2c132: examples/hpl_vs_hpcg.rs
+
+examples/hpl_vs_hpcg.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mixed_precision_solver-437af02aa8b91292.d: examples/mixed_precision_solver.rs
+
+/root/repo/target/release/deps/mixed_precision_solver-437af02aa8b91292: examples/mixed_precision_solver.rs
+
+examples/mixed_precision_solver.rs:

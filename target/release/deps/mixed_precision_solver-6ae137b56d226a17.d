@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mixed_precision_solver-6ae137b56d226a17.d: examples/mixed_precision_solver.rs
+
+/root/repo/target/release/deps/mixed_precision_solver-6ae137b56d226a17: examples/mixed_precision_solver.rs
+
+examples/mixed_precision_solver.rs:

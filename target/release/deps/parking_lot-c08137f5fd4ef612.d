@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-c08137f5fd4ef612.d: crates/shims/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-c08137f5fd4ef612.rlib: crates/shims/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-c08137f5fd4ef612.rmeta: crates/shims/parking_lot/src/lib.rs
+
+crates/shims/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-eb6b683fc995efee.d: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-eb6b683fc995efee.rlib: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-eb6b683fc995efee.rmeta: crates/shims/proptest/src/lib.rs
+
+crates/shims/proptest/src/lib.rs:

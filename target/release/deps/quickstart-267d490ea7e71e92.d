@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/quickstart-267d490ea7e71e92.d: examples/quickstart.rs
+
+/root/repo/target/release/deps/quickstart-267d490ea7e71e92: examples/quickstart.rs
+
+examples/quickstart.rs:

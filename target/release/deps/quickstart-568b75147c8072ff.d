@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/quickstart-568b75147c8072ff.d: examples/quickstart.rs
+
+/root/repo/target/release/deps/quickstart-568b75147c8072ff: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-e25447265dcce024.d: crates/shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-e25447265dcce024.rlib: crates/shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-e25447265dcce024.rmeta: crates/shims/rand/src/lib.rs
+
+crates/shims/rand/src/lib.rs:

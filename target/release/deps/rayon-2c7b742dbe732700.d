@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rayon-2c7b742dbe732700.d: crates/shims/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-2c7b742dbe732700.rlib: crates/shims/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-2c7b742dbe732700.rmeta: crates/shims/rayon/src/lib.rs
+
+crates/shims/rayon/src/lib.rs:

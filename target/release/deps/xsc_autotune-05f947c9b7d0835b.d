@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/xsc_autotune-05f947c9b7d0835b.d: crates/autotune/src/lib.rs
+
+/root/repo/target/release/deps/libxsc_autotune-05f947c9b7d0835b.rlib: crates/autotune/src/lib.rs
+
+/root/repo/target/release/deps/libxsc_autotune-05f947c9b7d0835b.rmeta: crates/autotune/src/lib.rs
+
+crates/autotune/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/xsc_batched-feb7ae2e88ee722c.d: crates/batched/src/lib.rs
+
+/root/repo/target/release/deps/libxsc_batched-feb7ae2e88ee722c.rlib: crates/batched/src/lib.rs
+
+/root/repo/target/release/deps/libxsc_batched-feb7ae2e88ee722c.rmeta: crates/batched/src/lib.rs
+
+crates/batched/src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/xsc_dense-8ee8957eb43a2814.d: crates/dense/src/lib.rs crates/dense/src/calu.rs crates/dense/src/cholesky.rs crates/dense/src/hpl.rs crates/dense/src/lu.rs crates/dense/src/qr.rs crates/dense/src/rbt.rs crates/dense/src/tsqr.rs crates/dense/src/poison.rs
+
+/root/repo/target/release/deps/libxsc_dense-8ee8957eb43a2814.rlib: crates/dense/src/lib.rs crates/dense/src/calu.rs crates/dense/src/cholesky.rs crates/dense/src/hpl.rs crates/dense/src/lu.rs crates/dense/src/qr.rs crates/dense/src/rbt.rs crates/dense/src/tsqr.rs crates/dense/src/poison.rs
+
+/root/repo/target/release/deps/libxsc_dense-8ee8957eb43a2814.rmeta: crates/dense/src/lib.rs crates/dense/src/calu.rs crates/dense/src/cholesky.rs crates/dense/src/hpl.rs crates/dense/src/lu.rs crates/dense/src/qr.rs crates/dense/src/rbt.rs crates/dense/src/tsqr.rs crates/dense/src/poison.rs
+
+crates/dense/src/lib.rs:
+crates/dense/src/calu.rs:
+crates/dense/src/cholesky.rs:
+crates/dense/src/hpl.rs:
+crates/dense/src/lu.rs:
+crates/dense/src/qr.rs:
+crates/dense/src/rbt.rs:
+crates/dense/src/tsqr.rs:
+crates/dense/src/poison.rs:

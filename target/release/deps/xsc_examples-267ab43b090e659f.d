@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/xsc_examples-267ab43b090e659f.d: examples/lib.rs
+
+/root/repo/target/release/deps/libxsc_examples-267ab43b090e659f.rlib: examples/lib.rs
+
+/root/repo/target/release/deps/libxsc_examples-267ab43b090e659f.rmeta: examples/lib.rs
+
+examples/lib.rs:

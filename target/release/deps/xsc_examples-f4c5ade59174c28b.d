@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/xsc_examples-f4c5ade59174c28b.d: examples/lib.rs
+
+/root/repo/target/release/deps/libxsc_examples-f4c5ade59174c28b.rlib: examples/lib.rs
+
+/root/repo/target/release/deps/libxsc_examples-f4c5ade59174c28b.rmeta: examples/lib.rs
+
+examples/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/xsc_ft-cf00a62921a6b14e.d: crates/ft/src/lib.rs crates/ft/src/abft.rs crates/ft/src/checkpoint.rs crates/ft/src/inject.rs crates/ft/src/plan.rs
+
+/root/repo/target/release/deps/libxsc_ft-cf00a62921a6b14e.rlib: crates/ft/src/lib.rs crates/ft/src/abft.rs crates/ft/src/checkpoint.rs crates/ft/src/inject.rs crates/ft/src/plan.rs
+
+/root/repo/target/release/deps/libxsc_ft-cf00a62921a6b14e.rmeta: crates/ft/src/lib.rs crates/ft/src/abft.rs crates/ft/src/checkpoint.rs crates/ft/src/inject.rs crates/ft/src/plan.rs
+
+crates/ft/src/lib.rs:
+crates/ft/src/abft.rs:
+crates/ft/src/checkpoint.rs:
+crates/ft/src/inject.rs:
+crates/ft/src/plan.rs:

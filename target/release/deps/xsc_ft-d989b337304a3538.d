@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/xsc_ft-d989b337304a3538.d: crates/ft/src/lib.rs crates/ft/src/abft.rs crates/ft/src/checkpoint.rs crates/ft/src/inject.rs
+
+/root/repo/target/release/deps/libxsc_ft-d989b337304a3538.rlib: crates/ft/src/lib.rs crates/ft/src/abft.rs crates/ft/src/checkpoint.rs crates/ft/src/inject.rs
+
+/root/repo/target/release/deps/libxsc_ft-d989b337304a3538.rmeta: crates/ft/src/lib.rs crates/ft/src/abft.rs crates/ft/src/checkpoint.rs crates/ft/src/inject.rs
+
+crates/ft/src/lib.rs:
+crates/ft/src/abft.rs:
+crates/ft/src/checkpoint.rs:
+crates/ft/src/inject.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/xsc_machine-f3283c2c5a17d444.d: crates/machine/src/lib.rs crates/machine/src/collectives.rs crates/machine/src/comm_optimal.rs crates/machine/src/des.rs crates/machine/src/model.rs
+
+/root/repo/target/release/deps/libxsc_machine-f3283c2c5a17d444.rlib: crates/machine/src/lib.rs crates/machine/src/collectives.rs crates/machine/src/comm_optimal.rs crates/machine/src/des.rs crates/machine/src/model.rs
+
+/root/repo/target/release/deps/libxsc_machine-f3283c2c5a17d444.rmeta: crates/machine/src/lib.rs crates/machine/src/collectives.rs crates/machine/src/comm_optimal.rs crates/machine/src/des.rs crates/machine/src/model.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/collectives.rs:
+crates/machine/src/comm_optimal.rs:
+crates/machine/src/des.rs:
+crates/machine/src/model.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/xsc_precision-9903edbd2d71a2c1.d: crates/precision/src/lib.rs crates/precision/src/adaptive.rs crates/precision/src/gmres_ir.rs crates/precision/src/half.rs crates/precision/src/ir.rs
+
+/root/repo/target/release/deps/libxsc_precision-9903edbd2d71a2c1.rlib: crates/precision/src/lib.rs crates/precision/src/adaptive.rs crates/precision/src/gmres_ir.rs crates/precision/src/half.rs crates/precision/src/ir.rs
+
+/root/repo/target/release/deps/libxsc_precision-9903edbd2d71a2c1.rmeta: crates/precision/src/lib.rs crates/precision/src/adaptive.rs crates/precision/src/gmres_ir.rs crates/precision/src/half.rs crates/precision/src/ir.rs
+
+crates/precision/src/lib.rs:
+crates/precision/src/adaptive.rs:
+crates/precision/src/gmres_ir.rs:
+crates/precision/src/half.rs:
+crates/precision/src/ir.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/xsc_runtime-f8a579747b47797a.d: crates/runtime/src/lib.rs crates/runtime/src/executor.rs crates/runtime/src/graph.rs crates/runtime/src/resilience.rs crates/runtime/src/trace.rs
+
+/root/repo/target/release/deps/libxsc_runtime-f8a579747b47797a.rlib: crates/runtime/src/lib.rs crates/runtime/src/executor.rs crates/runtime/src/graph.rs crates/runtime/src/resilience.rs crates/runtime/src/trace.rs
+
+/root/repo/target/release/deps/libxsc_runtime-f8a579747b47797a.rmeta: crates/runtime/src/lib.rs crates/runtime/src/executor.rs crates/runtime/src/graph.rs crates/runtime/src/resilience.rs crates/runtime/src/trace.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/executor.rs:
+crates/runtime/src/graph.rs:
+crates/runtime/src/resilience.rs:
+crates/runtime/src/trace.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/xsc_tests-f67d745592acf5b9.d: tests/src/lib.rs
+
+/root/repo/target/release/deps/libxsc_tests-f67d745592acf5b9.rlib: tests/src/lib.rs
+
+/root/repo/target/release/deps/libxsc_tests-f67d745592acf5b9.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

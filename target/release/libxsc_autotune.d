@@ -1,0 +1,1 @@
+/root/repo/target/release/libxsc_autotune.rlib: /root/repo/crates/autotune/src/lib.rs

@@ -1,0 +1,1 @@
+/root/repo/target/release/libxsc_tests.rlib: /root/repo/tests/src/lib.rs

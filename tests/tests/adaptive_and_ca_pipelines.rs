@@ -71,8 +71,14 @@ fn all_cg_variants_reach_the_same_solution() {
 
     assert!(classic.converged && pipe.converged && ca.converged);
     for i in 0..n {
-        assert!((x_classic[i] - x_pipe[i]).abs() < 1e-7, "pipelined differs at {i}");
-        assert!((x_classic[i] - x_ca[i]).abs() < 1e-7, "s-step differs at {i}");
+        assert!(
+            (x_classic[i] - x_pipe[i]).abs() < 1e-7,
+            "pipelined differs at {i}"
+        );
+        assert!(
+            (x_classic[i] - x_ca[i]).abs() < 1e-7,
+            "s-step differs at {i}"
+        );
     }
 }
 
@@ -82,7 +88,9 @@ fn matrix_powers_feeds_s_step_consistently() {
     // s-step method uses: A^k x computed by MPK equals k repeated SpMVs.
     let g = Geometry::new(5, 5, 5);
     let a = build_matrix(g);
-    let x: Vec<f64> = (0..a.nrows()).map(|i| ((i * 31) % 17) as f64 - 8.0).collect();
+    let x: Vec<f64> = (0..a.nrows())
+        .map(|i| ((i * 31) % 17) as f64 - 8.0)
+        .collect();
     let mp = matrix_powers(&a, &x, 4, 25);
     let mut v = x.clone();
     for k in 1..=4 {

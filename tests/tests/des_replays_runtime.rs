@@ -20,7 +20,15 @@ fn cholesky_graph(nt: usize) -> (usize, Vec<(usize, usize)>, Vec<f64>) {
 fn replayed_cholesky_respects_brent_bounds() {
     let (n, edges, costs) = cholesky_graph(8);
     for workers in [1, 2, 4, 16, 64] {
-        let rep = simulate(n, &edges, &costs, DesConfig { workers, comm_delay: 0.0 });
+        let rep = simulate(
+            n,
+            &edges,
+            &costs,
+            DesConfig {
+                workers,
+                comm_delay: 0.0,
+            },
+        );
         let lower = rep.critical_path.max(rep.total_work / workers as f64);
         assert!(rep.makespan >= lower - 1e-9);
         // List scheduling guarantee: within 2x of optimal.
@@ -36,8 +44,24 @@ fn replayed_cholesky_respects_brent_bounds() {
 #[test]
 fn cholesky_dag_speedup_saturates_at_dag_width() {
     let (n, edges, costs) = cholesky_graph(8);
-    let few = simulate(n, &edges, &costs, DesConfig { workers: 4, comm_delay: 0.0 });
-    let many = simulate(n, &edges, &costs, DesConfig { workers: 4096, comm_delay: 0.0 });
+    let few = simulate(
+        n,
+        &edges,
+        &costs,
+        DesConfig {
+            workers: 4,
+            comm_delay: 0.0,
+        },
+    );
+    let many = simulate(
+        n,
+        &edges,
+        &costs,
+        DesConfig {
+            workers: 4096,
+            comm_delay: 0.0,
+        },
+    );
     assert!(many.speedup >= few.speedup - 1e-9);
     // Beyond the DAG's parallelism, speedup is capped by work/critical-path.
     let cap = many.total_work / many.critical_path;
@@ -56,7 +80,15 @@ fn lu_graph_replays_too() {
     let mut g = lu::build_graph(&a, &Poison::new());
     let edges = g.edge_list();
     let costs: Vec<f64> = g.costs().iter().map(|&c| c as f64).collect();
-    let rep = simulate(costs.len(), &edges, &costs, DesConfig { workers: 8, comm_delay: 0.0 });
+    let rep = simulate(
+        costs.len(),
+        &edges,
+        &costs,
+        DesConfig {
+            workers: 8,
+            comm_delay: 0.0,
+        },
+    );
     assert!(rep.makespan > 0.0);
     assert!(rep.speedup >= 1.0);
 }
@@ -72,7 +104,15 @@ fn real_trace_utilization_bounded_by_des_ideal() {
     let trace = cholesky::cholesky_dag(&a_real, &exec).unwrap();
 
     let (n, edges, costs) = cholesky_graph(nt);
-    let ideal = simulate(n, &edges, &costs, DesConfig { workers: 2, comm_delay: 0.0 });
+    let ideal = simulate(
+        n,
+        &edges,
+        &costs,
+        DesConfig {
+            workers: 2,
+            comm_delay: 0.0,
+        },
+    );
     assert!(trace.utilization() <= 1.0);
     assert!(ideal.utilization <= 1.0);
     // Both should be reasonably high for 2 workers on this DAG.

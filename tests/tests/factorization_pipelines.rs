@@ -120,5 +120,9 @@ fn forkjoin_and_dag_engines_agree_bitwise_per_tile_kernel_order() {
     cholesky::cholesky_forkjoin(&t2).unwrap();
     let m1 = cholesky::lower_from_tiles(&t1);
     let m2 = cholesky::lower_from_tiles(&t2);
-    assert!(m1.approx_eq(&m2, 0.0), "engines diverged: {}", m1.max_abs_diff(&m2));
+    assert!(
+        m1.approx_eq(&m2, 0.0),
+        "engines diverged: {}",
+        m1.max_abs_diff(&m2)
+    );
 }
