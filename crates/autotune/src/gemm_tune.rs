@@ -1,0 +1,109 @@
+//! GEMM blocking-parameter search.
+//!
+//! The blocked GEMM in `xsc-core` is governed by three cache-blocking
+//! parameters ([`GemmParams`]: `MC`, `KC`, `NC`). Like tile sizes, the best
+//! values are machine-dependent and non-monotone, so E08 *searches* for them
+//! with the same strategies it uses for tile sizes. [`tune_gemm_blocking`]
+//! runs that search and returns the winner, which callers install globally
+//! via [`xsc_core::gemm::set_global_params`].
+
+use crate::{exhaustive, median_of, SweepResult};
+use std::time::Instant;
+use xsc_core::gemm::{gemm_with_params, Transpose};
+use xsc_core::{gen, GemmParams, Matrix};
+
+/// The default candidate grid: a small cross of `MC`/`KC`/`NC` values around
+/// [`GemmParams::DEFAULT`], covering panel footprints from "fits in L1" to
+/// "spills L3". Kept small (it is measured exhaustively) but wide enough
+/// that the sweep is a real search, not a formality.
+pub fn default_candidates() -> Vec<GemmParams> {
+    let mut out = Vec::new();
+    for &mc in &[64usize, 128, 256] {
+        for &kc in &[128usize, 256, 512] {
+            for &nc in &[256usize, 512] {
+                out.push(GemmParams { mc, kc, nc });
+            }
+        }
+    }
+    out
+}
+
+/// Times one sequential blocked `s x s x s` f64 GEMM with blocking `p`,
+/// returning seconds (the cost exhaustive search minimizes).
+pub fn measure_gemm_seconds(
+    p: GemmParams,
+    a: &Matrix<f64>,
+    b: &Matrix<f64>,
+    c: &mut Matrix<f64>,
+) -> f64 {
+    let t = Instant::now();
+    gemm_with_params(Transpose::No, Transpose::No, 1.0, a, b, 0.0, c, p);
+    t.elapsed().as_secs_f64()
+}
+
+/// Sweeps `candidates` (the [`default_candidates`] grid if empty) at problem
+/// size `s`, timing each with median-of-`reps` repetition, and returns the
+/// full sweep result over [`GemmParams`].
+///
+/// The caller decides what to do with the winner — typically
+/// `xsc_core::gemm::set_global_params(result.best)` so that every downstream
+/// `gemm`/`par_gemm` call picks it up.
+pub fn tune_gemm_blocking(
+    s: usize,
+    reps: usize,
+    candidates: &[GemmParams],
+) -> SweepResult<GemmParams> {
+    let grid = if candidates.is_empty() {
+        default_candidates()
+    } else {
+        candidates.to_vec()
+    };
+    let a = gen::random_matrix::<f64>(s, s, 1);
+    let b = gen::random_matrix::<f64>(s, s, 2);
+    let mut c = Matrix::<f64>::zeros(s, s);
+    exhaustive(&grid, |p| {
+        median_of(reps.max(1), || measure_gemm_seconds(p, &a, &b, &mut c))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_grid_is_nonempty_and_normal() {
+        let grid = default_candidates();
+        assert!(grid.len() >= 8);
+        for p in &grid {
+            assert_eq!(*p, p.normalized(), "grid point {p:?} off the micro grid");
+        }
+    }
+
+    #[test]
+    fn tune_returns_a_candidate_from_the_grid() {
+        // Tiny problem + 1 rep: this is a smoke test of the plumbing, not a
+        // performance claim.
+        let grid = [
+            GemmParams {
+                mc: 32,
+                kc: 32,
+                nc: 32,
+            },
+            GemmParams {
+                mc: 64,
+                kc: 64,
+                nc: 64,
+            },
+        ];
+        let res = tune_gemm_blocking(48, 1, &grid);
+        assert!(grid.contains(&res.best));
+        assert_eq!(res.evaluations, grid.len());
+        assert!(res.best_cost.is_finite() && res.best_cost >= 0.0);
+    }
+
+    #[test]
+    fn empty_candidates_fall_back_to_default_grid() {
+        let res = tune_gemm_blocking(32, 1, &[]);
+        assert_eq!(res.evaluations, default_candidates().len());
+    }
+}

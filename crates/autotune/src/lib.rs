@@ -13,9 +13,15 @@
 //!
 //! Measurements are noisy, so [`median_of`] wraps a measurement closure
 //! with median-of-`k` repetition.
+//!
+//! [`gemm_tune`] applies these strategies to the blocked GEMM's cache
+//! parameters (`MC`/`KC`/`NC`), the search E08 runs alongside its tile-size
+//! sweep.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+
+pub mod gemm_tune;
 
 /// Outcome of a tuning run: the winning parameter and every sample taken.
 #[derive(Debug, Clone)]

@@ -27,9 +27,10 @@ pub struct Batch<T> {
 }
 
 impl<T: Scalar> Batch<T> {
-    /// Creates a zero-filled batch.
+    /// Creates a zero-filled batch. Degenerate shapes (zero rows, columns,
+    /// or count) are allowed; every batched operation treats them as empty
+    /// work rather than panicking.
     pub fn zeros(rows: usize, cols: usize, count: usize) -> Self {
-        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
         Batch {
             rows,
             cols,
@@ -118,6 +119,11 @@ pub fn batched_gemm<T: Scalar>(alpha: T, a: &Batch<T>, b: &Batch<T>, beta: T, c:
     let sa = a.stride();
     let sb = b.stride();
     let sc = c.stride();
+    if sc == 0 {
+        // m == 0 or n == 0: every C[k] is empty; par_chunks_mut(0) would panic.
+        // (k == 0 with m, n > 0 falls through and acts as a pure beta-scale.)
+        return;
+    }
     c.data.par_chunks_mut(sc).enumerate().for_each(|(idx, cm)| {
         let am = &a.data[idx * sa..(idx + 1) * sa];
         let bm = &b.data[idx * sb..(idx + 1) * sb];
@@ -164,6 +170,9 @@ pub fn batched_potrf<T: Scalar>(batch: &mut Batch<T>) -> Result<()> {
     assert_eq!(batch.rows, batch.cols, "potrf needs square matrices");
     let n = batch.rows;
     let s = batch.stride();
+    if s == 0 {
+        return Ok(()); // 0x0 matrices: vacuously factored
+    }
     let results: Vec<Result<()>> = batch
         .data
         .par_chunks_mut(s)
@@ -216,6 +225,9 @@ pub fn batched_trsm_llt<T: Scalar>(factors: &Batch<T>, rhs: &mut Batch<T>) {
     let n = factors.rows;
     let sf = factors.stride();
     let sr = rhs.stride();
+    if sr == 0 {
+        return; // n == 0 or zero right-hand sides: nothing to solve
+    }
     let nrhs = rhs.cols;
     let fdata = &factors.data;
     rhs.data.par_chunks_mut(sr).enumerate().for_each(|(k, x)| {
@@ -248,6 +260,9 @@ pub fn batched_getrf<T: Scalar>(batch: &mut Batch<T>) -> Result<Vec<Vec<usize>>>
     assert_eq!(batch.rows, batch.cols, "getrf needs square matrices");
     let n = batch.rows;
     let s = batch.stride();
+    if s == 0 {
+        return Ok(vec![Vec::new(); batch.count]); // 0x0: empty pivot vectors
+    }
     let results: Vec<Result<Vec<usize>>> = batch
         .data
         .par_chunks_mut(s)
@@ -320,6 +335,9 @@ pub fn batched_getrf_solve<T: Scalar>(
     let n = factors.rows;
     let sf = factors.stride();
     let sr = rhs.stride();
+    if sr == 0 {
+        return; // n == 0 or zero right-hand sides: nothing to solve
+    }
     let nrhs = rhs.cols;
     let fdata = &factors.data;
     rhs.data.par_chunks_mut(sr).enumerate().for_each(|(k, x)| {
@@ -560,6 +578,59 @@ mod tests {
         let b = Batch::<f64>::zeros(2, 2, 4);
         let mut c = Batch::<f64>::zeros(2, 2, 3);
         batched_gemm(1.0, &a, &b, 1.0, &mut c);
+    }
+
+    #[test]
+    fn degenerate_batches_do_not_panic() {
+        // m == 0 / n == 0: output stride is zero, so the ops are no-ops.
+        let a = Batch::<f64>::zeros(0, 3, 4);
+        let b = Batch::<f64>::zeros(3, 5, 4);
+        let mut c = Batch::<f64>::zeros(0, 5, 4);
+        batched_gemm(1.0, &a, &b, 0.0, &mut c);
+
+        let a = Batch::<f64>::zeros(2, 3, 4);
+        let b = Batch::<f64>::zeros(3, 0, 4);
+        let mut c = Batch::<f64>::zeros(2, 0, 4);
+        batched_gemm(1.0, &a, &b, 0.0, &mut c);
+
+        // 0x0 square batches through the factorizations and solves.
+        let mut spd = Batch::<f64>::zeros(0, 0, 3);
+        batched_potrf(&mut spd).unwrap();
+        let mut rhs = Batch::<f64>::zeros(0, 1, 3);
+        batched_trsm_llt(&spd, &mut rhs);
+
+        let mut lu = Batch::<f64>::zeros(0, 0, 3);
+        let pivots = batched_getrf(&mut lu).unwrap();
+        assert_eq!(pivots, vec![Vec::<usize>::new(); 3]);
+        let mut rhs = Batch::<f64>::zeros(0, 2, 3);
+        batched_getrf_solve(&lu, &pivots, &mut rhs);
+
+        // Zero right-hand sides with nonzero n.
+        let m = gen::random_spd::<f64>(4, 7);
+        let mut factors = Batch::from_matrices(std::slice::from_ref(&m));
+        batched_potrf(&mut factors).unwrap();
+        let mut rhs = Batch::<f64>::zeros(4, 0, 1);
+        batched_trsm_llt(&factors, &mut rhs);
+    }
+
+    #[test]
+    fn batched_gemm_k_zero_is_pure_beta_scale() {
+        let a = Batch::<f64>::zeros(3, 0, 2);
+        let b = Batch::<f64>::zeros(0, 4, 2);
+        let mut c = Batch::<f64>::from_fn(3, 4, 2, |k, i, j| (k + i + j) as f64 + 1.0);
+        let c0 = c.clone();
+        batched_gemm(1.0, &a, &b, 2.0, &mut c);
+        for k in 0..2 {
+            for (got, orig) in c.matrix(k).iter().zip(c0.matrix(k)) {
+                assert_eq!(*got, 2.0 * orig);
+            }
+        }
+        // beta == 0 with k == 0 must overwrite even NaN.
+        let mut c = Batch::<f64>::from_fn(3, 4, 2, |_, _, _| f64::NAN);
+        batched_gemm(1.0, &a, &b, 0.0, &mut c);
+        for k in 0..2 {
+            assert!(c.matrix(k).iter().all(|&v| v == 0.0));
+        }
     }
 
     #[test]

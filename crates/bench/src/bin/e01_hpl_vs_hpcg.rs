@@ -1,4 +1,8 @@
 //! Standalone driver for experiment `e01_hpl_vs_hpcg` (see DESIGN.md's index).
+//! Pass `--json` to also write a machine-readable `BENCH_e01.json`.
 fn main() {
-    xsc_bench::experiments::e01_hpl_vs_hpcg::run(xsc_bench::Scale::from_env());
+    xsc_bench::experiments::e01_hpl_vs_hpcg::run_opts(
+        xsc_bench::Scale::from_env(),
+        xsc_bench::json::json_flag(),
+    );
 }

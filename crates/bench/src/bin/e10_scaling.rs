@@ -1,4 +1,8 @@
 //! Standalone driver for experiment `e10_scaling` (see DESIGN.md's index).
+//! Pass `--json` to also write a machine-readable `BENCH_e10.json`.
 fn main() {
-    xsc_bench::experiments::e10_scaling::run(xsc_bench::Scale::from_env());
+    xsc_bench::experiments::e10_scaling::run_opts(
+        xsc_bench::Scale::from_env(),
+        xsc_bench::json::json_flag(),
+    );
 }

@@ -1,18 +1,56 @@
 //! E01 — the headline figure: HPL runs near peak, HPCG at a few percent.
 //!
-//! "Peak" is the machine's best measured parallel `dgemm` rate (the honest
-//! single-node analogue of the spec-sheet peak HPL divides by).
+//! "Peak" is the machine's best measured parallel `dgemm` rate — since the
+//! cache-blocked GEMM rewrite, the packed blocked kernel parallelized over
+//! column macro-tiles (the honest single-node analogue of the spec-sheet
+//! peak HPL divides by). The old column-sweep kernel is timed alongside as
+//! the before/after record of that rewrite.
 
+use crate::json::{write_report, Json};
 use crate::table::{f2, pct, secs, Table};
-use crate::Scale;
+use crate::{best_of, Scale};
+use xsc_core::gemm::{colsweep_gemm, gemm, Transpose};
+use xsc_core::{flops, gen, Matrix};
 use xsc_dense::hpl;
 use xsc_sparse::{run_hpcg, Geometry};
 
+/// Blocked vs column-sweep sequential kernel rates at `s`^3 (Gflop/s).
+fn kernel_rates(s: usize, reps: usize) -> (f64, f64) {
+    let a = gen::random_matrix::<f64>(s, s, 1);
+    let b = gen::random_matrix::<f64>(s, s, 2);
+    let mut c = Matrix::<f64>::zeros(s, s);
+    let fl = flops::gemm(s, s, s);
+    let t_sweep = best_of(reps, || {
+        colsweep_gemm(Transpose::No, Transpose::No, 1.0, &a, &b, 0.0, &mut c)
+    });
+    let t_blocked = best_of(reps, || {
+        gemm(Transpose::No, Transpose::No, 1.0, &a, &b, 0.0, &mut c)
+    });
+    (flops::gflops(fl, t_blocked), flops::gflops(fl, t_sweep))
+}
+
 /// Runs the experiment and prints its table.
 pub fn run(scale: Scale) {
-    let peak = hpl::measure_peak_gflops(scale.pick(256, 512), 3);
-    println!("\n[E01] measured machine peak (parallel dgemm): {peak:.2} Gflop/s");
+    run_opts(scale, false);
+}
 
+/// Runs the experiment; with `json` set, also writes `BENCH_e01.json`.
+pub fn run_opts(scale: Scale, json: bool) {
+    let peak = hpl::measure_peak_gflops(scale.pick(256, 512), 3);
+    println!("\n[E01] measured machine peak (parallel blocked dgemm): {peak:.2} Gflop/s");
+
+    // Before/after record of the blocked-GEMM rewrite, at the size the
+    // #[ignore] perf gate in xsc-core asserts on.
+    let gemm_s = 512;
+    let (blocked_gf, sweep_gf) = kernel_rates(gemm_s, scale.pick(3, 5));
+    println!(
+        "[E01] sequential dgemm at {gemm_s}^3: blocked {blocked_gf:.2} Gflop/s ({}) vs column-sweep {sweep_gf:.2} Gflop/s ({}) — {:.2}x",
+        pct(blocked_gf / peak),
+        pct(sweep_gf / peak),
+        blocked_gf / sweep_gf
+    );
+
+    let mut rows = Vec::new();
     let mut t = Table::new(&[
         "benchmark",
         "problem",
@@ -36,6 +74,14 @@ pub fn run(scale: Scale) {
                 "RESID FAIL".into()
             },
         ]);
+        rows.push(Json::obj(vec![
+            ("benchmark", Json::s("hpl")),
+            ("n", Json::Int(n as i64)),
+            ("seconds", Json::Num(r.seconds)),
+            ("gflops", Json::Num(r.gflops)),
+            ("fraction_of_peak", Json::Num(r.gflops / peak)),
+            ("passed", Json::Bool(r.passed)),
+        ]));
     }
     let grids: Vec<usize> = scale.pick(vec![32, 48], vec![64, 96]);
     for g in grids {
@@ -52,7 +98,35 @@ pub fn run(scale: Scale) {
                 "CONV FAIL".into()
             },
         ]);
+        rows.push(Json::obj(vec![
+            ("benchmark", Json::s("hpcg")),
+            ("grid", Json::Int(g as i64)),
+            ("seconds", Json::Num(r.seconds)),
+            ("gflops", Json::Num(r.gflops)),
+            ("fraction_of_peak", Json::Num(r.gflops / peak)),
+            ("passed", Json::Bool(r.passed)),
+        ]));
     }
     t.print("E01: HPL vs HPCG — % of measured peak");
     println!("  keynote claim: HPL at a large fraction of peak, HPCG at 1-5%.");
+
+    if json {
+        let report = Json::obj(vec![
+            ("experiment", Json::s("e01_hpl_vs_hpcg")),
+            ("peak_gflops", Json::Num(peak)),
+            (
+                "gemm_kernels",
+                Json::obj(vec![
+                    ("size", Json::Int(gemm_s as i64)),
+                    ("blocked_gflops", Json::Num(blocked_gf)),
+                    ("colsweep_gflops", Json::Num(sweep_gf)),
+                    ("blocked_fraction_of_peak", Json::Num(blocked_gf / peak)),
+                    ("colsweep_fraction_of_peak", Json::Num(sweep_gf / peak)),
+                    ("speedup", Json::Num(blocked_gf / sweep_gf)),
+                ]),
+            ),
+            ("rows", Json::Arr(rows)),
+        ]);
+        write_report("BENCH_e01.json", &report);
+    }
 }

@@ -1,6 +1,7 @@
 //! E10 — strong scaling of a compute-bound kernel (GEMM) vs memory-bound
 //! kernels (SpMV) vs an inherently sequential one (SymGS).
 
+use crate::json::{write_report, Json};
 use crate::table::{f2, pct, Table};
 use crate::{best_of, thread_sweep, with_threads, Scale};
 use xsc_core::gemm::{par_gemm, Transpose};
@@ -10,6 +11,11 @@ use xsc_sparse::symgs::symgs;
 
 /// Runs the experiment and prints its table.
 pub fn run(scale: Scale) {
+    run_opts(scale, false);
+}
+
+/// Runs the experiment; with `json` set, also writes `BENCH_e10.json`.
+pub fn run_opts(scale: Scale, json: bool) {
     let n_gemm = scale.pick(384, 768);
     let g = scale.pick(32, 64);
     let reps = scale.pick(2, 3);
@@ -28,6 +34,7 @@ pub fn run(scale: Scale) {
 
     let mut base_gemm = 0.0;
     let mut base_spmv = 0.0;
+    let mut json_rows = Vec::new();
     let mut t = Table::new(&[
         "threads",
         "GEMM Gflop/s",
@@ -55,6 +62,19 @@ pub fn run(scale: Scale) {
             f2(gflops_s),
             pct(gflops_s / (base_spmv * threads as f64)),
         ]);
+        json_rows.push(Json::obj(vec![
+            ("threads", Json::Int(threads as i64)),
+            ("gemm_gflops", Json::Num(gflops_g)),
+            (
+                "gemm_efficiency",
+                Json::Num(gflops_g / (base_gemm * threads as f64)),
+            ),
+            ("spmv_gflops", Json::Num(gflops_s)),
+            (
+                "spmv_efficiency",
+                Json::Num(gflops_s / (base_spmv * threads as f64)),
+            ),
+        ]));
     }
     t.print(&format!(
         "E10: strong scaling — GEMM n={n_gemm} (compute-bound) vs SpMV {g}^3 (memory-bound)"
@@ -94,4 +114,14 @@ pub fn run(scale: Scale) {
     t2.print("E10b: roofline projection (node-2016 model) — why SpMV flatlines");
     println!("  keynote claim: adding cores multiplies flops, not bandwidth; memory-bound");
     println!("  kernels flatline while GEMM keeps scaling.");
+
+    if json {
+        let report = Json::obj(vec![
+            ("experiment", Json::s("e10_scaling")),
+            ("gemm_n", Json::Int(n_gemm as i64)),
+            ("spmv_grid", Json::Int(g as i64)),
+            ("rows", Json::Arr(json_rows)),
+        ]);
+        write_report("BENCH_e10.json", &report);
+    }
 }

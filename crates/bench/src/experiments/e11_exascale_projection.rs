@@ -37,6 +37,10 @@ pub fn run(scale: Scale) {
         ]);
     }
     t.print("E11: modeled HPL/HPCG fraction of peak across generations");
+    let measured = xsc_dense::hpl::measure_peak_gflops(scale.pick(192, 384), 2);
+    println!(
+        "  real-machine anchor: this host's blocked parallel dgemm peaks at {measured:.2} Gflop/s; the modeled fractions above scale from anchors like it"
+    );
 
     // Part 2: replay a real task DAG on simulated wide machines.
     let nt = scale.pick(16usize, 24);

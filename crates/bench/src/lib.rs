@@ -13,6 +13,7 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod json;
 pub mod table;
 
 /// Problem-size preset.

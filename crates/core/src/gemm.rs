@@ -1,14 +1,41 @@
 //! General matrix-matrix multiply (the flop furnace of HPL).
 //!
 //! `gemm` is the compute-bound kernel whose measured rate defines "machine
-//! peak" for every %-of-peak experiment in this repository (E01, E10, E11).
-//! The implementation is a cache-friendly column-sweep with a 4-way unrolled
-//! rank-1 inner loop that LLVM auto-vectorizes; transposed operands are
-//! materialized once (an `O(n²)` copy against an `O(n³)` multiply).
+//! peak" for every %-of-peak experiment in this repository (E01, E10, E11),
+//! so it is organized the way the keynote says extreme-scale kernels must
+//! be: around data movement, not flops.
+//!
+//! The optimized path is a BLIS-style blocked algorithm:
+//!
+//! ```text
+//! for jc in 0..n step NC            // C column macro-tiles   (L3 / parallel axis)
+//!   for pc in 0..k step KC          // pack B(pc..,jc..) into contiguous panels
+//!     for ic in 0..m step MC        // pack alpha*A(ic..,pc..) into panels
+//!       for jr in 0..NC step NR     // micro-tile columns
+//!         for ir in 0..MC step MR   // micro-tile rows
+//!           C(ir..,jr..) += Ap * Bp // MR x NR register micro-kernel
+//! ```
+//!
+//! Operands are packed **once per macro-tile** into contiguous, zero-padded
+//! panel buffers (`MR`-row panels of `A`, `NR`-column panels of `B`), so the
+//! `MR x NR` micro-kernel streams both operands with unit stride and keeps
+//! the whole accumulator tile in registers across the `KC` loop.
+//! [`par_gemm`] parallelizes over `NC`-wide column macro-tiles of `C`
+//! (each worker re-packing and reusing its own `A` panel across the whole
+//! tile) instead of over single columns.
+//!
+//! Blocking parameters default to [`GemmParams::DEFAULT`] and can be
+//! overridden per call ([`gemm_with_params`]) or globally
+//! ([`set_global_params`]) — `xsc-autotune` sweeps `MC/KC/NC` empirically
+//! and installs the winner. The pre-blocking column-sweep kernel survives
+//! as [`colsweep_gemm`], both as the small-problem fast path (packing does
+//! not pay below [`SMALL_GEMM_FLOPS`]) and as the measured baseline the
+//! benchmark suite compares against.
 
 use crate::matrix::Matrix;
 use crate::scalar::Scalar;
 use rayon::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Whether an operand enters the product transposed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -17,6 +44,93 @@ pub enum Transpose {
     No,
     /// Use the transpose of the operand.
     Yes,
+}
+
+/// Rows of the register micro-tile (micro-kernel computes `MR x NR`).
+pub const MR: usize = 8;
+/// Columns of the register micro-tile.
+pub const NR: usize = 4;
+
+/// Problems with at most this many multiply-adds (`m * n * k`) skip the
+/// blocked path: below this size the packing traffic is not amortized and
+/// the column-sweep kernel wins.
+pub const SMALL_GEMM_FLOPS: usize = 32 * 32 * 32;
+
+/// Cache-blocking parameters of the blocked GEMM loop nest.
+///
+/// `mc`/`kc` size the packed `A` panel (targets L2), `kc`/`nc` the packed
+/// `B` panel (targets L3); `nc` is also the width of the column macro-tiles
+/// [`par_gemm`] distributes across workers. Values are normalized before
+/// use: `mc` is rounded up to a multiple of [`MR`], `nc` to a multiple of
+/// [`NR`], and all three are at least one block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GemmParams {
+    /// Row-block height of the packed `A` panel.
+    pub mc: usize,
+    /// Depth (shared dimension) of both packed panels.
+    pub kc: usize,
+    /// Column-block width of the packed `B` panel.
+    pub nc: usize,
+}
+
+impl GemmParams {
+    /// Hand-picked defaults: `A` panel 128x256 f64 = 256 KiB (~L2),
+    /// `B` panel 256x512 f64 = 1 MiB (~L3 slice). Autotuning (E08)
+    /// overrides these per machine via [`set_global_params`].
+    pub const DEFAULT: GemmParams = GemmParams {
+        mc: 128,
+        kc: 256,
+        nc: 512,
+    };
+
+    /// Rounds the parameters onto the micro-tile grid (`mc` to a multiple
+    /// of [`MR`], `nc` to a multiple of [`NR`], everything at least one
+    /// block).
+    pub fn normalized(self) -> GemmParams {
+        GemmParams {
+            mc: self.mc.max(1).div_ceil(MR) * MR,
+            kc: self.kc.max(1),
+            nc: self.nc.max(1).div_ceil(NR) * NR,
+        }
+    }
+}
+
+// Global blocking override (0 = unset, use DEFAULT). Reads are not a single
+// atomic snapshot; any interleaving of valid stores is itself a valid
+// parameter set after normalization, so a torn read is harmless.
+static GLOBAL_MC: AtomicUsize = AtomicUsize::new(0);
+static GLOBAL_KC: AtomicUsize = AtomicUsize::new(0);
+static GLOBAL_NC: AtomicUsize = AtomicUsize::new(0);
+
+/// Installs `p` as the process-wide default blocking parameters used by
+/// [`gemm`] and [`par_gemm`]. Typically called with an autotuned winner
+/// (see `xsc-autotune`).
+pub fn set_global_params(p: GemmParams) {
+    let p = p.normalized();
+    GLOBAL_MC.store(p.mc, Ordering::Relaxed);
+    GLOBAL_KC.store(p.kc, Ordering::Relaxed);
+    GLOBAL_NC.store(p.nc, Ordering::Relaxed);
+}
+
+/// Clears any installed global override, restoring [`GemmParams::DEFAULT`].
+pub fn clear_global_params() {
+    GLOBAL_MC.store(0, Ordering::Relaxed);
+    GLOBAL_KC.store(0, Ordering::Relaxed);
+    GLOBAL_NC.store(0, Ordering::Relaxed);
+}
+
+/// The blocking parameters [`gemm`]/[`par_gemm`] currently use: the global
+/// override if one was installed, [`GemmParams::DEFAULT`] otherwise.
+pub fn global_params() -> GemmParams {
+    let mc = GLOBAL_MC.load(Ordering::Relaxed);
+    if mc == 0 {
+        return GemmParams::DEFAULT;
+    }
+    GemmParams {
+        mc,
+        kc: GLOBAL_KC.load(Ordering::Relaxed).max(1),
+        nc: GLOBAL_NC.load(Ordering::Relaxed).max(1),
+    }
 }
 
 /// Reference triple-loop multiply: `C <- alpha * op(A) * op(B) + beta * C`.
@@ -64,7 +178,41 @@ fn op_get<T: Scalar>(t: Transpose, a: &Matrix<T>, i: usize, j: usize) -> T {
     }
 }
 
+fn check_shapes<T: Scalar>(
+    transa: Transpose,
+    transb: Transpose,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    c: &Matrix<T>,
+) -> (usize, usize, usize) {
+    let (m, k) = op_shape(transa, a);
+    let (kb, n) = op_shape(transb, b);
+    assert_eq!(k, kb, "gemm inner dimension mismatch: {k} vs {kb}");
+    assert_eq!((c.rows(), c.cols()), (m, n), "gemm output shape mismatch");
+    (m, k, n)
+}
+
+/// Applies `beta` to a slice of `C` (`beta == 0` overwrites, so pre-existing
+/// NaN/Inf never propagate).
+fn scale_by_beta<T: Scalar>(c: &mut [T], beta: T) {
+    if beta == T::one() {
+        return;
+    }
+    if beta == T::zero() {
+        c.fill(T::zero());
+    } else {
+        for x in c.iter_mut() {
+            *x *= beta;
+        }
+    }
+}
+
 /// Sequential optimized multiply: `C <- alpha * op(A) * op(B) + beta * C`.
+///
+/// Dispatches to the blocked packed kernel (see the module docs) with the
+/// current [`global_params`]; small problems take the column-sweep path.
+/// Degenerate shapes are handled: `m == 0` or `n == 0` is a no-op, and
+/// `k == 0` (or `alpha == 0`) reduces to the pure `beta`-scale of `C`.
 pub fn gemm<T: Scalar>(
     transa: Transpose,
     transb: Transpose,
@@ -74,13 +222,33 @@ pub fn gemm<T: Scalar>(
     beta: T,
     c: &mut Matrix<T>,
 ) {
-    let (m, k) = op_shape(transa, a);
-    let (kb, n) = op_shape(transb, b);
-    assert_eq!(k, kb, "gemm inner dimension mismatch: {k} vs {kb}");
-    assert_eq!((c.rows(), c.cols()), (m, n), "gemm output shape mismatch");
+    gemm_with_params(transa, transb, alpha, a, b, beta, c, global_params());
+}
+
+/// [`gemm`] with explicit blocking parameters (the autotuner's measurement
+/// entry point).
+#[allow(clippy::too_many_arguments)] // the BLAS gemm signature plus the tuning knob
+pub fn gemm_with_params<T: Scalar>(
+    transa: Transpose,
+    transb: Transpose,
+    alpha: T,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    beta: T,
+    c: &mut Matrix<T>,
+    params: GemmParams,
+) {
+    let (m, k, n) = check_shapes(transa, transb, a, b, c);
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 || alpha == T::zero() {
+        scale_by_beta(c.as_mut_slice(), beta);
+        return;
+    }
 
     // Materialize transposed operands so the hot loop is always the
-    // stride-1 no-transpose case.
+    // stride-1 no-transpose case (an O(n^2) copy against O(n^3) work).
     let at;
     let a_nn = match transa {
         Transpose::No => a,
@@ -97,29 +265,61 @@ pub fn gemm<T: Scalar>(
             &bt
         }
     };
-    gemm_nn(alpha, a_nn, b_nn, beta, c);
+    if n < NR || m.saturating_mul(n).saturating_mul(k) <= SMALL_GEMM_FLOPS {
+        colsweep_nn(alpha, a_nn, b_nn, beta, c);
+    } else {
+        blocked_nn(alpha, a_nn, b_nn, beta, c.as_mut_slice(), 0, n, params);
+    }
 }
 
-/// Core no-transpose kernel. For each output column `j`, sweeps the columns
-/// of `A` scaled by `B(l, j)` — stride-1 axpy updates, unrolled 4-way over
-/// `l` so each pass over `C(:, j)` does four fused updates.
-fn gemm_nn<T: Scalar>(alpha: T, a: &Matrix<T>, b: &Matrix<T>, beta: T, c: &mut Matrix<T>) {
+/// The pre-blocking column-sweep kernel: for each output column `j`, sweeps
+/// the columns of `A` scaled by `B(l, j)` — stride-1 axpy updates, unrolled
+/// 4-way over `l`.
+///
+/// Kept public for two reasons: it is the small-problem fast path of
+/// [`gemm`], and it is the measured baseline the E01 experiment (and the
+/// `gemm_perf` regression test) compare the blocked kernel against.
+pub fn colsweep_gemm<T: Scalar>(
+    transa: Transpose,
+    transb: Transpose,
+    alpha: T,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    beta: T,
+    c: &mut Matrix<T>,
+) {
+    let (m, _k, n) = check_shapes(transa, transb, a, b, c);
+    if m == 0 || n == 0 {
+        return;
+    }
+    let at;
+    let a_nn = match transa {
+        Transpose::No => a,
+        Transpose::Yes => {
+            at = a.transpose();
+            &at
+        }
+    };
+    let bt;
+    let b_nn = match transb {
+        Transpose::No => b,
+        Transpose::Yes => {
+            bt = b.transpose();
+            &bt
+        }
+    };
+    colsweep_nn(alpha, a_nn, b_nn, beta, c);
+}
+
+/// Column-sweep no-transpose kernel (see [`colsweep_gemm`]).
+fn colsweep_nn<T: Scalar>(alpha: T, a: &Matrix<T>, b: &Matrix<T>, beta: T, c: &mut Matrix<T>) {
     let m = a.rows();
     let k = a.cols();
     let n = b.cols();
     debug_assert_eq!((c.rows(), c.cols()), (m, n));
     for j in 0..n {
         let bcol = b.col(j);
-        let ccol = c.col_mut(j);
-        if beta != T::one() {
-            if beta == T::zero() {
-                ccol.fill(T::zero());
-            } else {
-                for x in ccol.iter_mut() {
-                    *x *= beta;
-                }
-            }
-        }
+        scale_by_beta(c.col_mut(j), beta);
         let mut l = 0;
         while l + 4 <= k {
             let s0 = alpha * bcol[l];
@@ -153,10 +353,161 @@ fn gemm_nn<T: Scalar>(alpha: T, a: &Matrix<T>, b: &Matrix<T>, beta: T, c: &mut M
     }
 }
 
-/// Thread-parallel multiply (rayon over output-column blocks).
+/// Packs the `mcb x kcb` block of `A` at `(ic, pc)` into `MR`-row panels:
+/// panel `ir/MR` stores, for each depth `l`, the `MR` row entries
+/// contiguously (`ap[panel + l*MR + i]`), pre-scaled by `alpha` and
+/// zero-padded past the matrix edge so the micro-kernel never branches.
+fn pack_a<T: Scalar>(
+    a: &Matrix<T>,
+    ic: usize,
+    pc: usize,
+    mcb: usize,
+    kcb: usize,
+    alpha: T,
+    ap: &mut [T],
+) {
+    let mut off = 0;
+    for ir in (0..mcb).step_by(MR) {
+        let mr_eff = MR.min(mcb - ir);
+        for l in 0..kcb {
+            let src = &a.col(pc + l)[ic + ir..ic + ir + mr_eff];
+            let dst = &mut ap[off + l * MR..off + (l + 1) * MR];
+            for i in 0..mr_eff {
+                dst[i] = alpha * src[i];
+            }
+            for x in dst.iter_mut().skip(mr_eff) {
+                *x = T::zero();
+            }
+        }
+        off += kcb * MR;
+    }
+}
+
+/// Packs the `kcb x ncb` block of `B` at `(pc, jc)` into `NR`-column
+/// panels: panel `jr/NR` stores, for each depth `l`, the `NR` column
+/// entries contiguously (`bp[panel + l*NR + j]`), zero-padded at the edge.
+fn pack_b<T: Scalar>(b: &Matrix<T>, pc: usize, jc: usize, kcb: usize, ncb: usize, bp: &mut [T]) {
+    let mut off = 0;
+    for jr in (0..ncb).step_by(NR) {
+        let nr_eff = NR.min(ncb - jr);
+        for j in 0..nr_eff {
+            let src = &b.col(jc + jr + j)[pc..pc + kcb];
+            for (l, &v) in src.iter().enumerate() {
+                bp[off + l * NR + j] = v;
+            }
+        }
+        for j in nr_eff..NR {
+            for l in 0..kcb {
+                bp[off + l * NR + j] = T::zero();
+            }
+        }
+        off += kcb * NR;
+    }
+}
+
+/// The register micro-kernel: `acc[MR x NR] += Ap * Bp` over `kcb` depth
+/// steps. Both panels are contiguous and zero-padded, so the loop body is
+/// branch-free and the accumulator tile stays in registers.
+#[inline(always)]
+fn micro_kernel<T: Scalar>(kcb: usize, apan: &[T], bpan: &[T], acc: &mut [T; MR * NR]) {
+    for (av, bv) in apan.chunks_exact(MR).zip(bpan.chunks_exact(NR)).take(kcb) {
+        for j in 0..NR {
+            let bj = bv[j];
+            for i in 0..MR {
+                acc[j * MR + i] = av[i].mul_add(bj, acc[j * MR + i]);
+            }
+        }
+    }
+}
+
+/// Macro-kernel: sweeps the packed `mcb x kcb` `A` panels against the
+/// packed `kcb x ncb` `B` panels, accumulating each `MR x NR` micro-tile
+/// into the column-major block `cblock` (leading dimension `ldc`) at offset
+/// `(ic, jc)`. `beta` has already been applied to `cblock`.
+#[allow(clippy::too_many_arguments)] // packed panels + block geometry; splitting obscures the loop nest
+fn macro_kernel<T: Scalar>(
+    ap: &[T],
+    bp: &[T],
+    mcb: usize,
+    ncb: usize,
+    kcb: usize,
+    cblock: &mut [T],
+    ldc: usize,
+    ic: usize,
+    jc: usize,
+) {
+    for jr in (0..ncb).step_by(NR) {
+        let nr_eff = NR.min(ncb - jr);
+        let bpan = &bp[(jr / NR) * kcb * NR..][..kcb * NR];
+        for ir in (0..mcb).step_by(MR) {
+            let mr_eff = MR.min(mcb - ir);
+            let apan = &ap[(ir / MR) * kcb * MR..][..kcb * MR];
+            let mut acc = [T::zero(); MR * NR];
+            micro_kernel(kcb, apan, bpan, &mut acc);
+            for j in 0..nr_eff {
+                let dst = &mut cblock[(jc + jr + j) * ldc + ic + ir..][..mr_eff];
+                for (i, x) in dst.iter_mut().enumerate() {
+                    *x += acc[j * MR + i];
+                }
+            }
+        }
+    }
+}
+
+/// Blocked no-transpose kernel over a contiguous column block of `C`:
+/// computes `C(:, j0..j0+ncols) <- alpha*A*B(:, j0..) + beta*C(:, j0..)`
+/// where `cblock` is the column-major storage of those columns. This is the
+/// unit of work [`par_gemm`] hands each worker, so every level of the loop
+/// nest (including packing) runs worker-locally.
+#[allow(clippy::too_many_arguments)] // the gemm operand set plus the block's column window
+fn blocked_nn<T: Scalar>(
+    alpha: T,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    beta: T,
+    cblock: &mut [T],
+    j0: usize,
+    ncols: usize,
+    params: GemmParams,
+) {
+    let m = a.rows();
+    let k = a.cols();
+    debug_assert_eq!(cblock.len(), m * ncols);
+    scale_by_beta(cblock, beta);
+    if k == 0 || alpha == T::zero() || ncols == 0 || m == 0 {
+        return;
+    }
+    let p = params.normalized();
+    // Clamp panel buffers to the (micro-tile-rounded) problem so tiny
+    // multiplies do not allocate full-size panels.
+    let kc = p.kc.min(k);
+    let mc = p.mc.min(m.div_ceil(MR) * MR);
+    let nc = p.nc.min(ncols.div_ceil(NR) * NR);
+    let mut ap = vec![T::zero(); mc * kc];
+    let mut bp = vec![T::zero(); kc * nc];
+    for jc in (0..ncols).step_by(nc) {
+        let ncb = nc.min(ncols - jc);
+        for pc in (0..k).step_by(kc) {
+            let kcb = kc.min(k - pc);
+            pack_b(b, pc, j0 + jc, kcb, ncb, &mut bp);
+            for ic in (0..m).step_by(mc) {
+                let mcb = mc.min(m - ic);
+                pack_a(a, ic, pc, mcb, kcb, alpha, &mut ap);
+                macro_kernel(&ap, &bp, mcb, ncb, kcb, cblock, m, ic, jc);
+            }
+        }
+    }
+}
+
+/// Thread-parallel multiply over `NC`-wide column macro-tiles of `C`.
 ///
-/// Used as the "compute-bound kernel" side of the strong-scaling experiment
-/// (E10): unlike SpMV, this scales nearly linearly with cores.
+/// Each worker owns a contiguous block of `C`'s columns and runs the full
+/// blocked loop nest on it — packing its own `A` panel once per `MC x KC`
+/// block and reusing it across the whole macro-tile — instead of the old
+/// one-column-per-task sweep. The macro-tile width adapts: `NC` when that
+/// yields at least one tile per worker, `ceil(n / workers)` (rounded to
+/// [`NR`]) otherwise, so every worker gets work at any shape. This is the
+/// "compute-bound kernel" side of the strong-scaling experiment (E10).
 pub fn par_gemm<T: Scalar>(
     transa: Transpose,
     transb: Transpose,
@@ -166,10 +517,34 @@ pub fn par_gemm<T: Scalar>(
     beta: T,
     c: &mut Matrix<T>,
 ) {
-    let (m, k) = op_shape(transa, a);
-    let (kb, n) = op_shape(transb, b);
-    assert_eq!(k, kb, "gemm inner dimension mismatch: {k} vs {kb}");
-    assert_eq!((c.rows(), c.cols()), (m, n), "gemm output shape mismatch");
+    par_gemm_with_params(transa, transb, alpha, a, b, beta, c, global_params());
+}
+
+/// [`par_gemm`] with explicit blocking parameters.
+#[allow(clippy::too_many_arguments)] // the BLAS gemm signature plus the tuning knob
+pub fn par_gemm_with_params<T: Scalar>(
+    transa: Transpose,
+    transb: Transpose,
+    alpha: T,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    beta: T,
+    c: &mut Matrix<T>,
+    params: GemmParams,
+) {
+    let (m, k, n) = check_shapes(transa, transb, a, b, c);
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 || alpha == T::zero() {
+        scale_by_beta(c.as_mut_slice(), beta);
+        return;
+    }
+    if m.saturating_mul(n).saturating_mul(k) <= SMALL_GEMM_FLOPS {
+        // Fork-join overhead dominates below the packing cutoff.
+        gemm_with_params(transa, transb, alpha, a, b, beta, c, params);
+        return;
+    }
 
     let at;
     let a_nn = match transa {
@@ -188,28 +563,21 @@ pub fn par_gemm<T: Scalar>(
         }
     };
 
-    // Each worker owns a disjoint block of C's columns.
+    let p = params.normalized();
+    let workers = rayon::current_num_threads().max(1);
+    // Macro-tile width: NC if that already feeds every worker, otherwise an
+    // even NR-aligned split of the columns.
+    let bw = if n.div_ceil(p.nc) >= workers {
+        p.nc
+    } else {
+        (n.div_ceil(workers).div_ceil(NR) * NR).min(n.div_ceil(NR) * NR)
+    };
     c.as_mut_slice()
-        .par_chunks_mut(m)
+        .par_chunks_mut(m * bw)
         .enumerate()
-        .for_each(|(j, ccol)| {
-            let bcol = b_nn.col(j);
-            if beta != T::one() {
-                if beta == T::zero() {
-                    ccol.fill(T::zero());
-                } else {
-                    for x in ccol.iter_mut() {
-                        *x *= beta;
-                    }
-                }
-            }
-            for (l, &blj) in bcol.iter().enumerate() {
-                let s = alpha * blj;
-                let acol = a_nn.col(l);
-                for i in 0..m {
-                    ccol[i] = s.mul_add(acol[i], ccol[i]);
-                }
-            }
+        .for_each(|(bi, cblock)| {
+            let ncols = cblock.len() / m;
+            blocked_nn(alpha, a_nn, b_nn, beta, cblock, bi * bw, ncols, p);
         });
 }
 
@@ -271,6 +639,20 @@ mod tests {
         alpha: f64,
         beta: f64,
     ) {
+        check_against_naive_with(m, k, n, ta, tb, alpha, beta, global_params());
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn check_against_naive_with(
+        m: usize,
+        k: usize,
+        n: usize,
+        ta: Transpose,
+        tb: Transpose,
+        alpha: f64,
+        beta: f64,
+        params: GemmParams,
+    ) {
         let (ar, ac) = match ta {
             Transpose::No => (m, k),
             Transpose::Yes => (k, m),
@@ -286,16 +668,27 @@ mod tests {
         let mut c_ref = c0.clone();
         naive_gemm(ta, tb, alpha, &a, &b, beta, &mut c_ref);
 
+        let tol = 1e-11 * (k as f64 + 1.0);
         let mut c_opt = c0.clone();
-        gemm(ta, tb, alpha, &a, &b, beta, &mut c_opt);
+        gemm_with_params(ta, tb, alpha, &a, &b, beta, &mut c_opt, params);
         assert!(
-            c_ref.approx_eq(&c_opt, 1e-11),
-            "gemm mismatch m={m} k={k} n={n} ta={ta:?} tb={tb:?}"
+            c_ref.approx_eq(&c_opt, tol),
+            "gemm mismatch m={m} k={k} n={n} ta={ta:?} tb={tb:?} params={params:?}"
         );
 
         let mut c_par = c0.clone();
-        par_gemm(ta, tb, alpha, &a, &b, beta, &mut c_par);
-        assert!(c_ref.approx_eq(&c_par, 1e-11), "par_gemm mismatch");
+        par_gemm_with_params(ta, tb, alpha, &a, &b, beta, &mut c_par, params);
+        assert!(
+            c_ref.approx_eq(&c_par, tol),
+            "par_gemm mismatch m={m} k={k} n={n} ta={ta:?} tb={tb:?} params={params:?}"
+        );
+
+        let mut c_sweep = c0.clone();
+        colsweep_gemm(ta, tb, alpha, &a, &b, beta, &mut c_sweep);
+        assert!(
+            c_ref.approx_eq(&c_sweep, tol),
+            "colsweep_gemm mismatch m={m} k={k} n={n}"
+        );
     }
 
     #[test]
@@ -323,6 +716,133 @@ mod tests {
         for k in [1, 3, 4, 5, 8, 11] {
             check_against_naive(6, k, 5, Transpose::No, Transpose::No, 1.0, 0.0);
         }
+    }
+
+    #[test]
+    fn blocked_path_straddles_every_micro_and_macro_boundary() {
+        // Small macro-tiles so block-1/block/block+1 shapes are cheap: the
+        // blocked path is forced by sizing every dim past the small cutoff.
+        let p = GemmParams {
+            mc: 16,
+            kc: 12,
+            nc: 8,
+        };
+        for &m in &[15, 16, 17, MR - 1, MR, MR + 1] {
+            for &k in &[11, 12, 13] {
+                for &n in &[7, 8, 9, NR - 1, NR, NR + 1] {
+                    check_against_naive_with(
+                        m + 32,
+                        k + 32,
+                        n + 32,
+                        Transpose::No,
+                        Transpose::No,
+                        1.25,
+                        -0.5,
+                        p,
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_path_straddles_default_macro_boundaries() {
+        // One shape just past each DEFAULT macro-tile edge, on the real
+        // parameters (m = MC+1, k = KC+1, n = NC+1).
+        let d = GemmParams::DEFAULT;
+        check_against_naive_with(
+            d.mc + 1,
+            d.kc + 1,
+            d.nc + 1,
+            Transpose::No,
+            Transpose::No,
+            1.0,
+            1.0,
+            d,
+        );
+    }
+
+    #[test]
+    fn degenerate_shapes_are_noops_or_beta_scales() {
+        // m == 0: no output rows — must not panic (par_chunks_mut(0) did).
+        let a = Matrix::<f64>::zeros(0, 3);
+        let b = gen::random_matrix::<f64>(3, 5, 1);
+        let mut c = Matrix::<f64>::zeros(0, 5);
+        gemm(Transpose::No, Transpose::No, 1.0, &a, &b, 0.0, &mut c);
+        par_gemm(Transpose::No, Transpose::No, 1.0, &a, &b, 0.0, &mut c);
+        assert_eq!(c.rows(), 0);
+
+        // n == 0: no output columns.
+        let a = gen::random_matrix::<f64>(4, 3, 1);
+        let b = Matrix::<f64>::zeros(3, 0);
+        let mut c = Matrix::<f64>::zeros(4, 0);
+        gemm(Transpose::No, Transpose::No, 1.0, &a, &b, 1.0, &mut c);
+        par_gemm(Transpose::No, Transpose::No, 1.0, &a, &b, 1.0, &mut c);
+
+        // k == 0: the product is empty, so the call is a pure beta-scale.
+        let a = Matrix::<f64>::zeros(4, 0);
+        let b = Matrix::<f64>::zeros(0, 5);
+        let c0 = gen::random_matrix::<f64>(4, 5, 9);
+        for kernel in [gemm::<f64>, par_gemm::<f64>, naive_gemm::<f64>] {
+            let mut c = c0.clone();
+            kernel(Transpose::No, Transpose::No, 1.0, &a, &b, -2.0, &mut c);
+            let mut want = c0.clone();
+            want.scale(-2.0);
+            assert!(c.approx_eq(&want, 1e-15), "k==0 must be a beta-scale");
+        }
+        // ... and beta == 0 with k == 0 must overwrite NaN.
+        let mut c = c0.clone();
+        c.set(1, 1, f64::NAN);
+        gemm(Transpose::No, Transpose::No, 1.0, &a, &b, 0.0, &mut c);
+        assert!(c.approx_eq(&Matrix::zeros(4, 5), 0.0));
+        let mut c = c0.clone();
+        c.set(2, 3, f64::NAN);
+        par_gemm(Transpose::No, Transpose::No, 1.0, &a, &b, 0.0, &mut c);
+        assert!(c.approx_eq(&Matrix::zeros(4, 5), 0.0));
+    }
+
+    #[test]
+    fn alpha_zero_is_beta_scale_even_with_nan_operands() {
+        let mut a = gen::random_matrix::<f64>(4, 4, 1);
+        a.set(0, 0, f64::NAN);
+        let b = gen::random_matrix::<f64>(4, 4, 2);
+        let c0 = gen::random_matrix::<f64>(4, 4, 3);
+        let mut c = c0.clone();
+        gemm(Transpose::No, Transpose::No, 0.0, &a, &b, 2.0, &mut c);
+        let mut want = c0.clone();
+        want.scale(2.0);
+        assert!(c.approx_eq(&want, 1e-15));
+    }
+
+    #[test]
+    fn params_normalize_onto_micro_grid() {
+        let p = GemmParams {
+            mc: 1,
+            kc: 0,
+            nc: 13,
+        }
+        .normalized();
+        assert_eq!(p.mc % MR, 0);
+        assert_eq!(p.nc % NR, 0);
+        assert!(p.mc >= MR && p.kc >= 1 && p.nc >= NR);
+        assert_eq!(p.nc, 16);
+    }
+
+    #[test]
+    fn global_params_install_and_clear() {
+        clear_global_params();
+        assert_eq!(global_params(), GemmParams::DEFAULT);
+        let tuned = GemmParams {
+            mc: 64,
+            kc: 128,
+            nc: 256,
+        };
+        set_global_params(tuned);
+        assert_eq!(global_params(), tuned);
+        // The kernel still matches the reference under the override.
+        check_against_naive(40, 40, 40, Transpose::No, Transpose::No, 1.0, 0.5);
+        clear_global_params();
+        assert_eq!(global_params(), GemmParams::DEFAULT);
     }
 
     #[test]

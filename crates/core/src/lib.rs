@@ -54,7 +54,7 @@ pub mod tile;
 pub mod trsm;
 
 pub use error::{Error, Result};
-pub use gemm::Transpose;
+pub use gemm::{GemmParams, Transpose};
 pub use matrix::Matrix;
 pub use scalar::{Float, Scalar};
 pub use tile::{TileIndex, TileMatrix};

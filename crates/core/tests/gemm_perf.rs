@@ -1,0 +1,73 @@
+//! Performance regression gate for the blocked GEMM (ISSUE 2 acceptance):
+//! the packed blocked kernel must beat the pre-blocking column-sweep on a
+//! 512x512x512 f64 multiply. `#[ignore]`d by default because wall-clock
+//! assertions are hardware-sensitive; run explicitly with
+//! `cargo test -q -p xsc-core --test gemm_perf -- --ignored`.
+
+use std::time::Instant;
+use xsc_core::gemm::{colsweep_gemm, gemm, par_gemm, Transpose};
+use xsc_core::{gen, Matrix};
+
+fn best_of(reps: usize, mut f: impl FnMut()) -> f64 {
+    (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+#[test]
+#[ignore = "wall-clock perf gate; run with --ignored on quiet hardware"]
+fn blocked_gemm_beats_colsweep_at_512() {
+    let s = 512;
+    let a = gen::random_matrix::<f64>(s, s, 1);
+    let b = gen::random_matrix::<f64>(s, s, 2);
+    let mut c = Matrix::<f64>::zeros(s, s);
+
+    let t_sweep = best_of(5, || {
+        colsweep_gemm(Transpose::No, Transpose::No, 1.0, &a, &b, 0.0, &mut c)
+    });
+    let t_blocked = best_of(5, || {
+        gemm(Transpose::No, Transpose::No, 1.0, &a, &b, 0.0, &mut c)
+    });
+    let gf = |t: f64| 2.0 * (s as f64).powi(3) / t / 1e9;
+    eprintln!(
+        "colsweep: {:.3}s ({:.2} GF/s)  blocked: {:.3}s ({:.2} GF/s)  speedup {:.2}x",
+        t_sweep,
+        gf(t_sweep),
+        t_blocked,
+        gf(t_blocked),
+        t_sweep / t_blocked
+    );
+    assert!(
+        t_blocked < t_sweep,
+        "blocked gemm ({t_blocked:.3}s) must beat the column sweep ({t_sweep:.3}s) at {s}^3"
+    );
+}
+
+#[test]
+#[ignore = "wall-clock perf gate; run with --ignored on quiet hardware"]
+fn par_gemm_macro_tiles_beat_sequential_blocked_at_512() {
+    let s = 512;
+    let a = gen::random_matrix::<f64>(s, s, 1);
+    let b = gen::random_matrix::<f64>(s, s, 2);
+    let mut c = Matrix::<f64>::zeros(s, s);
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if threads < 2 {
+        eprintln!("single-core host; skipping parallel perf gate");
+        return;
+    }
+    let t_seq = best_of(5, || {
+        gemm(Transpose::No, Transpose::No, 1.0, &a, &b, 0.0, &mut c)
+    });
+    let t_par = best_of(5, || {
+        par_gemm(Transpose::No, Transpose::No, 1.0, &a, &b, 0.0, &mut c)
+    });
+    eprintln!("seq blocked: {t_seq:.3}s  par blocked ({threads} threads): {t_par:.3}s");
+    assert!(
+        t_par < t_seq,
+        "par_gemm ({t_par:.3}s) must beat sequential blocked gemm ({t_seq:.3}s) on {threads} cores"
+    );
+}

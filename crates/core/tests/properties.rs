@@ -66,6 +66,38 @@ proptest! {
         prop_assert!(c_naive.approx_eq(&c_par, 1e-10 * (k as f64 + 1.0)));
     }
 
+    /// The blocked kernel and its parallel driver agree with the naive
+    /// reference on shapes that straddle every micro- and macro-tile
+    /// boundary (1, block-1, block, block+1 for MR/NR/MC/KC/NC at the
+    /// default blocking), for all four transpose combinations and
+    /// beta in {0, 1, other}.
+    #[test]
+    fn blocked_gemm_agrees_on_tile_boundaries(
+        mi in 0..7usize, ki in 0..4usize, ni in 0..7usize,
+        ta in 0..2usize, tb in 0..2usize, bi in 0..3usize, seed in 0u64..10_000,
+    ) {
+        const M_VALS: [usize; 7] = [1, 7, 8, 9, 127, 128, 129]; // 1, MR+-1, MC+-1
+        const K_VALS: [usize; 4] = [1, 255, 256, 257]; // 1, KC+-1
+        const N_VALS: [usize; 7] = [1, 3, 4, 5, 511, 512, 513]; // 1, NR+-1, NC+-1
+        let (m, k, n) = (M_VALS[mi], K_VALS[ki], N_VALS[ni]);
+        let beta = [0.0, 1.0, -0.75][bi];
+        let t = |x: usize| if x == 0 { Transpose::No } else { Transpose::Yes };
+        let (ar, ac) = if ta == 0 { (m, k) } else { (k, m) };
+        let (br, bc) = if tb == 0 { (k, n) } else { (n, k) };
+        let a = gen::random_matrix::<f64>(ar, ac, seed);
+        let b = gen::random_matrix::<f64>(br, bc, seed + 3);
+        let c0 = gen::random_matrix::<f64>(m, n, seed + 4);
+        let mut c_naive = c0.clone();
+        naive_gemm(t(ta), t(tb), 0.75, &a, &b, beta, &mut c_naive);
+        let mut c_fast = c0.clone();
+        gemm(t(ta), t(tb), 0.75, &a, &b, beta, &mut c_fast);
+        let mut c_par = c0.clone();
+        par_gemm(t(ta), t(tb), 0.75, &a, &b, beta, &mut c_par);
+        let tol = 1e-10 * (k as f64 + 1.0);
+        prop_assert!(c_naive.approx_eq(&c_fast, tol), "gemm diff {}", c_naive.max_abs_diff(&c_fast));
+        prop_assert!(c_naive.approx_eq(&c_par, tol), "par_gemm diff {}", c_naive.max_abs_diff(&c_par));
+    }
+
     /// trsm really inverts trmm: X := op(T)^{-1} (op(T) X).
     #[test]
     fn trsm_inverts_triangular_product(

@@ -137,14 +137,17 @@ impl Trace {
 
     /// Serializes the trace in the Chrome trace-event JSON format
     /// (load via `chrome://tracing` or Perfetto): one complete ("X") event
-    /// per task, one track per worker. Timestamps are microseconds.
+    /// per task, one track per worker. Timestamps are microseconds. Task
+    /// names are fully JSON-escaped, so hostile names (quotes, backslashes,
+    /// control characters) cannot corrupt the document.
     pub fn to_chrome_json(&self) -> String {
         let mut out = String::from("[");
         for (i, e) in self.events.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
-            let mut name = self.task_name(e.task).replace('"', "'");
+            let mut name = String::new();
+            escape_json_into(self.task_name(e.task), &mut name);
             if e.attempt > 1 {
                 name.push_str(&format!(" (attempt {})", e.attempt));
             }
@@ -167,10 +170,17 @@ impl Trace {
         let mut rows = vec![vec![b'.'; width]; self.threads];
         if total > 0.0 {
             for e in &self.events {
+                // Same guard as `busy_per_worker`: a stray worker id (from a
+                // hand-built or corrupted trace) must not panic the renderer.
+                let Some(row) = rows.get_mut(e.worker) else {
+                    continue;
+                };
                 let s = ((e.start.as_secs_f64() / total) * width as f64) as usize;
                 let t = ((e.end.as_secs_f64() / total) * width as f64).ceil() as usize;
-                for c in s..t.min(width) {
-                    rows[e.worker][c] = b'#';
+                let lo = s.min(width);
+                let hi = t.min(width).max(lo);
+                for c in &mut row[lo..hi] {
+                    *c = b'#';
                 }
             }
         }
@@ -184,9 +194,114 @@ impl Trace {
     }
 }
 
+/// Appends `s` to `out` with JSON string escaping (quote, backslash, and
+/// all control characters per RFC 8259).
+fn escape_json_into(s: &str, out: &mut String) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Minimal JSON well-formedness checker (objects, arrays, strings,
+    /// numbers, literals) used to validate `to_chrome_json` output without
+    /// an external parser. Returns the rest of the input after one value.
+    fn parse_json_value(s: &str) -> Result<&str, String> {
+        let s = s.trim_start();
+        let mut chars = s.char_indices();
+        match chars.next().map(|(_, c)| c) {
+            Some('{') => {
+                let mut rest = s[1..].trim_start();
+                if let Some(r) = rest.strip_prefix('}') {
+                    return Ok(r);
+                }
+                loop {
+                    rest = parse_json_string(rest.trim_start())?;
+                    rest = rest.trim_start().strip_prefix(':').ok_or("expected ':'")?;
+                    rest = parse_json_value(rest)?;
+                    rest = rest.trim_start();
+                    if let Some(r) = rest.strip_prefix(',') {
+                        rest = r.trim_start();
+                    } else {
+                        return rest.strip_prefix('}').ok_or("expected '}'".into());
+                    }
+                }
+            }
+            Some('[') => {
+                let mut rest = s[1..].trim_start();
+                if let Some(r) = rest.strip_prefix(']') {
+                    return Ok(r);
+                }
+                loop {
+                    rest = parse_json_value(rest)?;
+                    rest = rest.trim_start();
+                    if let Some(r) = rest.strip_prefix(',') {
+                        rest = r;
+                    } else {
+                        return rest.strip_prefix(']').ok_or("expected ']'".into());
+                    }
+                }
+            }
+            Some('"') => parse_json_string(s),
+            Some(c) if c == '-' || c.is_ascii_digit() => {
+                let end = s
+                    .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+                    .unwrap_or(s.len());
+                s[..end]
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad number {:?}: {e}", &s[..end]))?;
+                Ok(&s[end..])
+            }
+            _ => ["true", "false", "null"]
+                .iter()
+                .find_map(|lit| s.strip_prefix(lit))
+                .ok_or_else(|| format!("unexpected token at {:?}", &s[..s.len().min(12)])),
+        }
+    }
+
+    fn parse_json_string(s: &str) -> Result<&str, String> {
+        let body = s.strip_prefix('"').ok_or("expected '\"'")?;
+        let mut it = body.char_indices();
+        while let Some((i, c)) = it.next() {
+            match c {
+                '"' => return Ok(&body[i + 1..]),
+                '\\' => match it.next().map(|(_, e)| e) {
+                    Some('u') => {
+                        let hex: String =
+                            (0..4).filter_map(|_| it.next().map(|(_, h)| h)).collect();
+                        if hex.len() != 4 || !hex.chars().all(|h| h.is_ascii_hexdigit()) {
+                            return Err(format!("bad \\u escape {hex:?}"));
+                        }
+                    }
+                    Some(e) if "\"\\/bfnrt".contains(e) => {}
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                c if (c as u32) < 0x20 => {
+                    return Err(format!("raw control char {:#x} in string", c as u32))
+                }
+                _ => {}
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    fn assert_valid_json(doc: &str) {
+        let rest = parse_json_value(doc).unwrap_or_else(|e| panic!("invalid JSON: {e}\n{doc}"));
+        assert!(rest.trim().is_empty(), "trailing garbage: {rest:?}");
+    }
 
     fn sample_trace() -> Trace {
         let names = Arc::new(vec!["a".to_string(), "b".to_string()]);
@@ -268,5 +383,74 @@ mod tests {
         assert_eq!(t.tasks_run(), 0);
         assert_eq!(t.busy_per_worker().len(), 4);
         let _ = t.ascii_gantt(20);
+    }
+
+    #[test]
+    fn gantt_ignores_stray_worker_ids() {
+        // A worker id >= threads (hand-built or corrupted trace) must be
+        // skipped by the renderer, exactly as busy_per_worker skips it.
+        let names = Arc::new(vec!["a".to_string(), "stray".to_string()]);
+        let t = Trace::new(
+            2,
+            Duration::from_millis(10),
+            vec![
+                TraceEvent {
+                    task: 0,
+                    worker: 0,
+                    start: Duration::from_millis(0),
+                    end: Duration::from_millis(10),
+                    attempt: 1,
+                },
+                TraceEvent {
+                    task: 1,
+                    worker: 7, // out of range for a 2-thread trace
+                    start: Duration::from_millis(2),
+                    end: Duration::from_millis(6),
+                    attempt: 1,
+                },
+            ],
+            names,
+        );
+        let g = t.ascii_gantt(40);
+        assert_eq!(g.lines().count(), 2, "one row per real worker:\n{g}");
+        assert!(g.lines().next().unwrap().contains('#'));
+        // The stray event contributes to neither row nor busy accounting.
+        assert_eq!(t.busy_per_worker()[1], Duration::ZERO);
+    }
+
+    #[test]
+    fn chrome_json_escapes_hostile_task_names() {
+        let hostile = "evil \"task\" \\ with \n newline, \t tab and \u{1} ctrl".to_string();
+        let names = Arc::new(vec![hostile.clone()]);
+        let t = Trace::new(
+            1,
+            Duration::from_millis(5),
+            vec![TraceEvent {
+                task: 0,
+                worker: 0,
+                start: Duration::ZERO,
+                end: Duration::from_millis(5),
+                attempt: 2,
+            }],
+            names,
+        );
+        let j = t.to_chrome_json();
+        assert_valid_json(&j);
+        // The escaped form must be present (quote kept, not rewritten to ').
+        assert!(
+            j.contains(r#"evil \"task\" \\ with \n newline, \t tab and \u0001 ctrl"#),
+            "{j}"
+        );
+        assert!(j.contains("(attempt 2)"));
+        // No raw control characters may survive.
+        assert!(!j.chars().any(|c| (c as u32) < 0x20));
+    }
+
+    #[test]
+    fn chrome_json_validator_sanity() {
+        assert_valid_json(r#"[{"a":1.5e3,"b":[true,null,"xA"]},{}]"#);
+        assert!(parse_json_value("[1,").is_err());
+        assert!(parse_json_value("\"\u{1}\"").is_err());
+        assert!(parse_json_value(r#"{"a" 1}"#).is_err());
     }
 }

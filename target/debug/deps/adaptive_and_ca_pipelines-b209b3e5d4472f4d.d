@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/adaptive_and_ca_pipelines-b209b3e5d4472f4d.d: tests/tests/adaptive_and_ca_pipelines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadaptive_and_ca_pipelines-b209b3e5d4472f4d.rmeta: tests/tests/adaptive_and_ca_pipelines.rs Cargo.toml
+
+tests/tests/adaptive_and_ca_pipelines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

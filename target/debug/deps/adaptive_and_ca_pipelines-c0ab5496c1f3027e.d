@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adaptive_and_ca_pipelines-c0ab5496c1f3027e.d: tests/tests/adaptive_and_ca_pipelines.rs
+
+/root/repo/target/debug/deps/adaptive_and_ca_pipelines-c0ab5496c1f3027e: tests/tests/adaptive_and_ca_pipelines.rs
+
+tests/tests/adaptive_and_ca_pipelines.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos_determinism-13a074d5cec33162.d: tests/tests/chaos_determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos_determinism-13a074d5cec33162.rmeta: tests/tests/chaos_determinism.rs Cargo.toml
+
+tests/tests/chaos_determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

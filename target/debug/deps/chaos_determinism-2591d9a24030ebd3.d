@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos_determinism-2591d9a24030ebd3.d: tests/tests/chaos_determinism.rs
+
+/root/repo/target/debug/deps/chaos_determinism-2591d9a24030ebd3: tests/tests/chaos_determinism.rs
+
+tests/tests/chaos_determinism.rs:

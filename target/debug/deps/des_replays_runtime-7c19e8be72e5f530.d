@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/des_replays_runtime-7c19e8be72e5f530.d: tests/tests/des_replays_runtime.rs
+
+/root/repo/target/debug/deps/des_replays_runtime-7c19e8be72e5f530: tests/tests/des_replays_runtime.rs
+
+tests/tests/des_replays_runtime.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/des_replays_runtime-925a2d9c33a72000.d: tests/tests/des_replays_runtime.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdes_replays_runtime-925a2d9c33a72000.rmeta: tests/tests/des_replays_runtime.rs Cargo.toml
+
+tests/tests/des_replays_runtime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

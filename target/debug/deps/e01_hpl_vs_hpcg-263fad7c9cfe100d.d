@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e01_hpl_vs_hpcg-263fad7c9cfe100d.d: crates/bench/src/bin/e01_hpl_vs_hpcg.rs
+
+/root/repo/target/debug/deps/e01_hpl_vs_hpcg-263fad7c9cfe100d: crates/bench/src/bin/e01_hpl_vs_hpcg.rs
+
+crates/bench/src/bin/e01_hpl_vs_hpcg.rs:

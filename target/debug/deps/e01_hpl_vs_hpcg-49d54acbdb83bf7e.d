@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e01_hpl_vs_hpcg-49d54acbdb83bf7e.d: crates/bench/src/bin/e01_hpl_vs_hpcg.rs
+
+/root/repo/target/debug/deps/e01_hpl_vs_hpcg-49d54acbdb83bf7e: crates/bench/src/bin/e01_hpl_vs_hpcg.rs
+
+crates/bench/src/bin/e01_hpl_vs_hpcg.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e01_hpl_vs_hpcg-7066d2622a7d2363.d: crates/bench/src/bin/e01_hpl_vs_hpcg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe01_hpl_vs_hpcg-7066d2622a7d2363.rmeta: crates/bench/src/bin/e01_hpl_vs_hpcg.rs Cargo.toml
+
+crates/bench/src/bin/e01_hpl_vs_hpcg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e01_hpl_vs_hpcg-f5939ca5ed9d68ff.d: crates/bench/src/bin/e01_hpl_vs_hpcg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe01_hpl_vs_hpcg-f5939ca5ed9d68ff.rmeta: crates/bench/src/bin/e01_hpl_vs_hpcg.rs Cargo.toml
+
+crates/bench/src/bin/e01_hpl_vs_hpcg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

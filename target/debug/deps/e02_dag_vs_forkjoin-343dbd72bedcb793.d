@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e02_dag_vs_forkjoin-343dbd72bedcb793.d: crates/bench/src/bin/e02_dag_vs_forkjoin.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe02_dag_vs_forkjoin-343dbd72bedcb793.rmeta: crates/bench/src/bin/e02_dag_vs_forkjoin.rs Cargo.toml
+
+crates/bench/src/bin/e02_dag_vs_forkjoin.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

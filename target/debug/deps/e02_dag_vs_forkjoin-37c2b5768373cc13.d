@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e02_dag_vs_forkjoin-37c2b5768373cc13.d: crates/bench/src/bin/e02_dag_vs_forkjoin.rs
+
+/root/repo/target/debug/deps/e02_dag_vs_forkjoin-37c2b5768373cc13: crates/bench/src/bin/e02_dag_vs_forkjoin.rs
+
+crates/bench/src/bin/e02_dag_vs_forkjoin.rs:

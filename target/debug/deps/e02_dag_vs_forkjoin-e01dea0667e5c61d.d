@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e02_dag_vs_forkjoin-e01dea0667e5c61d.d: crates/bench/src/bin/e02_dag_vs_forkjoin.rs
+
+/root/repo/target/debug/deps/e02_dag_vs_forkjoin-e01dea0667e5c61d: crates/bench/src/bin/e02_dag_vs_forkjoin.rs
+
+crates/bench/src/bin/e02_dag_vs_forkjoin.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e03_mixed_precision-0347bec6d94a5cb8.d: crates/bench/src/bin/e03_mixed_precision.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe03_mixed_precision-0347bec6d94a5cb8.rmeta: crates/bench/src/bin/e03_mixed_precision.rs Cargo.toml
+
+crates/bench/src/bin/e03_mixed_precision.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e03_mixed_precision-2348198ed60b974b.d: crates/bench/src/bin/e03_mixed_precision.rs
+
+/root/repo/target/debug/deps/e03_mixed_precision-2348198ed60b974b: crates/bench/src/bin/e03_mixed_precision.rs
+
+crates/bench/src/bin/e03_mixed_precision.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e03_mixed_precision-749192ca51410265.d: crates/bench/src/bin/e03_mixed_precision.rs
+
+/root/repo/target/debug/deps/e03_mixed_precision-749192ca51410265: crates/bench/src/bin/e03_mixed_precision.rs
+
+crates/bench/src/bin/e03_mixed_precision.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e04_tsqr-401e0ea117b72144.d: crates/bench/src/bin/e04_tsqr.rs
+
+/root/repo/target/debug/deps/e04_tsqr-401e0ea117b72144: crates/bench/src/bin/e04_tsqr.rs
+
+crates/bench/src/bin/e04_tsqr.rs:

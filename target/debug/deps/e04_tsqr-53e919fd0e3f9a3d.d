@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e04_tsqr-53e919fd0e3f9a3d.d: crates/bench/src/bin/e04_tsqr.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe04_tsqr-53e919fd0e3f9a3d.rmeta: crates/bench/src/bin/e04_tsqr.rs Cargo.toml
+
+crates/bench/src/bin/e04_tsqr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e04_tsqr-ccec59c9fb0d4ca5.d: crates/bench/src/bin/e04_tsqr.rs
+
+/root/repo/target/debug/deps/e04_tsqr-ccec59c9fb0d4ca5: crates/bench/src/bin/e04_tsqr.rs
+
+crates/bench/src/bin/e04_tsqr.rs:

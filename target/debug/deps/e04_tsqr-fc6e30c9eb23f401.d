@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e04_tsqr-fc6e30c9eb23f401.d: crates/bench/src/bin/e04_tsqr.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe04_tsqr-fc6e30c9eb23f401.rmeta: crates/bench/src/bin/e04_tsqr.rs Cargo.toml
+
+crates/bench/src/bin/e04_tsqr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

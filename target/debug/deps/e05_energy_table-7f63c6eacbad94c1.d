@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e05_energy_table-7f63c6eacbad94c1.d: crates/bench/src/bin/e05_energy_table.rs
+
+/root/repo/target/debug/deps/e05_energy_table-7f63c6eacbad94c1: crates/bench/src/bin/e05_energy_table.rs
+
+crates/bench/src/bin/e05_energy_table.rs:

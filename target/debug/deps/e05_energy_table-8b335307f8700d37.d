@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e05_energy_table-8b335307f8700d37.d: crates/bench/src/bin/e05_energy_table.rs
+
+/root/repo/target/debug/deps/e05_energy_table-8b335307f8700d37: crates/bench/src/bin/e05_energy_table.rs
+
+crates/bench/src/bin/e05_energy_table.rs:

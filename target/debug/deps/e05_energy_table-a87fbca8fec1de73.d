@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e05_energy_table-a87fbca8fec1de73.d: crates/bench/src/bin/e05_energy_table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe05_energy_table-a87fbca8fec1de73.rmeta: crates/bench/src/bin/e05_energy_table.rs Cargo.toml
+
+crates/bench/src/bin/e05_energy_table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

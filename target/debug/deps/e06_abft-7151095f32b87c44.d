@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e06_abft-7151095f32b87c44.d: crates/bench/src/bin/e06_abft.rs
+
+/root/repo/target/debug/deps/e06_abft-7151095f32b87c44: crates/bench/src/bin/e06_abft.rs
+
+crates/bench/src/bin/e06_abft.rs:

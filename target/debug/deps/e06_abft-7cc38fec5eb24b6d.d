@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e06_abft-7cc38fec5eb24b6d.d: crates/bench/src/bin/e06_abft.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe06_abft-7cc38fec5eb24b6d.rmeta: crates/bench/src/bin/e06_abft.rs Cargo.toml
+
+crates/bench/src/bin/e06_abft.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

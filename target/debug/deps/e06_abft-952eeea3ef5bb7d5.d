@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e06_abft-952eeea3ef5bb7d5.d: crates/bench/src/bin/e06_abft.rs
+
+/root/repo/target/debug/deps/e06_abft-952eeea3ef5bb7d5: crates/bench/src/bin/e06_abft.rs
+
+crates/bench/src/bin/e06_abft.rs:

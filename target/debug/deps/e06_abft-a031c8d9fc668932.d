@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e06_abft-a031c8d9fc668932.d: crates/bench/src/bin/e06_abft.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe06_abft-a031c8d9fc668932.rmeta: crates/bench/src/bin/e06_abft.rs Cargo.toml
+
+crates/bench/src/bin/e06_abft.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e07_batched-3422b4943c17b7cc.d: crates/bench/src/bin/e07_batched.rs
+
+/root/repo/target/debug/deps/e07_batched-3422b4943c17b7cc: crates/bench/src/bin/e07_batched.rs
+
+crates/bench/src/bin/e07_batched.rs:

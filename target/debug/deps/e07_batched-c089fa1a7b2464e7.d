@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e07_batched-c089fa1a7b2464e7.d: crates/bench/src/bin/e07_batched.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe07_batched-c089fa1a7b2464e7.rmeta: crates/bench/src/bin/e07_batched.rs Cargo.toml
+
+crates/bench/src/bin/e07_batched.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

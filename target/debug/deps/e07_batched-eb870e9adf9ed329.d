@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e07_batched-eb870e9adf9ed329.d: crates/bench/src/bin/e07_batched.rs
+
+/root/repo/target/debug/deps/e07_batched-eb870e9adf9ed329: crates/bench/src/bin/e07_batched.rs
+
+crates/bench/src/bin/e07_batched.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e08_autotune-938e873f1f2d96c3.d: crates/bench/src/bin/e08_autotune.rs
+
+/root/repo/target/debug/deps/e08_autotune-938e873f1f2d96c3: crates/bench/src/bin/e08_autotune.rs
+
+crates/bench/src/bin/e08_autotune.rs:

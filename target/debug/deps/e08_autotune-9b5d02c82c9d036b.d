@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e08_autotune-9b5d02c82c9d036b.d: crates/bench/src/bin/e08_autotune.rs
+
+/root/repo/target/debug/deps/e08_autotune-9b5d02c82c9d036b: crates/bench/src/bin/e08_autotune.rs
+
+crates/bench/src/bin/e08_autotune.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e08_autotune-c3b317ec31fc05d8.d: crates/bench/src/bin/e08_autotune.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe08_autotune-c3b317ec31fc05d8.rmeta: crates/bench/src/bin/e08_autotune.rs Cargo.toml
+
+crates/bench/src/bin/e08_autotune.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e09_rbt-82f386fdf8bf0320.d: crates/bench/src/bin/e09_rbt.rs
+
+/root/repo/target/debug/deps/e09_rbt-82f386fdf8bf0320: crates/bench/src/bin/e09_rbt.rs
+
+crates/bench/src/bin/e09_rbt.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e09_rbt-a8eab1a01e9f44b7.d: crates/bench/src/bin/e09_rbt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe09_rbt-a8eab1a01e9f44b7.rmeta: crates/bench/src/bin/e09_rbt.rs Cargo.toml
+
+crates/bench/src/bin/e09_rbt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e09_rbt-fced3aafe14619d7.d: crates/bench/src/bin/e09_rbt.rs
+
+/root/repo/target/debug/deps/e09_rbt-fced3aafe14619d7: crates/bench/src/bin/e09_rbt.rs
+
+crates/bench/src/bin/e09_rbt.rs:

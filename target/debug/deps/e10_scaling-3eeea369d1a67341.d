@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e10_scaling-3eeea369d1a67341.d: crates/bench/src/bin/e10_scaling.rs
+
+/root/repo/target/debug/deps/e10_scaling-3eeea369d1a67341: crates/bench/src/bin/e10_scaling.rs
+
+crates/bench/src/bin/e10_scaling.rs:

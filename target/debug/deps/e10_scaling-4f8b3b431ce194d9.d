@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e10_scaling-4f8b3b431ce194d9.d: crates/bench/src/bin/e10_scaling.rs
+
+/root/repo/target/debug/deps/e10_scaling-4f8b3b431ce194d9: crates/bench/src/bin/e10_scaling.rs
+
+crates/bench/src/bin/e10_scaling.rs:

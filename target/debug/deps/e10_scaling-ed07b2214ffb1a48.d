@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e10_scaling-ed07b2214ffb1a48.d: crates/bench/src/bin/e10_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe10_scaling-ed07b2214ffb1a48.rmeta: crates/bench/src/bin/e10_scaling.rs Cargo.toml
+
+crates/bench/src/bin/e10_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

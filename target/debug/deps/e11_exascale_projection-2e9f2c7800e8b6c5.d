@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e11_exascale_projection-2e9f2c7800e8b6c5.d: crates/bench/src/bin/e11_exascale_projection.rs
+
+/root/repo/target/debug/deps/e11_exascale_projection-2e9f2c7800e8b6c5: crates/bench/src/bin/e11_exascale_projection.rs
+
+crates/bench/src/bin/e11_exascale_projection.rs:

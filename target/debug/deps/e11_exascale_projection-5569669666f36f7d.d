@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e11_exascale_projection-5569669666f36f7d.d: crates/bench/src/bin/e11_exascale_projection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe11_exascale_projection-5569669666f36f7d.rmeta: crates/bench/src/bin/e11_exascale_projection.rs Cargo.toml
+
+crates/bench/src/bin/e11_exascale_projection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

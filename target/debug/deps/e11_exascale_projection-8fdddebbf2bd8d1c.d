@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e11_exascale_projection-8fdddebbf2bd8d1c.d: crates/bench/src/bin/e11_exascale_projection.rs
+
+/root/repo/target/debug/deps/e11_exascale_projection-8fdddebbf2bd8d1c: crates/bench/src/bin/e11_exascale_projection.rs
+
+crates/bench/src/bin/e11_exascale_projection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e12_resilience_cg-62ade175f9f3c115.d: crates/bench/src/bin/e12_resilience_cg.rs
+
+/root/repo/target/debug/deps/e12_resilience_cg-62ade175f9f3c115: crates/bench/src/bin/e12_resilience_cg.rs
+
+crates/bench/src/bin/e12_resilience_cg.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e12_resilience_cg-b46240454020be1a.d: crates/bench/src/bin/e12_resilience_cg.rs
+
+/root/repo/target/debug/deps/e12_resilience_cg-b46240454020be1a: crates/bench/src/bin/e12_resilience_cg.rs
+
+crates/bench/src/bin/e12_resilience_cg.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e12_resilience_cg-f7c5d610cf2f633a.d: crates/bench/src/bin/e12_resilience_cg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe12_resilience_cg-f7c5d610cf2f633a.rmeta: crates/bench/src/bin/e12_resilience_cg.rs Cargo.toml
+
+crates/bench/src/bin/e12_resilience_cg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e13_sync_reducing-0bfea0d9a5f0edc1.d: crates/bench/src/bin/e13_sync_reducing.rs
+
+/root/repo/target/debug/deps/e13_sync_reducing-0bfea0d9a5f0edc1: crates/bench/src/bin/e13_sync_reducing.rs
+
+crates/bench/src/bin/e13_sync_reducing.rs:

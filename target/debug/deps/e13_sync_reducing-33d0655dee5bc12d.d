@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e13_sync_reducing-33d0655dee5bc12d.d: crates/bench/src/bin/e13_sync_reducing.rs
+
+/root/repo/target/debug/deps/e13_sync_reducing-33d0655dee5bc12d: crates/bench/src/bin/e13_sync_reducing.rs
+
+crates/bench/src/bin/e13_sync_reducing.rs:

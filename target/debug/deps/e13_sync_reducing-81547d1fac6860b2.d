@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e13_sync_reducing-81547d1fac6860b2.d: crates/bench/src/bin/e13_sync_reducing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe13_sync_reducing-81547d1fac6860b2.rmeta: crates/bench/src/bin/e13_sync_reducing.rs Cargo.toml
+
+crates/bench/src/bin/e13_sync_reducing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

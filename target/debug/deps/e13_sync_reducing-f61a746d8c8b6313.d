@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e13_sync_reducing-f61a746d8c8b6313.d: crates/bench/src/bin/e13_sync_reducing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe13_sync_reducing-f61a746d8c8b6313.rmeta: crates/bench/src/bin/e13_sync_reducing.rs Cargo.toml
+
+crates/bench/src/bin/e13_sync_reducing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e14_calu-28ab1343f4975397.d: crates/bench/src/bin/e14_calu.rs
+
+/root/repo/target/debug/deps/e14_calu-28ab1343f4975397: crates/bench/src/bin/e14_calu.rs
+
+crates/bench/src/bin/e14_calu.rs:

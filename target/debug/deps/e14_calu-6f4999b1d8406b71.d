@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e14_calu-6f4999b1d8406b71.d: crates/bench/src/bin/e14_calu.rs
+
+/root/repo/target/debug/deps/e14_calu-6f4999b1d8406b71: crates/bench/src/bin/e14_calu.rs
+
+crates/bench/src/bin/e14_calu.rs:

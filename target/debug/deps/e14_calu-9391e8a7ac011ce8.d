@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e14_calu-9391e8a7ac011ce8.d: crates/bench/src/bin/e14_calu.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe14_calu-9391e8a7ac011ce8.rmeta: crates/bench/src/bin/e14_calu.rs Cargo.toml
+
+crates/bench/src/bin/e14_calu.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

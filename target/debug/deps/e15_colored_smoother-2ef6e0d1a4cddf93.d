@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e15_colored_smoother-2ef6e0d1a4cddf93.d: crates/bench/src/bin/e15_colored_smoother.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe15_colored_smoother-2ef6e0d1a4cddf93.rmeta: crates/bench/src/bin/e15_colored_smoother.rs Cargo.toml
+
+crates/bench/src/bin/e15_colored_smoother.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e15_colored_smoother-6c372a45e4ce5ef1.d: crates/bench/src/bin/e15_colored_smoother.rs
+
+/root/repo/target/debug/deps/e15_colored_smoother-6c372a45e4ce5ef1: crates/bench/src/bin/e15_colored_smoother.rs
+
+crates/bench/src/bin/e15_colored_smoother.rs:

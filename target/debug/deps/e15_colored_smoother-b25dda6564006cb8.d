@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e15_colored_smoother-b25dda6564006cb8.d: crates/bench/src/bin/e15_colored_smoother.rs
+
+/root/repo/target/debug/deps/e15_colored_smoother-b25dda6564006cb8: crates/bench/src/bin/e15_colored_smoother.rs
+
+crates/bench/src/bin/e15_colored_smoother.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e16_comm_optimal-579108fc4b4e7b8a.d: crates/bench/src/bin/e16_comm_optimal.rs
+
+/root/repo/target/debug/deps/e16_comm_optimal-579108fc4b4e7b8a: crates/bench/src/bin/e16_comm_optimal.rs
+
+crates/bench/src/bin/e16_comm_optimal.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e16_comm_optimal-774fbd89de127493.d: crates/bench/src/bin/e16_comm_optimal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe16_comm_optimal-774fbd89de127493.rmeta: crates/bench/src/bin/e16_comm_optimal.rs Cargo.toml
+
+crates/bench/src/bin/e16_comm_optimal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

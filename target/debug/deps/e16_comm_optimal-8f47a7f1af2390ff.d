@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e16_comm_optimal-8f47a7f1af2390ff.d: crates/bench/src/bin/e16_comm_optimal.rs
+
+/root/repo/target/debug/deps/e16_comm_optimal-8f47a7f1af2390ff: crates/bench/src/bin/e16_comm_optimal.rs
+
+crates/bench/src/bin/e16_comm_optimal.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e17_chaos_runtime-563b46798d5a5777.d: crates/bench/src/bin/e17_chaos_runtime.rs
+
+/root/repo/target/debug/deps/e17_chaos_runtime-563b46798d5a5777: crates/bench/src/bin/e17_chaos_runtime.rs
+
+crates/bench/src/bin/e17_chaos_runtime.rs:

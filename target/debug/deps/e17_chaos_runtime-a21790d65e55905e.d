@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e17_chaos_runtime-a21790d65e55905e.d: crates/bench/src/bin/e17_chaos_runtime.rs
+
+/root/repo/target/debug/deps/e17_chaos_runtime-a21790d65e55905e: crates/bench/src/bin/e17_chaos_runtime.rs
+
+crates/bench/src/bin/e17_chaos_runtime.rs:

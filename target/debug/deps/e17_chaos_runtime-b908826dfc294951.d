@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e17_chaos_runtime-b908826dfc294951.d: crates/bench/src/bin/e17_chaos_runtime.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe17_chaos_runtime-b908826dfc294951.rmeta: crates/bench/src/bin/e17_chaos_runtime.rs Cargo.toml
+
+crates/bench/src/bin/e17_chaos_runtime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_benchmarks-5a2f885b77b9132c.d: tests/tests/end_to_end_benchmarks.rs
+
+/root/repo/target/debug/deps/end_to_end_benchmarks-5a2f885b77b9132c: tests/tests/end_to_end_benchmarks.rs
+
+tests/tests/end_to_end_benchmarks.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/end_to_end_benchmarks-f7f8117325bf518b.d: tests/tests/end_to_end_benchmarks.rs Cargo.toml
+
+/root/repo/target/debug/deps/libend_to_end_benchmarks-f7f8117325bf518b.rmeta: tests/tests/end_to_end_benchmarks.rs Cargo.toml
+
+tests/tests/end_to_end_benchmarks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

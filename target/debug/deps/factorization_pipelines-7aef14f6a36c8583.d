@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/factorization_pipelines-7aef14f6a36c8583.d: tests/tests/factorization_pipelines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfactorization_pipelines-7aef14f6a36c8583.rmeta: tests/tests/factorization_pipelines.rs Cargo.toml
+
+tests/tests/factorization_pipelines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

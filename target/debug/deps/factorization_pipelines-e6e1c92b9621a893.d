@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/factorization_pipelines-e6e1c92b9621a893.d: tests/tests/factorization_pipelines.rs
+
+/root/repo/target/debug/deps/factorization_pipelines-e6e1c92b9621a893: tests/tests/factorization_pipelines.rs
+
+tests/tests/factorization_pipelines.rs:

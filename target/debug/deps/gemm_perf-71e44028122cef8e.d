@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gemm_perf-71e44028122cef8e.d: crates/core/tests/gemm_perf.rs
+
+/root/repo/target/debug/deps/gemm_perf-71e44028122cef8e: crates/core/tests/gemm_perf.rs
+
+crates/core/tests/gemm_perf.rs:

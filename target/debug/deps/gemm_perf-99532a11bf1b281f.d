@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gemm_perf-99532a11bf1b281f.d: crates/core/tests/gemm_perf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgemm_perf-99532a11bf1b281f.rmeta: crates/core/tests/gemm_perf.rs Cargo.toml
+
+crates/core/tests/gemm_perf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

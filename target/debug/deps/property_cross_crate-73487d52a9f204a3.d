@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/property_cross_crate-73487d52a9f204a3.d: tests/tests/property_cross_crate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperty_cross_crate-73487d52a9f204a3.rmeta: tests/tests/property_cross_crate.rs Cargo.toml
+
+tests/tests/property_cross_crate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

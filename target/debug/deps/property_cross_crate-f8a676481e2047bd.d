@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_cross_crate-f8a676481e2047bd.d: tests/tests/property_cross_crate.rs
+
+/root/repo/target/debug/deps/property_cross_crate-f8a676481e2047bd: tests/tests/property_cross_crate.rs
+
+tests/tests/property_cross_crate.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/resilience_and_precision-18b7b3b6296abf06.d: tests/tests/resilience_and_precision.rs Cargo.toml
+
+/root/repo/target/debug/deps/libresilience_and_precision-18b7b3b6296abf06.rmeta: tests/tests/resilience_and_precision.rs Cargo.toml
+
+tests/tests/resilience_and_precision.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

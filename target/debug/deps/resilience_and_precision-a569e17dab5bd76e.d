@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/resilience_and_precision-a569e17dab5bd76e.d: tests/tests/resilience_and_precision.rs
+
+/root/repo/target/debug/deps/resilience_and_precision-a569e17dab5bd76e: tests/tests/resilience_and_precision.rs
+
+tests/tests/resilience_and_precision.rs:

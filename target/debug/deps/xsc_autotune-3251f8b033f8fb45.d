@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/xsc_autotune-3251f8b033f8fb45.d: crates/autotune/src/lib.rs crates/autotune/src/gemm_tune.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxsc_autotune-3251f8b033f8fb45.rmeta: crates/autotune/src/lib.rs crates/autotune/src/gemm_tune.rs Cargo.toml
+
+crates/autotune/src/lib.rs:
+crates/autotune/src/gemm_tune.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/xsc_autotune-6e668da65ffb1b09.d: crates/autotune/src/lib.rs crates/autotune/src/gemm_tune.rs
+
+/root/repo/target/debug/deps/libxsc_autotune-6e668da65ffb1b09.rlib: crates/autotune/src/lib.rs crates/autotune/src/gemm_tune.rs
+
+/root/repo/target/debug/deps/libxsc_autotune-6e668da65ffb1b09.rmeta: crates/autotune/src/lib.rs crates/autotune/src/gemm_tune.rs
+
+crates/autotune/src/lib.rs:
+crates/autotune/src/gemm_tune.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/xsc_autotune-a28a79e3ef16940d.d: crates/autotune/src/lib.rs crates/autotune/src/gemm_tune.rs
+
+/root/repo/target/debug/deps/libxsc_autotune-a28a79e3ef16940d.rlib: crates/autotune/src/lib.rs crates/autotune/src/gemm_tune.rs
+
+/root/repo/target/debug/deps/libxsc_autotune-a28a79e3ef16940d.rmeta: crates/autotune/src/lib.rs crates/autotune/src/gemm_tune.rs
+
+crates/autotune/src/lib.rs:
+crates/autotune/src/gemm_tune.rs:

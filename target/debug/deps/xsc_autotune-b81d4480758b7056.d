@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/xsc_autotune-b81d4480758b7056.d: crates/autotune/src/lib.rs crates/autotune/src/gemm_tune.rs
+
+/root/repo/target/debug/deps/xsc_autotune-b81d4480758b7056: crates/autotune/src/lib.rs crates/autotune/src/gemm_tune.rs
+
+crates/autotune/src/lib.rs:
+crates/autotune/src/gemm_tune.rs:

@@ -1,0 +1,29 @@
+/root/repo/target/debug/deps/xsc_bench-2adf6e9d0290e047.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/e01_hpl_vs_hpcg.rs crates/bench/src/experiments/e02_dag_vs_forkjoin.rs crates/bench/src/experiments/e03_mixed_precision.rs crates/bench/src/experiments/e04_tsqr.rs crates/bench/src/experiments/e05_energy_table.rs crates/bench/src/experiments/e06_abft.rs crates/bench/src/experiments/e07_batched.rs crates/bench/src/experiments/e08_autotune.rs crates/bench/src/experiments/e09_rbt.rs crates/bench/src/experiments/e10_scaling.rs crates/bench/src/experiments/e11_exascale_projection.rs crates/bench/src/experiments/e12_resilience_cg.rs crates/bench/src/experiments/e13_sync_reducing.rs crates/bench/src/experiments/e14_calu.rs crates/bench/src/experiments/e15_colored_smoother.rs crates/bench/src/experiments/e16_comm_optimal.rs crates/bench/src/experiments/e17_chaos_runtime.rs crates/bench/src/json.rs crates/bench/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxsc_bench-2adf6e9d0290e047.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/e01_hpl_vs_hpcg.rs crates/bench/src/experiments/e02_dag_vs_forkjoin.rs crates/bench/src/experiments/e03_mixed_precision.rs crates/bench/src/experiments/e04_tsqr.rs crates/bench/src/experiments/e05_energy_table.rs crates/bench/src/experiments/e06_abft.rs crates/bench/src/experiments/e07_batched.rs crates/bench/src/experiments/e08_autotune.rs crates/bench/src/experiments/e09_rbt.rs crates/bench/src/experiments/e10_scaling.rs crates/bench/src/experiments/e11_exascale_projection.rs crates/bench/src/experiments/e12_resilience_cg.rs crates/bench/src/experiments/e13_sync_reducing.rs crates/bench/src/experiments/e14_calu.rs crates/bench/src/experiments/e15_colored_smoother.rs crates/bench/src/experiments/e16_comm_optimal.rs crates/bench/src/experiments/e17_chaos_runtime.rs crates/bench/src/json.rs crates/bench/src/table.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/e01_hpl_vs_hpcg.rs:
+crates/bench/src/experiments/e02_dag_vs_forkjoin.rs:
+crates/bench/src/experiments/e03_mixed_precision.rs:
+crates/bench/src/experiments/e04_tsqr.rs:
+crates/bench/src/experiments/e05_energy_table.rs:
+crates/bench/src/experiments/e06_abft.rs:
+crates/bench/src/experiments/e07_batched.rs:
+crates/bench/src/experiments/e08_autotune.rs:
+crates/bench/src/experiments/e09_rbt.rs:
+crates/bench/src/experiments/e10_scaling.rs:
+crates/bench/src/experiments/e11_exascale_projection.rs:
+crates/bench/src/experiments/e12_resilience_cg.rs:
+crates/bench/src/experiments/e13_sync_reducing.rs:
+crates/bench/src/experiments/e14_calu.rs:
+crates/bench/src/experiments/e15_colored_smoother.rs:
+crates/bench/src/experiments/e16_comm_optimal.rs:
+crates/bench/src/experiments/e17_chaos_runtime.rs:
+crates/bench/src/json.rs:
+crates/bench/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,25 @@
+/root/repo/target/debug/deps/xsc_bench-ab3365005d4d4cf0.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/e01_hpl_vs_hpcg.rs crates/bench/src/experiments/e02_dag_vs_forkjoin.rs crates/bench/src/experiments/e03_mixed_precision.rs crates/bench/src/experiments/e04_tsqr.rs crates/bench/src/experiments/e05_energy_table.rs crates/bench/src/experiments/e06_abft.rs crates/bench/src/experiments/e07_batched.rs crates/bench/src/experiments/e08_autotune.rs crates/bench/src/experiments/e09_rbt.rs crates/bench/src/experiments/e10_scaling.rs crates/bench/src/experiments/e11_exascale_projection.rs crates/bench/src/experiments/e12_resilience_cg.rs crates/bench/src/experiments/e13_sync_reducing.rs crates/bench/src/experiments/e14_calu.rs crates/bench/src/experiments/e15_colored_smoother.rs crates/bench/src/experiments/e16_comm_optimal.rs crates/bench/src/experiments/e17_chaos_runtime.rs crates/bench/src/json.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/xsc_bench-ab3365005d4d4cf0: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/e01_hpl_vs_hpcg.rs crates/bench/src/experiments/e02_dag_vs_forkjoin.rs crates/bench/src/experiments/e03_mixed_precision.rs crates/bench/src/experiments/e04_tsqr.rs crates/bench/src/experiments/e05_energy_table.rs crates/bench/src/experiments/e06_abft.rs crates/bench/src/experiments/e07_batched.rs crates/bench/src/experiments/e08_autotune.rs crates/bench/src/experiments/e09_rbt.rs crates/bench/src/experiments/e10_scaling.rs crates/bench/src/experiments/e11_exascale_projection.rs crates/bench/src/experiments/e12_resilience_cg.rs crates/bench/src/experiments/e13_sync_reducing.rs crates/bench/src/experiments/e14_calu.rs crates/bench/src/experiments/e15_colored_smoother.rs crates/bench/src/experiments/e16_comm_optimal.rs crates/bench/src/experiments/e17_chaos_runtime.rs crates/bench/src/json.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/e01_hpl_vs_hpcg.rs:
+crates/bench/src/experiments/e02_dag_vs_forkjoin.rs:
+crates/bench/src/experiments/e03_mixed_precision.rs:
+crates/bench/src/experiments/e04_tsqr.rs:
+crates/bench/src/experiments/e05_energy_table.rs:
+crates/bench/src/experiments/e06_abft.rs:
+crates/bench/src/experiments/e07_batched.rs:
+crates/bench/src/experiments/e08_autotune.rs:
+crates/bench/src/experiments/e09_rbt.rs:
+crates/bench/src/experiments/e10_scaling.rs:
+crates/bench/src/experiments/e11_exascale_projection.rs:
+crates/bench/src/experiments/e12_resilience_cg.rs:
+crates/bench/src/experiments/e13_sync_reducing.rs:
+crates/bench/src/experiments/e14_calu.rs:
+crates/bench/src/experiments/e15_colored_smoother.rs:
+crates/bench/src/experiments/e16_comm_optimal.rs:
+crates/bench/src/experiments/e17_chaos_runtime.rs:
+crates/bench/src/json.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xsc_tests-c2eb9297d3debbd8.d: tests/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxsc_tests-c2eb9297d3debbd8.rmeta: tests/src/lib.rs Cargo.toml
+
+tests/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

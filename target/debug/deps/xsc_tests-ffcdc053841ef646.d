@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xsc_tests-ffcdc053841ef646.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/xsc_tests-ffcdc053841ef646: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e01_hpl_vs_hpcg-d9abb00d63385350.d: crates/bench/src/bin/e01_hpl_vs_hpcg.rs
+
+/root/repo/target/release/deps/e01_hpl_vs_hpcg-d9abb00d63385350: crates/bench/src/bin/e01_hpl_vs_hpcg.rs
+
+crates/bench/src/bin/e01_hpl_vs_hpcg.rs:

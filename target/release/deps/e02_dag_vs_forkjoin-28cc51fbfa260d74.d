@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e02_dag_vs_forkjoin-28cc51fbfa260d74.d: crates/bench/src/bin/e02_dag_vs_forkjoin.rs
+
+/root/repo/target/release/deps/e02_dag_vs_forkjoin-28cc51fbfa260d74: crates/bench/src/bin/e02_dag_vs_forkjoin.rs
+
+crates/bench/src/bin/e02_dag_vs_forkjoin.rs:

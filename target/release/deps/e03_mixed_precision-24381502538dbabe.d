@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e03_mixed_precision-24381502538dbabe.d: crates/bench/src/bin/e03_mixed_precision.rs
+
+/root/repo/target/release/deps/e03_mixed_precision-24381502538dbabe: crates/bench/src/bin/e03_mixed_precision.rs
+
+crates/bench/src/bin/e03_mixed_precision.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e04_tsqr-6efdf07d7d74b499.d: crates/bench/src/bin/e04_tsqr.rs
+
+/root/repo/target/release/deps/e04_tsqr-6efdf07d7d74b499: crates/bench/src/bin/e04_tsqr.rs
+
+crates/bench/src/bin/e04_tsqr.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e05_energy_table-4a2f061119e1dd80.d: crates/bench/src/bin/e05_energy_table.rs
+
+/root/repo/target/release/deps/e05_energy_table-4a2f061119e1dd80: crates/bench/src/bin/e05_energy_table.rs
+
+crates/bench/src/bin/e05_energy_table.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e06_abft-80c44d47a3d38cf1.d: crates/bench/src/bin/e06_abft.rs
+
+/root/repo/target/release/deps/e06_abft-80c44d47a3d38cf1: crates/bench/src/bin/e06_abft.rs
+
+crates/bench/src/bin/e06_abft.rs:

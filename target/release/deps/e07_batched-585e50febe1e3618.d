@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e07_batched-585e50febe1e3618.d: crates/bench/src/bin/e07_batched.rs
+
+/root/repo/target/release/deps/e07_batched-585e50febe1e3618: crates/bench/src/bin/e07_batched.rs
+
+crates/bench/src/bin/e07_batched.rs:

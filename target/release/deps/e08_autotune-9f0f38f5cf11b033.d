@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e08_autotune-9f0f38f5cf11b033.d: crates/bench/src/bin/e08_autotune.rs
+
+/root/repo/target/release/deps/e08_autotune-9f0f38f5cf11b033: crates/bench/src/bin/e08_autotune.rs
+
+crates/bench/src/bin/e08_autotune.rs:

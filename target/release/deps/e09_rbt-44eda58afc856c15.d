@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e09_rbt-44eda58afc856c15.d: crates/bench/src/bin/e09_rbt.rs
+
+/root/repo/target/release/deps/e09_rbt-44eda58afc856c15: crates/bench/src/bin/e09_rbt.rs
+
+crates/bench/src/bin/e09_rbt.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e10_scaling-b60f78514bac86e0.d: crates/bench/src/bin/e10_scaling.rs
+
+/root/repo/target/release/deps/e10_scaling-b60f78514bac86e0: crates/bench/src/bin/e10_scaling.rs
+
+crates/bench/src/bin/e10_scaling.rs:

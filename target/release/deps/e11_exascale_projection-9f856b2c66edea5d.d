@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e11_exascale_projection-9f856b2c66edea5d.d: crates/bench/src/bin/e11_exascale_projection.rs
+
+/root/repo/target/release/deps/e11_exascale_projection-9f856b2c66edea5d: crates/bench/src/bin/e11_exascale_projection.rs
+
+crates/bench/src/bin/e11_exascale_projection.rs:

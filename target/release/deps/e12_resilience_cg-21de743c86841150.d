@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e12_resilience_cg-21de743c86841150.d: crates/bench/src/bin/e12_resilience_cg.rs
+
+/root/repo/target/release/deps/e12_resilience_cg-21de743c86841150: crates/bench/src/bin/e12_resilience_cg.rs
+
+crates/bench/src/bin/e12_resilience_cg.rs:

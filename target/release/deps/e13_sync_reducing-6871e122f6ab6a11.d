@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e13_sync_reducing-6871e122f6ab6a11.d: crates/bench/src/bin/e13_sync_reducing.rs
+
+/root/repo/target/release/deps/e13_sync_reducing-6871e122f6ab6a11: crates/bench/src/bin/e13_sync_reducing.rs
+
+crates/bench/src/bin/e13_sync_reducing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e14_calu-1b164f2e60af7b6c.d: crates/bench/src/bin/e14_calu.rs
+
+/root/repo/target/release/deps/e14_calu-1b164f2e60af7b6c: crates/bench/src/bin/e14_calu.rs
+
+crates/bench/src/bin/e14_calu.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e15_colored_smoother-39702523d04576f4.d: crates/bench/src/bin/e15_colored_smoother.rs
+
+/root/repo/target/release/deps/e15_colored_smoother-39702523d04576f4: crates/bench/src/bin/e15_colored_smoother.rs
+
+crates/bench/src/bin/e15_colored_smoother.rs:

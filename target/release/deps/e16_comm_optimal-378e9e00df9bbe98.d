@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e16_comm_optimal-378e9e00df9bbe98.d: crates/bench/src/bin/e16_comm_optimal.rs
+
+/root/repo/target/release/deps/e16_comm_optimal-378e9e00df9bbe98: crates/bench/src/bin/e16_comm_optimal.rs
+
+crates/bench/src/bin/e16_comm_optimal.rs:

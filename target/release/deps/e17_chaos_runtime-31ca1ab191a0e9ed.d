@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e17_chaos_runtime-31ca1ab191a0e9ed.d: crates/bench/src/bin/e17_chaos_runtime.rs
+
+/root/repo/target/release/deps/e17_chaos_runtime-31ca1ab191a0e9ed: crates/bench/src/bin/e17_chaos_runtime.rs
+
+crates/bench/src/bin/e17_chaos_runtime.rs:

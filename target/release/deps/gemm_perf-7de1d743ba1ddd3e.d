@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gemm_perf-7de1d743ba1ddd3e.d: crates/core/tests/gemm_perf.rs
+
+/root/repo/target/release/deps/gemm_perf-7de1d743ba1ddd3e: crates/core/tests/gemm_perf.rs
+
+crates/core/tests/gemm_perf.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/xsc_autotune-942ce182d2e21969.d: crates/autotune/src/lib.rs crates/autotune/src/gemm_tune.rs
+
+/root/repo/target/release/deps/libxsc_autotune-942ce182d2e21969.rlib: crates/autotune/src/lib.rs crates/autotune/src/gemm_tune.rs
+
+/root/repo/target/release/deps/libxsc_autotune-942ce182d2e21969.rmeta: crates/autotune/src/lib.rs crates/autotune/src/gemm_tune.rs
+
+crates/autotune/src/lib.rs:
+crates/autotune/src/gemm_tune.rs:
