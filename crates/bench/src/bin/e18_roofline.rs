@@ -1,0 +1,8 @@
+//! Standalone driver for experiment `e18_roofline` (see DESIGN.md's index).
+//! Pass `--json` to also write a machine-readable `BENCH_roofline.json`.
+fn main() {
+    xsc_bench::experiments::e18_roofline::run_opts(
+        xsc_bench::Scale::from_env(),
+        xsc_bench::json::json_flag(),
+    );
+}

@@ -2,6 +2,7 @@
 //! analytic model, and replaying a real tiled-Cholesky DAG on simulated
 //! machines far wider than the host.
 
+use crate::measured::{kernel, leaf_sum};
 use crate::table::{f2, pct, sci, Table};
 use crate::Scale;
 use xsc_core::TileMatrix;
@@ -40,6 +41,32 @@ pub fn run(scale: Scale) {
     let measured = xsc_dense::hpl::measure_peak_gflops(scale.pick(192, 384), 2);
     println!(
         "  real-machine anchor: this host's blocked parallel dgemm peaks at {measured:.2} Gflop/s; the modeled fractions above scale from anchors like it"
+    );
+
+    // Measured-intensity anchors: run small instrumented instances of both
+    // benchmarks and read their flop/byte ratios from xsc-metrics. The
+    // projection table above prices kernels by modeled intensity; these
+    // lines pin that model to counters from real runs on this host.
+    let (_, d_lu) = xsc_metrics::measure(|| {
+        xsc_dense::hpl::run_hpl(scale.pick(384, 768), 128, 42).expect("HPL anchor run failed")
+    });
+    let lu = kernel(&d_lu, "hpl_lu");
+    let ga = scale.pick(32, 64);
+    let (_, d_cg) = xsc_metrics::measure(|| {
+        xsc_sparse::run_hpcg(xsc_sparse::Geometry::new(ga, ga, ga), 3, scale.pick(10, 50))
+    });
+    let cg = leaf_sum(&d_cg);
+    let m16 = MachineModel::node_2016();
+    println!(
+        "  measured-intensity anchors: hpl_lu {:.1} f/B, HPCG-like {:.2} f/B on this host;",
+        lu.intensity(),
+        cg.intensity()
+    );
+    println!(
+        "  against the 2016 node's balance of {:.1} f/B the dense solve {} the knee (larger n and nb push it up); the sparse solve sits ~{:.0}x below it.",
+        m16.balance(),
+        if lu.intensity() >= m16.balance() { "clears" } else { "approaches" },
+        m16.balance() / cg.intensity().max(1e-9)
     );
 
     // Part 2: replay a real task DAG on simulated wide machines.

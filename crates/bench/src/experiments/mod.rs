@@ -18,6 +18,7 @@ pub mod e14_calu;
 pub mod e15_colored_smoother;
 pub mod e16_comm_optimal;
 pub mod e17_chaos_runtime;
+pub mod e18_roofline;
 
 use crate::Scale;
 
@@ -40,4 +41,5 @@ pub fn run_all(scale: Scale) {
     e15_colored_smoother::run(scale);
     e16_comm_optimal::run(scale);
     e17_chaos_runtime::run(scale);
+    e18_roofline::run(scale);
 }

@@ -14,6 +14,7 @@
 
 pub mod experiments;
 pub mod json;
+pub mod measured;
 pub mod table;
 
 /// Problem-size preset.

@@ -8,10 +8,17 @@
 
 use crate::scalar::Scalar;
 
+/// Element width in bytes, for the traffic models.
+#[inline(always)]
+fn w<T: Scalar>() -> u64 {
+    std::mem::size_of::<T>() as u64
+}
+
 /// `y <- alpha * x + y`.
 #[inline]
 pub fn axpy<T: Scalar>(alpha: T, x: &[T], y: &mut [T]) {
     assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    let _scope = xsc_metrics::record("axpy", xsc_metrics::traffic::axpy(x.len(), w::<T>()));
     for (yi, &xi) in y.iter_mut().zip(x.iter()) {
         *yi = alpha.mul_add(xi, *yi);
     }
@@ -20,6 +27,7 @@ pub fn axpy<T: Scalar>(alpha: T, x: &[T], y: &mut [T]) {
 /// `x <- alpha * x`.
 #[inline]
 pub fn scal<T: Scalar>(alpha: T, x: &mut [T]) {
+    let _scope = xsc_metrics::record("scal", xsc_metrics::traffic::scal(x.len(), w::<T>()));
     for xi in x.iter_mut() {
         *xi *= alpha;
     }
@@ -29,6 +37,15 @@ pub fn scal<T: Scalar>(alpha: T, x: &mut [T]) {
 #[inline]
 pub fn dot<T: Scalar>(x: &[T], y: &[T]) -> T {
     assert_eq!(x.len(), y.len(), "dot length mismatch");
+    let _scope = xsc_metrics::record("dot", xsc_metrics::traffic::dot(x.len(), w::<T>()));
+    dot_seq(x, y)
+}
+
+/// Uninstrumented sequential dot: the leaf kernel shared by [`dot`] and the
+/// [`dot_pairwise`] recursion (which records once at its public entry, not
+/// once per 64-element leaf).
+#[inline]
+fn dot_seq<T: Scalar>(x: &[T], y: &[T]) -> T {
     let mut acc = T::zero();
     for (&xi, &yi) in x.iter().zip(y.iter()) {
         acc = xi.mul_add(yi, acc);
@@ -42,9 +59,10 @@ pub fn dot<T: Scalar>(x: &[T], y: &[T]) -> T {
 /// `O(log n)` instead of the `O(n)` of the sequential order.
 pub fn dot_pairwise<T: Scalar>(x: &[T], y: &[T]) -> T {
     assert_eq!(x.len(), y.len(), "dot length mismatch");
+    let _scope = xsc_metrics::record("dot", xsc_metrics::traffic::dot(x.len(), w::<T>()));
     fn rec<T: Scalar>(x: &[T], y: &[T]) -> T {
         if x.len() <= 64 {
-            return dot(x, y);
+            return dot_seq(x, y);
         }
         let mid = x.len() / 2;
         let (xl, xr) = x.split_at(mid);
@@ -71,6 +89,7 @@ pub fn sum_pairwise<T: Scalar>(x: &[T]) -> T {
 /// Euclidean norm computed in `f64` accumulation (safe against overflow for
 /// the magnitudes used here).
 pub fn nrm2<T: Scalar>(x: &[T]) -> f64 {
+    let _scope = xsc_metrics::record("nrm2", xsc_metrics::traffic::nrm2(x.len(), w::<T>()));
     x.iter()
         .map(|&v| v.to_f64() * v.to_f64())
         .sum::<f64>()

@@ -246,6 +246,17 @@ pub fn gemm_with_params<T: Scalar>(
         scale_by_beta(c.as_mut_slice(), beta);
         return;
     }
+    let small = n < NR || m.saturating_mul(n).saturating_mul(k) <= SMALL_GEMM_FLOPS;
+    let w = std::mem::size_of::<T>() as u64;
+    let p = params.normalized();
+    let _scope = xsc_metrics::record(
+        "gemm",
+        if small {
+            xsc_metrics::traffic::gemm_colsweep(m, n, k, w)
+        } else {
+            xsc_metrics::traffic::gemm_packed(m, n, k, p.mc, p.kc, p.nc, w)
+        },
+    );
 
     // Materialize transposed operands so the hot loop is always the
     // stride-1 no-transpose case (an O(n^2) copy against O(n^3) work).
@@ -265,7 +276,7 @@ pub fn gemm_with_params<T: Scalar>(
             &bt
         }
     };
-    if n < NR || m.saturating_mul(n).saturating_mul(k) <= SMALL_GEMM_FLOPS {
+    if small {
         colsweep_nn(alpha, a_nn, b_nn, beta, c);
     } else {
         blocked_nn(alpha, a_nn, b_nn, beta, c.as_mut_slice(), 0, n, params);
@@ -292,6 +303,10 @@ pub fn colsweep_gemm<T: Scalar>(
     if m == 0 || n == 0 {
         return;
     }
+    let _scope = xsc_metrics::record(
+        "colsweep_gemm",
+        xsc_metrics::traffic::gemm_colsweep(m, n, _k, std::mem::size_of::<T>() as u64),
+    );
     let at;
     let a_nn = match transa {
         Transpose::No => a,
@@ -542,9 +557,23 @@ pub fn par_gemm_with_params<T: Scalar>(
     }
     if m.saturating_mul(n).saturating_mul(k) <= SMALL_GEMM_FLOPS {
         // Fork-join overhead dominates below the packing cutoff.
+        // (Records under "gemm" there, so no double-count here.)
         gemm_with_params(transa, transb, alpha, a, b, beta, c, params);
         return;
     }
+    let pn = params.normalized();
+    let _scope = xsc_metrics::record(
+        "par_gemm",
+        xsc_metrics::traffic::gemm_packed(
+            m,
+            n,
+            k,
+            pn.mc,
+            pn.kc,
+            pn.nc,
+            std::mem::size_of::<T>() as u64,
+        ),
+    );
 
     let at;
     let a_nn = match transa {
@@ -586,6 +615,10 @@ pub fn gemv<T: Scalar>(trans: Transpose, alpha: T, a: &Matrix<T>, x: &[T], beta:
     let (m, n) = op_shape(trans, a);
     assert_eq!(x.len(), n, "gemv x length mismatch");
     assert_eq!(y.len(), m, "gemv y length mismatch");
+    let _scope = xsc_metrics::record(
+        "gemv",
+        xsc_metrics::traffic::gemv(m, n, std::mem::size_of::<T>() as u64),
+    );
     match trans {
         Transpose::No => {
             for yi in y.iter_mut() {

@@ -25,6 +25,10 @@ pub fn syrk<T: Scalar>(
         Transpose::Yes => a.rows(),
     };
     assert!(c.is_square() && c.rows() == n, "syrk output shape mismatch");
+    let _scope = xsc_metrics::record(
+        "syrk",
+        xsc_metrics::traffic::syrk(n, k, std::mem::size_of::<T>() as u64),
+    );
 
     // Materialize Aᵀ for the trans case so updates stay stride-1.
     let at;

@@ -50,6 +50,14 @@ pub fn trsm<T: Scalar>(
         Side::Left => assert_eq!(b.rows(), n, "trsm left: B row count mismatch"),
         Side::Right => assert_eq!(b.cols(), n, "trsm right: B col count mismatch"),
     }
+    let nrhs = match side {
+        Side::Left => b.cols(),
+        Side::Right => b.rows(),
+    };
+    let _scope = xsc_metrics::record(
+        "trsm",
+        xsc_metrics::traffic::trsm(n, nrhs, std::mem::size_of::<T>() as u64),
+    );
     if alpha != T::one() {
         b.scale(alpha);
     }

@@ -150,6 +150,10 @@ fn shift_pivot(e: Error, base: usize) -> Error {
 /// Dataflow tiled Cholesky: factors `a` in place (lower tiles become `L`)
 /// using `executor`, returning the execution trace.
 pub fn cholesky_dag<T: Scalar>(a: &TileMatrix<T>, executor: &Executor) -> Result<Trace> {
+    let _scope = xsc_metrics::record(
+        "cholesky",
+        xsc_metrics::traffic::cholesky_blocked(a.rows(), a.nb(), std::mem::size_of::<T>() as u64),
+    );
     let poison = Poison::new();
     let g = build_graph(a, &poison);
     let trace = executor.execute_traced(g);
@@ -163,6 +167,10 @@ pub fn cholesky_dag<T: Scalar>(a: &TileMatrix<T>, executor: &Executor) -> Result
 pub fn cholesky_forkjoin<T: Scalar>(a: &TileMatrix<T>) -> Result<()> {
     let nt = a.tile_cols();
     assert_eq!(a.tile_rows(), nt, "cholesky requires a square tile grid");
+    let _scope = xsc_metrics::record(
+        "cholesky",
+        xsc_metrics::traffic::cholesky_blocked(a.rows(), a.nb(), std::mem::size_of::<T>() as u64),
+    );
     for k in 0..nt {
         {
             let tkk = a.tile(k, k);

@@ -25,6 +25,10 @@ pub fn par_getrf<T: Scalar>(a: &mut Matrix<T>, nb: usize) -> Result<Vec<usize>> 
         // machinery (par_chunks_mut rejects zero-sized chunks).
         return Ok(Vec::new());
     }
+    let _scope = xsc_metrics::record(
+        "hpl_lu",
+        xsc_metrics::traffic::lu_blocked(n, nb, std::mem::size_of::<T>() as u64),
+    );
     let mut piv = vec![0usize; n];
     let mut k = 0;
     while k < n {

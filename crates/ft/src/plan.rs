@@ -45,7 +45,7 @@ pub enum Injection {
     /// Panic now (the plan has already counted it).
     Panic,
     /// Complete normally, then corrupt the output via
-    /// [`FaultPlan::corrupt_slice`] / [`FaultPlan::corrupt_value`].
+    /// [`FaultPlan::corrupt_slice`].
     Corrupt(FaultKind),
     /// Sleep for [`FaultPlan::stall_duration`] before (or while) running.
     Stall(Duration),

@@ -17,8 +17,24 @@
 //!   task DAG on `P` modeled workers with communication delays, predicting
 //!   makespan and utilization at scales the host machine cannot run
 //!   (experiment E02's extrapolation, E11).
+//!
+//! Measured counters from `xsc-metrics` can be placed on a model's roofline
+//! via [`MachineModel::envelope`]:
+//!
+//! ```
+//! use xsc_machine::MachineModel;
+//! use xsc_metrics::{roofline, KernelCounters};
+//!
+//! let env = MachineModel::node_2016().envelope();
+//! let spmv = KernelCounters {
+//!     flops: 5_400, bytes_read: 51_000, bytes_written: 800,
+//!     invocations: 1, ns: 2_000,
+//! };
+//! let point = roofline::analyze("spmv", &spmv, &env);
+//! assert_eq!(point.verdict, xsc_metrics::BoundVerdict::Bandwidth);
+//! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 #![allow(clippy::needless_range_loop)] // index-coupled updates across multiple slices are the clearest form for these kernels
 

@@ -117,6 +117,19 @@ impl MachineModel {
         ]
     }
 
+    /// This machine as an `xsc-metrics` roofline envelope (peak Gflop/s
+    /// and DRAM GB/s), so measured counters can be placed on the same
+    /// roofline the analytic predictions use.
+    ///
+    /// ```
+    /// let m = xsc_machine::MachineModel::node_2016();
+    /// let env = m.envelope();
+    /// assert!((env.balance() - m.balance()).abs() < 1e-12);
+    /// ```
+    pub fn envelope(&self) -> xsc_metrics::MachineEnvelope {
+        xsc_metrics::MachineEnvelope::new(self.name, self.peak_flops() / 1e9, self.mem_bw / 1e9)
+    }
+
     /// Roofline-style prediction for a kernel profile on this machine.
     pub fn predict(&self, k: &KernelProfile) -> Prediction {
         let t_flops = k.flops / self.peak_flops();

@@ -1,0 +1,324 @@
+//! Roofline attribution: arithmetic intensity vs the machine envelope.
+//!
+//! The roofline model (Williams, Waterman, Patterson, 2009) bounds a
+//! kernel's attainable rate by
+//! `min(peak_gflops, intensity × peak_gbs)` where *intensity* is
+//! flops per DRAM byte. Kernels left of the machine-balance knee
+//! (`peak_gflops / peak_gbs`) are **bandwidth-bound** — more flops
+//! per socket cannot help them, which is the keynote's explanation for
+//! HPCG's 1–5 % of peak vs HPL's 60–90 %.
+
+use crate::counters::KernelCounters;
+
+/// The two peaks a kernel can be limited by, plus the numbers needed to
+/// draw the roofline: peak compute in Gflop/s and peak DRAM bandwidth in
+/// GB/s.
+///
+/// ```
+/// use xsc_metrics::MachineEnvelope;
+/// let env = MachineEnvelope::new("node-2016", 500.0, 100.0);
+/// assert_eq!(env.balance(), 5.0); // flops/byte at the roofline knee
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineEnvelope {
+    /// Human-readable machine name (shows up in reports and plots).
+    pub name: String,
+    /// Peak floating-point rate in Gflop/s.
+    pub peak_gflops: f64,
+    /// Peak DRAM bandwidth in GB/s.
+    pub peak_gbs: f64,
+}
+
+impl MachineEnvelope {
+    /// Build an envelope from peak Gflop/s and peak GB/s.
+    pub fn new(name: impl Into<String>, peak_gflops: f64, peak_gbs: f64) -> Self {
+        Self {
+            name: name.into(),
+            peak_gflops,
+            peak_gbs,
+        }
+    }
+
+    /// Machine balance in flops/byte: the arithmetic intensity at the
+    /// roofline knee. Kernels below this are bandwidth-bound.
+    pub fn balance(&self) -> f64 {
+        self.peak_gflops / self.peak_gbs
+    }
+
+    /// The roofline itself: attainable Gflop/s at a given intensity.
+    pub fn attainable_gflops(&self, intensity: f64) -> f64 {
+        (intensity * self.peak_gbs).min(self.peak_gflops)
+    }
+}
+
+/// Which roof a kernel sits under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundVerdict {
+    /// Intensity below machine balance: limited by DRAM bandwidth.
+    Bandwidth,
+    /// Intensity at or above machine balance: limited by peak flops.
+    Compute,
+}
+
+impl std::fmt::Display for BoundVerdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BoundVerdict::Bandwidth => write!(f, "bandwidth-bound"),
+            BoundVerdict::Compute => write!(f, "compute-bound"),
+        }
+    }
+}
+
+/// One kernel placed on the roofline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RooflinePoint {
+    /// Kernel name (registry key).
+    pub kernel: String,
+    /// Total flops accounted to the kernel.
+    pub flops: u64,
+    /// Total DRAM bytes (read + written) accounted to the kernel.
+    pub bytes: u64,
+    /// Arithmetic intensity in flops/byte.
+    pub intensity: f64,
+    /// Measured rate in Gflop/s (0 when no time was recorded).
+    pub attained_gflops: f64,
+    /// Measured DRAM bandwidth in GB/s (0 when no time was recorded).
+    pub attained_gbs: f64,
+    /// Roofline bound at this intensity, in Gflop/s.
+    pub roof_gflops: f64,
+    /// Fraction of the roofline bound actually attained (0 when untimed).
+    pub roof_fraction: f64,
+    /// Bandwidth- or compute-bound verdict.
+    pub verdict: BoundVerdict,
+}
+
+/// Place one kernel's counters on the roofline of `env`.
+///
+/// ```
+/// use xsc_metrics::{roofline, KernelCounters, MachineEnvelope};
+/// let env = MachineEnvelope::new("m", 100.0, 10.0); // balance = 10 flops/B
+/// let spmv = KernelCounters {
+///     flops: 2_000, bytes_read: 24_000, bytes_written: 1_000,
+///     invocations: 1, ns: 1_000,
+/// };
+/// let p = roofline::analyze("spmv", &spmv, &env);
+/// assert!(p.intensity < 1.0);
+/// assert_eq!(p.verdict, xsc_metrics::BoundVerdict::Bandwidth);
+/// ```
+pub fn analyze(kernel: &str, c: &KernelCounters, env: &MachineEnvelope) -> RooflinePoint {
+    let bytes = c.bytes();
+    let intensity = if bytes == 0 {
+        f64::INFINITY
+    } else {
+        c.flops as f64 / bytes as f64
+    };
+    let attained_gflops = c.attained_gflops();
+    let attained_gbs = c.attained_gbs();
+    let roof_gflops = env.attainable_gflops(intensity);
+    let roof_fraction = if roof_gflops > 0.0 {
+        attained_gflops / roof_gflops
+    } else {
+        0.0
+    };
+    let verdict = if intensity < env.balance() {
+        BoundVerdict::Bandwidth
+    } else {
+        BoundVerdict::Compute
+    };
+    RooflinePoint {
+        kernel: kernel.to_string(),
+        flops: c.flops,
+        bytes,
+        intensity,
+        attained_gflops,
+        attained_gbs,
+        roof_gflops,
+        roof_fraction,
+        verdict,
+    }
+}
+
+/// Place every kernel in a snapshot on the roofline, preserving order.
+pub fn analyze_all(
+    snapshot: &[(&'static str, KernelCounters)],
+    env: &MachineEnvelope,
+) -> Vec<RooflinePoint> {
+    snapshot
+        .iter()
+        .filter(|(_, c)| !c.is_empty())
+        .map(|(k, c)| analyze(k, c, env))
+        .collect()
+}
+
+/// Render a log-log ASCII roofline plot: the bandwidth slope and the
+/// compute ceiling, with each kernel marked by a letter keyed in the
+/// legend. Untimed kernels (no measured rate) are placed *on* the roof at
+/// their intensity.
+pub fn ascii_roofline(points: &[RooflinePoint], env: &MachineEnvelope) -> String {
+    const W: usize = 64;
+    const H: usize = 18;
+    // Intensity (x) from 1/64 to 1024 flops/byte, rate (y) spanning the
+    // roof with two decades of headroom below the ceiling's start.
+    let x_min: f64 = (1.0f64 / 64.0).log2();
+    let x_max: f64 = 1024f64.log2();
+    let y_max = env.peak_gflops.log2().ceil() + 0.5;
+    let y_min = y_max - (H as f64) * 0.75;
+
+    let xcol = |i: f64| -> usize {
+        let t = (i.log2() - x_min) / (x_max - x_min);
+        ((t * (W - 1) as f64).round().clamp(0.0, (W - 1) as f64)) as usize
+    };
+    let yrow = |g: f64| -> Option<usize> {
+        if g <= 0.0 {
+            return None;
+        }
+        let t = (y_max - g.log2()) / (y_max - y_min);
+        let r = (t * (H - 1) as f64).round();
+        (0.0..=(H - 1) as f64).contains(&r).then_some(r as usize)
+    };
+
+    let mut grid = vec![vec![' '; W]; H];
+    // Draw the roof column by column: the rising bandwidth slope until the
+    // knee, then the flat compute ceiling. The row index depends on the
+    // column's roof height, so this cannot iterate `grid` directly.
+    #[allow(clippy::needless_range_loop)]
+    for col in 0..W {
+        let ix = 2f64.powf(x_min + (x_max - x_min) * col as f64 / (W - 1) as f64);
+        let roof = env.attainable_gflops(ix);
+        if let Some(r) = yrow(roof) {
+            let mark = if roof < env.peak_gflops { '/' } else { '-' };
+            grid[r][col] = mark;
+        }
+    }
+    // Mark the knee.
+    if let Some(r) = yrow(env.peak_gflops) {
+        grid[r][xcol(env.balance())] = '+';
+    }
+    // Place kernels.
+    let mut legend = String::new();
+    for (n, p) in points.iter().enumerate() {
+        let label = (b'A' + (n % 26) as u8) as char;
+        let rate = if p.attained_gflops > 0.0 {
+            p.attained_gflops
+        } else {
+            p.roof_gflops
+        };
+        if p.intensity.is_finite() {
+            if let Some(r) = yrow(rate) {
+                grid[r][xcol(p.intensity)] = label;
+            }
+        }
+        legend.push_str(&format!(
+            "  {label} {:<14} I={:<8.3} {:>8.2} Gflop/s  {:>5.1}% of roof  [{}]\n",
+            p.kernel,
+            p.intensity,
+            p.attained_gflops,
+            100.0 * p.roof_fraction,
+            p.verdict
+        ));
+    }
+
+    let mut out = format!(
+        "Roofline: {} (peak {:.1} Gflop/s, {:.1} GB/s, balance {:.2} flops/B)\n",
+        env.name,
+        env.peak_gflops,
+        env.peak_gbs,
+        env.balance()
+    );
+    out.push_str("Gflop/s (log2)\n");
+    for row in &grid {
+        out.push('|');
+        out.push_str(&row.iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(W));
+    out.push_str("> intensity (flops/byte, log2; 1/64 .. 1024)\n");
+    out.push_str(&legend);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counters(flops: u64, bytes: u64, ns: u64) -> KernelCounters {
+        KernelCounters {
+            flops,
+            bytes_read: bytes,
+            bytes_written: 0,
+            invocations: 1,
+            ns,
+        }
+    }
+
+    #[test]
+    fn balance_splits_verdicts() {
+        let env = MachineEnvelope::new("m", 100.0, 10.0); // balance 10
+        let low = analyze("spmv", &counters(100, 1_000, 100), &env);
+        let high = analyze("gemm", &counters(100_000, 1_000, 100), &env);
+        assert_eq!(low.verdict, BoundVerdict::Bandwidth);
+        assert_eq!(high.verdict, BoundVerdict::Compute);
+        assert!(low.intensity < high.intensity);
+    }
+
+    #[test]
+    fn roof_is_min_of_slope_and_ceiling() {
+        let env = MachineEnvelope::new("m", 100.0, 10.0);
+        assert_eq!(env.attainable_gflops(1.0), 10.0);
+        assert_eq!(env.attainable_gflops(10.0), 100.0);
+        assert_eq!(env.attainable_gflops(1000.0), 100.0);
+    }
+
+    #[test]
+    fn roof_fraction_is_attained_over_bound() {
+        let env = MachineEnvelope::new("m", 100.0, 10.0);
+        // 1000 flops in 100 ns = 10 Gflop/s at intensity 1 (roof 10) → 100 %.
+        let p = analyze("k", &counters(1_000, 1_000, 100), &env);
+        assert!((p.roof_fraction - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn untimed_counters_get_zero_rates() {
+        let env = MachineEnvelope::new("m", 100.0, 10.0);
+        let p = analyze("k", &counters(1_000, 1_000, 0), &env);
+        assert_eq!(p.attained_gflops, 0.0);
+        assert_eq!(p.roof_fraction, 0.0);
+        assert!(p.intensity > 0.0);
+    }
+
+    #[test]
+    fn zero_byte_kernel_is_compute_bound() {
+        let env = MachineEnvelope::new("m", 100.0, 10.0);
+        let p = analyze("k", &counters(1_000, 0, 10), &env);
+        assert!(p.intensity.is_infinite());
+        assert_eq!(p.verdict, BoundVerdict::Compute);
+    }
+
+    #[test]
+    fn analyze_all_skips_empty() {
+        let env = MachineEnvelope::new("m", 100.0, 10.0);
+        let snap = vec![
+            ("a", counters(10, 10, 10)),
+            ("empty", KernelCounters::default()),
+        ];
+        let pts = analyze_all(&snap, &env);
+        assert_eq!(pts.len(), 1);
+        assert_eq!(pts[0].kernel, "a");
+    }
+
+    #[test]
+    fn ascii_plot_contains_roof_and_legend() {
+        let env = MachineEnvelope::new("m", 100.0, 10.0);
+        let pts = vec![
+            analyze("gemm", &counters(1_000_000, 10_000, 50_000), &env),
+            analyze("spmv", &counters(1_000, 50_000, 10_000), &env),
+        ];
+        let plot = ascii_roofline(&pts, &env);
+        assert!(plot.contains('/'), "bandwidth slope drawn");
+        assert!(plot.contains('-'), "compute ceiling drawn");
+        assert!(plot.contains("A gemm"));
+        assert!(plot.contains("B spmv"));
+        assert!(plot.contains("bandwidth-bound"));
+    }
+}

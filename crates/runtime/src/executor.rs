@@ -308,6 +308,7 @@ impl Executor {
                                 // Fail-stop: the first panic or fault ends
                                 // the whole execution.
                                 let start = epoch.elapsed();
+                                let (f0, b0) = xsc_metrics::thread_totals();
                                 let failure: Option<Box<dyn std::any::Any + Send>> = match kernel {
                                     None => None,
                                     Some(Kernel::Once(k)) => {
@@ -342,12 +343,15 @@ impl Executor {
                                     return events;
                                 }
                                 if record {
+                                    let (f1, b1) = xsc_metrics::thread_totals();
                                     events.push(TraceEvent {
                                         task: id,
                                         worker,
                                         start,
                                         end: epoch.elapsed(),
                                         attempt: 1,
+                                        flops: f1 - f0,
+                                        bytes: b1 - b0,
                                     });
                                 }
                                 TaskRun::Succeeded
@@ -444,15 +448,19 @@ fn run_resilient(
             // A FnOnce kernel cannot be re-run: one attempt, no retry.
             res.attempts[id].store(1, Ordering::Release);
             let start = epoch.elapsed();
+            let (f0, b0) = xsc_metrics::thread_totals();
             let result = catch_unwind(AssertUnwindSafe(k));
             let end = epoch.elapsed();
             if record {
+                let (f1, b1) = xsc_metrics::thread_totals();
                 events.push(TraceEvent {
                     task: id,
                     worker,
                     start,
                     end,
                     attempt: 1,
+                    flops: f1 - f0,
+                    bytes: b1 - b0,
                 });
             }
             match result {
@@ -471,15 +479,19 @@ fn run_resilient(
             let mut attempt = 1u32;
             loop {
                 let start = epoch.elapsed();
+                let (f0, b0) = xsc_metrics::thread_totals();
                 let result = catch_unwind(AssertUnwindSafe(|| k(Attempt { task: id, attempt })));
                 let end = epoch.elapsed();
                 if record {
+                    let (f1, b1) = xsc_metrics::thread_totals();
                     events.push(TraceEvent {
                         task: id,
                         worker,
                         start,
                         end,
                         attempt,
+                        flops: f1 - f0,
+                        bytes: b1 - b0,
                     });
                 }
                 match result {

@@ -21,6 +21,21 @@ pub struct TraceEvent {
     pub end: Duration,
     /// 1-based attempt number (always 1 for fail-stop executions).
     pub attempt: u32,
+    /// Flops recorded (via `xsc-metrics`) on the worker thread while this
+    /// attempt ran. Zero when the kernel is uninstrumented, or when an
+    /// instrumented kernel fanned its recording out to other threads.
+    pub flops: u64,
+    /// DRAM bytes (read + written) recorded on the worker thread while this
+    /// attempt ran; same attribution caveats as `flops`.
+    pub bytes: u64,
+}
+
+impl TraceEvent {
+    /// Arithmetic intensity of the attempt in flops/byte (`None` when no
+    /// bytes were attributed, e.g. uninstrumented kernels).
+    pub fn intensity(&self) -> Option<f64> {
+        (self.bytes > 0).then(|| self.flops as f64 / self.bytes as f64)
+    }
 }
 
 /// Execution record returned by the executor.
@@ -124,6 +139,16 @@ impl Trace {
         (self.busy_time().as_secs_f64() / denom).min(1.0)
     }
 
+    /// Total flops attributed to traced tasks (sum over events).
+    pub fn total_flops(&self) -> u64 {
+        self.events.iter().map(|e| e.flops).sum()
+    }
+
+    /// Total DRAM bytes attributed to traced tasks (sum over events).
+    pub fn total_bytes(&self) -> u64 {
+        self.events.iter().map(|e| e.bytes).sum()
+    }
+
     /// Busy time per worker index.
     pub fn busy_per_worker(&self) -> Vec<Duration> {
         let mut busy = vec![Duration::ZERO; self.threads];
@@ -151,8 +176,19 @@ impl Trace {
             if e.attempt > 1 {
                 name.push_str(&format!(" (attempt {})", e.attempt));
             }
+            let args = if e.flops > 0 || e.bytes > 0 {
+                match e.intensity() {
+                    Some(i) => format!(
+                        ",\"args\":{{\"flops\":{},\"bytes\":{},\"intensity\":{i:.4}}}",
+                        e.flops, e.bytes
+                    ),
+                    None => format!(",\"args\":{{\"flops\":{},\"bytes\":{}}}", e.flops, e.bytes),
+                }
+            } else {
+                String::new()
+            };
             out.push_str(&format!(
-                "{{\"name\":\"{name}\",\"ph\":\"X\",\"pid\":0,\"tid\":{},\"ts\":{:.3},\"dur\":{:.3}}}",
+                "{{\"name\":\"{name}\",\"ph\":\"X\",\"pid\":0,\"tid\":{},\"ts\":{:.3},\"dur\":{:.3}{args}}}",
                 e.worker,
                 e.start.as_secs_f64() * 1e6,
                 (e.end - e.start).as_secs_f64() * 1e6
@@ -315,6 +351,8 @@ mod tests {
                     start: Duration::from_millis(5),
                     end: Duration::from_millis(10),
                     attempt: 1,
+                    flops: 0,
+                    bytes: 0,
                 },
                 TraceEvent {
                     task: 0,
@@ -322,6 +360,8 @@ mod tests {
                     start: Duration::from_millis(0),
                     end: Duration::from_millis(10),
                     attempt: 1,
+                    flops: 4000,
+                    bytes: 1000,
                 },
             ],
             names,
@@ -377,6 +417,21 @@ mod tests {
     }
 
     #[test]
+    fn intensity_and_totals_from_attributed_events() {
+        let t = sample_trace();
+        assert_eq!(t.total_flops(), 4000);
+        assert_eq!(t.total_bytes(), 1000);
+        let attributed = &t.events()[0]; // task 0 sorts first
+        assert_eq!(attributed.intensity(), Some(4.0));
+        assert_eq!(t.events()[1].intensity(), None);
+        let j = t.to_chrome_json();
+        assert!(
+            j.contains("\"args\":{\"flops\":4000,\"bytes\":1000,\"intensity\":4.0000}"),
+            "{j}"
+        );
+    }
+
+    #[test]
     fn empty_trace_is_safe() {
         let t = Trace::empty(4);
         assert_eq!(t.utilization(), 0.0);
@@ -400,6 +455,8 @@ mod tests {
                     start: Duration::from_millis(0),
                     end: Duration::from_millis(10),
                     attempt: 1,
+                    flops: 0,
+                    bytes: 0,
                 },
                 TraceEvent {
                     task: 1,
@@ -407,6 +464,8 @@ mod tests {
                     start: Duration::from_millis(2),
                     end: Duration::from_millis(6),
                     attempt: 1,
+                    flops: 0,
+                    bytes: 0,
                 },
             ],
             names,
@@ -431,6 +490,8 @@ mod tests {
                 start: Duration::ZERO,
                 end: Duration::from_millis(5),
                 attempt: 2,
+                flops: 0,
+                bytes: 0,
             }],
             names,
         );

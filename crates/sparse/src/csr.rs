@@ -83,6 +83,10 @@ impl<T: Scalar> CsrMatrix<T> {
     pub fn spmv(&self, x: &[T], y: &mut [T]) {
         assert_eq!(x.len(), self.ncols, "spmv x length mismatch");
         assert_eq!(y.len(), self.nrows, "spmv y length mismatch");
+        let _scope = xsc_metrics::record(
+            "spmv",
+            xsc_metrics::traffic::spmv_csr(self.nrows, self.nnz(), std::mem::size_of::<T>() as u64),
+        );
         for i in 0..self.nrows {
             let (cols, vals) = self.row(i);
             let mut acc = T::zero();
@@ -99,6 +103,10 @@ impl<T: Scalar> CsrMatrix<T> {
     pub fn spmv_par(&self, x: &[T], y: &mut [T]) {
         assert_eq!(x.len(), self.ncols, "spmv x length mismatch");
         assert_eq!(y.len(), self.nrows, "spmv y length mismatch");
+        let _scope = xsc_metrics::record(
+            "spmv",
+            xsc_metrics::traffic::spmv_csr(self.nrows, self.nnz(), std::mem::size_of::<T>() as u64),
+        );
         let row_ptr = &self.row_ptr;
         let col_idx = &self.col_idx;
         let vals = &self.vals;

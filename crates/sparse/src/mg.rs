@@ -71,6 +71,11 @@ struct Scratch {
 /// A geometric multigrid V-cycle preconditioner over the HPCG operator.
 pub struct MgPreconditioner {
     levels: Vec<Level>,
+    /// Analytic DRAM traffic of one V-cycle (HPCG-reference accounting over
+    /// the level sizes), precomputed so [`Preconditioner::apply`] can record
+    /// it without walking the hierarchy. Nested `symgs`/`spmv` recordings
+    /// overlap with this entry by design; see `xsc-metrics` docs.
+    traffic_per_cycle: xsc_metrics::Traffic,
 }
 
 impl MgPreconditioner {
@@ -124,7 +129,11 @@ impl MgPreconditioner {
                 geom = geom.coarsen();
             }
         }
-        MgPreconditioner { levels }
+        let sizes: Vec<(usize, usize)> = levels.iter().map(|l| (l.a.nrows(), l.a.nnz())).collect();
+        MgPreconditioner {
+            levels,
+            traffic_per_cycle: xsc_metrics::traffic::mg_vcycle(&sizes, 8),
+        }
     }
 
     /// Number of levels.
@@ -191,6 +200,7 @@ impl MgPreconditioner {
 
 impl Preconditioner for MgPreconditioner {
     fn apply(&self, r: &[f64], z: &mut [f64]) {
+        let _scope = xsc_metrics::record("mg_vcycle", self.traffic_per_cycle);
         self.cycle(0, r, z);
     }
 

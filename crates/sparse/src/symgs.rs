@@ -52,6 +52,10 @@ pub fn backward_sweep(a: &CsrMatrix<f64>, b: &[f64], x: &mut [f64]) {
 /// One symmetric Gauss–Seidel application (forward then backward sweep) —
 /// the HPCG `ComputeSYMGS` reference kernel.
 pub fn symgs(a: &CsrMatrix<f64>, b: &[f64], x: &mut [f64]) {
+    let _scope = xsc_metrics::record(
+        "symgs",
+        xsc_metrics::traffic::symgs_csr(a.nrows(), a.nnz(), 8),
+    );
     forward_sweep(a, b, x);
     backward_sweep(a, b, x);
 }
