@@ -1,0 +1,8 @@
+//! Standalone driver for experiment `e19_format_showdown` (see DESIGN.md's
+//! index). Pass `--json` to also write a machine-readable `BENCH_e19.json`.
+fn main() {
+    xsc_bench::experiments::e19_format_showdown::run_opts(
+        xsc_bench::Scale::from_env(),
+        xsc_bench::json::json_flag(),
+    );
+}

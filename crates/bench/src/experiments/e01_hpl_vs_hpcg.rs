@@ -14,7 +14,7 @@ use xsc_core::gemm::{colsweep_gemm, gemm, Transpose};
 use xsc_core::{flops, gen, Matrix};
 use xsc_dense::hpl;
 use xsc_machine::KernelProfile;
-use xsc_sparse::{run_hpcg, Geometry};
+use xsc_sparse::{run_hpcg_fmt, Geometry, SparseFormat};
 
 /// Blocked vs column-sweep sequential kernel rates at `s`^3 (Gflop/s).
 fn kernel_rates(s: usize, reps: usize) -> (f64, f64) {
@@ -103,39 +103,45 @@ pub fn run_opts(scale: Scale, json: bool) {
     }
     let grids: Vec<usize> = scale.pick(vec![32, 48], vec![64, 96]);
     for g in grids {
-        let (r, delta) = xsc_metrics::measure(|| run_hpcg(Geometry::new(g, g, g), 3, 50));
-        let leaf = leaf_sum(&delta);
-        let model = KernelProfile::hpcg(g.pow(3), 27 * g.pow(3), 50);
-        t.row(vec![
-            "HPCG-like (MG-PCG)".into(),
-            format!("{g}^3 grid"),
-            secs(r.seconds),
-            f2(r.gflops),
-            pct(r.gflops / peak),
-            f2(model.flops / model.dram_bytes),
-            f2(leaf.intensity()),
-            f2(leaf.bytes() as f64 / 1e9),
-            if r.passed {
-                "conv OK".into()
-            } else {
-                "CONV FAIL".into()
-            },
-        ]);
-        rows.push(Json::obj(vec![
-            ("benchmark", Json::s("hpcg")),
-            ("grid", Json::Int(g as i64)),
-            ("seconds", Json::Num(r.seconds)),
-            ("gflops", Json::Num(r.gflops)),
-            ("fraction_of_peak", Json::Num(r.gflops / peak)),
-            (
-                "modeled_intensity",
-                Json::Num(model.flops / model.dram_bytes),
-            ),
-            ("measured_intensity", Json::Num(leaf.intensity())),
-            ("measured_bytes", Json::Int(leaf.bytes() as i64)),
-            ("measured_flops", Json::Int(leaf.flops as i64)),
-            ("passed", Json::Bool(r.passed)),
-        ]));
+        // The usize-CSR baseline and the bandwidth-lean Csr32 path: same
+        // solve (bit-identical iterates), half the matrix stream.
+        for fmt in [SparseFormat::CsrUsize, SparseFormat::Csr32] {
+            let (r, delta) =
+                xsc_metrics::measure(|| run_hpcg_fmt(Geometry::new(g, g, g), 3, 50, fmt));
+            let leaf = leaf_sum(&delta);
+            let model = KernelProfile::hpcg(g.pow(3), 27 * g.pow(3), 50);
+            t.row(vec![
+                format!("HPCG-like ({})", fmt.name()),
+                format!("{g}^3 grid"),
+                secs(r.seconds),
+                f2(r.gflops),
+                pct(r.gflops / peak),
+                f2(model.flops / model.dram_bytes),
+                f2(leaf.intensity()),
+                f2(leaf.bytes() as f64 / 1e9),
+                if r.passed {
+                    "conv OK".into()
+                } else {
+                    "CONV FAIL".into()
+                },
+            ]);
+            rows.push(Json::obj(vec![
+                ("benchmark", Json::s("hpcg")),
+                ("format", Json::s(fmt.name())),
+                ("grid", Json::Int(g as i64)),
+                ("seconds", Json::Num(r.seconds)),
+                ("gflops", Json::Num(r.gflops)),
+                ("fraction_of_peak", Json::Num(r.gflops / peak)),
+                (
+                    "modeled_intensity",
+                    Json::Num(model.flops / model.dram_bytes),
+                ),
+                ("measured_intensity", Json::Num(leaf.intensity())),
+                ("measured_bytes", Json::Int(leaf.bytes() as i64)),
+                ("measured_flops", Json::Int(leaf.flops as i64)),
+                ("passed", Json::Bool(r.passed)),
+            ]));
+        }
     }
     t.print("E01: HPL vs HPCG — % of measured peak, with measured flop/byte intensity");
     println!("  keynote claim: HPL at a large fraction of peak, HPCG at 1-5%; the f/B");

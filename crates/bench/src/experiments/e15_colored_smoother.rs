@@ -7,7 +7,7 @@ use xsc_core::blas1;
 use xsc_sparse::coloring::{color_classes, colored_symgs, greedy_coloring};
 use xsc_sparse::stencil::{build_matrix, build_rhs, Geometry};
 use xsc_sparse::symgs::symgs;
-use xsc_sparse::CsrMatrix;
+use xsc_sparse::{CsrMatrix, FormatMatrix, SparseFormat, SparseOps};
 
 fn residual(a: &CsrMatrix<f64>, x: &[f64], b: &[f64]) -> f64 {
     let mut r = vec![0.0; b.len()];
@@ -60,6 +60,28 @@ pub fn run(scale: Scale) {
         sci(residual(&a, &x_col, &b)),
         f2(a.nrows() as f64 / num_colors as f64),
     ]);
+    // The same colored sweep on the compact formats: identical update order,
+    // so the iterates must match the usize-CSR sweep bit for bit.
+    for fmt in [SparseFormat::Csr32, SparseFormat::SellCSigma] {
+        let m = FormatMatrix::convert(a.clone(), fmt).expect("stencil fits u32 indices");
+        let mut x_fmt = vec![0.0; a.nrows()];
+        let t_fmt = best_of(reps, || {
+            x_fmt.iter_mut().for_each(|v| *v = 0.0);
+            for _ in 0..5 {
+                m.colored_symgs(&classes, &b, &mut x_fmt);
+            }
+        });
+        assert_eq!(
+            x_fmt, x_col,
+            "{fmt}: colored SymGS must be bit-identical to the usize-CSR sweep"
+        );
+        t.row(vec![
+            format!("{num_colors}-color ({fmt})"),
+            secs(t_fmt),
+            sci(residual(&a, &x_fmt, &b)),
+            f2(a.nrows() as f64 / num_colors as f64),
+        ]);
+    }
     t.print(&format!("E15: Gauss–Seidel smoother on the {g}^3 stencil"));
 
     // Full pipeline ablation: the three smoother families inside MG-CG.

@@ -19,6 +19,7 @@ pub mod e15_colored_smoother;
 pub mod e16_comm_optimal;
 pub mod e17_chaos_runtime;
 pub mod e18_roofline;
+pub mod e19_format_showdown;
 
 use crate::Scale;
 
@@ -42,4 +43,5 @@ pub fn run_all(scale: Scale) {
     e16_comm_optimal::run(scale);
     e17_chaos_runtime::run(scale);
     e18_roofline::run(scale);
+    e19_format_showdown::run(scale);
 }

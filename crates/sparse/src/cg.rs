@@ -1,6 +1,6 @@
 //! Preconditioned conjugate gradients with deterministic reductions.
 
-use crate::csr::CsrMatrix;
+use crate::ops::SparseOps;
 use xsc_core::blas1;
 
 /// A (left) preconditioner: `z ≈ A⁻¹ r`.
@@ -50,8 +50,12 @@ impl CgResult {
 /// All inner products use the fixed-tree pairwise reduction, so the
 /// iteration count and iterates are bit-reproducible across thread counts —
 /// one of the keynote's "new rules" for numerical software.
-pub fn pcg<P: Preconditioner>(
-    a: &CsrMatrix<f64>,
+///
+/// Generic over [`SparseOps`], so the same solver runs on any storage
+/// format; because every format folds rows identically, the iterates are
+/// bit-identical across formats too.
+pub fn pcg<A: SparseOps + ?Sized, P: Preconditioner>(
+    a: &A,
     b: &[f64],
     x: &mut [f64],
     max_iters: usize,
@@ -68,8 +72,8 @@ pub fn pcg<P: Preconditioner>(
 
     let bnorm = blas1::nrm2(b).max(f64::MIN_POSITIVE);
     let mut r = vec![0.0; n];
-    a.residual(x, b, &mut r);
-    flops += 2 * nnz + 2 * nf;
+    a.fused_residual(x, b, &mut r);
+    flops += 2 * nnz;
 
     let mut z = vec![0.0; n];
     m.apply(&r, &mut z);

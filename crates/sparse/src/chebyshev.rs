@@ -8,13 +8,13 @@
 //! polynomial degree. Needs an upper eigenvalue estimate, supplied by a
 //! few power iterations.
 
-use crate::csr::CsrMatrix;
+use crate::ops::SparseOps;
 use xsc_core::blas1;
 
 /// Estimates the largest eigenvalue of symmetric `a` by power iteration
 /// (relative accuracy of a few percent after ~10 iterations — all the
 /// smoother needs; Chebyshev bounds are customarily padded anyway).
-pub fn power_method_lmax(a: &CsrMatrix<f64>, iters: usize, seed: u64) -> f64 {
+pub fn power_method_lmax<A: SparseOps + ?Sized>(a: &A, iters: usize, seed: u64) -> f64 {
     let n = a.nrows();
     assert!(n > 0);
     // Deterministic pseudo-random start vector.
@@ -56,7 +56,7 @@ pub struct ChebyshevSmoother {
 impl ChebyshevSmoother {
     /// Builds a smoother for `a`: estimates λmax, pads it by 10 %, and
     /// damps `[λmax/ratio, λmax]` with the given degree.
-    pub fn for_matrix(a: &CsrMatrix<f64>, degree: usize, ratio: f64) -> Self {
+    pub fn for_matrix<A: SparseOps + ?Sized>(a: &A, degree: usize, ratio: f64) -> Self {
         assert!(degree >= 1, "degree must be at least 1");
         assert!(ratio > 1.0, "interval ratio must exceed 1");
         let lmax = 1.1 * power_method_lmax(a, 12, 7);
@@ -70,7 +70,7 @@ impl ChebyshevSmoother {
     /// One smoother application on `A x = b` (`x` updated in place).
     /// Classic three-term recurrence; every operation is an SpMV or an
     /// axpy — embarrassingly parallel.
-    pub fn apply(&self, a: &CsrMatrix<f64>, b: &[f64], x: &mut [f64]) {
+    pub fn apply<A: SparseOps + ?Sized>(&self, a: &A, b: &[f64], x: &mut [f64]) {
         let n = a.nrows();
         assert_eq!(b.len(), n);
         assert_eq!(x.len(), n);
@@ -100,7 +100,7 @@ impl ChebyshevSmoother {
     }
 
     /// Flops of one application: `degree` SpMVs plus O(n) vector work.
-    pub fn flops_per_apply(&self, a: &CsrMatrix<f64>) -> u64 {
+    pub fn flops_per_apply<A: SparseOps + ?Sized>(&self, a: &A) -> u64 {
         self.degree as u64 * 2 * a.nnz() as u64 + 6 * a.nrows() as u64 * self.degree as u64
     }
 }
@@ -108,6 +108,7 @@ impl ChebyshevSmoother {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::csr::CsrMatrix;
     use crate::stencil::{build_matrix, build_rhs, Geometry};
     use crate::symgs::symgs;
 

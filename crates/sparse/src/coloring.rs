@@ -64,6 +64,10 @@ pub fn is_valid_coloring(a: &CsrMatrix<f64>, colors: &[usize]) -> bool {
 /// ascending order (forward half-sweep), then descending (backward), rows
 /// within a color updated concurrently.
 pub fn colored_symgs(a: &CsrMatrix<f64>, classes: &[Vec<usize>], b: &[f64], x: &mut [f64]) {
+    let _scope = xsc_metrics::record(
+        "symgs",
+        xsc_metrics::traffic::symgs_csr(a.nrows(), a.nnz(), 8),
+    );
     let sweep = |x: &mut [f64], class: &[usize]| {
         // Rows in one class are independent: read the shared x snapshot,
         // write disjoint entries. Collect updates first to satisfy the

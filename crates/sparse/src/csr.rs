@@ -20,7 +20,10 @@ pub struct CsrMatrix<T> {
 
 impl<T: Scalar> CsrMatrix<T> {
     /// Builds a CSR matrix from `(row, col, value)` triplets. Duplicate
-    /// `(row, col)` entries are summed.
+    /// `(row, col)` entries are **summed deterministically in input
+    /// order** (the sort is stable, so duplicates fold left-to-right as
+    /// they appeared in the iterator) — never silently kept as separate
+    /// entries. Pinned by `duplicate_summation_is_deterministic`.
     pub fn from_triplets(
         nrows: usize,
         ncols: usize,
@@ -142,6 +145,35 @@ impl<T: Scalar> CsrMatrix<T> {
         }
     }
 
+    /// Fused residual `r = b - A x` in a **single** sweep over the matrix:
+    /// each row folds `acc ← acc - a_ij·x_j` starting from `b_i`, so `b`
+    /// is read in the same pass that streams `A` — one fewer traversal of
+    /// `r` than [`CsrMatrix::residual`]'s SpMV-then-subtract. Every sparse
+    /// format implements the same fold order, so results are bitwise
+    /// comparable across formats (see `xsc_sparse::ops`).
+    pub fn fused_residual(&self, x: &[T], b: &[T], r: &mut [T]) {
+        assert_eq!(x.len(), self.ncols, "fused_residual x length mismatch");
+        assert_eq!(b.len(), self.nrows, "fused_residual b length mismatch");
+        assert_eq!(r.len(), self.nrows, "fused_residual r length mismatch");
+        let w = std::mem::size_of::<T>() as u64;
+        let _scope = xsc_metrics::record(
+            "spmv",
+            xsc_metrics::traffic::spmv_csr(self.nrows, self.nnz(), w).plus(xsc_metrics::Traffic {
+                flops: 0,
+                bytes_read: w * self.nrows as u64,
+                bytes_written: 0,
+            }),
+        );
+        for i in 0..self.nrows {
+            let (cols, vals) = self.row(i);
+            let mut acc = b[i];
+            for (&c, &v) in cols.iter().zip(vals.iter()) {
+                acc = (-v).mul_add(x[c], acc);
+            }
+            r[i] = acc;
+        }
+    }
+
     /// Dense materialization (testing helper; quadratic memory).
     pub fn to_dense(&self) -> Matrix<T> {
         let mut m = Matrix::zeros(self.nrows, self.ncols);
@@ -215,6 +247,23 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_summation_is_deterministic() {
+        // Floating-point addition is not associative, so the fold order of
+        // duplicates is observable. The documented contract is a stable
+        // left-to-right fold in *input* order: (1e16 + 1.0) - 1e16 == 0.0
+        // (the 1.0 is absorbed), whereas 1e16 + (1.0 - 1e16) == 1.0.
+        let a = CsrMatrix::from_triplets(1, 1, vec![(0, 0, 1e16), (0, 0, 1.0), (0, 0, -1e16)]);
+        assert_eq!(a.nnz(), 1);
+        assert_eq!(a.row(0).1, &[(1e16 + 1.0) - 1e16]);
+        assert_eq!(a.row(0).1, &[0.0]);
+        // Reordered input, same multiset of triplets: different (but still
+        // deterministic) result — pinning that order is input order, not
+        // value order.
+        let b = CsrMatrix::from_triplets(1, 1, vec![(0, 0, 1e16), (0, 0, -1e16), (0, 0, 1.0)]);
+        assert_eq!(b.row(0).1, &[1.0]);
+    }
+
+    #[test]
     fn spmv_matches_dense() {
         let a = sample();
         let d = a.to_dense();
@@ -271,6 +320,20 @@ mod tests {
         let mut r = vec![1.0; 3];
         a.residual(&x, &b, &mut r);
         assert!(r.iter().all(|&v| v.abs() < 1e-15));
+    }
+
+    #[test]
+    fn fused_residual_matches_two_pass() {
+        let a = sample();
+        let x = vec![0.5, -1.0, 2.0];
+        let b = vec![1.0, 2.0, 3.0];
+        let mut r1 = vec![0.0; 3];
+        let mut r2 = vec![0.0; 3];
+        a.residual(&x, &b, &mut r1);
+        a.fused_residual(&x, &b, &mut r2);
+        for i in 0..3 {
+            assert!((r1[i] - r2[i]).abs() < 1e-14);
+        }
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //! keynote's headline figure (experiment E01).
 
 use crate::cg::{pcg, CgResult};
-use crate::mg::MgPreconditioner;
+use crate::mg::{MgPreconditioner, Smoother};
+use crate::ops::{FormatMatrix, SparseFormat};
 use crate::stencil::{build_matrix, build_rhs, Geometry};
 use std::time::Instant;
 use xsc_core::flops;
@@ -34,17 +35,35 @@ pub struct HpcgResult {
     /// Whether the residual dropped by at least the expected factor
     /// (sanity acceptance, analogous to HPCG's verification phase).
     pub passed: bool,
+    /// Sparse storage format the run executed on.
+    pub format: SparseFormat,
+    /// `‖r‖/‖b‖` after each iteration (index 0 = initial residual) — what
+    /// E19 compares across formats.
+    pub residual_history: Vec<f64>,
 }
 
 /// Runs the HPCG-like benchmark on an `nx × ny × nz` grid with `levels`
 /// multigrid levels and `iters` CG iterations (the official benchmark uses
 /// 4 levels and optimizes for 50-iteration batches).
 pub fn run_hpcg(g: Geometry, levels: usize, iters: usize) -> HpcgResult {
-    let a = build_matrix(g);
-    let (b, _) = build_rhs(&a);
-    let mg = MgPreconditioner::new(g, levels);
+    run_hpcg_fmt(g, levels, iters, SparseFormat::CsrUsize)
+}
 
-    let mut x = vec![0.0f64; a.nrows()];
+/// [`run_hpcg`] with the operator and every multigrid level stored in the
+/// chosen [`SparseFormat`] — identical algorithm, identical iterates (every
+/// format folds rows in the same order), different bytes per nonzero.
+/// Panics if the operator overflows the format's `u32` indices (HPCG grids
+/// that large do not fit in memory anyway).
+pub fn run_hpcg_fmt(g: Geometry, levels: usize, iters: usize, format: SparseFormat) -> HpcgResult {
+    let a_csr = build_matrix(g);
+    let (b, _) = build_rhs(&a_csr);
+    let (n, nnz) = (a_csr.nrows(), a_csr.nnz());
+    let a = FormatMatrix::convert(a_csr, format)
+        .unwrap_or_else(|e| panic!("operator does not fit {format}: {e}"));
+    let mg = MgPreconditioner::with_format(g, levels, Smoother::SymGs, format)
+        .unwrap_or_else(|e| panic!("hierarchy does not fit {format}: {e}"));
+
+    let mut x = vec![0.0f64; n];
     let start = Instant::now();
     let res: CgResult = pcg(&a, &b, &mut x, iters, 0.0, &mg);
     let seconds = start.elapsed().as_secs_f64();
@@ -53,14 +72,16 @@ pub fn run_hpcg(g: Geometry, levels: usize, iters: usize) -> HpcgResult {
     let final_residual = res.final_residual();
     HpcgResult {
         geometry: g,
-        n: a.nrows(),
-        nnz: a.nnz(),
+        n,
+        nnz,
         levels,
         iterations: res.iterations,
         final_residual,
         seconds,
         gflops: flops::gflops(res.flops, seconds),
         passed: final_residual < initial * 1e-6 || final_residual < 1e-10,
+        format,
+        residual_history: res.residual_history,
     }
 }
 
@@ -90,6 +111,18 @@ mod tests {
         let short = run_hpcg(g, 3, 5);
         let long = run_hpcg(g, 3, 20);
         assert!(long.final_residual <= short.final_residual * 1.0001);
+    }
+
+    #[test]
+    fn all_formats_produce_identical_histories() {
+        let g = Geometry::new(8, 8, 8);
+        let base = run_hpcg_fmt(g, 3, 10, SparseFormat::CsrUsize);
+        for fmt in [SparseFormat::Csr32, SparseFormat::SellCSigma] {
+            let r = run_hpcg_fmt(g, 3, 10, fmt);
+            assert_eq!(r.format, fmt);
+            assert_eq!(r.iterations, base.iterations, "{fmt}");
+            assert_eq!(r.residual_history, base.residual_history, "{fmt}");
+        }
     }
 
     #[test]

@@ -7,6 +7,13 @@
 //!
 //! * [`csr::CsrMatrix`] — compressed sparse row storage with sequential and
 //!   thread-parallel SpMV;
+//! * [`csr32::Csr32`] and [`sell::SellCSigma`] — bandwidth-lean formats
+//!   (`u32` indices; SELL-C-σ adds chunked, vectorization-friendly
+//!   layout) that halve the matrix stream while computing bit-identical
+//!   results;
+//! * [`ops`] — the [`SparseOps`] trait the whole solver
+//!   path is written against, plus [`FormatMatrix`]
+//!   for runtime format selection;
 //! * [`stencil`] — the 27-point 3-D stencil problem generator (the HPCG
 //!   operator) and its geometric coarsening;
 //! * [`symgs`] — the symmetric Gauss–Seidel smoother;
@@ -34,16 +41,22 @@ pub mod cg;
 pub mod chebyshev;
 pub mod coloring;
 pub mod csr;
+pub mod csr32;
 pub mod hpcg;
 pub mod matrix_powers;
 pub mod mg;
+pub mod ops;
 pub mod pipelined;
+pub mod sell;
 pub mod sstep;
 pub mod stencil;
 pub mod symgs;
 
 pub use cg::{pcg, CgResult, Identity, Preconditioner};
 pub use csr::CsrMatrix;
-pub use hpcg::{run_hpcg, HpcgResult};
+pub use csr32::{Csr32, IndexOverflow};
+pub use hpcg::{run_hpcg, run_hpcg_fmt, HpcgResult};
+pub use ops::{FormatMatrix, SparseFormat, SparseOps};
 pub use pipelined::{pipelined_cg, PipelinedCgResult};
+pub use sell::SellCSigma;
 pub use stencil::Geometry;

@@ -7,11 +7,11 @@
 
 use crate::cg::Preconditioner;
 use crate::chebyshev::ChebyshevSmoother;
-use crate::coloring::{color_classes, colored_symgs, greedy_coloring};
-use crate::csr::CsrMatrix;
+use crate::coloring::{color_classes, greedy_coloring};
+use crate::ops::{FormatMatrix, SparseFormat, SparseOps};
 use crate::stencil::{build_matrix, f2c_map, Geometry};
-use crate::symgs::{symgs, symgs_flops};
 use std::cell::RefCell;
+use xsc_metrics::Traffic;
 
 /// Smoother family used on every multigrid level.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -35,24 +35,25 @@ enum LevelSmoother {
 }
 
 impl LevelSmoother {
-    fn apply(&self, a: &CsrMatrix<f64>, b: &[f64], x: &mut [f64]) {
+    fn apply(&self, a: &FormatMatrix, b: &[f64], x: &mut [f64]) {
         match self {
-            LevelSmoother::SymGs => symgs(a, b, x),
-            LevelSmoother::Colored(classes) => colored_symgs(a, classes, b, x),
+            LevelSmoother::SymGs => a.symgs(b, x),
+            LevelSmoother::Colored(classes) => a.colored_symgs(classes, b, x),
             LevelSmoother::Chebyshev(s) => s.apply(a, b, x),
         }
     }
 
-    fn flops(&self, a: &CsrMatrix<f64>) -> u64 {
+    fn flops(&self, a: &FormatMatrix) -> u64 {
         match self {
-            LevelSmoother::SymGs | LevelSmoother::Colored(_) => symgs_flops(a),
+            // HPCG accounting: two sweeps at 2·nnz each.
+            LevelSmoother::SymGs | LevelSmoother::Colored(_) => 4 * a.nnz() as u64,
             LevelSmoother::Chebyshev(s) => s.flops_per_apply(a),
         }
     }
 }
 
 struct Level {
-    a: CsrMatrix<f64>,
+    a: FormatMatrix,
     smoother: LevelSmoother,
     /// Fine-grid index of each coarse point on the *next* level
     /// (empty for the coarsest level).
@@ -91,11 +92,26 @@ impl MgPreconditioner {
     /// (the "optimized HPCG" configurations swap the sequential sweep for
     /// a parallel one here).
     pub fn with_smoother(g: Geometry, num_levels: usize, smoother: Smoother) -> Self {
+        MgPreconditioner::with_format(g, num_levels, smoother, SparseFormat::CsrUsize)
+            .expect("usize CSR cannot overflow")
+    }
+
+    /// Like [`MgPreconditioner::with_smoother`] but storing every level in
+    /// the chosen [`SparseFormat`]. Smoother setup data (colorings,
+    /// Chebyshev eigenvalue estimates) is derived from the CSR operator
+    /// before conversion, so the hierarchy is numerically identical across
+    /// formats. Fails if the operator does not fit the format's indices.
+    pub fn with_format(
+        g: Geometry,
+        num_levels: usize,
+        smoother: Smoother,
+        format: SparseFormat,
+    ) -> Result<Self, crate::csr32::IndexOverflow> {
         assert!(num_levels >= 1, "need at least one level");
         let mut levels = Vec::with_capacity(num_levels);
         let mut geom = g;
         for l in 0..num_levels {
-            let a = build_matrix(geom);
+            let a_csr = build_matrix(geom);
             let last = l + 1 == num_levels;
             let f2c = if last {
                 Vec::new()
@@ -107,16 +123,18 @@ impl MgPreconditioner {
                 );
                 f2c_map(geom)
             };
-            let n = a.nrows();
+            let n = a_csr.nrows();
             let level_smoother = match smoother {
                 Smoother::SymGs => LevelSmoother::SymGs,
-                Smoother::Colored => LevelSmoother::Colored(color_classes(&greedy_coloring(&a))),
+                Smoother::Colored => {
+                    LevelSmoother::Colored(color_classes(&greedy_coloring(&a_csr)))
+                }
                 Smoother::Chebyshev { degree } => {
-                    LevelSmoother::Chebyshev(ChebyshevSmoother::for_matrix(&a, degree, 30.0))
+                    LevelSmoother::Chebyshev(ChebyshevSmoother::for_matrix(&a_csr, degree, 30.0))
                 }
             };
             levels.push(Level {
-                a,
+                a: FormatMatrix::convert(a_csr, format)?,
                 smoother: level_smoother,
                 f2c,
                 scratch: RefCell::new(Scratch {
@@ -129,11 +147,48 @@ impl MgPreconditioner {
                 geom = geom.coarsen();
             }
         }
-        let sizes: Vec<(usize, usize)> = levels.iter().map(|l| (l.a.nrows(), l.a.nnz())).collect();
-        MgPreconditioner {
+        let traffic_per_cycle = Self::cycle_traffic(&levels);
+        Ok(MgPreconditioner {
             levels,
-            traffic_per_cycle: xsc_metrics::traffic::mg_vcycle(&sizes, 8),
+            traffic_per_cycle,
+        })
+    }
+
+    /// Analytic DRAM traffic of one V-cycle, summed from each level's
+    /// per-format kernel models (pre/post smooth, fused residual, and the
+    /// injection transfer passes).
+    fn cycle_traffic(levels: &[Level]) -> Traffic {
+        let mut t = Traffic::default();
+        for (l, lv) in levels.iter().enumerate() {
+            let coarsest = l + 1 == levels.len();
+            if coarsest {
+                t = t.plus(lv.a.symgs_traffic());
+            } else {
+                let n = lv.a.nrows() as u64;
+                let nc = levels[l + 1].a.nrows() as u64;
+                // Pre- and post-smooth.
+                t = t.plus(lv.a.symgs_traffic().times(2));
+                // Fused residual: an SpMV sweep that also reads b.
+                t = t.plus(lv.a.spmv_traffic()).plus(Traffic {
+                    flops: 0,
+                    bytes_read: 8 * n,
+                    bytes_written: 0,
+                });
+                // Injection restriction (read r at coarse points, write rc)
+                // and injection-add prolongation (read zc, read+write x).
+                t = t.plus(Traffic {
+                    flops: nc,
+                    bytes_read: 8 * 3 * nc,
+                    bytes_written: 8 * 2 * nc,
+                });
+            }
         }
+        t
+    }
+
+    /// The storage format every level uses.
+    pub fn format(&self) -> SparseFormat {
+        self.levels[0].a.format()
     }
 
     /// Number of levels.
@@ -142,7 +197,7 @@ impl MgPreconditioner {
     }
 
     /// The operator at level 0 (callers typically share the same stencil).
-    pub fn fine_matrix(&self) -> &CsrMatrix<f64> {
+    pub fn fine_matrix(&self) -> &FormatMatrix {
         &self.levels[0].a
     }
 
@@ -164,7 +219,7 @@ impl MgPreconditioner {
         x.iter_mut().for_each(|v| *v = 0.0);
         lv.smoother.apply(a, b, x);
         // Residual and injection restriction.
-        a.residual(x, b, &mut s.r);
+        a.fused_residual(x, b, &mut s.r);
         for (c, &f) in lv.f2c.iter().enumerate() {
             s.rc[c] = s.r[f];
         }
@@ -212,7 +267,9 @@ impl Preconditioner for MgPreconditioner {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::csr::CsrMatrix;
     use crate::stencil::build_rhs;
+    use crate::symgs::symgs;
 
     fn residual_norm(a: &CsrMatrix<f64>, x: &[f64], b: &[f64]) -> f64 {
         let mut r = vec![0.0; b.len()];

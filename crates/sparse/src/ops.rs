@@ -1,0 +1,375 @@
+//! The format-agnostic sparse kernel surface.
+//!
+//! [`SparseOps`] is the one trait the HPCG path ([`cg`](crate::cg),
+//! [`mg`](crate::mg), [`hpcg`](crate::hpcg)) is written against, so a
+//! caller picks a storage format — `usize` CSR, [`Csr32`], or
+//! [`SellCSigma`] — without touching solver code. Every implementation
+//! folds each row's entries in the same order, so the *same algorithm on a
+//! different format produces bit-identical iterates*; only the bytes
+//! streamed per nonzero change. [`FormatMatrix`] is the runtime-dispatch
+//! wrapper ([`SparseFormat`] names the variants), converted fallibly from
+//! a [`CsrMatrix`] because the compact formats reject shapes that overflow
+//! `u32` indices.
+
+use crate::csr::CsrMatrix;
+use crate::csr32::{Csr32, IndexOverflow};
+use crate::sell::SellCSigma;
+use xsc_metrics::traffic::{self, XGather};
+use xsc_metrics::Traffic;
+
+/// Format-agnostic sparse kernels: everything the HPCG path needs from a
+/// matrix, plus the analytic traffic models that price each kernel for the
+/// roofline machinery.
+pub trait SparseOps {
+    /// Number of rows.
+    fn nrows(&self) -> usize;
+    /// Number of columns.
+    fn ncols(&self) -> usize;
+    /// Number of real stored entries (padding excluded).
+    fn nnz(&self) -> usize;
+    /// Short human-readable format name (stable; used in reports).
+    fn format_name(&self) -> &'static str;
+    /// Sequential SpMV `y ← Ax`.
+    fn spmv(&self, x: &[f64], y: &mut [f64]);
+    /// Thread-parallel SpMV, bit-identical to [`SparseOps::spmv`].
+    fn spmv_par(&self, x: &[f64], y: &mut [f64]);
+    /// Fused residual `r = b - Ax` in a single matrix sweep.
+    fn fused_residual(&self, x: &[f64], b: &[f64], r: &mut [f64]);
+    /// The diagonal entries.
+    fn diagonal(&self) -> Vec<f64>;
+    /// One natural-order symmetric Gauss–Seidel application.
+    fn symgs(&self, b: &[f64], x: &mut [f64]);
+    /// One multicolor symmetric Gauss–Seidel application (classes from
+    /// [`coloring::color_classes`](crate::coloring::color_classes)).
+    fn colored_symgs(&self, classes: &[Vec<usize>], b: &[f64], x: &mut [f64]);
+    /// Modeled DRAM traffic of one SpMV under this format's recording
+    /// convention.
+    fn spmv_traffic(&self) -> Traffic;
+    /// Modeled DRAM traffic of one SymGS application (two sweeps).
+    fn symgs_traffic(&self) -> Traffic;
+
+    /// Residual `r = b - Ax` (defaults to the fused single-sweep form).
+    fn residual(&self, x: &[f64], b: &[f64], r: &mut [f64]) {
+        self.fused_residual(x, b, r);
+    }
+
+    /// Modeled matrix-stream bytes per nonzero for one SpMV — the number
+    /// E19 checks measurements against.
+    fn modeled_spmv_bytes_per_nnz(&self) -> f64 {
+        let t = self.spmv_traffic();
+        (t.bytes_read + t.bytes_written) as f64 / (self.nnz().max(1)) as f64
+    }
+}
+
+impl SparseOps for CsrMatrix<f64> {
+    fn nrows(&self) -> usize {
+        CsrMatrix::nrows(self)
+    }
+    fn ncols(&self) -> usize {
+        CsrMatrix::ncols(self)
+    }
+    fn nnz(&self) -> usize {
+        CsrMatrix::nnz(self)
+    }
+    fn format_name(&self) -> &'static str {
+        SparseFormat::CsrUsize.name()
+    }
+    fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        CsrMatrix::spmv(self, x, y);
+    }
+    fn spmv_par(&self, x: &[f64], y: &mut [f64]) {
+        CsrMatrix::spmv_par(self, x, y);
+    }
+    fn fused_residual(&self, x: &[f64], b: &[f64], r: &mut [f64]) {
+        CsrMatrix::fused_residual(self, x, b, r);
+    }
+    fn diagonal(&self) -> Vec<f64> {
+        CsrMatrix::diagonal(self)
+    }
+    fn symgs(&self, b: &[f64], x: &mut [f64]) {
+        crate::symgs::symgs(self, b, x);
+    }
+    fn colored_symgs(&self, classes: &[Vec<usize>], b: &[f64], x: &mut [f64]) {
+        crate::coloring::colored_symgs(self, classes, b, x);
+    }
+    fn spmv_traffic(&self) -> Traffic {
+        traffic::spmv_csr(CsrMatrix::nrows(self), CsrMatrix::nnz(self), 8)
+    }
+    fn symgs_traffic(&self) -> Traffic {
+        traffic::symgs_csr(CsrMatrix::nrows(self), CsrMatrix::nnz(self), 8)
+    }
+}
+
+impl SparseOps for Csr32<f64> {
+    fn nrows(&self) -> usize {
+        Csr32::nrows(self)
+    }
+    fn ncols(&self) -> usize {
+        Csr32::ncols(self)
+    }
+    fn nnz(&self) -> usize {
+        Csr32::nnz(self)
+    }
+    fn format_name(&self) -> &'static str {
+        SparseFormat::Csr32.name()
+    }
+    fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        Csr32::spmv(self, x, y);
+    }
+    fn spmv_par(&self, x: &[f64], y: &mut [f64]) {
+        Csr32::spmv_par(self, x, y);
+    }
+    fn fused_residual(&self, x: &[f64], b: &[f64], r: &mut [f64]) {
+        Csr32::fused_residual(self, x, b, r);
+    }
+    fn diagonal(&self) -> Vec<f64> {
+        Csr32::diagonal(self)
+    }
+    fn symgs(&self, b: &[f64], x: &mut [f64]) {
+        Csr32::symgs(self, b, x);
+    }
+    fn colored_symgs(&self, classes: &[Vec<usize>], b: &[f64], x: &mut [f64]) {
+        Csr32::colored_symgs(self, classes, b, x);
+    }
+    fn spmv_traffic(&self) -> Traffic {
+        traffic::spmv_csr32(
+            Csr32::nrows(self),
+            Csr32::ncols(self),
+            Csr32::nnz(self),
+            8,
+            XGather::Streamed,
+        )
+    }
+    fn symgs_traffic(&self) -> Traffic {
+        traffic::symgs_csr32(
+            Csr32::nrows(self),
+            Csr32::ncols(self),
+            Csr32::nnz(self),
+            8,
+            XGather::Streamed,
+        )
+    }
+}
+
+impl SparseOps for SellCSigma<f64> {
+    fn nrows(&self) -> usize {
+        SellCSigma::nrows(self)
+    }
+    fn ncols(&self) -> usize {
+        SellCSigma::ncols(self)
+    }
+    fn nnz(&self) -> usize {
+        SellCSigma::nnz(self)
+    }
+    fn format_name(&self) -> &'static str {
+        SparseFormat::SellCSigma.name()
+    }
+    fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        SellCSigma::spmv(self, x, y);
+    }
+    fn spmv_par(&self, x: &[f64], y: &mut [f64]) {
+        SellCSigma::spmv_par(self, x, y);
+    }
+    fn fused_residual(&self, x: &[f64], b: &[f64], r: &mut [f64]) {
+        SellCSigma::fused_residual(self, x, b, r);
+    }
+    fn diagonal(&self) -> Vec<f64> {
+        SellCSigma::diagonal(self)
+    }
+    fn symgs(&self, b: &[f64], x: &mut [f64]) {
+        SellCSigma::symgs(self, b, x);
+    }
+    fn colored_symgs(&self, classes: &[Vec<usize>], b: &[f64], x: &mut [f64]) {
+        SellCSigma::colored_symgs(self, classes, b, x);
+    }
+    fn spmv_traffic(&self) -> Traffic {
+        traffic::spmv_sell(
+            SellCSigma::nrows(self),
+            SellCSigma::ncols(self),
+            SellCSigma::nnz(self),
+            self.padded_slots(),
+            self.nchunks(),
+            8,
+            XGather::Streamed,
+        )
+    }
+    fn symgs_traffic(&self) -> Traffic {
+        traffic::symgs_sell(
+            SellCSigma::nrows(self),
+            SellCSigma::ncols(self),
+            SellCSigma::nnz(self),
+            self.nchunks(),
+            8,
+            XGather::Streamed,
+        )
+    }
+}
+
+/// The storage formats the HPCG path can run on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SparseFormat {
+    /// `usize`-index CSR (the legacy baseline; ~24 B/nnz matrix stream).
+    CsrUsize,
+    /// `u32`-index CSR (~12 B/nnz matrix stream).
+    Csr32,
+    /// SELL-C-σ with `u32` indices (~12 B/nnz plus a small padding tax).
+    SellCSigma,
+}
+
+impl SparseFormat {
+    /// Stable short name (used in reports and JSON keys).
+    pub fn name(self) -> &'static str {
+        match self {
+            SparseFormat::CsrUsize => "csr-usize",
+            SparseFormat::Csr32 => "csr32",
+            SparseFormat::SellCSigma => "sell-c-sigma",
+        }
+    }
+
+    /// All formats, baseline first (the order E19 reports them in).
+    pub fn all() -> [SparseFormat; 3] {
+        [
+            SparseFormat::CsrUsize,
+            SparseFormat::Csr32,
+            SparseFormat::SellCSigma,
+        ]
+    }
+}
+
+impl std::fmt::Display for SparseFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A sparse matrix in one of the [`SparseFormat`]s, dispatching
+/// [`SparseOps`] at runtime — what [`mg`](crate::mg) levels store so a
+/// whole hierarchy switches format from one argument.
+#[derive(Debug, Clone)]
+pub enum FormatMatrix {
+    /// `usize`-index CSR.
+    CsrUsize(CsrMatrix<f64>),
+    /// Compact `u32`-index CSR.
+    Csr32(Csr32<f64>),
+    /// SELL-C-σ.
+    Sell(SellCSigma<f64>),
+}
+
+impl FormatMatrix {
+    /// Converts a CSR matrix into the requested format. Compact formats
+    /// fail with [`IndexOverflow`] rather than truncating indices.
+    pub fn convert(a: CsrMatrix<f64>, format: SparseFormat) -> Result<Self, IndexOverflow> {
+        Ok(match format {
+            SparseFormat::CsrUsize => FormatMatrix::CsrUsize(a),
+            SparseFormat::Csr32 => FormatMatrix::Csr32(Csr32::try_from(&a)?),
+            SparseFormat::SellCSigma => FormatMatrix::Sell(SellCSigma::try_from(&a)?),
+        })
+    }
+
+    /// Which format this matrix is stored in.
+    pub fn format(&self) -> SparseFormat {
+        match self {
+            FormatMatrix::CsrUsize(_) => SparseFormat::CsrUsize,
+            FormatMatrix::Csr32(_) => SparseFormat::Csr32,
+            FormatMatrix::Sell(_) => SparseFormat::SellCSigma,
+        }
+    }
+}
+
+macro_rules! dispatch {
+    ($self:ident, $a:ident => $e:expr) => {
+        match $self {
+            FormatMatrix::CsrUsize($a) => $e,
+            FormatMatrix::Csr32($a) => $e,
+            FormatMatrix::Sell($a) => $e,
+        }
+    };
+}
+
+impl SparseOps for FormatMatrix {
+    fn nrows(&self) -> usize {
+        dispatch!(self, a => a.nrows())
+    }
+    fn ncols(&self) -> usize {
+        dispatch!(self, a => a.ncols())
+    }
+    fn nnz(&self) -> usize {
+        dispatch!(self, a => a.nnz())
+    }
+    fn format_name(&self) -> &'static str {
+        self.format().name()
+    }
+    fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        dispatch!(self, a => SparseOps::spmv(a, x, y))
+    }
+    fn spmv_par(&self, x: &[f64], y: &mut [f64]) {
+        dispatch!(self, a => SparseOps::spmv_par(a, x, y))
+    }
+    fn fused_residual(&self, x: &[f64], b: &[f64], r: &mut [f64]) {
+        dispatch!(self, a => SparseOps::fused_residual(a, x, b, r))
+    }
+    fn diagonal(&self) -> Vec<f64> {
+        dispatch!(self, a => SparseOps::diagonal(a))
+    }
+    fn symgs(&self, b: &[f64], x: &mut [f64]) {
+        dispatch!(self, a => SparseOps::symgs(a, b, x))
+    }
+    fn colored_symgs(&self, classes: &[Vec<usize>], b: &[f64], x: &mut [f64]) {
+        dispatch!(self, a => SparseOps::colored_symgs(a, classes, b, x))
+    }
+    fn spmv_traffic(&self) -> Traffic {
+        dispatch!(self, a => SparseOps::spmv_traffic(a))
+    }
+    fn symgs_traffic(&self) -> Traffic {
+        dispatch!(self, a => SparseOps::symgs_traffic(a))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stencil::{build_matrix, build_rhs, Geometry};
+
+    #[test]
+    fn every_format_computes_the_same_spmv() {
+        let a = build_matrix(Geometry::new(4, 4, 4));
+        let n = SparseOps::nrows(&a);
+        let x: Vec<f64> = (0..n).map(|i| ((i % 17) as f64) * 0.3 - 1.0).collect();
+        let mut y_ref = vec![0.0; n];
+        SparseOps::spmv(&a, &x, &mut y_ref);
+        for fmt in SparseFormat::all() {
+            let m = FormatMatrix::convert(a.clone(), fmt).unwrap();
+            assert_eq!(m.format(), fmt);
+            assert_eq!(m.format_name(), fmt.name());
+            let mut y = vec![0.0; n];
+            m.spmv(&x, &mut y);
+            assert_eq!(y, y_ref, "{fmt}");
+        }
+    }
+
+    #[test]
+    fn compact_formats_model_fewer_bytes_per_nnz() {
+        let a = build_matrix(Geometry::new(8, 8, 8));
+        let base = FormatMatrix::convert(a.clone(), SparseFormat::CsrUsize).unwrap();
+        for fmt in [SparseFormat::Csr32, SparseFormat::SellCSigma] {
+            let m = FormatMatrix::convert(a.clone(), fmt).unwrap();
+            let ratio = base.modeled_spmv_bytes_per_nnz() / m.modeled_spmv_bytes_per_nnz();
+            assert!(ratio >= 1.5, "{fmt}: modeled ratio {ratio:.2} < 1.5");
+        }
+    }
+
+    #[test]
+    fn symgs_agrees_across_formats() {
+        let a = build_matrix(Geometry::new(4, 4, 4));
+        let (b, _) = build_rhs(&a);
+        let n = SparseOps::nrows(&a);
+        let mut x_ref = vec![0.0; n];
+        crate::symgs::symgs(&a, &b, &mut x_ref);
+        for fmt in SparseFormat::all() {
+            let m = FormatMatrix::convert(a.clone(), fmt).unwrap();
+            let mut x = vec![0.0; n];
+            m.symgs(&b, &mut x);
+            assert_eq!(x, x_ref, "{fmt}");
+        }
+    }
+}

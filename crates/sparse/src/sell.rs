@@ -1,0 +1,501 @@
+//! SELL-C-σ: sliced ELLPACK with sorted chunks.
+//!
+//! Rows are grouped into chunks of `C` consecutive slots; within each
+//! σ-row window the rows are stably sorted by descending length so chunk
+//! mates have similar lengths and the zero padding stays small. Each chunk
+//! stores its entries **column-major** (all lanes' entry 0, then entry 1,
+//! …), the layout SIMD SpMV wants: one vector load per step services `C`
+//! rows. Indices are `u32`, so the matrix stream matches [`Csr32`]'s
+//! ~12 B/nnz rather than the `usize` CSR's ~24.
+//!
+//! Padding slots carry `col = 0, val = 0`, an exact no-op under `mul_add`,
+//! and every row records its real length so the Gauss–Seidel sweeps (which
+//! divide by the diagonal) never touch padding. All kernels fold each
+//! row's entries in the original CSR order, so results are bit-identical
+//! to the other formats.
+//!
+//! [`Csr32`]: crate::csr32::Csr32
+
+use crate::csr::CsrMatrix;
+use crate::csr32::{check_compact_bounds, IndexOverflow};
+use rayon::prelude::*;
+use xsc_core::Scalar;
+use xsc_metrics::traffic::XGather;
+
+/// Default chunk height (lanes per chunk).
+pub const DEFAULT_C: usize = 8;
+/// Default sorting-window size (rows; must be a multiple of the chunk
+/// height).
+pub const DEFAULT_SIGMA: usize = 64;
+
+/// A sparse matrix in SELL-C-σ layout (sliced ELLPACK, sorted chunks).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SellCSigma<T> {
+    nrows: usize,
+    ncols: usize,
+    c: usize,
+    sigma: usize,
+    nnz: usize,
+    /// Start of each chunk's slab in `col_idx`/`vals` (length `nchunks+1`).
+    chunk_off: Vec<usize>,
+    col_idx: Vec<u32>,
+    vals: Vec<T>,
+    /// Real (unpadded) length of the row at each sorted slot.
+    row_len: Vec<u32>,
+    /// `perm[slot]` = original row stored at sorted slot `slot`.
+    perm: Vec<u32>,
+    /// `inv[row]` = sorted slot holding original row `row`.
+    inv: Vec<u32>,
+}
+
+impl<T: Scalar> TryFrom<&CsrMatrix<T>> for SellCSigma<T> {
+    type Error = IndexOverflow;
+
+    fn try_from(a: &CsrMatrix<T>) -> Result<Self, IndexOverflow> {
+        SellCSigma::from_csr(a, DEFAULT_C, DEFAULT_SIGMA)
+    }
+}
+
+impl<T: Scalar> SellCSigma<T> {
+    /// Converts a CSR matrix into SELL-C-σ with chunk height `c` and sort
+    /// window `sigma` (a multiple of `c`). Fails with [`IndexOverflow`] if
+    /// the shape does not fit `u32` indexing.
+    pub fn from_csr(a: &CsrMatrix<T>, c: usize, sigma: usize) -> Result<Self, IndexOverflow> {
+        assert!(c >= 1, "chunk height must be at least 1");
+        assert!(
+            sigma >= c && sigma % c == 0,
+            "sort window {sigma} must be a positive multiple of the chunk height {c}"
+        );
+        check_compact_bounds(a.ncols(), a.nnz())?;
+        let n = a.nrows();
+        // Stable descending-length sort within each σ-window: ties keep
+        // their original relative order, so the layout is deterministic.
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        let len_of = |r: u32| a.row(r as usize).0.len();
+        for wstart in (0..n).step_by(sigma.max(1)) {
+            let wend = (wstart + sigma).min(n);
+            perm[wstart..wend].sort_by_key(|&q| std::cmp::Reverse(len_of(q)));
+        }
+        let mut inv = vec![0u32; n];
+        for (slot, &r) in perm.iter().enumerate() {
+            inv[r as usize] = slot as u32;
+        }
+        let nchunks = n.div_ceil(c.max(1));
+        let mut chunk_off = Vec::with_capacity(nchunks + 1);
+        chunk_off.push(0usize);
+        let mut col_idx = Vec::new();
+        let mut vals = Vec::new();
+        let mut row_len = Vec::with_capacity(n);
+        for ch in 0..nchunks {
+            let s0 = ch * c;
+            let rows_in = (n - s0).min(c);
+            let width = (0..rows_in)
+                .map(|l| len_of(perm[s0 + l]))
+                .max()
+                .unwrap_or(0);
+            // Column-major slab: entry j of every lane, then entry j+1.
+            for j in 0..width {
+                for l in 0..rows_in {
+                    let (cols, v) = a.row(perm[s0 + l] as usize);
+                    if j < cols.len() {
+                        col_idx.push(cols[j] as u32);
+                        vals.push(v[j]);
+                    } else {
+                        col_idx.push(0);
+                        vals.push(T::zero());
+                    }
+                }
+            }
+            for l in 0..rows_in {
+                row_len.push(len_of(perm[s0 + l]) as u32);
+            }
+            chunk_off.push(col_idx.len());
+        }
+        Ok(SellCSigma {
+            nrows: n,
+            ncols: a.ncols(),
+            c,
+            sigma,
+            nnz: a.nnz(),
+            chunk_off,
+            col_idx,
+            vals,
+            row_len,
+            perm,
+            inv,
+        })
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of **real** stored entries (padding excluded).
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Total stored slots including zero padding (what SpMV streams).
+    pub fn padded_slots(&self) -> usize {
+        *self.chunk_off.last().unwrap_or(&0)
+    }
+
+    /// Number of chunks.
+    pub fn nchunks(&self) -> usize {
+        self.chunk_off.len() - 1
+    }
+
+    /// Chunk height `C`.
+    pub fn chunk_height(&self) -> usize {
+        self.c
+    }
+
+    /// Sort window σ.
+    pub fn sort_window(&self) -> usize {
+        self.sigma
+    }
+
+    /// Padding overhead: stored slots per real nonzero (1.0 = no padding).
+    pub fn fill_ratio(&self) -> f64 {
+        if self.nnz == 0 {
+            1.0
+        } else {
+            self.padded_slots() as f64 / self.nnz as f64
+        }
+    }
+
+    fn width(&self) -> u64 {
+        std::mem::size_of::<T>() as u64
+    }
+
+    /// Folds `f` over the real entries of original row `i` in CSR order.
+    #[inline]
+    fn for_row(&self, i: usize, mut f: impl FnMut(usize, T)) {
+        let slot = self.inv[i] as usize;
+        let ch = slot / self.c;
+        let lane = slot - ch * self.c;
+        let rows_in = (self.nrows - ch * self.c).min(self.c);
+        let base = self.chunk_off[ch];
+        for j in 0..self.row_len[slot] as usize {
+            let k = base + j * rows_in + lane;
+            f(self.col_idx[k] as usize, self.vals[k]);
+        }
+    }
+
+    /// Per-chunk lane accumulators for `A x` over chunk `ch`, padding
+    /// included (an exact no-op); lane order = sorted-slot order.
+    #[inline]
+    fn chunk_accs(&self, ch: usize, x: &[T]) -> Vec<T> {
+        let s0 = ch * self.c;
+        let rows_in = (self.nrows - s0).min(self.c);
+        let base = self.chunk_off[ch];
+        let width = (self.chunk_off[ch + 1] - base) / rows_in.max(1);
+        let mut accs = vec![T::zero(); rows_in];
+        for j in 0..width {
+            let row_base = base + j * rows_in;
+            for (l, acc) in accs.iter_mut().enumerate() {
+                let k = row_base + l;
+                *acc = self.vals[k].mul_add(x[self.col_idx[k] as usize], *acc);
+            }
+        }
+        accs
+    }
+
+    fn spmv_traffic(&self) -> xsc_metrics::Traffic {
+        xsc_metrics::traffic::spmv_sell(
+            self.nrows,
+            self.ncols,
+            self.nnz,
+            self.padded_slots(),
+            self.nchunks(),
+            self.width(),
+            XGather::Streamed,
+        )
+    }
+
+    /// Sequential SpMV `y ← Ax` over the chunked layout. Each lane's fold
+    /// visits its row's entries in CSR order (then exact-zero padding), so
+    /// the result is bit-identical to the CSR formats.
+    pub fn spmv(&self, x: &[T], y: &mut [T]) {
+        assert_eq!(x.len(), self.ncols, "spmv x length mismatch");
+        assert_eq!(y.len(), self.nrows, "spmv y length mismatch");
+        let _scope = xsc_metrics::record("spmv", self.spmv_traffic());
+        for ch in 0..self.nchunks() {
+            let accs = self.chunk_accs(ch, x);
+            let s0 = ch * self.c;
+            for (l, acc) in accs.into_iter().enumerate() {
+                y[self.perm[s0 + l] as usize] = acc;
+            }
+        }
+    }
+
+    /// Thread-parallel SpMV (chunks fan out), bit-identical to
+    /// [`SellCSigma::spmv`].
+    pub fn spmv_par(&self, x: &[T], y: &mut [T]) {
+        assert_eq!(x.len(), self.ncols, "spmv x length mismatch");
+        assert_eq!(y.len(), self.nrows, "spmv y length mismatch");
+        let _scope = xsc_metrics::record("spmv", self.spmv_traffic());
+        let per_chunk: Vec<Vec<T>> = (0..self.nchunks())
+            .into_par_iter()
+            .map(|ch| self.chunk_accs(ch, x))
+            .collect();
+        for (ch, accs) in per_chunk.into_iter().enumerate() {
+            let s0 = ch * self.c;
+            for (l, acc) in accs.into_iter().enumerate() {
+                y[self.perm[s0 + l] as usize] = acc;
+            }
+        }
+    }
+
+    /// Fused residual `r = b - Ax` in one sweep; same per-row fold as
+    /// [`CsrMatrix::fused_residual`](crate::csr::CsrMatrix::fused_residual).
+    pub fn fused_residual(&self, x: &[T], b: &[T], r: &mut [T]) {
+        assert_eq!(x.len(), self.ncols, "fused_residual x length mismatch");
+        assert_eq!(b.len(), self.nrows, "fused_residual b length mismatch");
+        assert_eq!(r.len(), self.nrows, "fused_residual r length mismatch");
+        let w = self.width();
+        let _scope = xsc_metrics::record(
+            "spmv",
+            self.spmv_traffic().plus(xsc_metrics::Traffic {
+                flops: 0,
+                bytes_read: w * self.nrows as u64,
+                bytes_written: 0,
+            }),
+        );
+        for i in 0..self.nrows {
+            let mut acc = b[i];
+            self.for_row(i, |c, v| acc = (-v).mul_add(x[c], acc));
+            r[i] = acc;
+        }
+    }
+
+    /// The diagonal entries (zero where a row has no diagonal entry).
+    pub fn diagonal(&self) -> Vec<T> {
+        let mut d = vec![T::zero(); self.nrows];
+        for (i, di) in d.iter_mut().enumerate().take(self.nrows.min(self.ncols)) {
+            self.for_row(i, |c, v| {
+                if c == i {
+                    *di = v;
+                }
+            });
+        }
+        d
+    }
+}
+
+impl SellCSigma<f64> {
+    fn symgs_traffic(&self) -> xsc_metrics::Traffic {
+        xsc_metrics::traffic::symgs_sell(
+            self.nrows,
+            self.ncols,
+            self.nnz,
+            self.nchunks(),
+            8,
+            XGather::Streamed,
+        )
+    }
+
+    #[inline]
+    fn gs_update(&self, i: usize, b: &[f64], x: &[f64]) -> f64 {
+        let mut acc = b[i];
+        let mut diag = 0.0;
+        self.for_row(i, |c, v| {
+            if c == i {
+                diag = v;
+            } else {
+                acc -= v * x[c];
+            }
+        });
+        debug_assert!(diag != 0.0, "zero diagonal at row {i}");
+        acc / diag
+    }
+
+    /// One symmetric Gauss–Seidel application (natural row order, forward
+    /// then backward); walks only real entries via the per-row lengths.
+    pub fn symgs(&self, b: &[f64], x: &mut [f64]) {
+        let n = self.nrows;
+        assert_eq!(b.len(), n);
+        assert_eq!(x.len(), n);
+        let _scope = xsc_metrics::record("symgs", self.symgs_traffic());
+        for i in 0..n {
+            let v = self.gs_update(i, b, x);
+            x[i] = v;
+        }
+        for i in (0..n).rev() {
+            let v = self.gs_update(i, b, x);
+            x[i] = v;
+        }
+    }
+
+    /// One parallel multicolor symmetric Gauss–Seidel application; same
+    /// class ordering and row updates as
+    /// `xsc_sparse::coloring::colored_symgs`, so results are bit-identical
+    /// across formats.
+    pub fn colored_symgs(&self, classes: &[Vec<usize>], b: &[f64], x: &mut [f64]) {
+        let _scope = xsc_metrics::record("symgs", self.symgs_traffic());
+        let sweep = |x: &mut [f64], class: &[usize]| {
+            let updates: Vec<(usize, f64)> = class
+                .par_iter()
+                .map(|&i| (i, self.gs_update(i, b, x)))
+                .collect();
+            for (i, v) in updates {
+                x[i] = v;
+            }
+        };
+        for class in classes {
+            sweep(x, class);
+        }
+        for class in classes.iter().rev() {
+            sweep(x, class);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stencil::{build_matrix, build_rhs, Geometry};
+
+    fn sample() -> CsrMatrix<f64> {
+        build_matrix(Geometry::new(5, 4, 3))
+    }
+
+    #[test]
+    fn conversion_accounts_for_every_entry() {
+        let a = sample();
+        let s = SellCSigma::try_from(&a).unwrap();
+        assert_eq!(s.nrows(), a.nrows());
+        assert_eq!(s.nnz(), a.nnz());
+        assert!(s.padded_slots() >= s.nnz());
+        assert!(s.fill_ratio() >= 1.0);
+        // σ-sorting keeps stencil padding modest.
+        assert!(s.fill_ratio() < 1.6, "fill ratio {}", s.fill_ratio());
+        // Row contents survive the permutation.
+        for i in 0..a.nrows() {
+            let (cols, vals) = a.row(i);
+            let mut got: Vec<(usize, f64)> = Vec::new();
+            s.for_row(i, |c, v| got.push((c, v)));
+            let want: Vec<(usize, f64)> = cols.iter().copied().zip(vals.iter().copied()).collect();
+            assert_eq!(got, want, "row {i}");
+        }
+    }
+
+    #[test]
+    fn sort_is_stable_and_deterministic() {
+        let a = sample();
+        let s1 = SellCSigma::from_csr(&a, 4, 16).unwrap();
+        let s2 = SellCSigma::from_csr(&a, 4, 16).unwrap();
+        assert_eq!(s1, s2);
+        // perm is a permutation.
+        let mut seen = vec![false; a.nrows()];
+        for &p in &s1.perm {
+            assert!(!seen[p as usize]);
+            seen[p as usize] = true;
+        }
+    }
+
+    #[test]
+    fn spmv_is_bit_identical_to_csr() {
+        let a = sample();
+        let n = a.nrows();
+        let x: Vec<f64> = (0..n).map(|i| ((i * 41 % 89) as f64).sin()).collect();
+        let mut y_ref = vec![0.0; n];
+        a.spmv(&x, &mut y_ref);
+        for (c, sigma) in [(1, 1), (2, 8), (8, 64), (16, 16)] {
+            let s = SellCSigma::from_csr(&a, c, sigma).unwrap();
+            let mut y1 = vec![0.0; n];
+            let mut y2 = vec![0.0; n];
+            s.spmv(&x, &mut y1);
+            s.spmv_par(&x, &mut y2);
+            assert_eq!(y_ref, y1, "C={c} σ={sigma}");
+            assert_eq!(y_ref, y2, "C={c} σ={sigma} (par)");
+        }
+    }
+
+    #[test]
+    fn fused_residual_is_bit_identical_to_csr() {
+        let a = sample();
+        let (b, _) = build_rhs(&a);
+        let n = a.nrows();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.03).cos()).collect();
+        let s = SellCSigma::try_from(&a).unwrap();
+        let mut r1 = vec![0.0; n];
+        let mut r2 = vec![0.0; n];
+        a.fused_residual(&x, &b, &mut r1);
+        s.fused_residual(&x, &b, &mut r2);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn symgs_is_bit_identical_to_reference() {
+        let a = sample();
+        let (b, _) = build_rhs(&a);
+        let s = SellCSigma::try_from(&a).unwrap();
+        let mut x1 = vec![0.0; a.nrows()];
+        let mut x2 = vec![0.0; a.nrows()];
+        for _ in 0..3 {
+            crate::symgs::symgs(&a, &b, &mut x1);
+            s.symgs(&b, &mut x2);
+        }
+        assert_eq!(x1, x2);
+    }
+
+    #[test]
+    fn colored_symgs_is_bit_identical_to_reference() {
+        let a = sample();
+        let (b, _) = build_rhs(&a);
+        let classes = crate::coloring::color_classes(&crate::coloring::greedy_coloring(&a));
+        let s = SellCSigma::try_from(&a).unwrap();
+        let mut x1 = vec![0.0; a.nrows()];
+        let mut x2 = vec![0.0; a.nrows()];
+        for _ in 0..3 {
+            crate::coloring::colored_symgs(&a, &classes, &b, &mut x1);
+            s.colored_symgs(&classes, &b, &mut x2);
+        }
+        assert_eq!(x1, x2);
+    }
+
+    #[test]
+    fn diagonal_matches_csr() {
+        let a = sample();
+        let s = SellCSigma::try_from(&a).unwrap();
+        assert_eq!(a.diagonal(), s.diagonal());
+    }
+
+    #[test]
+    fn huge_ncols_is_rejected() {
+        let wide = CsrMatrix::<f64>::from_triplets(1, u32::MAX as usize + 2, vec![]);
+        assert!(matches!(
+            SellCSigma::try_from(&wide),
+            Err(IndexOverflow::Cols { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the chunk height")]
+    fn sigma_must_be_multiple_of_c() {
+        let a = sample();
+        let _ = SellCSigma::from_csr(&a, 8, 12);
+    }
+
+    #[test]
+    fn ragged_last_chunk_is_handled() {
+        // 5×4×3 grid has 60 rows; C=7 leaves a 4-row final chunk.
+        let a = sample();
+        let s = SellCSigma::from_csr(&a, 7, 28).unwrap();
+        let n = a.nrows();
+        assert_eq!(s.nchunks(), n.div_ceil(7));
+        let x = vec![1.0; n];
+        let mut y1 = vec![0.0; n];
+        let mut y2 = vec![0.0; n];
+        a.spmv(&x, &mut y1);
+        s.spmv(&x, &mut y2);
+        assert_eq!(y1, y2);
+    }
+}
