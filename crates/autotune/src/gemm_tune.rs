@@ -8,9 +8,9 @@
 //! via [`xsc_core::gemm::set_global_params`].
 
 use crate::{exhaustive, median_of, SweepResult};
-use std::time::Instant;
 use xsc_core::gemm::{gemm_with_params, Transpose};
 use xsc_core::{gen, GemmParams, Matrix};
+use xsc_metrics::Stopwatch;
 
 /// The default candidate grid: a small cross of `MC`/`KC`/`NC` values around
 /// [`GemmParams::DEFAULT`], covering panel footprints from "fits in L1" to
@@ -36,9 +36,9 @@ pub fn measure_gemm_seconds(
     b: &Matrix<f64>,
     c: &mut Matrix<f64>,
 ) -> f64 {
-    let t = Instant::now();
+    let t = Stopwatch::start();
     gemm_with_params(Transpose::No, Transpose::No, 1.0, a, b, 0.0, c, p);
-    t.elapsed().as_secs_f64()
+    t.seconds()
 }
 
 /// Sweeps `candidates` (the [`default_candidates`] grid if empty) at problem

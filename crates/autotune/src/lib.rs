@@ -18,7 +18,7 @@
 //! parameters (`MC`/`KC`/`NC`), the search E08 runs alongside its tile-size
 //! sweep.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod gemm_tune;

@@ -10,7 +10,7 @@
 //! [`batched_trsm_llt`] the operations; [`looped_gemm`] the
 //! one-call-per-matrix baseline experiment E07 compares against.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 use rayon::prelude::*;

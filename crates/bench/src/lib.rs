@@ -9,7 +9,7 @@
 //! `quick` (default — seconds per experiment) or `full` (minutes, sharper
 //! separation between the compared methods).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod experiments;

@@ -49,8 +49,7 @@ pub fn inverse_one_norm_estimate<T: Scalar>(lu: &Matrix<T>, piv: &[usize]) -> f6
         let ztx: f64 = z
             .iter()
             .zip(x.iter())
-            .map(|(a, b)| a.to_f64() * b.to_f64())
-            .sum();
+            .fold(0.0, |acc, (a, b)| acc + a.to_f64() * b.to_f64());
         estimate = estimate.max(est);
         if zmax <= ztx {
             break; // converged: the current vector is (locally) optimal

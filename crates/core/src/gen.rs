@@ -52,7 +52,7 @@ pub fn random_spd<T: Scalar>(n: usize, seed: u64) -> Matrix<T> {
 pub fn diag_dominant<T: Scalar>(n: usize, seed: u64) -> Matrix<T> {
     let mut a = random_matrix::<f64>(n, n, seed);
     for i in 0..n {
-        let row_sum: f64 = (0..n).map(|j| a.get(i, j).abs()).sum();
+        let row_sum: f64 = (0..n).fold(0.0, |acc, j| acc + a.get(i, j).abs());
         a.set(i, i, row_sum + 1.0);
     }
     a.convert()

@@ -18,7 +18,7 @@ use crate::trsm::{trsv, Diag, Uplo};
 /// (with `v[0] = 1` implicit), such that
 /// `(I - tau * v * v^T) * (alpha, x) = (beta, 0)`.
 pub fn reflector<T: Scalar>(alpha: T, x: &mut [T]) -> (T, T) {
-    let sigma: f64 = x.iter().map(|&v| v.to_f64() * v.to_f64()).sum();
+    let sigma: f64 = x.iter().fold(0.0, |acc, &v| acc + v.to_f64() * v.to_f64());
     if sigma == 0.0 {
         // Already in triangular form; H = I.
         return (alpha, T::zero());

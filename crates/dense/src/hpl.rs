@@ -7,9 +7,9 @@
 //! "new rules" counterpart.
 
 use rayon::prelude::*;
-use std::time::Instant;
 use xsc_core::{factor, flops, gen, norms};
 use xsc_core::{Matrix, Result, Scalar, Transpose};
+use xsc_metrics::Stopwatch;
 
 /// Thread-parallel blocked right-looking LU with partial pivoting.
 ///
@@ -98,12 +98,12 @@ pub struct HplResult {
 pub fn run_hpl(n: usize, nb: usize, seed: u64) -> Result<HplResult> {
     let a = gen::random_matrix::<f64>(n, n, seed);
     let b = gen::random_vector::<f64>(n, seed.wrapping_add(1));
-    let start = Instant::now();
+    let start = Stopwatch::start();
     let mut lu = a.clone();
     let piv = par_getrf(&mut lu, nb)?;
     let mut x = b.clone();
     factor::getrf_solve(&lu, &piv, &mut x);
-    let seconds = start.elapsed().as_secs_f64();
+    let seconds = start.seconds();
     let scaled_residual = norms::hpl_scaled_residual(&a, &x, &b);
     Ok(HplResult {
         n,
@@ -127,9 +127,9 @@ pub fn measure_peak_gflops(s: usize, reps: usize) -> f64 {
     let mut c = Matrix::<f64>::zeros(s, s);
     let mut best = 0.0f64;
     for _ in 0..reps.max(1) {
-        let t = Instant::now();
+        let t = Stopwatch::start();
         xsc_core::gemm::par_gemm(Transpose::No, Transpose::No, 1.0, &a, &b, 0.0, &mut c);
-        let rate = flops::gflops(flops::gemm(s, s, s), t.elapsed().as_secs_f64());
+        let rate = flops::gflops(flops::gemm(s, s, s), t.seconds());
         best = best.max(rate);
     }
     best

@@ -24,7 +24,7 @@
 //!   task on mismatch, letting the resilient runtime re-execute exactly the
 //!   corrupted tile operation (E17).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 #![allow(clippy::needless_range_loop)] // index-coupled updates across multiple slices are the clearest form for these kernels
 

@@ -17,7 +17,7 @@
 
 use crate::poison::Poison;
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use xsc_core::householder::{geqrf, ormqr, tpmqrt, tpqrt};
 use xsc_core::{flops, trsm};
@@ -32,7 +32,7 @@ pub struct TiledQr<T> {
     /// Tiles holding `R` (upper part) and the reflector tails (`V`).
     pub tiles: TileMatrix<T>,
     taus_diag: Vec<TauSlot<T>>,
-    taus_ts: HashMap<(usize, usize), TauSlot<T>>,
+    taus_ts: BTreeMap<(usize, usize), TauSlot<T>>,
 }
 
 fn check_shape<T: Scalar>(a: &TileMatrix<T>) {
@@ -52,7 +52,7 @@ pub fn build_graph<T: Scalar>(a: TileMatrix<T>, poison: &Poison) -> (TaskGraph, 
     let nb = a.nb();
     let kt = nt.min(mt);
     let taus_diag: Vec<TauSlot<T>> = (0..kt).map(|_| Arc::new(Mutex::new(Vec::new()))).collect();
-    let mut taus_ts: HashMap<(usize, usize), TauSlot<T>> = HashMap::new();
+    let mut taus_ts: BTreeMap<(usize, usize), TauSlot<T>> = BTreeMap::new();
     for k in 0..kt {
         for i in k + 1..mt {
             taus_ts.insert((i, k), Arc::new(Mutex::new(Vec::new())));
@@ -196,7 +196,7 @@ pub fn qr_forkjoin<T: Scalar>(a: TileMatrix<T>) -> Result<TiledQr<T>> {
     let nt = a.tile_cols();
     let kt = nt.min(mt);
     let taus_diag: Vec<TauSlot<T>> = (0..kt).map(|_| Arc::new(Mutex::new(Vec::new()))).collect();
-    let mut taus_ts: HashMap<(usize, usize), TauSlot<T>> = HashMap::new();
+    let mut taus_ts: BTreeMap<(usize, usize), TauSlot<T>> = BTreeMap::new();
     for k in 0..kt {
         for i in k + 1..mt {
             taus_ts.insert((i, k), Arc::new(Mutex::new(Vec::new())));

@@ -16,7 +16,7 @@
 //!   silently corrupted output, or stall, so chaos campaigns reproduce
 //!   exactly across runs and thread counts (E17).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 #![allow(clippy::needless_range_loop)] // index-coupled updates across multiple slices are the clearest form for these kernels
 

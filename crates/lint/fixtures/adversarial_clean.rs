@@ -1,0 +1,18 @@
+//! Fixture: every hazard name appears only where the lexer must NOT see
+//! it — strings, raw strings, chars, comments, lifetimes. A naive grep
+//! flags this file everywhere; the token-aware linter must report ZERO
+//! findings.
+
+// HashMap thread_rng Instant::now unsafe .sum() as u32 — comment, ignored.
+
+/* block comment with /* nested */ HashMap and thread_rng survive */
+
+pub fn clean() -> usize {
+    let a = "HashMap::new() and thread_rng() and Instant::now()";
+    let b = r#"unsafe { OsRng } and SystemTime"#;
+    let c = r##"raw with "# inside: from_entropy()"##;
+    let d = b"byte HashSet";
+    let e = 'u'; // not the start of `unsafe`
+    let f: &'static str = "lifetime, not a char literal";
+    a.len() + b.len() + c.len() + d.len() + (e as usize) + f.len()
+}

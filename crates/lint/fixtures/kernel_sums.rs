@@ -1,0 +1,23 @@
+//! Fixture for D04: implicit reductions in a kernel-crate path.
+
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    x.iter().zip(y.iter()).map(|(a, b)| a * b).sum() // line 4: D04
+}
+
+pub fn norm_sq(x: &[f64]) -> f64 {
+    x.iter().map(|v| v * v).product() // line 8: D04 (product too)
+}
+
+pub fn pinned_dot(x: &[f64], y: &[f64]) -> f64 {
+    // Explicit left fold: the sanctioned form, no finding.
+    x.iter().zip(y.iter()).fold(0.0, |acc, (a, b)| acc + a * b)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn sums_are_fine_in_tests() {
+        let total: f64 = [1.0, 2.0].iter().sum(); // line 20: exempt
+        assert!(total > 0.0);
+    }
+}

@@ -1,0 +1,13 @@
+//! Fixture for A01: index narrowing in a sparse-crate path.
+
+pub fn narrow(i: usize) -> u32 {
+    i as u32 // line 4: A01
+}
+
+pub fn widen(i: u32) -> usize {
+    i as usize // line 8: widening — no finding
+}
+
+pub fn checked(i: usize) -> u32 {
+    u32::try_from(i).expect("caller-checked") // line 12: sanctioned form
+}

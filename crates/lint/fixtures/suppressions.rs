@@ -1,0 +1,15 @@
+//! Fixture for the suppression grammar and its meta-rules (L00–L02).
+
+// xsc-lint: allow(D01, reason = "fixture: sorted drain two lines down")
+use std::collections::HashMap; // line 4: suppressed by line 3
+
+use std::collections::HashSet; // xsc-lint: allow(D01, reason = "fixture: same-line allow on line 6")
+
+// xsc-lint: allow(D01)
+use std::collections::HashMap as ReasonlessMap; // line 9: D01 survives; line 8 is L00
+
+// xsc-lint: allow(Z99, reason = "no such rule")
+use std::collections::HashSet as UnknownRuleSet; // line 12: D01 survives; line 11 is L01
+
+// xsc-lint: allow(D03, reason = "stale: nothing random below")
+pub fn quiet() {} // line 15: line 14 is L02 (unused suppression)

@@ -1,0 +1,37 @@
+//! Fixture: one violation per determinism rule, at known line numbers
+//! (the test asserts rule ids AND exact lines — renumber carefully).
+
+use std::collections::HashMap; // line 4: D01
+use std::collections::HashSet; // line 5: D01
+use std::time::Instant; // line 6: D02
+use std::time::SystemTime; // line 7: D02
+
+pub fn entropy() {
+    let rng = thread_rng(); // line 10: D03
+    let other = OsRng; // line 11: D03
+}
+
+pub fn clock() {
+    let t = Instant::now(); // line 15: D02
+}
+
+pub fn raw_pointer(p: *const u8) -> u8 {
+    unsafe { *p } // line 19: S01 (no SAFETY comment)
+}
+
+pub fn sound_pointer(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees p is valid (fixture) — silences S01.
+    unsafe { *p } // line 24: no finding
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap; // line 29: exempt (cfg(test) region)
+    use std::time::Instant; // line 30: exempt
+
+    #[test]
+    fn uses_wall_clock_freely() {
+        let _ = Instant::now(); // line 34: exempt
+        let _ = thread_rng(); // line 35: D03 fires even in tests
+    }
+}

@@ -1,0 +1,311 @@
+//! Workspace walking, crate classification, suppression handling, and
+//! report assembly — the glue between the lexer, the rules, and the three
+//! entry points (CLI, in-process tier-1 gate, CI job).
+
+use crate::lexer::Tok;
+use crate::rules::{check_file, known_rule, CrateClass, FileCtx, Finding};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// An inline suppression parsed from a comment:
+/// `// xsc-lint: allow(RULE, reason = "...")`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// The rule id the comment names (not yet validated).
+    pub rule: String,
+    /// The mandatory justification, if present.
+    pub reason: Option<String>,
+    /// Line of the comment. A suppression covers findings on its own line
+    /// and on the next line.
+    pub line: u32,
+}
+
+/// A suppression that matched at least one finding, echoed into the JSON
+/// report so CI keeps an audit trail of every waived diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UsedSuppression {
+    /// The waived rule.
+    pub rule: String,
+    /// File containing the suppression.
+    pub file: String,
+    /// Line of the suppressing comment.
+    pub line: u32,
+    /// The stated justification.
+    pub reason: String,
+}
+
+/// The result of linting a workspace (or a single in-memory source).
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Surviving findings (suppressions already applied), sorted by file
+    /// then line.
+    pub findings: Vec<Finding>,
+    /// Suppressions that matched a finding, with their reasons.
+    pub suppressions_used: Vec<UsedSuppression>,
+}
+
+impl Report {
+    /// `true` when the workspace is lint-clean.
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Renders the findings as `file:line: [RULE] message` lines plus a
+    /// one-line summary — the CLI's human-readable output.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!(
+                "{}:{}: [{}] {}\n",
+                f.file, f.line, f.rule, f.message
+            ));
+        }
+        out.push_str(&format!(
+            "xsc-lint: {} finding(s), {} suppression(s) used, {} file(s) scanned\n",
+            self.findings.len(),
+            self.suppressions_used.len(),
+            self.files_scanned,
+        ));
+        out
+    }
+}
+
+/// Classifies a workspace-relative path (forward slashes) into the crate
+/// class that decides rule applicability.
+pub fn classify(rel: &str) -> CrateClass {
+    if rel.starts_with("tests/") || rel.contains("/tests/") || rel.contains("/benches/") {
+        return CrateClass::TestCode;
+    }
+    if rel.starts_with("crates/shims/") {
+        return CrateClass::Shim;
+    }
+    if rel.starts_with("crates/bench/") {
+        return CrateClass::Bench;
+    }
+    if rel.starts_with("crates/lint/") {
+        return CrateClass::Lint;
+    }
+    if rel.starts_with("examples/") {
+        return CrateClass::Example;
+    }
+    CrateClass::Numeric
+}
+
+/// Extracts `xsc-lint: allow(...)` suppressions from the comment tokens of
+/// an already-lexed file.
+fn parse_suppressions(ctx: &FileCtx) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for t in &ctx.tokens {
+        if let Tok::Comment { text, .. } = &t.tok {
+            if let Some(s) = parse_allow(text, t.line) {
+                out.push(s);
+            }
+        }
+    }
+    out
+}
+
+/// Parses one comment body. Grammar (whitespace-tolerant): the comment
+/// must *begin* with the directive — prose that merely mentions the
+/// syntax is not a suppression. Accepted forms:
+/// `xsc-lint: allow(RULE)` (reported as L00) and
+/// `xsc-lint: allow(RULE, reason = "justification")`.
+fn parse_allow(text: &str, line: u32) -> Option<Suppression> {
+    let rest = text.trim_start().strip_prefix("xsc-lint:")?.trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.rfind(')')?;
+    let inner = &rest[..close];
+    let (rule, tail) = match inner.find(',') {
+        Some(c) => (inner[..c].trim(), Some(inner[c + 1..].trim())),
+        None => (inner.trim(), None),
+    };
+    let reason = tail.and_then(|t| {
+        let t = t.strip_prefix("reason")?.trim_start();
+        let t = t.strip_prefix('=')?.trim_start();
+        let t = t.strip_prefix('"')?;
+        let end = t.rfind('"')?;
+        let r = t[..end].trim();
+        (!r.is_empty()).then(|| r.to_string())
+    });
+    Some(Suppression {
+        rule: rule.to_string(),
+        reason,
+        line,
+    })
+}
+
+/// Lints one in-memory source file: runs every rule, applies suppressions,
+/// and appends the meta-findings (`L00`–`L02`). This is both the per-file
+/// engine behind [`lint_workspace`] and the test seam the fixture suite
+/// drives directly.
+pub fn lint_source(
+    rel_path: &str,
+    class: CrateClass,
+    src: &str,
+) -> (Vec<Finding>, Vec<UsedSuppression>) {
+    let ctx = FileCtx::new(rel_path.to_string(), class, src);
+    let raw = check_file(&ctx);
+    let suppressions = parse_suppressions(&ctx);
+
+    let mut findings = Vec::new();
+    let mut used = vec![false; suppressions.len()];
+
+    // Meta-rules first: a malformed suppression never suppresses.
+    for s in &suppressions {
+        if !known_rule(&s.rule) {
+            findings.push(Finding {
+                rule: "L01",
+                file: rel_path.to_string(),
+                line: s.line,
+                message: format!(
+                    "suppression names unknown rule `{}`; run xsc-lint --list-rules",
+                    s.rule
+                ),
+            });
+        } else if s.reason.is_none() {
+            findings.push(Finding {
+                rule: "L00",
+                file: rel_path.to_string(),
+                line: s.line,
+                message: format!(
+                    "suppression of {} carries no reason; write \
+                     `xsc-lint: allow({}, reason = \"...\")` — the reason is the audit trail",
+                    s.rule, s.rule
+                ),
+            });
+        }
+    }
+
+    for f in raw {
+        let suppressor = suppressions.iter().position(|s| {
+            s.rule == f.rule
+                && s.reason.is_some()
+                && known_rule(&s.rule)
+                && (s.line == f.line || s.line + 1 == f.line)
+        });
+        match suppressor {
+            Some(i) => used[i] = true,
+            None => findings.push(f),
+        }
+    }
+
+    let mut suppressions_used = Vec::new();
+    for (i, s) in suppressions.iter().enumerate() {
+        if !known_rule(&s.rule) || s.reason.is_none() {
+            continue; // already reported as L00/L01
+        }
+        if used[i] {
+            suppressions_used.push(UsedSuppression {
+                rule: s.rule.clone(),
+                file: rel_path.to_string(),
+                line: s.line,
+                reason: s.reason.clone().unwrap_or_default(),
+            });
+        } else {
+            findings.push(Finding {
+                rule: "L02",
+                file: rel_path.to_string(),
+                line: s.line,
+                message: format!(
+                    "suppression of {} matched no finding; delete the stale allow",
+                    s.rule
+                ),
+            });
+        }
+    }
+
+    findings.sort_by(|a, b| a.line.cmp(&b.line).then(a.rule.cmp(b.rule)));
+    (findings, suppressions_used)
+}
+
+/// Recursively collects `.rs` files under `dir`, skipping `target/`,
+/// `fixtures/` (the linter's own adversarial corpus), and dotted entries.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with('.') || name == "target" || name == "fixtures" {
+            continue;
+        }
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints every `.rs` file under `root`'s `crates/`, `tests/`, and
+/// `examples/` trees and returns the aggregate report. File order (and so
+/// report order) is sorted — the linter practices the determinism it
+/// preaches.
+pub fn lint_workspace(root: &Path) -> io::Result<Report> {
+    let mut files = Vec::new();
+    for top in ["crates", "tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+
+    let mut report = Report::default();
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy().into_owned())
+            .collect::<Vec<_>>()
+            .join("/");
+        let src = fs::read_to_string(path)?;
+        let (findings, used) = lint_source(&rel, classify(&rel), &src);
+        report.findings.extend(findings);
+        report.suppressions_used.extend(used);
+        report.files_scanned += 1;
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_covers_the_workspace_layout() {
+        assert_eq!(classify("crates/core/src/gemm.rs"), CrateClass::Numeric);
+        assert_eq!(classify("crates/core/tests/props.rs"), CrateClass::TestCode);
+        assert_eq!(classify("crates/bench/src/lib.rs"), CrateClass::Bench);
+        assert_eq!(
+            classify("crates/bench/benches/kernels.rs"),
+            CrateClass::TestCode
+        );
+        assert_eq!(classify("crates/shims/rand/src/lib.rs"), CrateClass::Shim);
+        assert_eq!(classify("crates/lint/src/lexer.rs"), CrateClass::Lint);
+        assert_eq!(classify("examples/quickstart.rs"), CrateClass::Example);
+        assert_eq!(
+            classify("tests/tests/sparse_formats.rs"),
+            CrateClass::TestCode
+        );
+    }
+
+    #[test]
+    fn parse_allow_grammar() {
+        let s = parse_allow(" xsc-lint: allow(D01, reason = \"sorted drain below\")", 7).unwrap();
+        assert_eq!(s.rule, "D01");
+        assert_eq!(s.reason.as_deref(), Some("sorted drain below"));
+        let bare = parse_allow("xsc-lint: allow(D03)", 1).unwrap();
+        assert_eq!(bare.rule, "D03");
+        assert!(bare.reason.is_none());
+        assert!(parse_allow("just a comment", 1).is_none());
+        let empty = parse_allow("xsc-lint: allow(D01, reason = \"\")", 1).unwrap();
+        assert!(empty.reason.is_none(), "empty reason is no reason");
+    }
+}

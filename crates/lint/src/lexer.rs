@@ -1,0 +1,433 @@
+//! A hand-rolled, comment- and string-aware Rust lexer.
+//!
+//! The linter's rules match *token* patterns, never raw text, so an
+//! identifier inside a string literal (`"call thread_rng here"`), a raw
+//! string (`r#"Instant::now"#`), or a nested block comment never trips a
+//! rule. The lexer is deliberately forgiving: it never fails, it only
+//! classifies — an unterminated literal simply runs to end of file. That
+//! is the right trade for a linter that must scan every file of a
+//! workspace whose compilability is checked elsewhere (by `cargo`).
+//!
+//! Handled Rust surface syntax:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments;
+//! * string literals with escapes, byte strings (`b".."`), C strings
+//!   (`c".."`), and raw strings with any hash depth (`r#".."#`,
+//!   `br##".."##`);
+//! * raw identifiers (`r#match`), which lex as plain identifiers;
+//! * char literals vs. lifetimes (`'a'` vs. `'a`), including escaped
+//!   chars (`'\''`, `'\u{1F600}'`);
+//! * numbers with type suffixes (`0x1Fu32`), which never swallow an
+//!   adjacent `.` so ranges (`0..n`) and method calls (`1.0.max(x)`)
+//!   keep their dots as punctuation.
+
+/// One lexed token kind. Literal *contents* are discarded except for
+/// comments (whose text feeds suppression parsing and `SAFETY:` checks) and
+/// identifiers (which the rules match on).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword (`HashMap`, `as`, `unsafe`, ...).
+    Ident(String),
+    /// A single punctuation character (`.`, `:`, `{`, ...).
+    Punct(char),
+    /// Any string-like literal: `"..."`, `r#"..."#`, `b"..."`, `c"..."`.
+    Str,
+    /// A character literal (`'x'`, `'\n'`).
+    Char,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+    /// A numeric literal, including its suffix (`42`, `0x1Fu32`).
+    Num,
+    /// A comment; `block` distinguishes `/* ... */` from `// ...`.
+    Comment {
+        /// The comment text without its delimiters.
+        text: String,
+        /// `true` for block comments.
+        block: bool,
+    },
+}
+
+/// A token plus the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind (and payload, for identifiers and comments).
+    pub tok: Tok,
+    /// 1-based line number of the token's first character.
+    pub line: u32,
+}
+
+struct Cursor {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+}
+
+impl Cursor {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into a token stream. Never fails; see the module docs for
+/// the recovery policy on malformed input.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek(0) {
+        let line = cur.line;
+        match c {
+            c if c.is_whitespace() => {
+                cur.bump();
+            }
+            '/' if cur.peek(1) == Some('/') => {
+                cur.bump();
+                cur.bump();
+                let mut text = String::new();
+                while let Some(c) = cur.peek(0) {
+                    if c == '\n' {
+                        break;
+                    }
+                    text.push(c);
+                    cur.bump();
+                }
+                out.push(Token {
+                    tok: Tok::Comment { text, block: false },
+                    line,
+                });
+            }
+            '/' if cur.peek(1) == Some('*') => {
+                cur.bump();
+                cur.bump();
+                let mut depth = 1usize;
+                let mut text = String::new();
+                while let Some(c) = cur.peek(0) {
+                    if c == '/' && cur.peek(1) == Some('*') {
+                        depth += 1;
+                        text.push_str("/*");
+                        cur.bump();
+                        cur.bump();
+                    } else if c == '*' && cur.peek(1) == Some('/') {
+                        depth -= 1;
+                        cur.bump();
+                        cur.bump();
+                        if depth == 0 {
+                            break;
+                        }
+                        text.push_str("*/");
+                    } else {
+                        text.push(c);
+                        cur.bump();
+                    }
+                }
+                out.push(Token {
+                    tok: Tok::Comment { text, block: true },
+                    line,
+                });
+            }
+            '"' => {
+                cur.bump();
+                scan_string_body(&mut cur);
+                out.push(Token {
+                    tok: Tok::Str,
+                    line,
+                });
+            }
+            '\'' => {
+                out.push(Token {
+                    tok: scan_quote(&mut cur),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                while let Some(c) = cur.peek(0) {
+                    if is_ident_continue(c) {
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token {
+                    tok: Tok::Num,
+                    line,
+                });
+            }
+            c if is_ident_start(c) => {
+                let mut name = String::new();
+                while let Some(c) = cur.peek(0) {
+                    if is_ident_continue(c) {
+                        name.push(c);
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token {
+                    tok: string_prefix_or_ident(&mut cur, name),
+                    line,
+                });
+            }
+            other => {
+                cur.bump();
+                out.push(Token {
+                    tok: Tok::Punct(other),
+                    line,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Consumes the body of a non-raw string literal (opening quote already
+/// consumed), honoring `\"` and `\\` escapes.
+fn scan_string_body(cur: &mut Cursor) {
+    while let Some(c) = cur.bump() {
+        match c {
+            '\\' => {
+                cur.bump();
+            }
+            '"' => break,
+            _ => {}
+        }
+    }
+}
+
+/// Consumes a raw-string body `r#*"..."#*` starting at the first `#` or
+/// `"` (the `r`/`br`/`cr` prefix is already consumed). Returns `false` if
+/// the cursor does not actually sit on a raw string (e.g. `r#match`).
+fn scan_raw_string(cur: &mut Cursor) -> bool {
+    let mut hashes = 0usize;
+    while cur.peek(hashes) == Some('#') {
+        hashes += 1;
+    }
+    if cur.peek(hashes) != Some('"') {
+        return false;
+    }
+    for _ in 0..=hashes {
+        cur.bump();
+    }
+    'scan: while let Some(c) = cur.bump() {
+        if c == '"' {
+            for ahead in 0..hashes {
+                if cur.peek(ahead) != Some('#') {
+                    continue 'scan;
+                }
+            }
+            for _ in 0..hashes {
+                cur.bump();
+            }
+            break;
+        }
+    }
+    true
+}
+
+/// An identifier has just been read; if it is a literal prefix (`r`, `b`,
+/// `br`, `c`, `cr`) immediately followed by a literal body, consume the
+/// body and return [`Tok::Str`]. `r#ident` (raw identifier) lexes as the
+/// identifier itself.
+fn string_prefix_or_ident(cur: &mut Cursor, name: String) -> Tok {
+    match name.as_str() {
+        "r" | "br" | "cr" => {
+            if cur.peek(0) == Some('"') || cur.peek(0) == Some('#') {
+                // `r#ident` is a raw identifier, not a string.
+                if name == "r"
+                    && cur.peek(0) == Some('#')
+                    && cur.peek(1).is_some_and(is_ident_start)
+                {
+                    cur.bump(); // '#'
+                    let mut raw = String::new();
+                    while let Some(c) = cur.peek(0) {
+                        if is_ident_continue(c) {
+                            raw.push(c);
+                            cur.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    return Tok::Ident(raw);
+                }
+                if scan_raw_string(cur) {
+                    return Tok::Str;
+                }
+            }
+            Tok::Ident(name)
+        }
+        "b" | "c" => {
+            if cur.peek(0) == Some('"') {
+                cur.bump();
+                scan_string_body(cur);
+                return Tok::Str;
+            }
+            if name == "b" && cur.peek(0) == Some('\'') {
+                // Byte literal b'x'.
+                cur.bump();
+                if cur.peek(0) == Some('\\') {
+                    cur.bump();
+                    cur.bump();
+                } else {
+                    cur.bump();
+                }
+                if cur.peek(0) == Some('\'') {
+                    cur.bump();
+                }
+                return Tok::Char;
+            }
+            Tok::Ident(name)
+        }
+        _ => Tok::Ident(name),
+    }
+}
+
+/// Disambiguates a leading `'` into a char literal or a lifetime and
+/// consumes it.
+fn scan_quote(cur: &mut Cursor) -> Tok {
+    cur.bump(); // the opening '
+    match cur.peek(0) {
+        Some('\\') => {
+            // Escaped char literal: consume until the closing quote.
+            cur.bump();
+            cur.bump(); // the escaped character (or escape head)
+            while let Some(c) = cur.bump() {
+                if c == '\'' {
+                    break;
+                }
+            }
+            Tok::Char
+        }
+        Some(c) if cur.peek(1) == Some('\'') => {
+            let _ = c;
+            cur.bump();
+            cur.bump();
+            Tok::Char
+        }
+        Some(c) if is_ident_start(c) => {
+            while let Some(c) = cur.peek(0) {
+                if is_ident_continue(c) {
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+            Tok::Lifetime
+        }
+        _ => Tok::Punct('\''),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn identifiers_in_strings_are_not_idents() {
+        let src = r##"let x = "HashMap thread_rng unsafe"; let y = r#"Instant::now()"#;"##;
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "x", "let", "y"]);
+    }
+
+    #[test]
+    fn nested_block_comments_are_one_token() {
+        let src = "/* outer /* inner unsafe */ still outer */ fn f() {}";
+        let toks = lex(src);
+        assert!(matches!(toks[0].tok, Tok::Comment { block: true, .. }));
+        assert_eq!(idents(src), vec!["fn", "f"]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_swallow_quotes() {
+        let src = r####"let s = r##"quote " and "# inside"##; let t = 1;"####;
+        assert_eq!(idents(src), vec!["let", "s", "let", "t"]);
+    }
+
+    #[test]
+    fn raw_identifier_lexes_as_ident() {
+        assert_eq!(idents("let r#match = 1;"), vec!["let", "match"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'a' }");
+        let lifetimes = toks
+            .iter()
+            .filter(|t| matches!(t.tok, Tok::Lifetime))
+            .count();
+        let chars = toks.iter().filter(|t| matches!(t.tok, Tok::Char)).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 1);
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        let toks = lex(r"let q = '\''; let n = '\n'; let u = '\u{1F600}';");
+        let chars = toks.iter().filter(|t| matches!(t.tok, Tok::Char)).count();
+        assert_eq!(chars, 3);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let src = "let a = 1;\n/* two\nlines */\nlet b = \"x\ny\";\nlet c = 2;";
+        let toks = lex(src);
+        let line_of = |name: &str| {
+            toks.iter()
+                .find(|t| t.tok == Tok::Ident(name.into()))
+                .unwrap()
+                .line
+        };
+        assert_eq!(line_of("a"), 1);
+        assert_eq!(line_of("b"), 4);
+        assert_eq!(line_of("c"), 6);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_range_dots() {
+        let toks = lex("for i in 0..n {}");
+        let dots = toks.iter().filter(|t| t.tok == Tok::Punct('.')).count();
+        assert_eq!(dots, 2);
+    }
+
+    #[test]
+    fn byte_and_c_strings_are_strings() {
+        let src = r##"let a = b"unsafe"; let c2 = c"HashMap"; let r2 = br#"x"#;"##;
+        assert_eq!(idents(src), vec!["let", "a", "let", "c2", "let", "r2"]);
+    }
+
+    #[test]
+    fn unterminated_string_runs_to_eof() {
+        let toks = lex("let x = \"never closed");
+        assert_eq!(toks.last().unwrap().tok, Tok::Str);
+    }
+}

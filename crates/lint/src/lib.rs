@@ -1,0 +1,52 @@
+//! `xsc-lint` — the workspace determinism-and-invariants linter.
+//!
+//! The repo's headline guarantees (bit-identical residual histories
+//! across sparse formats, schedule-independent chaos campaigns,
+//! deterministic left-fold reductions) are asserted by runtime tests, but
+//! the *hazards* that break them — hash-order iteration, ad-hoc wall
+//! clock, unseeded RNG, implicit reductions, silent index truncation —
+//! re-enter through ordinary edits. This crate checks them statically,
+//! with a hand-rolled comment/string/raw-string-aware lexer (no
+//! dependencies: the workspace builds offline) feeding a project-specific
+//! rule engine.
+//!
+//! Three entry points, one engine:
+//!
+//! * **CLI** — `cargo run -p xsc-lint` (add `--json LINT.json` for the CI
+//!   artifact); exits non-zero on any finding;
+//! * **tier-1 gate** — `crates/lint/tests/gate.rs` runs
+//!   [`lint_workspace`] in-process, so `cargo test` fails on a violation;
+//! * **CI job** — `.github/workflows/ci.yml` uploads the JSON report next
+//!   to the `BENCH_*.json` artifacts.
+//!
+//! Violations that are genuinely sound carry an inline suppression **with
+//! a mandatory reason**:
+//!
+//! ```text
+//! // xsc-lint: allow(A01, reason = "ncols <= u32::MAX checked above")
+//! ```
+//!
+//! Suppressions without a reason (`L00`), naming unknown rules (`L01`),
+//! or matching no finding (`L02`) are findings themselves.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod driver;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+pub use driver::{classify, lint_source, lint_workspace, Report, Suppression, UsedSuppression};
+pub use report::to_json;
+pub use rules::{CrateClass, Finding, RuleInfo, RULES};
+
+use std::path::PathBuf;
+
+/// The workspace root this crate was built in, for the in-process gate
+/// and the CLI default (`crates/lint/../..`).
+pub fn default_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+}

@@ -1,0 +1,68 @@
+//! CLI driver: `cargo run -p xsc-lint -- [--root DIR] [--json FILE] [-q]
+//! [--list-rules]`. Exits 0 when the workspace is lint-clean, 1 when any
+//! finding survives suppression, 2 on usage or I/O errors.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = xsc_lint::default_root();
+    let mut json: Option<PathBuf> = None;
+    let mut quiet = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => return usage("--root needs a directory"),
+            },
+            "--json" => match args.next() {
+                Some(p) => json = Some(PathBuf::from(p)),
+                None => return usage("--json needs a file path"),
+            },
+            "-q" | "--quiet" => quiet = true,
+            "--list-rules" => {
+                for r in xsc_lint::RULES {
+                    println!("{}  {}", r.id, r.summary);
+                }
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let report = match xsc_lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xsc-lint: cannot scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = &json {
+        if let Err(e) = std::fs::write(path, xsc_lint::to_json(&report)) {
+            eprintln!("xsc-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if !quiet || !report.clean() {
+        print!("{}", report.render_text());
+    }
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!(
+        "xsc-lint: {err}\nusage: xsc-lint [--root DIR] [--json FILE] [-q|--quiet] [--list-rules]"
+    );
+    ExitCode::from(2)
+}

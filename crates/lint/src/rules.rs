@@ -1,0 +1,541 @@
+//! The project-specific rule set and the token-pattern engine behind it.
+//!
+//! Every rule guards an invariant the repo's experiments *assert at
+//! runtime* (bit-identical residual histories across sparse formats in
+//! E19, schedule-independent chaos campaigns in E17, deterministic
+//! left-fold reductions everywhere) but that the source could silently
+//! lose again through an innocent-looking edit. The linter moves those
+//! invariants from convention to tooling — see `DESIGN.md`, "Static
+//! analysis & invariants", for the full rationale table.
+//!
+//! Rules are scoped by [`CrateClass`] (which part of the workspace a file
+//! belongs to) and skip `#[cfg(test)]` / `#[test]` regions where noted, so
+//! test code may use hash maps and wall clocks freely while library code
+//! may not.
+
+use crate::lexer::{Tok, Token};
+
+/// Which part of the workspace a file belongs to; decides which rules
+/// apply (see the table in `DESIGN.md`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrateClass {
+    /// Library crates whose results must be deterministic (`xsc-core`,
+    /// `xsc-sparse`, ... — everything not listed below).
+    Numeric,
+    /// The benchmark crate (`crates/bench`): timing is its job.
+    Bench,
+    /// Offline stand-ins for external crates (`crates/shims/*`).
+    Shim,
+    /// Test and bench sources (`tests/` crate, `*/tests/`, `*/benches/`).
+    TestCode,
+    /// Runnable examples (`examples/`).
+    Example,
+    /// The linter itself (`crates/lint`): held to Numeric rules.
+    Lint,
+}
+
+/// One diagnostic: a rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id (`D01`, ..., `L02`).
+    pub rule: &'static str,
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Human-readable explanation with the suggested fix.
+    pub message: String,
+}
+
+/// Static description of a rule, for `--list-rules` and the JSON report.
+pub struct RuleInfo {
+    /// Rule id.
+    pub id: &'static str,
+    /// One-line summary.
+    pub summary: &'static str,
+}
+
+/// Every rule the engine knows, including the meta-rules (`L00`–`L02`)
+/// that police the suppression mechanism itself.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "D01",
+        summary: "no HashMap/HashSet in numeric crates: iteration order is nondeterministic; \
+                  use BTreeMap/BTreeSet or a sorted drain",
+    },
+    RuleInfo {
+        id: "D02",
+        summary: "no raw Instant/SystemTime outside bench/timing modules: wall clock reads go \
+                  through xsc_metrics::stopwatch::Stopwatch",
+    },
+    RuleInfo {
+        id: "D03",
+        summary: "no unseeded RNG (thread_rng/from_entropy/OsRng/getrandom) anywhere, tests \
+                  included: every random stream carries an explicit seed",
+    },
+    RuleInfo {
+        id: "D04",
+        summary: "no implicit .sum()/.product() reductions in kernel crates: write the fold \
+                  explicitly so the pinned order is visible",
+    },
+    RuleInfo {
+        id: "A01",
+        summary: "no unchecked `as` narrowing on sparse indices: use try_from (the Csr32 \
+                  overflow lesson)",
+    },
+    RuleInfo {
+        id: "S01",
+        summary: "every unsafe block carries a // SAFETY: comment within the 3 lines above",
+    },
+    RuleInfo {
+        id: "M01",
+        summary: "public kernel files in core/sparse/dense install an xsc-metrics recorder",
+    },
+    RuleInfo {
+        id: "L00",
+        summary: "suppressions must carry a reason: xsc-lint: allow(RULE, reason = \"...\")",
+    },
+    RuleInfo {
+        id: "L01",
+        summary: "suppressions must name a known rule id",
+    },
+    RuleInfo {
+        id: "L02",
+        summary: "suppressions must match a finding (stale allows rot the audit trail)",
+    },
+];
+
+/// `true` if `id` names a rule the engine knows.
+pub fn known_rule(id: &str) -> bool {
+    RULES.iter().any(|r| r.id == id)
+}
+
+/// Kernel-crate path prefixes for D04 (crates that promise pinned fold
+/// order in their numeric results).
+const KERNEL_CRATES: &[&str] = &[
+    "crates/core/",
+    "crates/sparse/",
+    "crates/dense/",
+    "crates/batched/",
+    "crates/precision/",
+];
+
+/// The one file allowed to read the wall clock directly: the sanctioned
+/// chokepoint every other crate's timing goes through.
+const TIMING_CHOKEPOINT: &str = "crates/metrics/src/stopwatch.rs";
+
+/// Files that implement public kernels and therefore must install an
+/// `xsc_metrics::record` scope (rule M01). Kept explicit so removing
+/// instrumentation from a hot kernel is a lint failure, not a silent
+/// observability regression.
+const M01_KERNEL_FILES: &[&str] = &[
+    "crates/core/src/blas1.rs",
+    "crates/core/src/gemm.rs",
+    "crates/core/src/syrk.rs",
+    "crates/core/src/trsm.rs",
+    "crates/sparse/src/csr.rs",
+    "crates/sparse/src/csr32.rs",
+    "crates/sparse/src/sell.rs",
+    "crates/sparse/src/symgs.rs",
+    "crates/sparse/src/mg.rs",
+    "crates/sparse/src/coloring.rs",
+    "crates/dense/src/hpl.rs",
+    "crates/dense/src/cholesky.rs",
+];
+
+/// A lexed file plus everything the rules need to scope themselves.
+pub struct FileCtx {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// Workspace classification of the file.
+    pub class: CrateClass,
+    /// Full token stream (comments included).
+    pub tokens: Vec<Token>,
+    /// Indices into `tokens` of the non-comment ("significant") tokens.
+    pub sig: Vec<usize>,
+    /// Per-token flag: inside a `#[cfg(test)]` / `#[test]` region.
+    pub in_test: Vec<bool>,
+}
+
+impl FileCtx {
+    /// Builds the context for one file: lex, index, and mark test regions.
+    pub fn new(path: String, class: CrateClass, src: &str) -> FileCtx {
+        let tokens = crate::lexer::lex(src);
+        let sig: Vec<usize> = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !matches!(t.tok, Tok::Comment { .. }))
+            .map(|(i, _)| i)
+            .collect();
+        let in_test = mark_test_regions(&tokens, &sig);
+        FileCtx {
+            path,
+            class,
+            tokens,
+            sig,
+            in_test,
+        }
+    }
+
+    fn ident_at(&self, k: usize) -> Option<&str> {
+        match &self.tokens[self.sig[k]].tok {
+            Tok::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    fn punct_at(&self, k: usize, c: char) -> bool {
+        self.tokens[self.sig[k]].tok == Tok::Punct(c)
+    }
+
+    fn line_at(&self, k: usize) -> u32 {
+        self.tokens[self.sig[k]].line
+    }
+
+    fn in_test_at(&self, k: usize) -> bool {
+        self.in_test[self.sig[k]]
+    }
+
+    fn is_kernel_crate(&self) -> bool {
+        KERNEL_CRATES.iter().any(|p| self.path.starts_with(p))
+    }
+}
+
+/// Marks, for every token index, whether it sits inside a region gated by
+/// `#[cfg(test)]` or `#[test]` (a `mod`, `fn`, or single `use`/item).
+/// Attributes like `#[cfg(not(test))]` do **not** mark a region.
+fn mark_test_regions(tokens: &[Token], sig: &[usize]) -> Vec<bool> {
+    let mut flags = vec![false; tokens.len()];
+    let mut depth: i64 = 0;
+    // Stack of depths at which a test region's opening brace sits; the
+    // region ends when `depth` drops back below the recorded value.
+    let mut region_floor: Option<i64> = None;
+    let mut pending_test = false;
+    let mut k = 0usize;
+    while k < sig.len() {
+        let i = sig[k];
+        if region_floor.is_some() {
+            flags[i] = true;
+        }
+        match &tokens[i].tok {
+            Tok::Punct('#') if k + 1 < sig.len() && tokens[sig[k + 1]].tok == Tok::Punct('[') => {
+                // Scan the attribute to its matching `]`, collecting idents.
+                let mut brackets = 0i64;
+                let mut idents: Vec<&str> = Vec::new();
+                let mut j = k + 1;
+                while j < sig.len() {
+                    let t = sig[j];
+                    if region_floor.is_some() {
+                        flags[t] = true;
+                    }
+                    match &tokens[t].tok {
+                        Tok::Punct('[') => brackets += 1,
+                        Tok::Punct(']') => {
+                            brackets -= 1;
+                            if brackets == 0 {
+                                break;
+                            }
+                        }
+                        Tok::Ident(s) => idents.push(s.as_str()),
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                let has_test = idents.contains(&"test");
+                let negated = idents.contains(&"not");
+                if has_test && !negated {
+                    pending_test = true;
+                }
+                k = j + 1;
+                continue;
+            }
+            Tok::Punct('{') => {
+                depth += 1;
+                if pending_test && region_floor.is_none() {
+                    region_floor = Some(depth);
+                    pending_test = false;
+                    flags[i] = true;
+                }
+            }
+            Tok::Punct('}') => {
+                depth -= 1;
+                if let Some(floor) = region_floor {
+                    if depth < floor {
+                        region_floor = None;
+                    }
+                }
+            }
+            // `#[cfg(test)] use ...;` — the attribute covered one
+            // braceless item.
+            Tok::Punct(';') if pending_test && region_floor.is_none() => {
+                flags[i] = true;
+                pending_test = false;
+            }
+            _ => {}
+        }
+        if pending_test && region_floor.is_none() {
+            flags[i] = true;
+        }
+        k += 1;
+    }
+    flags
+}
+
+/// Runs every rule against one file and returns the raw findings
+/// (suppressions are applied later, by the driver).
+pub fn check_file(ctx: &FileCtx) -> Vec<Finding> {
+    let mut out = Vec::new();
+    rule_d01(ctx, &mut out);
+    rule_d02(ctx, &mut out);
+    rule_d03(ctx, &mut out);
+    rule_d04(ctx, &mut out);
+    rule_a01(ctx, &mut out);
+    rule_s01(ctx, &mut out);
+    rule_m01(ctx, &mut out);
+    out
+}
+
+fn push(out: &mut Vec<Finding>, rule: &'static str, ctx: &FileCtx, line: u32, message: String) {
+    out.push(Finding {
+        rule,
+        file: ctx.path.clone(),
+        line,
+        message,
+    });
+}
+
+/// D01 — hash-order iteration hazard in numeric crates.
+fn rule_d01(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if !matches!(ctx.class, CrateClass::Numeric | CrateClass::Lint) {
+        return;
+    }
+    for k in 0..ctx.sig.len() {
+        if ctx.in_test_at(k) {
+            continue;
+        }
+        if let Some(name @ ("HashMap" | "HashSet")) = ctx.ident_at(k) {
+            push(
+                out,
+                "D01",
+                ctx,
+                ctx.line_at(k),
+                format!(
+                    "`{name}` in a numeric crate: iteration order is nondeterministic and can \
+                     leak into results; use BTreeMap/BTreeSet or drain through a sorted Vec"
+                ),
+            );
+        }
+    }
+}
+
+/// D02 — ad-hoc wall-clock reads outside the sanctioned timing chokepoint.
+fn rule_d02(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if !matches!(
+        ctx.class,
+        CrateClass::Numeric | CrateClass::Lint | CrateClass::Example
+    ) || ctx.path == TIMING_CHOKEPOINT
+    {
+        return;
+    }
+    for k in 0..ctx.sig.len() {
+        if ctx.in_test_at(k) {
+            continue;
+        }
+        if let Some(name @ ("Instant" | "SystemTime")) = ctx.ident_at(k) {
+            push(
+                out,
+                "D02",
+                ctx,
+                ctx.line_at(k),
+                format!(
+                    "raw `{name}` outside a timing module: wall clock must never influence \
+                     results; time through xsc_metrics::stopwatch::Stopwatch (the one audited \
+                     chokepoint)"
+                ),
+            );
+        }
+    }
+}
+
+/// D03 — unseeded randomness, flagged everywhere including test code.
+fn rule_d03(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    for k in 0..ctx.sig.len() {
+        if let Some(name @ ("thread_rng" | "ThreadRng" | "from_entropy" | "OsRng" | "getrandom")) =
+            ctx.ident_at(k)
+        {
+            push(
+                out,
+                "D03",
+                ctx,
+                ctx.line_at(k),
+                format!(
+                    "`{name}` is an unseeded entropy source: every random stream must thread \
+                     an explicit seed (SmallRng::seed_from_u64) so runs replay bit-identically"
+                ),
+            );
+        }
+    }
+}
+
+/// D04 — implicit iterator reductions in kernel crates.
+fn rule_d04(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if ctx.class != CrateClass::Numeric || !ctx.is_kernel_crate() {
+        return;
+    }
+    for k in 0..ctx.sig.len().saturating_sub(2) {
+        if ctx.in_test_at(k) {
+            continue;
+        }
+        if ctx.punct_at(k, '.')
+            && matches!(ctx.ident_at(k + 1), Some("sum" | "product"))
+            && ctx.punct_at(k + 2, '(')
+        {
+            let name = ctx.ident_at(k + 1).unwrap_or("sum");
+            push(
+                out,
+                "D04",
+                ctx,
+                ctx.line_at(k + 1),
+                format!(
+                    "implicit `.{name}()` in a kernel crate that promises pinned fold order: \
+                     write the reduction as an explicit left fold \
+                     (`.fold(0.0, |acc, x| acc + x)`), or suppress with the element type's \
+                     justification if the sum is order-independent (integers)"
+                ),
+            );
+        }
+    }
+}
+
+/// A01 — unchecked `as` narrowing on sparse indices.
+fn rule_a01(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if ctx.class != CrateClass::Numeric || !ctx.path.starts_with("crates/sparse/") {
+        return;
+    }
+    for k in 0..ctx.sig.len().saturating_sub(1) {
+        if ctx.in_test_at(k) {
+            continue;
+        }
+        if ctx.ident_at(k) == Some("as") {
+            if let Some(target @ ("u8" | "u16" | "u32" | "i8" | "i16" | "i32")) =
+                ctx.ident_at(k + 1)
+            {
+                push(
+                    out,
+                    "A01",
+                    ctx,
+                    ctx.line_at(k),
+                    format!(
+                        "unchecked `as {target}` narrowing on a sparse index: silent truncation \
+                         is how Csr32 overflow bugs are born; use try_from (or suppress citing \
+                         the bound that makes the cast safe)"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// S01 — `unsafe` without a `// SAFETY:` comment in the 3 lines above.
+fn rule_s01(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    let safety_lines: Vec<u32> = ctx
+        .tokens
+        .iter()
+        .filter_map(|t| match &t.tok {
+            Tok::Comment { text, .. } if text.contains("SAFETY:") => Some(t.line),
+            _ => None,
+        })
+        .collect();
+    for k in 0..ctx.sig.len() {
+        if ctx.ident_at(k) == Some("unsafe") {
+            let line = ctx.line_at(k);
+            let covered = safety_lines
+                .iter()
+                .any(|&l| l <= line && line.saturating_sub(l) <= 3);
+            if !covered {
+                push(
+                    out,
+                    "S01",
+                    ctx,
+                    line,
+                    "`unsafe` without a `// SAFETY:` comment in the 3 lines above: state the \
+                     invariant that makes this sound"
+                        .to_string(),
+                );
+            }
+        }
+    }
+}
+
+/// M01 — kernel files must install an `xsc_metrics` recorder.
+fn rule_m01(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if !M01_KERNEL_FILES.contains(&ctx.path.as_str()) {
+        return;
+    }
+    for k in 0..ctx.sig.len().saturating_sub(3) {
+        if ctx.in_test_at(k) {
+            continue;
+        }
+        if ctx.ident_at(k) == Some("xsc_metrics")
+            && ctx.punct_at(k + 1, ':')
+            && ctx.punct_at(k + 2, ':')
+            && matches!(ctx.ident_at(k + 3), Some("record" | "record_untimed"))
+        {
+            return; // instrumented — rule satisfied
+        }
+    }
+    push(
+        out,
+        "M01",
+        ctx,
+        1,
+        "kernel file installs no xsc-metrics recorder: public kernels in core/sparse/dense \
+         must open an `xsc_metrics::record(...)` scope so roofline attribution stays complete"
+            .to_string(),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(path: &str, class: CrateClass, src: &str) -> FileCtx {
+        FileCtx::new(path.to_string(), class, src)
+    }
+
+    #[test]
+    fn cfg_test_mod_is_exempt() {
+        let src = "use std::collections::HashMap;\n\
+                   #[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n}\n";
+        let c = ctx("crates/core/src/x.rs", CrateClass::Numeric, src);
+        let f = check_file(&c);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_exempt() {
+        let src = "#[cfg(not(test))]\nmod real {\n    use std::collections::HashSet;\n}\n";
+        let c = ctx("crates/core/src/x.rs", CrateClass::Numeric, src);
+        assert_eq!(check_file(&c).len(), 1);
+    }
+
+    #[test]
+    fn d03_fires_even_in_tests() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f() { let r = thread_rng(); }\n}\n";
+        let c = ctx("crates/core/src/x.rs", CrateClass::Numeric, src);
+        let f = check_file(&c);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "D03");
+    }
+
+    #[test]
+    fn safety_comment_silences_s01() {
+        let ok = "// SAFETY: bounds checked above\nunsafe { go() }";
+        let bad = "unsafe { go() }";
+        let c_ok = ctx("crates/core/src/x.rs", CrateClass::Numeric, ok);
+        let c_bad = ctx("crates/core/src/x.rs", CrateClass::Numeric, bad);
+        assert!(check_file(&c_ok).is_empty());
+        assert_eq!(check_file(&c_bad)[0].rule, "S01");
+    }
+}

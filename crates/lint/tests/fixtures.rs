@@ -1,0 +1,138 @@
+//! Fixture-driven tests: adversarial sources with known-exact diagnostics.
+//!
+//! Each fixture under `crates/lint/fixtures/` (a directory the workspace
+//! walker deliberately skips) is linted through the same `lint_source`
+//! engine the workspace gate uses, and the expected `(rule, line)` pairs
+//! are asserted exactly — a lexer regression that shifts or drops one
+//! diagnostic fails loudly.
+
+use xsc_lint::{lint_source, CrateClass};
+
+fn findings(path: &str, class: CrateClass, src: &str) -> Vec<(String, u32)> {
+    lint_source(path, class, src)
+        .0
+        .into_iter()
+        .map(|f| (f.rule.to_string(), f.line))
+        .collect()
+}
+
+#[test]
+fn adversarial_strings_and_comments_are_clean() {
+    let src = include_str!("../fixtures/adversarial_clean.rs");
+    let f = findings(
+        "crates/fake/src/adversarial_clean.rs",
+        CrateClass::Numeric,
+        src,
+    );
+    assert!(f.is_empty(), "token-aware lexing failed: {f:?}");
+}
+
+#[test]
+fn one_violation_per_rule_at_exact_lines() {
+    let src = include_str!("../fixtures/violations.rs");
+    let f = findings("crates/fake/src/violations.rs", CrateClass::Numeric, src);
+    let expected: Vec<(String, u32)> = [
+        ("D01", 4),
+        ("D01", 5),
+        ("D02", 6),
+        ("D02", 7),
+        ("D03", 10),
+        ("D03", 11),
+        ("D02", 15),
+        ("S01", 19),
+        ("D03", 35),
+    ]
+    .into_iter()
+    .map(|(r, l)| (r.to_string(), l))
+    .collect();
+    let mut got = f.clone();
+    let mut want = expected.clone();
+    got.sort();
+    want.sort();
+    assert_eq!(got, want, "got {f:?}");
+}
+
+#[test]
+fn implicit_reductions_flagged_only_in_kernel_crates() {
+    let src = include_str!("../fixtures/kernel_sums.rs");
+    let in_kernel = findings("crates/core/src/kernel_sums.rs", CrateClass::Numeric, src);
+    assert_eq!(
+        in_kernel,
+        vec![("D04".to_string(), 4), ("D04".to_string(), 8)]
+    );
+    // The same source outside a kernel crate is clean: D04 is scoped.
+    let outside = findings(
+        "crates/machine/src/kernel_sums.rs",
+        CrateClass::Numeric,
+        src,
+    );
+    assert!(outside.is_empty(), "{outside:?}");
+}
+
+#[test]
+fn suppression_grammar_and_meta_rules() {
+    let src = include_str!("../fixtures/suppressions.rs");
+    let (f, used) = lint_source("crates/fake/src/suppressions.rs", CrateClass::Numeric, src);
+    let got: Vec<(String, u32)> = f.iter().map(|f| (f.rule.to_string(), f.line)).collect();
+    let mut want: Vec<(String, u32)> = [
+        ("L00", 8),
+        ("D01", 9),
+        ("L01", 11),
+        ("D01", 12),
+        ("L02", 14),
+    ]
+    .into_iter()
+    .map(|(r, l)| (r.to_string(), l))
+    .collect();
+    let mut got_sorted = got.clone();
+    got_sorted.sort();
+    want.sort();
+    assert_eq!(got_sorted, want, "got {got:?}");
+    // Two suppressions matched, both with reasons recorded for the report.
+    assert_eq!(used.len(), 2);
+    assert!(used.iter().all(|u| !u.reason.is_empty()));
+    assert_eq!(used[0].line, 3);
+    assert_eq!(used[1].line, 6);
+}
+
+#[test]
+fn sparse_narrowing_flagged_widening_ignored() {
+    let src = include_str!("../fixtures/sparse_casts.rs");
+    let in_sparse = findings("crates/sparse/src/fake.rs", CrateClass::Numeric, src);
+    assert_eq!(in_sparse, vec![("A01".to_string(), 4)]);
+    // A01 is scoped to the sparse crate (the Csr32 lesson lives there).
+    let elsewhere = findings("crates/core/src/fake.rs", CrateClass::Numeric, src);
+    assert!(elsewhere.is_empty(), "{elsewhere:?}");
+}
+
+#[test]
+fn bench_shims_and_tests_may_use_wall_clock_and_hashes() {
+    let src = "use std::collections::HashMap;\nuse std::time::Instant;\n";
+    for (path, class) in [
+        ("crates/bench/src/lib.rs", CrateClass::Bench),
+        ("crates/shims/rayon/src/lib.rs", CrateClass::Shim),
+        ("crates/core/tests/props.rs", CrateClass::TestCode),
+    ] {
+        let f = findings(path, class, src);
+        assert!(f.is_empty(), "{path}: {f:?}");
+    }
+}
+
+#[test]
+fn missing_recorder_in_kernel_file_is_m01() {
+    let bare = "pub fn gemm() { /* no recorder */ }\n";
+    let f = findings("crates/core/src/gemm.rs", CrateClass::Numeric, bare);
+    assert_eq!(f, vec![("M01".to_string(), 1)]);
+    let instrumented = "pub fn gemm() { let _s = xsc_metrics::record(\"gemm\", t()); }\n";
+    let f = findings("crates/core/src/gemm.rs", CrateClass::Numeric, instrumented);
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn timing_chokepoint_is_the_one_file_allowed_instants() {
+    let src = "use std::time::Instant;\npub fn now() -> Instant { Instant::now() }\n";
+    let chokepoint = findings("crates/metrics/src/stopwatch.rs", CrateClass::Numeric, src);
+    assert!(chokepoint.is_empty(), "{chokepoint:?}");
+    let elsewhere = findings("crates/metrics/src/counters.rs", CrateClass::Numeric, src);
+    assert_eq!(elsewhere.len(), 3, "{elsewhere:?}");
+}

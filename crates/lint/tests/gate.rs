@@ -1,0 +1,46 @@
+//! The tier-1 lint gate: `cargo test` fails if ANY file in the workspace
+//! violates a determinism/invariant rule without a reasoned suppression.
+//! This is the in-process twin of the `cargo run -p xsc-lint` CLI and the
+//! CI job — same engine, same rules, same zero-findings bar.
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = xsc_lint::default_root();
+    let report = xsc_lint::lint_workspace(&root).expect("workspace scan");
+    assert!(
+        report.files_scanned > 100,
+        "scan looks truncated: only {} files — wrong root?",
+        report.files_scanned
+    );
+    assert!(
+        report.clean(),
+        "workspace has lint findings:\n{}",
+        report.render_text()
+    );
+}
+
+#[test]
+fn every_used_suppression_carries_a_reason() {
+    let root = xsc_lint::default_root();
+    let report = xsc_lint::lint_workspace(&root).expect("workspace scan");
+    for u in &report.suppressions_used {
+        assert!(
+            !u.reason.trim().is_empty(),
+            "{}:{} suppresses {} without a reason",
+            u.file,
+            u.line,
+            u.rule
+        );
+    }
+}
+
+#[test]
+fn json_report_is_deterministic_and_well_formed_enough() {
+    let root = xsc_lint::default_root();
+    let a = xsc_lint::to_json(&xsc_lint::lint_workspace(&root).expect("scan"));
+    let b = xsc_lint::to_json(&xsc_lint::lint_workspace(&root).expect("scan"));
+    assert_eq!(a, b, "report must be byte-identical across runs");
+    assert!(a.contains("\"schema\": \"xsc-lint-v1\""));
+    assert!(a.contains("\"clean\": true"));
+    assert_eq!(a.matches('{').count(), a.matches('}').count());
+}

@@ -1,0 +1,99 @@
+//! Gate self-test: prove the CLI actually FAILS when a violation exists.
+//! A linter that exits 0 on dirty input is worse than no linter — this
+//! builds throwaway mini-workspaces and checks the exit codes end to end.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Creates `<tmp>/<name>/crates/fake/src/lib.rs` with `src` and returns
+/// the mini-workspace root.
+fn mini_workspace(name: &str, src: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("xsc-lint-selftest-{name}"));
+    let dir = root.join("crates").join("fake").join("src");
+    let _ = fs::remove_dir_all(&root);
+    fs::create_dir_all(&dir).expect("mkdir");
+    fs::write(dir.join("lib.rs"), src).expect("write fixture");
+    root
+}
+
+fn run_lint(root: &PathBuf, extra: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_xsc-lint"))
+        .arg("--root")
+        .arg(root)
+        .args(extra)
+        .output()
+        .expect("spawn xsc-lint")
+}
+
+#[test]
+fn injected_d01_and_d03_violations_fail_the_gate() {
+    let root = mini_workspace(
+        "dirty",
+        "use std::collections::HashMap;\npub fn r() { let x = thread_rng(); }\n",
+    );
+    let out = run_lint(&root, &[]);
+    assert_eq!(out.status.code(), Some(1), "dirty workspace must exit 1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("[D01]"), "{stdout}");
+    assert!(stdout.contains("[D03]"), "{stdout}");
+    assert!(stdout.contains("crates/fake/src/lib.rs:1"), "{stdout}");
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn clean_workspace_exits_zero_and_writes_json() {
+    let root = mini_workspace("clean", "pub fn fine() -> u64 { 42 }\n");
+    let json = root.join("LINT.json");
+    let out = run_lint(&root, &["--json", json.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "clean workspace must exit 0");
+    let report = fs::read_to_string(&json).expect("JSON report written");
+    assert!(report.contains("\"clean\": true"), "{report}");
+    assert!(report.contains("\"files_scanned\": 1"), "{report}");
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn reasonless_suppression_still_fails_the_gate() {
+    let root = mini_workspace(
+        "reasonless",
+        "// xsc-lint: allow(D01)\nuse std::collections::HashMap;\n",
+    );
+    let out = run_lint(&root, &[]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "a reasonless allow must not launder a violation"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("[L00]"), "{stdout}");
+    assert!(stdout.contains("[D01]"), "{stdout}");
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn reasoned_suppression_passes_and_is_audited() {
+    let root = mini_workspace(
+        "reasoned",
+        "// xsc-lint: allow(D01, reason = \"selftest: exercising the audit trail\")\n\
+         use std::collections::HashMap;\n",
+    );
+    let json = root.join("LINT.json");
+    let out = run_lint(&root, &["--json", json.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0));
+    let report = fs::read_to_string(&json).expect("JSON report");
+    assert!(
+        report.contains("exercising the audit trail"),
+        "used suppressions must appear in the report: {report}"
+    );
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn unknown_flag_is_a_usage_error() {
+    let out = Command::new(env!("CARGO_BIN_EXE_xsc-lint"))
+        .arg("--no-such-flag")
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+}

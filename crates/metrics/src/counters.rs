@@ -10,10 +10,10 @@
 //! overlapping entries double-counts by construction; the roofline report
 //! keeps kernels separate for exactly this reason.
 
+use crate::stopwatch::Stopwatch;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
 
 /// Accumulated counters for one named kernel.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -240,7 +240,7 @@ pub struct ScopedRecorder {
     kernel: &'static str,
     traffic: Traffic,
     /// `None` when recording was disabled at construction time.
-    start: Option<Instant>,
+    start: Option<Stopwatch>,
 }
 
 impl ScopedRecorder {
@@ -254,7 +254,7 @@ impl ScopedRecorder {
 impl Drop for ScopedRecorder {
     fn drop(&mut self) {
         if let Some(start) = self.start {
-            let ns = start.elapsed().as_nanos() as u64;
+            let ns = start.nanos();
             GLOBAL.add(self.kernel, self.traffic, ns);
             bump_thread_totals(&self.traffic);
         }
@@ -276,7 +276,7 @@ pub fn record(kernel: &'static str, traffic: Traffic) -> ScopedRecorder {
     ScopedRecorder {
         kernel,
         traffic,
-        start: enabled().then(Instant::now),
+        start: enabled().then(Stopwatch::start),
     }
 }
 

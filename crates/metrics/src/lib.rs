@@ -48,6 +48,7 @@
 
 pub mod counters;
 pub mod roofline;
+pub mod stopwatch;
 pub mod traffic;
 
 pub use counters::{
@@ -55,3 +56,4 @@ pub use counters::{
     KernelCounters, Registry, ScopedRecorder, Traffic,
 };
 pub use roofline::{ascii_roofline, BoundVerdict, MachineEnvelope, RooflinePoint};
+pub use stopwatch::Stopwatch;

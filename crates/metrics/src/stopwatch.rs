@@ -1,0 +1,66 @@
+//! The workspace's single sanctioned wall-clock chokepoint.
+//!
+//! Rule D02 of `xsc-lint` forbids raw `std::time::Instant` /
+//! `SystemTime` reads everywhere except the benchmark crate and this
+//! module: wall-clock time must only ever flow into *reported timings*
+//! (seconds, Gflop/s), never into numeric results or control flow, and
+//! funneling every read through one audited type is what makes that
+//! property checkable. Kernels, drivers, and the runtime executor time
+//! themselves with a [`Stopwatch`]; anything else is a lint finding.
+
+use std::time::{Duration, Instant};
+
+/// A started wall-clock timer. `Copy`, so an epoch can be shared across
+/// worker threads (as the runtime executor does for trace timestamps).
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Reads the clock and starts timing.
+    pub fn start() -> Stopwatch {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Time elapsed since [`Stopwatch::start`].
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Elapsed time in seconds (the unit every benchmark reports).
+    pub fn seconds(&self) -> f64 {
+        self.elapsed().as_secs_f64()
+    }
+
+    /// Elapsed time in whole nanoseconds, saturating at `u64::MAX`
+    /// (584 years — the counter registry's unit).
+    pub fn nanos(&self) -> u64 {
+        u64::try_from(self.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_is_monotone() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed();
+        let b = sw.elapsed();
+        assert!(b >= a);
+        assert!(sw.seconds() >= 0.0);
+    }
+
+    #[test]
+    fn copies_share_the_epoch() {
+        let epoch = Stopwatch::start();
+        let copy = epoch;
+        std::thread::sleep(Duration::from_millis(1));
+        assert!(copy.elapsed() >= Duration::from_millis(1));
+        assert!(epoch.nanos() > 0);
+    }
+}

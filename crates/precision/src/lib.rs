@@ -15,7 +15,7 @@
 //! * [`adaptive`] — the condition-estimate-driven dispatcher that picks
 //!   between classic IR, GMRES-IR, and a full-precision fallback.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 #![allow(clippy::needless_range_loop)] // index-coupled updates across multiple slices are the clearest form for these kernels
 

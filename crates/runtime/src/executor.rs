@@ -18,7 +18,8 @@ use std::collections::BinaryHeap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+use xsc_metrics::Stopwatch;
 
 /// Ready-queue ordering policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -244,7 +245,7 @@ impl Executor {
             }
         }
 
-        let epoch = Instant::now();
+        let epoch = Stopwatch::start();
         let mut handles = Vec::with_capacity(self.threads);
         for worker in 0..self.threads {
             let shared = Arc::clone(&shared);
@@ -435,7 +436,7 @@ fn run_resilient(
     id: TaskId,
     worker: usize,
     res: &Resilient,
-    epoch: &Instant,
+    epoch: &Stopwatch,
     record: bool,
     events: &mut Vec<TraceEvent>,
 ) -> TaskRun {

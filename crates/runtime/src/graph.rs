@@ -1,7 +1,7 @@
 //! Task graph construction with automatic dependence analysis.
 
 use crate::resilience::{Attempt, TaskFault};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Identifier of a datum (e.g. a matrix tile) used for dependence analysis.
 /// The runtime never touches the data itself — the id is only a key.
@@ -58,7 +58,7 @@ struct DatumState {
 pub struct TaskGraph {
     pub(crate) tasks: Vec<Task>,
     edges: Vec<(TaskId, TaskId)>,
-    state: HashMap<DataId, DatumState>,
+    state: BTreeMap<DataId, DatumState>,
 }
 
 impl TaskGraph {

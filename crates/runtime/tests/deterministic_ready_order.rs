@@ -1,0 +1,69 @@
+//! Regression tests for lint rule D01's motivating hazard: the task
+//! graph's per-datum dependence state used to live in a `HashMap`, whose
+//! iteration order is randomized per process. Nothing iterates that map
+//! *today*, but one innocent `for (datum, state) in &self.state` would
+//! have silently made ready-task order — and with it every trace and
+//! chaos-campaign summary — nondeterministic. The state now lives in a
+//! `BTreeMap`; these tests pin the observable contract: identical
+//! programs produce identical edge lists and, on one worker, identical
+//! execution order, run after run.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+use xsc_runtime::{Access, Executor, SchedPolicy, TaskGraph};
+
+/// A wide, irregular program touching many data ids (enough that a
+/// hash-ordered scan would almost surely differ from insertion order).
+fn build_wide_graph(log: &Arc<Mutex<Vec<usize>>>) -> TaskGraph {
+    let mut g = TaskGraph::new();
+    for t in 0..120usize {
+        // Scatter accesses across 60 data ids with deliberately
+        // non-monotone datum numbering.
+        let d1 = (t * 37) % 60;
+        let d2 = (t * 53 + 11) % 60;
+        let log = Arc::clone(log);
+        g.add_task_with_cost(
+            format!("t{t}"),
+            [Access::Read(d1), Access::Write(d2)],
+            1 + (t as u64 % 7),
+            move || log.lock().push(t),
+        );
+    }
+    g
+}
+
+#[test]
+fn edge_lists_are_identical_across_builds() {
+    let log_a = Arc::new(Mutex::new(Vec::new()));
+    let log_b = Arc::new(Mutex::new(Vec::new()));
+    let mut a = build_wide_graph(&log_a);
+    let mut b = build_wide_graph(&log_b);
+    assert_eq!(a.edge_list(), b.edge_list());
+}
+
+#[test]
+fn single_worker_execution_order_is_reproducible() {
+    let reference: Option<Vec<usize>> = None;
+    let mut reference = reference;
+    for _ in 0..5 {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let g = build_wide_graph(&log);
+        Executor::new(1, SchedPolicy::CriticalPath).execute(g);
+        let order = log.lock().clone();
+        assert_eq!(order.len(), 120);
+        match &reference {
+            None => reference = Some(order),
+            Some(r) => assert_eq!(&order, r, "ready-task order changed between runs"),
+        }
+    }
+}
+
+#[test]
+fn fifo_single_worker_runs_in_program_order() {
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let g = build_wide_graph(&log);
+    Executor::new(1, SchedPolicy::Fifo).execute(g);
+    let order = log.lock().clone();
+    // FIFO on one worker with forward-only edges is exactly program order.
+    assert_eq!(order, (0..120).collect::<Vec<_>>());
+}

@@ -19,6 +19,12 @@ use xsc_metrics::traffic::XGather;
 /// Why a matrix cannot be represented with compact (`u32`) indices.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum IndexOverflow {
+    /// The row dimension exceeds `u32::MAX`, so row permutations (e.g.
+    /// the SELL-C-sigma lane order) would truncate.
+    Rows {
+        /// The offending row count.
+        nrows: usize,
+    },
     /// The column dimension exceeds `u32::MAX`, so column indices would
     /// truncate.
     Cols {
@@ -35,6 +41,12 @@ pub enum IndexOverflow {
 impl std::fmt::Display for IndexOverflow {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            IndexOverflow::Rows { nrows } => {
+                write!(
+                    f,
+                    "nrows {nrows} exceeds u32::MAX; u32 row permutations would truncate"
+                )
+            }
             IndexOverflow::Cols { ncols } => {
                 write!(
                     f,
@@ -86,9 +98,12 @@ impl<T: Scalar> TryFrom<&CsrMatrix<T>> for Csr32<T> {
         row_ptr.push(0u32);
         for i in 0..a.nrows() {
             let (cols, v) = a.row(i);
+            // xsc-lint: allow(A01, reason = "every col < ncols <= u32::MAX per check_compact_bounds above")
             col_idx.extend(cols.iter().map(|&c| c as u32));
             vals.extend_from_slice(v);
-            row_ptr.push(col_idx.len() as u32);
+            let fill = u32::try_from(col_idx.len())
+                .expect("nnz <= u32::MAX checked by check_compact_bounds");
+            row_ptr.push(fill);
         }
         Ok(Csr32 {
             nrows: a.nrows(),

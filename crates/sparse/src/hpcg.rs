@@ -10,8 +10,8 @@ use crate::cg::{pcg, CgResult};
 use crate::mg::{MgPreconditioner, Smoother};
 use crate::ops::{FormatMatrix, SparseFormat};
 use crate::stencil::{build_matrix, build_rhs, Geometry};
-use std::time::Instant;
 use xsc_core::flops;
+use xsc_metrics::Stopwatch;
 
 /// Outcome of one HPCG-like run.
 #[derive(Debug, Clone)]
@@ -64,9 +64,9 @@ pub fn run_hpcg_fmt(g: Geometry, levels: usize, iters: usize, format: SparseForm
         .unwrap_or_else(|e| panic!("hierarchy does not fit {format}: {e}"));
 
     let mut x = vec![0.0f64; n];
-    let start = Instant::now();
+    let start = Stopwatch::start();
     let res: CgResult = pcg(&a, &b, &mut x, iters, 0.0, &mg);
-    let seconds = start.elapsed().as_secs_f64();
+    let seconds = start.seconds();
 
     let initial = res.residual_history.first().copied().unwrap_or(1.0);
     let final_residual = res.final_residual();

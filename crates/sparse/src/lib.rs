@@ -33,7 +33,7 @@
 //! * [`matrix_powers`] — the `[x, Ax, …, Aˢx]` kernel with its
 //!   ghost-exchange accounting.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 #![allow(clippy::needless_range_loop)] // index-coupled updates across multiple slices are the clearest form for these kernels
 

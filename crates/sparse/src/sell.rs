@@ -68,9 +68,10 @@ impl<T: Scalar> SellCSigma<T> {
         );
         check_compact_bounds(a.ncols(), a.nnz())?;
         let n = a.nrows();
+        let n32 = u32::try_from(n).map_err(|_| IndexOverflow::Rows { nrows: n })?;
         // Stable descending-length sort within each σ-window: ties keep
         // their original relative order, so the layout is deterministic.
-        let mut perm: Vec<u32> = (0..n as u32).collect();
+        let mut perm: Vec<u32> = (0..n32).collect();
         let len_of = |r: u32| a.row(r as usize).0.len();
         for wstart in (0..n).step_by(sigma.max(1)) {
             let wend = (wstart + sigma).min(n);
@@ -78,6 +79,7 @@ impl<T: Scalar> SellCSigma<T> {
         }
         let mut inv = vec![0u32; n];
         for (slot, &r) in perm.iter().enumerate() {
+            // xsc-lint: allow(A01, reason = "slot < nrows <= u32::MAX, checked via n32 above")
             inv[r as usize] = slot as u32;
         }
         let nchunks = n.div_ceil(c.max(1));
@@ -98,6 +100,7 @@ impl<T: Scalar> SellCSigma<T> {
                 for l in 0..rows_in {
                     let (cols, v) = a.row(perm[s0 + l] as usize);
                     if j < cols.len() {
+                        // xsc-lint: allow(A01, reason = "col < ncols <= u32::MAX per check_compact_bounds")
                         col_idx.push(cols[j] as u32);
                         vals.push(v[j]);
                     } else {
@@ -107,6 +110,7 @@ impl<T: Scalar> SellCSigma<T> {
                 }
             }
             for l in 0..rows_in {
+                // xsc-lint: allow(A01, reason = "row length <= nnz <= u32::MAX per check_compact_bounds")
                 row_len.push(len_of(perm[s0 + l]) as u32);
             }
             chunk_off.push(col_idx.len());

@@ -36,7 +36,7 @@ fn main() {
 
     banner("Same algorithm, fork-join engine (barrier after every phase)");
     let tiles_fj = TileMatrix::from_matrix(&a, nb);
-    let t = std::time::Instant::now();
+    let t = xsc_metrics::Stopwatch::start();
     cholesky::cholesky_forkjoin(&tiles_fj).unwrap();
     println!(
         "fork-join wall clock: {:.1} ms",
