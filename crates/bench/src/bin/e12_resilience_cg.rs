@@ -1,4 +1,8 @@
-//! Standalone driver for experiment `e12_resilience_cg` (see DESIGN.md's index).
+//! Standalone driver for experiment `e12_resilience_cg` (see DESIGN.md's
+//! index). Pass `--json` to also write a machine-readable `BENCH_e12.json`.
 fn main() {
-    xsc_bench::experiments::e12_resilience_cg::run(xsc_bench::Scale::from_env());
+    xsc_bench::experiments::e12_resilience_cg::run_opts(
+        xsc_bench::Scale::from_env(),
+        xsc_bench::json::json_flag(),
+    );
 }

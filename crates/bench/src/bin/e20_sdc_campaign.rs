@@ -1,0 +1,8 @@
+//! Standalone driver for experiment `e20_sdc_campaign` (see DESIGN.md's
+//! index). Pass `--json` to also write a machine-readable `BENCH_e20.json`.
+fn main() {
+    xsc_bench::experiments::e20_sdc_campaign::run_opts(
+        xsc_bench::Scale::from_env(),
+        xsc_bench::json::json_flag(),
+    );
+}

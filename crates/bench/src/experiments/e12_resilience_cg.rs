@@ -1,6 +1,7 @@
 //! E12 — resilience strategies for iterative solvers under silent faults:
 //! checkpoint/rollback vs detect-and-restart, across fault rates.
 
+use crate::json::{write_report, Json};
 use crate::table::{sci, Table};
 use crate::Scale;
 use xsc_ft::checkpoint::{resilient_cg, Recovery};
@@ -9,6 +10,11 @@ use xsc_sparse::stencil::{build_matrix, build_rhs, Geometry};
 
 /// Runs the experiment and prints its table.
 pub fn run(scale: Scale) {
+    run_opts(scale, false);
+}
+
+/// Runs the experiment; with `json` set, also writes `BENCH_e12.json`.
+pub fn run_opts(scale: Scale, json: bool) {
     let g = scale.pick(8, 16);
     let geom = Geometry::new(g, g, g);
     let a = build_matrix(geom);
@@ -28,6 +34,7 @@ pub fn run(scale: Scale) {
         "wasted iters",
         "final residual",
     ]);
+    let mut rows = Vec::new();
     for rate in [0.0, 0.02, 0.05, 0.10] {
         for (name, strategy) in [
             ("checkpoint/10", Recovery::Checkpoint { interval: 10 }),
@@ -45,6 +52,16 @@ pub fn run(scale: Scale) {
                 rep.wasted_iterations.to_string(),
                 sci(rep.final_residual),
             ]);
+            rows.push(Json::obj(vec![
+                ("fault_rate", Json::Num(rate)),
+                ("strategy", Json::s(name)),
+                ("converged", Json::Bool(rep.converged)),
+                ("iterations", Json::Int(rep.iterations as i64)),
+                ("faults", Json::Int(rep.faults as i64)),
+                ("recoveries", Json::Int(rep.recoveries as i64)),
+                ("wasted_iterations", Json::Int(rep.wasted_iterations as i64)),
+                ("final_residual", Json::Num(rep.final_residual)),
+            ]));
         }
     }
     t.print(&format!(
@@ -52,4 +69,12 @@ pub fn run(scale: Scale) {
     ));
     println!("  keynote claim: at extreme scale faults are events, not exceptions; solvers");
     println!("  must detect silent corruption and recover with bounded re-done work.");
+    if json {
+        let report = Json::obj(vec![
+            ("experiment", Json::s("e12_resilience_cg")),
+            ("grid", Json::Int(g as i64)),
+            ("runs", Json::Arr(rows)),
+        ]);
+        write_report("BENCH_e12.json", &report);
+    }
 }

@@ -20,6 +20,7 @@ pub mod e16_comm_optimal;
 pub mod e17_chaos_runtime;
 pub mod e18_roofline;
 pub mod e19_format_showdown;
+pub mod e20_sdc_campaign;
 
 use crate::Scale;
 
@@ -44,4 +45,5 @@ pub fn run_all(scale: Scale) {
     e17_chaos_runtime::run(scale);
     e18_roofline::run(scale);
     e19_format_showdown::run(scale);
+    e20_sdc_campaign::run(scale);
 }

@@ -14,7 +14,11 @@
 //! * [`plan`] — schedule-independent chaos plans for task DAGs: a pure
 //!   hash of `(seed, task, attempt)` decides which attempts panic, emit
 //!   silently corrupted output, or stall, so chaos campaigns reproduce
-//!   exactly across runs and thread counts (E17).
+//!   exactly across runs and thread counts (E17);
+//! * [`sdc`] — the SDC-resilient Krylov stack: a seeded memory-fault plan
+//!   corrupting named solver buffers at deterministic `(iteration, sweep)`
+//!   points, and [`sdc::protected_pcg`] — CG under the `xsc-sparse` ABFT
+//!   detectors with bounded-rollback checkpoint recovery (E20).
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -24,7 +28,12 @@ pub mod abft;
 pub mod checkpoint;
 pub mod inject;
 pub mod plan;
+pub mod sdc;
 
 pub use abft::{abft_gemm, AbftOutcome};
 pub use inject::FaultInjector;
 pub use plan::{chaos_kernel, ChaosKind, FaultPlan, Injection};
+pub use sdc::{
+    protected_pcg, unprotected_pcg, AbortReason, MemFaultPlan, ProtectConfig, RecoveryOutcome,
+    SdcReport, SolverBuffer, SolverCheckpoint,
+};

@@ -324,6 +324,34 @@ pub fn spmv_csr_gather(nrows: usize, ncols: usize, nnz: usize, w: u64, gather: X
     }
 }
 
+/// Traffic of one ABFT SpMV checksum cross-check over `n`-element vectors
+/// (the column-sum invariant `eᵀ(Ax) = (eᵀA)·x`): a dot of the reference
+/// checksum with `x` (`2n`), a pairwise sum of `y` (`n`), and the
+/// magnitude-scale pass over both products (`~n`). Streams the checksum
+/// vector, `x`, and `y` once each. The guarded SpMV itself records its own
+/// traffic; this is the *detector surcharge* only.
+pub fn spmv_checksum_check(n: usize, w: u64) -> Traffic {
+    let n = n as u64;
+    Traffic {
+        flops: 4 * n,
+        bytes_read: w * 3 * n,
+        bytes_written: 0,
+    }
+}
+
+/// Detector surcharge of one recomputed-vs-recurred residual drift check
+/// *on top of* the fused residual recompute (which records its own SpMV
+/// traffic): the difference norm streams the recomputed and recurrence
+/// residuals once each at `3n` flops (subtract, square, accumulate).
+pub fn residual_drift_extra(n: usize, w: u64) -> Traffic {
+    let n = n as u64;
+    Traffic {
+        flops: 3 * n,
+        bytes_read: w * 2 * n,
+        bytes_written: 0,
+    }
+}
+
 /// Traffic of one multigrid V-cycle over `levels` given as
 /// `(rows, nnz)` per level, fine to coarse (HPCG's cycle: pre-smooth,
 /// residual SpMV, injection restriction, recursive coarse solve,
@@ -581,6 +609,22 @@ mod tests {
         // Both compact SymGS models undercut the usize-index model.
         assert!(t.bytes() < symgs_csr(100, 2700, 8).bytes());
         assert!(s.bytes() < symgs_csr(100, 2700, 8).bytes());
+    }
+
+    #[test]
+    fn abft_detector_surcharges_are_linear_and_cheap() {
+        let n = 32 * 32 * 32;
+        let check = spmv_checksum_check(n, 8);
+        assert_eq!(check.flops, 4 * n as u64);
+        assert_eq!(check.bytes_read, 8 * 3 * n as u64);
+        assert_eq!(check.bytes_written, 0);
+        let drift = residual_drift_extra(n, 8);
+        assert_eq!(drift.flops, 3 * n as u64);
+        // Both detectors are O(n) against the O(nnz) kernel they guard:
+        // under 10 % of one 27-point SpMV's bill.
+        let kernel = spmv_csr(n, 27 * n, 8);
+        assert!(check.bytes() * 10 < kernel.bytes());
+        assert!(drift.bytes() * 10 < kernel.bytes());
     }
 
     #[test]

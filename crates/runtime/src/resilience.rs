@@ -201,6 +201,27 @@ impl RecoveryPolicy {
         }
     }
 
+    /// The standard bounded-rollback policy: `max_attempts` consecutive
+    /// recoveries of one fault domain, with capped exponential backoff and
+    /// deterministic jitter (`base · factor^(k−1)` for the `k`-th retry,
+    /// jittered into `[0.5x, 1.5x)` from `seed`, never exceeding `max`).
+    /// One constructor instead of four builder calls, because this is the
+    /// shape every chaos campaign and the protected Krylov loop want.
+    pub fn capped_exponential(
+        max_attempts: u32,
+        base: Duration,
+        factor: f64,
+        max: Duration,
+        seed: u64,
+    ) -> Self {
+        RecoveryPolicy {
+            max_attempts: max_attempts.max(1),
+            backoff: Backoff::Jittered { base, factor, max },
+            on_exhausted: ExhaustedAction::Abort,
+            seed,
+        }
+    }
+
     /// Sets the backoff schedule.
     pub fn backoff(mut self, backoff: Backoff) -> Self {
         self.backoff = backoff;
@@ -367,6 +388,44 @@ mod tests {
     fn policy_builder_clamps_attempts() {
         let p = RecoveryPolicy::with_max_attempts(0);
         assert_eq!(p.max_attempts, 1);
+    }
+
+    #[test]
+    fn capped_exponential_schedule_is_deterministic_and_golden() {
+        let p = RecoveryPolicy::capped_exponential(
+            5,
+            Duration::from_micros(100),
+            2.0,
+            Duration::from_millis(1),
+            0xE20,
+        );
+        assert_eq!(p.max_attempts, 5);
+        assert_eq!(p.on_exhausted, ExhaustedAction::Abort);
+        // The schedule for one fault domain (task 7): raw delays
+        // 100us, 200us, 400us, 800us, then capped at 1ms — each jittered
+        // into [0.5x, 1.5x), never past the cap, and identical on replay.
+        let schedule: Vec<Duration> = (1..=5).map(|k| p.backoff.delay(7, k, p.seed)).collect();
+        let replay: Vec<Duration> = (1..=5).map(|k| p.backoff.delay(7, k, p.seed)).collect();
+        assert_eq!(schedule, replay, "same seed, same schedule");
+        for (k, d) in schedule.iter().enumerate() {
+            let raw = (100e-6 * 2f64.powi(k as i32)).min(1e-3);
+            let s = d.as_secs_f64();
+            assert!(
+                s >= raw * 0.5 - 1e-12 && s < (raw * 1.5).min(1e-3) + 1e-12,
+                "retry {}: {s}s outside jitter window of {raw}s",
+                k + 1
+            );
+        }
+        // Monotone growth until the cap region: the jitter band of retry
+        // k+2 starts above the band of retry k ((2^2)·0.5 > 1.5).
+        assert!(schedule[2] > schedule[0]);
+        assert!(schedule[3] > schedule[1]);
+        // Zero attempts still clamps to one.
+        assert_eq!(
+            RecoveryPolicy::capped_exponential(0, Duration::ZERO, 2.0, Duration::ZERO, 0)
+                .max_attempts,
+            1
+        );
     }
 
     #[test]

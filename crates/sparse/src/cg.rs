@@ -1,5 +1,6 @@
 //! Preconditioned conjugate gradients with deterministic reductions.
 
+use crate::error::SolverError;
 use crate::ops::SparseOps;
 use xsc_core::blas1;
 
@@ -65,6 +66,54 @@ pub fn pcg<A: SparseOps + ?Sized, P: Preconditioner>(
     let n = a.nrows();
     assert_eq!(b.len(), n, "rhs length mismatch");
     assert_eq!(x.len(), n, "solution length mismatch");
+    match pcg_core(a, b, x, max_iters, tol, m, false) {
+        Ok(r) => r,
+        Err(e) => unreachable!("lenient pcg core cannot fail: {e}"),
+    }
+}
+
+/// Fallible form of [`pcg`]: mis-sized vectors and loss of positive
+/// definiteness (`pᵀAp ≤ 0`, which [`pcg`] silently treats as "stop
+/// iterating") come back as typed [`SolverError`]s the resilience layer
+/// can react to instead of a panic or a quietly unconverged result.
+pub fn try_pcg<A: SparseOps + ?Sized, P: Preconditioner>(
+    a: &A,
+    b: &[f64],
+    x: &mut [f64],
+    max_iters: usize,
+    tol: f64,
+    m: &P,
+) -> Result<CgResult, SolverError> {
+    pcg_core(a, b, x, max_iters, tol, m, true)
+}
+
+/// Shared PCG body. With `strict` the indefinite-curvature breakdown is an
+/// error; without it the loop just stops (the legacy behavior). Shape
+/// errors are always typed here — [`pcg`] asserts before calling.
+fn pcg_core<A: SparseOps + ?Sized, P: Preconditioner>(
+    a: &A,
+    b: &[f64],
+    x: &mut [f64],
+    max_iters: usize,
+    tol: f64,
+    m: &P,
+    strict: bool,
+) -> Result<CgResult, SolverError> {
+    let n = a.nrows();
+    if b.len() != n {
+        return Err(SolverError::ShapeMismatch {
+            what: "rhs",
+            expected: n,
+            got: b.len(),
+        });
+    }
+    if x.len() != n {
+        return Err(SolverError::ShapeMismatch {
+            what: "solution",
+            expected: n,
+            got: x.len(),
+        });
+    }
 
     let mut flops = 0u64;
     let nnz = a.nnz() as u64;
@@ -98,6 +147,12 @@ pub fn pcg<A: SparseOps + ?Sized, P: Preconditioner>(
         let pap = blas1::dot_pairwise(&p, &ap);
         flops += 2 * nf;
         if pap <= 0.0 {
+            if strict {
+                return Err(SolverError::IndefiniteOperator {
+                    iteration: iterations,
+                    pap,
+                });
+            }
             // Loss of positive-definiteness (numerically) — stop.
             break;
         }
@@ -126,12 +181,12 @@ pub fn pcg<A: SparseOps + ?Sized, P: Preconditioner>(
         flops += 2 * nf;
     }
 
-    CgResult {
+    Ok(CgResult {
         iterations,
         residual_history: history,
         converged,
         flops,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -207,6 +262,45 @@ mod tests {
         let res = pcg(&a, &b, &mut x, 10, 1e-10, &Identity);
         assert!(res.converged);
         assert_eq!(res.iterations, 0);
+    }
+
+    #[test]
+    fn try_pcg_reports_shape_and_curvature_breakdowns() {
+        use crate::error::SolverError;
+        let g = Geometry::new(4, 4, 4);
+        let a = build_matrix(g);
+        let (b, _) = build_rhs(&a);
+        let mut x_short = vec![0.0; a.nrows() - 1];
+        assert!(matches!(
+            try_pcg(&a, &b, &mut x_short, 10, 1e-8, &Identity),
+            Err(SolverError::ShapeMismatch {
+                what: "solution",
+                ..
+            })
+        ));
+        // Negate the operator: curvature goes negative immediately.
+        let mut neg = a.clone();
+        for v in neg.values_mut() {
+            *v = -*v;
+        }
+        let mut x = vec![0.0; a.nrows()];
+        assert!(matches!(
+            try_pcg(&neg, &b, &mut x, 10, 1e-8, &Identity),
+            Err(SolverError::IndefiniteOperator { iteration: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn try_pcg_matches_pcg_on_healthy_systems() {
+        let g = Geometry::new(6, 6, 6);
+        let a = build_matrix(g);
+        let (b, _) = build_rhs(&a);
+        let mut x1 = vec![0.0; a.nrows()];
+        let r1 = pcg(&a, &b, &mut x1, 100, 1e-9, &Identity);
+        let mut x2 = vec![0.0; a.nrows()];
+        let r2 = try_pcg(&a, &b, &mut x2, 100, 1e-9, &Identity).unwrap();
+        assert_eq!(x1, x2, "fallible path must be bit-identical");
+        assert_eq!(r1.residual_history, r2.residual_history);
     }
 
     #[test]

@@ -82,6 +82,28 @@ impl<T: Scalar> CsrMatrix<T> {
         (&self.col_idx[s..e], &self.vals[s..e])
     }
 
+    /// The raw stored values, in row-major CSR order.
+    pub fn values(&self) -> &[T] {
+        &self.vals
+    }
+
+    /// Mutable raw stored values — the surface memory-fault campaigns
+    /// corrupt and checkpoint restore writes back into. Value-only:
+    /// callers may rewrite entries but the sparsity structure is fixed.
+    pub fn values_mut(&mut self) -> &mut [T] {
+        &mut self.vals
+    }
+
+    /// Column sums `eᵀA` over the stored entries — the ABFT reference
+    /// checksum behind the SpMV invariant `eᵀ(Ax) = (eᵀA)·x`.
+    pub fn column_sums(&self) -> Vec<T> {
+        let mut c = vec![T::zero(); self.ncols];
+        for (k, &j) in self.col_idx.iter().enumerate() {
+            c[j] += self.vals[k];
+        }
+        c
+    }
+
     /// Sequential sparse matrix–vector product `y <- A x`.
     pub fn spmv(&self, x: &[T], y: &mut [T]) {
         assert_eq!(x.len(), self.ncols, "spmv x length mismatch");

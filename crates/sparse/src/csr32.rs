@@ -138,6 +138,25 @@ impl<T: Scalar> Csr32<T> {
         (&self.col_idx[s..e], &self.vals[s..e])
     }
 
+    /// The raw stored values, in row-major CSR order.
+    pub fn values(&self) -> &[T] {
+        &self.vals
+    }
+
+    /// Mutable raw stored values (value-only; structure is fixed).
+    pub fn values_mut(&mut self) -> &mut [T] {
+        &mut self.vals
+    }
+
+    /// Column sums `eᵀA` over the stored entries (ABFT reference checksum).
+    pub fn column_sums(&self) -> Vec<T> {
+        let mut c = vec![T::zero(); self.ncols];
+        for (k, &j) in self.col_idx.iter().enumerate() {
+            c[j as usize] += self.vals[k];
+        }
+        c
+    }
+
     fn width(&self) -> u64 {
         std::mem::size_of::<T>() as u64
     }

@@ -6,7 +6,8 @@
 //! resulting rate — compared against the same machine's HPL rate — is the
 //! keynote's headline figure (experiment E01).
 
-use crate::cg::{pcg, CgResult};
+use crate::cg::{try_pcg, CgResult};
+use crate::error::SolverError;
 use crate::mg::{MgPreconditioner, Smoother};
 use crate::ops::{FormatMatrix, SparseFormat};
 use crate::stencil::{build_matrix, build_rhs, Geometry};
@@ -55,22 +56,34 @@ pub fn run_hpcg(g: Geometry, levels: usize, iters: usize) -> HpcgResult {
 /// Panics if the operator overflows the format's `u32` indices (HPCG grids
 /// that large do not fit in memory anyway).
 pub fn run_hpcg_fmt(g: Geometry, levels: usize, iters: usize, format: SparseFormat) -> HpcgResult {
+    try_run_hpcg_fmt(g, levels, iters, format)
+        .unwrap_or_else(|e| panic!("hpcg run does not fit {format}: {e}"))
+}
+
+/// Fallible form of [`run_hpcg_fmt`]: index overflow, an impossible
+/// hierarchy, or a Krylov breakdown come back as a typed [`SolverError`]
+/// instead of a panic, so sweeps over formats and level counts can skip
+/// infeasible configurations.
+pub fn try_run_hpcg_fmt(
+    g: Geometry,
+    levels: usize,
+    iters: usize,
+    format: SparseFormat,
+) -> Result<HpcgResult, SolverError> {
     let a_csr = build_matrix(g);
     let (b, _) = build_rhs(&a_csr);
     let (n, nnz) = (a_csr.nrows(), a_csr.nnz());
-    let a = FormatMatrix::convert(a_csr, format)
-        .unwrap_or_else(|e| panic!("operator does not fit {format}: {e}"));
-    let mg = MgPreconditioner::with_format(g, levels, Smoother::SymGs, format)
-        .unwrap_or_else(|e| panic!("hierarchy does not fit {format}: {e}"));
+    let a = FormatMatrix::convert(a_csr, format)?;
+    let mg = MgPreconditioner::try_with_format(g, levels, Smoother::SymGs, format)?;
 
     let mut x = vec![0.0f64; n];
     let start = Stopwatch::start();
-    let res: CgResult = pcg(&a, &b, &mut x, iters, 0.0, &mg);
+    let res: CgResult = try_pcg(&a, &b, &mut x, iters, 0.0, &mg)?;
     let seconds = start.seconds();
 
     let initial = res.residual_history.first().copied().unwrap_or(1.0);
     let final_residual = res.final_residual();
-    HpcgResult {
+    Ok(HpcgResult {
         geometry: g,
         n,
         nnz,
@@ -82,7 +95,7 @@ pub fn run_hpcg_fmt(g: Geometry, levels: usize, iters: usize, format: SparseForm
         passed: final_residual < initial * 1e-6 || final_residual < 1e-10,
         format,
         residual_history: res.residual_history,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -123,6 +136,15 @@ mod tests {
             assert_eq!(r.iterations, base.iterations, "{fmt}");
             assert_eq!(r.residual_history, base.residual_history, "{fmt}");
         }
+    }
+
+    #[test]
+    fn infeasible_hierarchy_is_a_typed_error_not_a_panic() {
+        let g = Geometry::new(4, 4, 4);
+        let err = try_run_hpcg_fmt(g, 4, 5, SparseFormat::Csr32);
+        assert!(matches!(err, Err(SolverError::NotCoarsenable { .. })));
+        let none = try_run_hpcg_fmt(g, 0, 5, SparseFormat::CsrUsize);
+        assert!(matches!(none, Err(SolverError::NoLevels)));
     }
 
     #[test]

@@ -31,17 +31,25 @@
 //! * [`sstep`] — s-step (communication-avoiding) CG: one Gram-matrix
 //!   reduction per `s` iterations;
 //! * [`matrix_powers`] — the `[x, Ax, …, Aˢx]` kernel with its
-//!   ghost-exchange accounting.
+//!   ghost-exchange accounting;
+//! * [`abft`] — algorithm-based fault-tolerance guards: the SpMV
+//!   column-sum checksum, residual-drift and V-cycle-contraction
+//!   detectors behind the SDC-resilient solver path;
+//! * [`error`] — typed errors ([`SolverError`]) for the
+//!   recoverable failure modes the `try_*` entry points report instead of
+//!   panicking.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 #![allow(clippy::needless_range_loop)] // index-coupled updates across multiple slices are the clearest form for these kernels
 
+pub mod abft;
 pub mod cg;
 pub mod chebyshev;
 pub mod coloring;
 pub mod csr;
 pub mod csr32;
+pub mod error;
 pub mod hpcg;
 pub mod matrix_powers;
 pub mod mg;
@@ -52,10 +60,12 @@ pub mod sstep;
 pub mod stencil;
 pub mod symgs;
 
-pub use cg::{pcg, CgResult, Identity, Preconditioner};
+pub use abft::{residual_drift, CheckedApply, SdcDetected, SpmvGuard};
+pub use cg::{pcg, try_pcg, CgResult, Identity, Preconditioner};
 pub use csr::CsrMatrix;
 pub use csr32::{Csr32, IndexOverflow};
-pub use hpcg::{run_hpcg, run_hpcg_fmt, HpcgResult};
+pub use error::SolverError;
+pub use hpcg::{run_hpcg, run_hpcg_fmt, try_run_hpcg_fmt, HpcgResult};
 pub use ops::{FormatMatrix, SparseFormat, SparseOps};
 pub use pipelined::{pipelined_cg, PipelinedCgResult};
 pub use sell::SellCSigma;

@@ -5,12 +5,15 @@
 //! residual restriction by injection, recursive coarse solve, prolongation
 //! by injection-add, one post-smooth; the coarsest level is a single SymGS.
 
+use crate::abft::{CheckedApply, SdcDetected};
 use crate::cg::Preconditioner;
 use crate::chebyshev::ChebyshevSmoother;
 use crate::coloring::{color_classes, greedy_coloring};
+use crate::error::SolverError;
 use crate::ops::{FormatMatrix, SparseFormat, SparseOps};
 use crate::stencil::{build_matrix, f2c_map, Geometry};
 use std::cell::RefCell;
+use xsc_core::blas1;
 use xsc_metrics::Traffic;
 
 /// Smoother family used on every multigrid level.
@@ -107,7 +110,26 @@ impl MgPreconditioner {
         smoother: Smoother,
         format: SparseFormat,
     ) -> Result<Self, crate::csr32::IndexOverflow> {
-        assert!(num_levels >= 1, "need at least one level");
+        match MgPreconditioner::try_with_format(g, num_levels, smoother, format) {
+            Ok(mg) => Ok(mg),
+            Err(SolverError::IndexOverflow(e)) => Err(e),
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fully fallible form of [`MgPreconditioner::with_format`]: reports
+    /// an impossible hierarchy ([`SolverError::NotCoarsenable`],
+    /// [`SolverError::NoLevels`]) as a typed error instead of panicking,
+    /// so callers that size hierarchies from runtime input can recover.
+    pub fn try_with_format(
+        g: Geometry,
+        num_levels: usize,
+        smoother: Smoother,
+        format: SparseFormat,
+    ) -> Result<Self, SolverError> {
+        if num_levels < 1 {
+            return Err(SolverError::NoLevels);
+        }
         let mut levels = Vec::with_capacity(num_levels);
         let mut geom = g;
         for l in 0..num_levels {
@@ -116,11 +138,12 @@ impl MgPreconditioner {
             let f2c = if last {
                 Vec::new()
             } else {
-                assert!(
-                    geom.coarsenable(),
-                    "geometry {geom:?} cannot be coarsened for level {}",
-                    l + 1
-                );
+                if !geom.coarsenable() {
+                    return Err(SolverError::NotCoarsenable {
+                        geometry: geom,
+                        level: l + 1,
+                    });
+                }
                 f2c_map(geom)
             };
             let n = a_csr.nrows();
@@ -261,6 +284,115 @@ impl Preconditioner for MgPreconditioner {
 
     fn flops_per_apply(&self) -> u64 {
         self.flops_per_cycle()
+    }
+}
+
+/// Slack on the pre-smooth contraction check: one smoother sweep from a
+/// zero guess must not expand `‖b − Ax‖` beyond this multiple of `‖b‖`.
+/// Healthy sweeps contract (factor < 1); a corrupted matrix value or
+/// smoother state typically expands by many orders of magnitude.
+const MG_PRE_SLACK: f64 = 2.0;
+/// Slack on the full-cycle check: coarse correction plus post-smooth must
+/// leave the residual within this multiple of the pre-smooth residual.
+const MG_POST_SLACK: f64 = 1.5;
+/// Additive rounding floor (relative to `‖b‖`) under which contraction
+/// ratios are meaningless — keeps the post check from firing when the
+/// pre-smooth already converged to rounding.
+const MG_ROUND_FLOOR: f64 = 1e-12;
+
+impl CheckedApply for MgPreconditioner {
+    /// Applies one V-cycle exactly as
+    /// [`Preconditioner::apply`] does — bit-identical `z` — and audits the
+    /// cycle's contraction invariant on the finest level: the pre-smooth
+    /// must not expand the input residual (`MG_PRE_SLACK`), and the
+    /// completed cycle must not expand the pre-smooth residual
+    /// (`MG_POST_SLACK`). Costs one extra fused residual (`2·nnz₀`
+    /// flops) plus three norms on top of the plain application.
+    fn apply_checked(&self, r: &[f64], z: &mut [f64]) -> Result<(), SdcDetected> {
+        let _scope = xsc_metrics::record("mg_vcycle", self.traffic_per_cycle);
+        self.cycle_checked(r, z)
+    }
+
+    fn flops_per_checked_apply(&self) -> u64 {
+        let lv0 = &self.levels[0];
+        self.flops_per_cycle() + 2 * lv0.a.nnz() as u64 + 6 * lv0.a.nrows() as u64
+    }
+}
+
+impl MgPreconditioner {
+    /// The level-0 body of [`MgPreconditioner::cycle`] with contraction
+    /// audits spliced in. Mirrors `cycle(0, ..)` operation-for-operation
+    /// (pre-smooth from zero, fused residual, injection restriction,
+    /// recursive coarse solve, injection-add prolongation, post-smooth) so
+    /// the produced `z` is bit-identical to the unchecked path; only the
+    /// detector reductions are added.
+    fn cycle_checked(&self, b: &[f64], x: &mut [f64]) -> Result<(), SdcDetected> {
+        let _detector = xsc_metrics::record(
+            "abft_mg_check",
+            Traffic {
+                flops: 6 * b.len() as u64,
+                bytes_read: 8 * 3 * b.len() as u64,
+                bytes_written: 0,
+            },
+        );
+        let bnorm = blas1::nrm2(b);
+        if !bnorm.is_finite() {
+            return Err(SdcDetected::NonFinite {
+                what: "mg input residual",
+            });
+        }
+        let bnorm = bnorm.max(f64::MIN_POSITIVE);
+        let lv = &self.levels[0];
+        let a = &lv.a;
+        let mut s = lv.scratch.borrow_mut();
+
+        // Pre-smooth from zero (the coarsest-level cycle is exactly this).
+        x.iter_mut().for_each(|v| *v = 0.0);
+        lv.smoother.apply(a, b, x);
+        a.fused_residual(x, b, &mut s.r);
+        let pre = blas1::nrm2(&s.r);
+        // `!(.. <= ..)` so a NaN norm also trips the detector.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(pre <= MG_PRE_SLACK * bnorm) {
+            return Err(SdcDetected::MgNoContraction {
+                phase: "pre",
+                observed: pre / bnorm,
+                tolerated: MG_PRE_SLACK,
+            });
+        }
+        if self.levels.len() == 1 {
+            return Ok(());
+        }
+
+        // Injection restriction, coarse solve, injection-add prolongation.
+        let nc = lv.f2c.len();
+        s.rc.resize(nc, 0.0);
+        s.zc.resize(nc, 0.0);
+        for (c, &f) in lv.f2c.iter().enumerate() {
+            s.rc[c] = s.r[f];
+        }
+        let (rc, zc) = {
+            let Scratch { rc, zc, .. } = &mut *s;
+            (rc.clone(), zc)
+        };
+        self.cycle(1, &rc, zc);
+        for (c, &f) in lv.f2c.iter().enumerate() {
+            x[f] += s.zc[c];
+        }
+        // Post-smooth, then audit the whole cycle's contraction.
+        lv.smoother.apply(a, b, x);
+        a.fused_residual(x, b, &mut s.r);
+        let post = blas1::nrm2(&s.r);
+        // `!(.. <= ..)` so a NaN norm also trips the detector.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(post <= MG_POST_SLACK * pre + MG_ROUND_FLOOR * bnorm) {
+            return Err(SdcDetected::MgNoContraction {
+                phase: "post",
+                observed: post / pre.max(f64::MIN_POSITIVE),
+                tolerated: MG_POST_SLACK,
+            });
+        }
+        Ok(())
     }
 }
 

@@ -47,6 +47,16 @@ pub trait SparseOps {
     fn spmv_traffic(&self) -> Traffic;
     /// Modeled DRAM traffic of one SymGS application (two sweeps).
     fn symgs_traffic(&self) -> Traffic;
+    /// The raw stored value buffer (format-specific layout; SELL includes
+    /// its zero padding slots). The surface memory-fault injection corrupts
+    /// and checkpoint restore writes back into.
+    fn values(&self) -> &[f64];
+    /// Mutable raw stored value buffer (value-only; structure is fixed).
+    fn values_mut(&mut self) -> &mut [f64];
+    /// Column sums `eᵀA` over the stored entries — the ABFT reference
+    /// checksum behind the SpMV invariant `eᵀ(Ax) = (eᵀA)·x` (see
+    /// [`abft::SpmvGuard`](crate::abft::SpmvGuard)).
+    fn column_sums(&self) -> Vec<f64>;
 
     /// Residual `r = b - Ax` (defaults to the fused single-sweep form).
     fn residual(&self, x: &[f64], b: &[f64], r: &mut [f64]) {
@@ -98,6 +108,15 @@ impl SparseOps for CsrMatrix<f64> {
     fn symgs_traffic(&self) -> Traffic {
         traffic::symgs_csr(CsrMatrix::nrows(self), CsrMatrix::nnz(self), 8)
     }
+    fn values(&self) -> &[f64] {
+        CsrMatrix::values(self)
+    }
+    fn values_mut(&mut self) -> &mut [f64] {
+        CsrMatrix::values_mut(self)
+    }
+    fn column_sums(&self) -> Vec<f64> {
+        CsrMatrix::column_sums(self)
+    }
 }
 
 impl SparseOps for Csr32<f64> {
@@ -148,6 +167,15 @@ impl SparseOps for Csr32<f64> {
             8,
             XGather::Streamed,
         )
+    }
+    fn values(&self) -> &[f64] {
+        Csr32::values(self)
+    }
+    fn values_mut(&mut self) -> &mut [f64] {
+        Csr32::values_mut(self)
+    }
+    fn column_sums(&self) -> Vec<f64> {
+        Csr32::column_sums(self)
     }
 }
 
@@ -202,6 +230,15 @@ impl SparseOps for SellCSigma<f64> {
             8,
             XGather::Streamed,
         )
+    }
+    fn values(&self) -> &[f64] {
+        SellCSigma::values(self)
+    }
+    fn values_mut(&mut self) -> &mut [f64] {
+        SellCSigma::values_mut(self)
+    }
+    fn column_sums(&self) -> Vec<f64> {
+        SellCSigma::column_sums(self)
     }
 }
 
@@ -322,6 +359,15 @@ impl SparseOps for FormatMatrix {
     }
     fn symgs_traffic(&self) -> Traffic {
         dispatch!(self, a => SparseOps::symgs_traffic(a))
+    }
+    fn values(&self) -> &[f64] {
+        dispatch!(self, a => SparseOps::values(a))
+    }
+    fn values_mut(&mut self) -> &mut [f64] {
+        dispatch!(self, a => SparseOps::values_mut(a))
+    }
+    fn column_sums(&self) -> Vec<f64> {
+        dispatch!(self, a => SparseOps::column_sums(a))
     }
 }
 

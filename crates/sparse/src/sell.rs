@@ -174,6 +174,30 @@ impl<T: Scalar> SellCSigma<T> {
         }
     }
 
+    /// The raw stored value slab (chunked layout, padding slots included —
+    /// padding holds exact zeros, so sums over the whole slab are exact).
+    pub fn values(&self) -> &[T] {
+        &self.vals
+    }
+
+    /// Mutable raw stored value slab (value-only; structure is fixed). A
+    /// memory fault landing on a padding slot is a real corruption: SpMV
+    /// streams padding, so a non-zero pad perturbs that lane's row.
+    pub fn values_mut(&mut self) -> &mut [T] {
+        &mut self.vals
+    }
+
+    /// Column sums `eᵀA` over every stored slot (ABFT reference checksum).
+    /// Padding slots contribute their stored value at column `col_idx[k]`,
+    /// so a corrupted pad shows up here exactly as it does in SpMV.
+    pub fn column_sums(&self) -> Vec<T> {
+        let mut c = vec![T::zero(); self.ncols];
+        for (k, &j) in self.col_idx.iter().enumerate() {
+            c[j as usize] += self.vals[k];
+        }
+        c
+    }
+
     fn width(&self) -> u64 {
         std::mem::size_of::<T>() as u64
     }
