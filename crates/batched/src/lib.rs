@@ -254,6 +254,25 @@ pub fn batched_trsm_llt<T: Scalar>(factors: &Batch<T>, rhs: &mut Batch<T>) {
     });
 }
 
+/// Factor-and-solve in one launch: Cholesky-factors every SPD matrix of
+/// `a` in place ([`batched_potrf`]) and then solves `A[k] x[k] = b[k]`
+/// for every element ([`batched_trsm_llt`]), overwriting `rhs` with the
+/// solutions.
+///
+/// This is the coalesced entry point of the serving layer (`xsc-serve`,
+/// experiment E21): `k` independent tiny solves submitted separately pay
+/// `k` launch overheads, while a coalesced batch pays one. Each batch
+/// element is processed by exactly the same sequential per-element
+/// arithmetic regardless of `count`, so a solve executed inside a
+/// `count == k` batch is **bit-identical** to the same solve executed
+/// alone in a `count == 1` batch — the property the serving layer's
+/// coalescer relies on (and the test suite asserts).
+pub fn batched_cholesky_solve<T: Scalar>(a: &mut Batch<T>, rhs: &mut Batch<T>) -> Result<()> {
+    batched_potrf(a)?;
+    batched_trsm_llt(a, rhs);
+    Ok(())
+}
+
 /// Batched LU with partial pivoting: factors every (square) matrix in
 /// place, returning one pivot vector per batch element.
 pub fn batched_getrf<T: Scalar>(batch: &mut Batch<T>) -> Result<Vec<Vec<usize>>> {
@@ -631,6 +650,50 @@ mod tests {
         for k in 0..2 {
             assert!(c.matrix(k).iter().all(|&v| v == 0.0));
         }
+    }
+
+    #[test]
+    fn cholesky_solve_is_bit_identical_to_count_one_batches() {
+        // The coalescing contract: solving inside a batch of k must equal
+        // solving alone, bit for bit.
+        let n = 8;
+        let count = 5;
+        let ms: Vec<Matrix<f64>> = (0..count)
+            .map(|k| gen::random_spd(n, 900 + k as u64))
+            .collect();
+        let rhs: Vec<Matrix<f64>> = ms
+            .iter()
+            .map(|m| {
+                let b = gen::rhs_for_unit_solution(m);
+                Matrix::from_fn(n, 1, |i, _| b[i])
+            })
+            .collect();
+
+        let mut coalesced_a = Batch::from_matrices(&ms);
+        let mut coalesced_b = Batch::from_matrices(&rhs);
+        batched_cholesky_solve(&mut coalesced_a, &mut coalesced_b).unwrap();
+
+        for k in 0..count {
+            let mut solo_a = Batch::from_matrices(&ms[k..k + 1]);
+            let mut solo_b = Batch::from_matrices(&rhs[k..k + 1]);
+            batched_cholesky_solve(&mut solo_a, &mut solo_b).unwrap();
+            let batched_bits: Vec<u64> =
+                coalesced_b.matrix(k).iter().map(|v| v.to_bits()).collect();
+            let solo_bits: Vec<u64> = solo_b.matrix(0).iter().map(|v| v.to_bits()).collect();
+            assert_eq!(batched_bits, solo_bits, "element {k} differs");
+            // And the answer is actually the solve: x ≈ ones.
+            assert!(coalesced_b
+                .matrix(k)
+                .iter()
+                .all(|&x| (x - 1.0).abs() < 1e-8));
+        }
+    }
+
+    #[test]
+    fn cholesky_solve_propagates_non_spd_error() {
+        let mut a = Batch::<f64>::from_fn(2, 2, 1, |_, i, j| if i == j { -1.0 } else { 0.0 });
+        let mut b = Batch::<f64>::zeros(2, 1, 1);
+        assert!(batched_cholesky_solve(&mut a, &mut b).is_err());
     }
 
     #[test]

@@ -1,4 +1,8 @@
-//! Standalone driver for experiment `e17_chaos_runtime` (see DESIGN.md's index).
+//! Standalone driver for experiment `e17_chaos_runtime` (see DESIGN.md's
+//! index). Pass `--json` to also write a machine-readable `BENCH_e17.json`.
 fn main() {
-    xsc_bench::experiments::e17_chaos_runtime::run(xsc_bench::Scale::from_env());
+    xsc_bench::experiments::e17_chaos_runtime::run_opts(
+        xsc_bench::Scale::from_env(),
+        xsc_bench::json::json_flag(),
+    );
 }

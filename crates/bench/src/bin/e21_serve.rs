@@ -1,0 +1,8 @@
+//! Standalone driver for experiment `e21_serve` (see DESIGN.md's
+//! index). Pass `--json` to also write a machine-readable `BENCH_e21.json`.
+fn main() {
+    xsc_bench::experiments::e21_serve::run_opts(
+        xsc_bench::Scale::from_env(),
+        xsc_bench::json::json_flag(),
+    );
+}

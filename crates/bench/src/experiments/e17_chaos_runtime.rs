@@ -14,6 +14,7 @@
 //!    price of the resilience layer at fault rate 0, versus the plain
 //!    fail-stop executor.
 
+use crate::json::{write_report, Json};
 use crate::table::{pct, sci, secs, Table};
 use crate::{best_of, Scale};
 use std::hint::black_box;
@@ -100,13 +101,21 @@ fn silence_chaos_panics() {
 }
 
 /// Runs the full campaign and renders the deterministic summary table.
-///
-/// Everything in this table is schedule-independent: fault decisions are
-/// pure hashes, taint propagation is DAG-structural, backoff is simulated
-/// (accumulated, never slept beyond the stall species), and a recovered
-/// factorization is bitwise identical to a fault-free one. Same seed in,
-/// same bytes out — on any thread count.
+/// See [`campaign_report`] for the machine-readable variant.
 pub fn campaign_summary(scale: Scale) -> String {
+    campaign_report(scale).0
+}
+
+/// Runs the full campaign and builds the deterministic summary: the
+/// rendered table plus the machine-readable report written to
+/// `BENCH_e17.json` by the binary's `--json` flag.
+///
+/// Everything in the table and report is schedule-independent: fault
+/// decisions are pure hashes, taint propagation is DAG-structural,
+/// backoff is simulated (accumulated, never slept beyond the stall
+/// species), and a recovered factorization is bitwise identical to a
+/// fault-free one. Same seed in, same bytes out — on any thread count.
+pub fn campaign_report(scale: Scale) -> (String, Json) {
     silence_chaos_panics();
     let p = problem(scale);
     let mut t = Table::new(&[
@@ -124,6 +133,7 @@ pub fn campaign_summary(scale: Scale) -> String {
         "residual",
     ]);
 
+    let mut cells_json: Vec<Json> = Vec::new();
     let mut cell =
         |rate: f64, kname: &str, kind: Option<ChaosKind>, pname: &str, pol: RecoveryPolicy| {
             let tiles = TileMatrix::from_matrix(&p.a, p.nb);
@@ -140,9 +150,9 @@ pub fn campaign_summary(scale: Scale) -> String {
             let residual = if stats.completed() {
                 let mut x = p.b.clone();
                 cholesky::solve(&tiles, &mut x);
-                sci(norms::hpl_scaled_residual(&p.a, &x, &p.b))
+                Some(norms::hpl_scaled_residual(&p.a, &x, &p.b))
             } else {
-                "-".into()
+                None
             };
             let (ip, ic, is) = plan.as_ref().map_or((0, 0, 0), |pl| pl.fired());
             t.row(vec![
@@ -157,8 +167,30 @@ pub fn campaign_summary(scale: Scale) -> String {
                 run.detections.to_string(),
                 format!("{ip}/{ic}/{is}"),
                 format!("{}us", stats.simulated_backoff.as_micros()),
-                residual,
+                residual.map_or_else(|| "-".into(), sci),
             ]);
+            cells_json.push(Json::obj(vec![
+                ("rate", Json::Num(rate)),
+                ("kind", Json::s(kname)),
+                ("policy", Json::s(pname)),
+                ("completed", Json::Bool(stats.completed())),
+                ("retries", Json::Int(stats.retries as i64)),
+                ("recoveries", Json::Int(stats.recoveries as i64)),
+                (
+                    "permanent_failures",
+                    Json::Int(stats.permanent_failures as i64),
+                ),
+                ("skipped", Json::Int(stats.skipped as i64)),
+                ("detections", Json::Int(run.detections as i64)),
+                ("injected_panics", Json::Int(ip as i64)),
+                ("injected_corruptions", Json::Int(ic as i64)),
+                ("injected_stalls", Json::Int(is as i64)),
+                (
+                    "simulated_backoff_us",
+                    Json::Int(stats.simulated_backoff.as_micros() as i64),
+                ),
+                ("residual", residual.map_or(Json::Null, Json::Num)),
+            ]));
         };
 
     cell(0.0, "none", None, "retry*6", policies()[0].1);
@@ -171,10 +203,19 @@ pub fn campaign_summary(scale: Scale) -> String {
     }
 
     let nt = p.a.rows() / p.nb;
-    t.render(&format!(
+    let table = t.render(&format!(
         "E17: chaos campaign — ABFT-guarded resilient Cholesky, {}x{} tiles of {} (seed {CAMPAIGN_SEED:#x}, deterministic counts)",
         nt, nt, p.nb
-    ))
+    ));
+    let report = Json::obj(vec![
+        ("experiment", Json::s("e17_chaos_runtime")),
+        ("seed", Json::Int(CAMPAIGN_SEED as i64)),
+        ("n", Json::Int(p.a.rows() as i64)),
+        ("tile", Json::Int(p.nb as i64)),
+        ("threads", Json::Int(p.threads as i64)),
+        ("cells", Json::Arr(cells_json)),
+    ]);
+    (table, report)
 }
 
 /// Synthetic DAG with `tasks` independent compute kernels of fixed work —
@@ -203,7 +244,18 @@ fn synthetic_graph(tasks: usize, work: usize, fallible: bool) -> TaskGraph {
 
 /// Runs the experiment and prints both tables.
 pub fn run(scale: Scale) {
-    print!("{}", campaign_summary(scale));
+    run_opts(scale, false);
+}
+
+/// Runs the experiment; with `json` set, also writes `BENCH_e17.json`
+/// (the deterministic campaign counts — the wall-clock table is
+/// deliberately excluded from the machine-readable report).
+pub fn run_opts(scale: Scale, json: bool) {
+    let (table, report) = campaign_report(scale);
+    print!("{table}");
+    if json {
+        write_report("BENCH_e17.json", &report);
+    }
     println!("  wasted work = retries (re-executed attempts); recovered runs solve to the");
     println!("  same residual as the fault-free row because retried kernels restore their");
     println!("  tile snapshot and recompute bitwise-identically.");
@@ -258,10 +310,15 @@ mod tests {
     #[test]
     fn campaign_summary_is_byte_identical_across_runs() {
         // The PR's reproducibility gate: same seed, same bytes — twice,
-        // on a live multi-threaded executor.
-        let one = campaign_summary(Scale::Quick);
-        let two = campaign_summary(Scale::Quick);
+        // on a live multi-threaded executor. Table and JSON both.
+        let (one, j1) = campaign_report(Scale::Quick);
+        let (two, j2) = campaign_report(Scale::Quick);
         assert_eq!(one, two, "campaign summary must be deterministic");
+        assert_eq!(
+            j1.render(),
+            j2.render(),
+            "JSON report must be deterministic"
+        );
         assert!(one.contains("retry*6") && one.contains("skip*2"));
     }
 

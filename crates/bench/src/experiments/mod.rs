@@ -21,6 +21,7 @@ pub mod e17_chaos_runtime;
 pub mod e18_roofline;
 pub mod e19_format_showdown;
 pub mod e20_sdc_campaign;
+pub mod e21_serve;
 
 use crate::Scale;
 
@@ -46,4 +47,5 @@ pub fn run_all(scale: Scale) {
     e18_roofline::run(scale);
     e19_format_showdown::run(scale);
     e20_sdc_campaign::run(scale);
+    e21_serve::run(scale);
 }

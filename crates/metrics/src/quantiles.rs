@@ -1,0 +1,120 @@
+//! Deterministic latency quantiles for service-level reporting.
+//!
+//! The serving layer (`xsc-serve`, experiment E21) reports p50/p99 request
+//! latency. Those numbers must be *byte-identical* across runs at the same
+//! seed, so this module is pure integer bookkeeping over nanosecond samples
+//! — no interpolation (which would drag float rounding into the report) and
+//! no wall clock. The nearest-rank definition is the one SLO dashboards
+//! use: the p-th percentile is the smallest sample such that at least
+//! `p %` of the samples are ≤ it.
+
+/// Nearest-rank percentile of an **ascending-sorted** slice of samples.
+///
+/// `p` is in `[0, 100]`; out-of-range values are clamped. Returns 0 for an
+/// empty slice (a served system with zero completed requests has no
+/// latency to report).
+///
+/// ```
+/// use xsc_metrics::quantiles::percentile;
+/// let sorted = [10, 20, 30, 40];
+/// assert_eq!(percentile(&sorted, 50.0), 20);
+/// assert_eq!(percentile(&sorted, 99.0), 40);
+/// ```
+pub fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let p = p.clamp(0.0, 100.0);
+    // Nearest rank: ceil(p/100 * n), 1-based; p=0 maps to the minimum.
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.max(1) - 1]
+}
+
+/// Summary statistics over a set of latency samples, computed once at
+/// construction. All fields are integer nanoseconds except the mean
+/// (an exact integer-division quotient would hide sub-nanosecond spread,
+/// and a f64 mean of integer sums is still deterministic).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Minimum sample (ns).
+    pub min_ns: u64,
+    /// Median — nearest-rank p50 (ns).
+    pub p50_ns: u64,
+    /// Nearest-rank p99 (ns).
+    pub p99_ns: u64,
+    /// Maximum sample (ns).
+    pub max_ns: u64,
+    /// Arithmetic mean (ns) — deterministic: integer sum divided once.
+    pub mean_ns: f64,
+}
+
+impl LatencySummary {
+    /// Builds the summary from unsorted samples (sorts a copy).
+    pub fn from_samples(samples: &[u64]) -> LatencySummary {
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let count = sorted.len();
+        let sum: u128 = sorted.iter().map(|&x| u128::from(x)).sum();
+        LatencySummary {
+            count,
+            min_ns: sorted.first().copied().unwrap_or(0),
+            p50_ns: percentile(&sorted, 50.0),
+            p99_ns: percentile(&sorted, 99.0),
+            max_ns: sorted.last().copied().unwrap_or(0),
+            mean_ns: if count == 0 {
+                0.0
+            } else {
+                sum as f64 / count as f64
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_samples_are_all_zero() {
+        let s = LatencySummary::from_samples(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p50_ns, 0);
+        assert_eq!(s.p99_ns, 0);
+        assert_eq!(s.mean_ns, 0.0);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let s = LatencySummary::from_samples(&[42]);
+        assert_eq!((s.min_ns, s.p50_ns, s.p99_ns, s.max_ns), (42, 42, 42, 42));
+        assert_eq!(s.mean_ns, 42.0);
+    }
+
+    #[test]
+    fn nearest_rank_matches_hand_computation() {
+        // 100 samples 1..=100: p50 is the 50th (=50), p99 the 99th (=99).
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sorted, 50.0), 50);
+        assert_eq!(percentile(&sorted, 99.0), 99);
+        assert_eq!(percentile(&sorted, 100.0), 100);
+        assert_eq!(percentile(&sorted, 0.0), 1);
+    }
+
+    #[test]
+    fn summary_is_order_independent() {
+        let a = LatencySummary::from_samples(&[5, 1, 9, 3, 7]);
+        let b = LatencySummary::from_samples(&[9, 7, 5, 3, 1]);
+        assert_eq!(a, b);
+        assert_eq!(a.p50_ns, 5);
+        assert_eq!(a.max_ns, 9);
+    }
+
+    #[test]
+    fn percentile_clamps_out_of_range() {
+        let sorted = [10, 20];
+        assert_eq!(percentile(&sorted, -5.0), 10);
+        assert_eq!(percentile(&sorted, 250.0), 20);
+    }
+}

@@ -29,6 +29,11 @@ pub enum SchedPolicy {
     /// Highest critical-path-to-sink first — keeps the long chain moving,
     /// the default in PLASMA-style runtimes.
     CriticalPath,
+    /// Highest caller-assigned priority first ([`TaskGraph::set_priority`]),
+    /// ties breaking on insertion order. Used when urgency is decided
+    /// outside the graph — e.g. a serving front-end scheduling launches by
+    /// tenant priority class.
+    Explicit,
 }
 
 /// A dataflow executor with a fixed worker count and scheduling policy.
@@ -209,6 +214,7 @@ impl Executor {
         let fin = graph.finalize();
         let successors = Arc::new(fin.successors);
         let priority = Arc::new(fin.priority);
+        let explicit = Arc::new(fin.explicit);
         let names: Arc<Vec<String>> =
             Arc::new(graph.tasks.iter().map(|t| t.name.clone()).collect());
 
@@ -238,7 +244,7 @@ impl Executor {
             for id in 0..n {
                 if pending[id].load(Ordering::Relaxed) == 0 {
                     q.push(ReadyTask {
-                        key: self.key(&priority, id),
+                        key: ready_key(self.policy, &priority, &explicit, id),
                         id,
                     });
                 }
@@ -251,6 +257,7 @@ impl Executor {
             let shared = Arc::clone(&shared);
             let successors = Arc::clone(&successors);
             let priority = Arc::clone(&priority);
+            let explicit = Arc::clone(&explicit);
             let kernels = Arc::clone(&kernels);
             let pending = Arc::clone(&pending);
             let resilient = resilient.clone();
@@ -377,10 +384,7 @@ impl Executor {
                         if !newly_ready.is_empty() {
                             let mut q = shared.ready.lock();
                             for s in newly_ready {
-                                let key = match policy {
-                                    SchedPolicy::Fifo => u64::MAX - s as u64,
-                                    SchedPolicy::CriticalPath => priority[s],
-                                };
+                                let key = ready_key(policy, &priority, &explicit, s);
                                 q.push(ReadyTask { key, id: s });
                                 shared.available.notify_one();
                             }
@@ -419,12 +423,16 @@ impl Executor {
             None => trace,
         }
     }
+}
 
-    fn key(&self, priority: &[u64], id: TaskId) -> u64 {
-        match self.policy {
-            SchedPolicy::Fifo => u64::MAX - id as u64,
-            SchedPolicy::CriticalPath => priority[id],
-        }
+/// Ready-queue key for `id`: the heap is a max-heap on this value with ties
+/// broken toward the lowest task id, so FIFO inverts the id, critical-path
+/// uses the graph-derived priority, and explicit uses the caller's value.
+fn ready_key(policy: SchedPolicy, priority: &[u64], explicit: &[u64], id: TaskId) -> u64 {
+    match policy {
+        SchedPolicy::Fifo => u64::MAX - id as u64,
+        SchedPolicy::CriticalPath => priority[id],
+        SchedPolicy::Explicit => explicit[id],
     }
 }
 
@@ -654,6 +662,41 @@ mod tests {
         let acc2 = Arc::new(PlMutex::new(1i64));
         Executor::new(8, SchedPolicy::CriticalPath).execute(build(Arc::clone(&acc2)));
         assert_eq!(*acc2.lock(), serial);
+    }
+
+    #[test]
+    fn explicit_policy_runs_highest_priority_first() {
+        // Independent tasks, one worker, all ready at seed time: execution
+        // order must follow the caller-assigned priorities, with ties
+        // breaking on insertion order.
+        let log = Arc::new(PlMutex::new(Vec::new()));
+        let mut g = TaskGraph::new();
+        let prios = [3u64, 1, 7, 3, 9];
+        for (i, &p) in prios.iter().enumerate() {
+            let log = Arc::clone(&log);
+            let id = g.add_task(format!("t{i}"), [Access::Write(i)], move || {
+                log.lock().push(i);
+            });
+            g.set_priority(id, p);
+        }
+        Executor::new(1, SchedPolicy::Explicit).execute(g);
+        let order = Arc::try_unwrap(log).unwrap().into_inner();
+        assert_eq!(order, vec![4, 2, 0, 3, 1]);
+    }
+
+    #[test]
+    fn explicit_priorities_default_to_zero_and_keep_insertion_order() {
+        let log = Arc::new(PlMutex::new(Vec::new()));
+        let mut g = TaskGraph::new();
+        for i in 0..6usize {
+            let log = Arc::clone(&log);
+            g.add_task(format!("t{i}"), [Access::Write(i)], move || {
+                log.lock().push(i);
+            });
+        }
+        Executor::new(1, SchedPolicy::Explicit).execute(g);
+        let order = Arc::try_unwrap(log).unwrap().into_inner();
+        assert_eq!(order, (0..6).collect::<Vec<_>>());
     }
 
     // ---- resilient-mode tests -------------------------------------------

@@ -34,6 +34,14 @@ pub(crate) struct Task {
     pub kernel: Option<Kernel>,
     /// A-priori cost estimate used for critical-path priorities.
     pub cost: u64,
+    /// Caller-assigned urgency used by [`SchedPolicy::Explicit`]
+    /// (higher runs first; ties break on insertion order). Unlike the
+    /// critical-path priority this is not derived from the graph — it is
+    /// whatever the submitting layer says (e.g. a serving front-end's
+    /// tenant priority class).
+    ///
+    /// [`SchedPolicy::Explicit`]: crate::SchedPolicy::Explicit
+    pub explicit: u64,
 }
 
 /// Per-datum state for the superscalar dependence scan.
@@ -160,8 +168,19 @@ impl TaskGraph {
             name: name.into(),
             kernel: Some(kernel),
             cost: cost.max(1),
+            explicit: 0,
         });
         id
+    }
+
+    /// Assigns the caller-provided urgency consulted by
+    /// [`SchedPolicy::Explicit`]: among ready tasks the highest value runs
+    /// first, ties breaking on insertion order. Tasks default to 0; the
+    /// value has no effect under the other policies.
+    ///
+    /// [`SchedPolicy::Explicit`]: crate::SchedPolicy::Explicit
+    pub fn set_priority(&mut self, id: TaskId, priority: u64) {
+        self.tasks[id].explicit = priority;
     }
 
     /// Number of tasks inserted so far.
@@ -208,6 +227,7 @@ impl TaskGraph {
             successors,
             in_degree,
             priority,
+            explicit: self.tasks.iter().map(|t| t.explicit).collect(),
         }
     }
 
@@ -260,6 +280,7 @@ pub(crate) struct FinalizedGraph {
     pub successors: Vec<Vec<TaskId>>,
     pub in_degree: Vec<usize>,
     pub priority: Vec<u64>,
+    pub explicit: Vec<u64>,
 }
 
 #[cfg(test)]

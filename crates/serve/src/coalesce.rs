@@ -1,0 +1,193 @@
+//! Small-problem coalescing: many tiny solves, one batched launch.
+//!
+//! The keynote's batched-BLAS argument (E07) restated as a serving
+//! concern: a tiny solve's *launch overhead* (dispatch, scheduling, cache
+//! warm-up) dwarfs its arithmetic, so a server that launches each tiny
+//! request alone burns its capacity on overhead. The coalescer gathers
+//! same-shaped tiny jobs that are waiting in the queue into one
+//! [`xsc_batched::batched_cholesky_solve`] launch; every other job kind
+//! launches alone. Because the batched kernels process each element with
+//! identical sequential arithmetic, a coalesced solve is bit-identical to
+//! an uncoalesced one — batching changes *when* work runs, never *what*
+//! it computes.
+
+use crate::queue::{AdmissionQueue, QueuedJob};
+use crate::request::Priority;
+
+/// Coalescing knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoalescePolicy {
+    /// Master switch: disabled means every job launches alone (the E21
+    /// baseline arm).
+    pub enabled: bool,
+    /// Largest number of tiny solves merged into one launch.
+    pub max_batch: usize,
+}
+
+impl Default for CoalescePolicy {
+    fn default() -> Self {
+        CoalescePolicy {
+            enabled: true,
+            max_batch: 64,
+        }
+    }
+}
+
+/// One unit of executor work: either a lone job or a coalesced batch of
+/// same-dimension tiny solves.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Launch {
+    /// A job launched alone.
+    Single(QueuedJob),
+    /// `jobs.len()` tiny solves of dimension `dim` sharing one batched
+    /// launch, in drain order.
+    Coalesced {
+        /// Common tiny-solve dimension.
+        dim: usize,
+        /// The merged jobs, in drain order.
+        jobs: Vec<QueuedJob>,
+    },
+}
+
+impl Launch {
+    /// Jobs carried by this launch, in drain order.
+    pub fn jobs(&self) -> &[QueuedJob] {
+        match self {
+            Launch::Single(j) => std::slice::from_ref(j),
+            Launch::Coalesced { jobs, .. } => jobs,
+        }
+    }
+
+    /// Number of jobs in the launch.
+    pub fn width(&self) -> usize {
+        self.jobs().len()
+    }
+
+    /// Scheduling urgency of the launch: its most urgent member (a batch
+    /// holding one interactive job drains like interactive work).
+    pub fn priority(&self) -> Priority {
+        self.jobs()
+            .iter()
+            .map(|j| j.request.priority())
+            .max()
+            .expect("a launch is never empty")
+    }
+}
+
+/// Forms the next launch from the head of the queue: pops the next job in
+/// drain order and, when it is a tiny solve and `policy.enabled`, gathers
+/// up to `max_batch − 1` further tiny jobs of the same dimension from
+/// anywhere in the queue (they skip ahead — amortizing the launch is
+/// worth reordering work that is all overhead-bound anyway).
+pub fn next_launch(queue: &mut AdmissionQueue, policy: &CoalescePolicy) -> Option<Launch> {
+    let head = queue.pop()?;
+    match head.request.coalescible_dim() {
+        Some(dim) if policy.enabled && policy.max_batch > 1 => {
+            let mut jobs = vec![head];
+            jobs.extend(queue.take_tiny(dim, policy.max_batch - 1));
+            Some(Launch::Coalesced { dim, jobs })
+        }
+        _ => Some(Launch::Single(head)),
+    }
+}
+
+/// Drains the whole queue into launches (repeated [`next_launch`]).
+pub fn plan(queue: &mut AdmissionQueue, policy: &CoalescePolicy) -> Vec<Launch> {
+    std::iter::from_fn(|| next_launch(queue, policy)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::QueueConfig;
+    use crate::request::{JobSpec, Request};
+
+    fn tiny(dim: usize, seed: u64) -> Request {
+        Request::new("t", Priority::Normal, JobSpec::TinySolve { dim, seed }).unwrap()
+    }
+
+    fn dense(n: usize) -> Request {
+        Request::new("t", Priority::Normal, JobSpec::DenseFactor { n, seed: 0 }).unwrap()
+    }
+
+    #[test]
+    fn tiny_jobs_of_same_dim_coalesce() {
+        let mut q = AdmissionQueue::new(QueueConfig::default());
+        for s in 0..5 {
+            q.submit(tiny(8, s)).unwrap();
+        }
+        let launches = plan(&mut q, &CoalescePolicy::default());
+        assert_eq!(launches.len(), 1);
+        assert_eq!(launches[0].width(), 5);
+    }
+
+    #[test]
+    fn max_batch_splits_launches() {
+        let mut q = AdmissionQueue::new(QueueConfig::default());
+        for s in 0..7 {
+            q.submit(tiny(8, s)).unwrap();
+        }
+        let policy = CoalescePolicy {
+            enabled: true,
+            max_batch: 3,
+        };
+        let widths: Vec<usize> = plan(&mut q, &policy).iter().map(Launch::width).collect();
+        assert_eq!(widths, [3, 3, 1]);
+    }
+
+    #[test]
+    fn different_dims_and_kinds_do_not_merge() {
+        let mut q = AdmissionQueue::new(QueueConfig::default());
+        q.submit(tiny(4, 0)).unwrap();
+        q.submit(tiny(8, 1)).unwrap();
+        q.submit(dense(32)).unwrap();
+        q.submit(tiny(4, 2)).unwrap();
+        let launches = plan(&mut q, &CoalescePolicy::default());
+        assert_eq!(launches.len(), 3);
+        assert!(matches!(
+            &launches[0],
+            Launch::Coalesced { dim: 4, jobs } if jobs.len() == 2
+        ));
+        assert!(matches!(
+            &launches[1],
+            Launch::Coalesced { dim: 8, jobs } if jobs.len() == 1
+        ));
+        assert!(matches!(&launches[2], Launch::Single(_)));
+    }
+
+    #[test]
+    fn disabled_policy_launches_everything_alone() {
+        let mut q = AdmissionQueue::new(QueueConfig::default());
+        for s in 0..4 {
+            q.submit(tiny(8, s)).unwrap();
+        }
+        let policy = CoalescePolicy {
+            enabled: false,
+            max_batch: 64,
+        };
+        let launches = plan(&mut q, &policy);
+        assert_eq!(launches.len(), 4);
+        assert!(launches.iter().all(|l| l.width() == 1));
+    }
+
+    #[test]
+    fn launch_priority_is_most_urgent_member() {
+        let mut q = AdmissionQueue::new(QueueConfig::default());
+        q.submit(
+            Request::new(
+                "t",
+                Priority::Interactive,
+                JobSpec::TinySolve { dim: 4, seed: 0 },
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        q.submit(
+            Request::new("t", Priority::Batch, JobSpec::TinySolve { dim: 4, seed: 1 }).unwrap(),
+        )
+        .unwrap();
+        let launches = plan(&mut q, &CoalescePolicy::default());
+        assert_eq!(launches.len(), 1);
+        assert_eq!(launches[0].priority(), Priority::Interactive);
+    }
+}

@@ -1,0 +1,64 @@
+//! # xsc-serve — solve-as-a-service front-end
+//!
+//! The keynote's north star is algorithms serving "millions of users";
+//! ROADMAP open item 1 is the consumption boundary that makes the
+//! workspace's kernels *servable*. This crate is that boundary:
+//!
+//! * [`request`] — job submissions (sparse MG-PCG solve, dense Cholesky
+//!   factorization, tiny SPD solve) **validated at construction**: a
+//!   [`Request`] that exists is well-formed, so everything behind the
+//!   queue is infallible;
+//! * [`queue`] — a multi-tenant admission/priority queue with per-tenant
+//!   quotas and bounded-capacity backpressure, draining in a total
+//!   deterministic order (priority class, then admission order);
+//! * [`coalesce`] — small-problem coalescing: many tiny solves waiting in
+//!   the queue become one `xsc-batched` launch (E07's argument, applied
+//!   to traffic) — bit-identical to launching them alone;
+//! * [`server`] — the executor handoff: launches become tasks on the
+//!   `xsc-runtime` executor, scheduled by tenant priority class via
+//!   [`SchedPolicy::Explicit`](xsc_runtime::SchedPolicy);
+//! * [`loadgen`] / [`sim`] — a seeded open-loop load generator and a
+//!   virtual-time replay that measures p50/p99 latency and throughput
+//!   **deterministically** (experiment E21 `cmp`s its JSON byte-for-byte
+//!   across runs).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use xsc_serve::{JobSpec, Priority, Request, Server, ServerConfig};
+//!
+//! let mut server = Server::new(ServerConfig::default());
+//! for seed in 0..16 {
+//!     let req = Request::new(
+//!         "quickstart",
+//!         Priority::Normal,
+//!         JobSpec::TinySolve { dim: 8, seed },
+//!     )
+//!     .expect("valid request");
+//!     server.submit(req).expect("admitted");
+//! }
+//! let outcomes = server.run_pending();
+//! assert_eq!(outcomes.len(), 16);
+//! // All 16 tiny solves shared one coalesced batched launch.
+//! assert!(outcomes.iter().all(|o| o.launch_width == 16));
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod coalesce;
+pub mod loadgen;
+pub mod queue;
+pub mod request;
+pub mod server;
+pub mod sim;
+
+pub use coalesce::{next_launch, plan, CoalescePolicy, Launch};
+pub use loadgen::{generate, Arrival, LoadProfile};
+pub use queue::{AdmissionQueue, AdmitError, QueueConfig, QueuedJob};
+pub use request::{
+    JobId, JobSpec, Priority, Request, RequestError, MAX_DENSE_N, MAX_GRID, MAX_SOLVE_ITERS,
+    MAX_TENANT_LEN, MAX_TINY_DIM,
+};
+pub use server::{execute_launch, JobOutcome, Server, ServerConfig, TenantStats};
+pub use sim::{replay, ArmReport, ServiceModel};

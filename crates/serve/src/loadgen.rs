@@ -1,0 +1,152 @@
+//! Seeded open-loop load generator.
+//!
+//! Open-loop means arrivals do **not** wait for completions — the
+//! generator fixes a timeline of request arrivals up front (the
+//! coordinated-omission-free methodology of serving benchmarks), and the
+//! replay in [`crate::sim`] measures how far completions lag behind it.
+//! Everything is derived from one seed through the workspace's
+//! deterministic `SmallRng`, so the same profile always produces the
+//! same traffic, byte for byte.
+
+use crate::request::{JobSpec, Priority, Request};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Tiny-solve dimensions the generator draws from (all within
+/// [`crate::request::MAX_TINY_DIM`]).
+pub const TINY_DIMS: [usize; 4] = [4, 6, 8, 12];
+
+/// Stencil grid edges the generator draws from.
+pub const SPARSE_GRIDS: [usize; 2] = [4, 8];
+
+/// Dense factorization sizes the generator draws from.
+pub const DENSE_DIMS: [usize; 2] = [24, 32];
+
+/// A workload description: who sends how much of what, how fast.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadProfile {
+    /// Master seed; every arrival derives from it.
+    pub seed: u64,
+    /// Total requests on the timeline.
+    pub requests: usize,
+    /// Mean inter-arrival gap in virtual nanoseconds (arrivals are
+    /// uniform on `[0, 2·mean]`, so the mean rate is `1/mean`).
+    pub mean_interarrival_ns: u64,
+    /// Tenants and their priority class; requests round-robin by a
+    /// seeded draw.
+    pub tenants: Vec<(String, Priority)>,
+    /// Per-mille of requests that are tiny solves (the coalescible kind).
+    pub tiny_permille: u32,
+    /// Per-mille that are sparse MG-PCG solves (the rest, after tiny and
+    /// sparse, are dense factorizations).
+    pub sparse_permille: u32,
+}
+
+impl LoadProfile {
+    /// The E21 workload: many tiny requests (90 %) from three tenants of
+    /// different priority classes, seasoned with sparse solves (6 %) and
+    /// dense factorizations (4 %).
+    pub fn many_tiny(seed: u64, requests: usize, mean_interarrival_ns: u64) -> LoadProfile {
+        LoadProfile {
+            seed,
+            requests,
+            mean_interarrival_ns,
+            tenants: vec![
+                ("dashboard".to_string(), Priority::Interactive),
+                ("pipeline".to_string(), Priority::Normal),
+                ("nightly".to_string(), Priority::Batch),
+            ],
+            tiny_permille: 900,
+            sparse_permille: 60,
+        }
+    }
+}
+
+/// One point on the open-loop timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Arrival {
+    /// Virtual arrival time in nanoseconds from the timeline origin.
+    pub at_ns: u64,
+    /// The (already validated) request.
+    pub request: Request,
+}
+
+/// Generates the arrival timeline for a profile: nondecreasing times,
+/// every request valid by construction. Panics if the profile has no
+/// tenants or an impossible mix (> 1000 ‰).
+pub fn generate(profile: &LoadProfile) -> Vec<Arrival> {
+    assert!(!profile.tenants.is_empty(), "profile needs tenants");
+    assert!(
+        profile.tiny_permille + profile.sparse_permille <= 1000,
+        "mix exceeds 1000 permille"
+    );
+    let mut rng = SmallRng::seed_from_u64(profile.seed);
+    let mut at_ns = 0u64;
+    let mut out = Vec::with_capacity(profile.requests);
+    for _ in 0..profile.requests {
+        at_ns += rng.gen_range(0..2 * profile.mean_interarrival_ns.max(1) + 1);
+        let (tenant, priority) = &profile.tenants[rng.gen_range(0..profile.tenants.len())];
+        let mix = rng.gen_range(0u32..1000);
+        let spec = if mix < profile.tiny_permille {
+            JobSpec::TinySolve {
+                dim: TINY_DIMS[rng.gen_range(0..TINY_DIMS.len())],
+                seed: rng.gen_range(0u64..1 << 48),
+            }
+        } else if mix < profile.tiny_permille + profile.sparse_permille {
+            JobSpec::SparseSolve {
+                grid: SPARSE_GRIDS[rng.gen_range(0..SPARSE_GRIDS.len())],
+                levels: 2,
+                tol: 1e-8,
+                max_iters: 50,
+            }
+        } else {
+            JobSpec::DenseFactor {
+                n: DENSE_DIMS[rng.gen_range(0..DENSE_DIMS.len())],
+                seed: rng.gen_range(0u64..1 << 48),
+            }
+        };
+        let request = Request::new(tenant.clone(), *priority, spec)
+            .expect("the generator emits only valid requests");
+        out.push(Arrival { at_ns, request });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_timeline() {
+        let p = LoadProfile::many_tiny(0xE21, 200, 1000);
+        assert_eq!(generate(&p), generate(&p));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&LoadProfile::many_tiny(1, 100, 1000));
+        let b = generate(&LoadProfile::many_tiny(2, 100, 1000));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn arrivals_are_nondecreasing_and_mostly_tiny() {
+        let arrivals = generate(&LoadProfile::many_tiny(7, 500, 1000));
+        assert_eq!(arrivals.len(), 500);
+        assert!(arrivals.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
+        let tiny = arrivals
+            .iter()
+            .filter(|a| a.request.coalescible_dim().is_some())
+            .count();
+        // 90% nominal; leave generous slack for the draw.
+        assert!(tiny > 400, "only {tiny}/500 tiny requests");
+    }
+
+    #[test]
+    fn all_tenants_appear() {
+        let arrivals = generate(&LoadProfile::many_tiny(3, 300, 1000));
+        for t in ["dashboard", "pipeline", "nightly"] {
+            assert!(arrivals.iter().any(|a| a.request.tenant() == t));
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Multi-tenant admission queue: priority ordering, per-tenant quotas,
+//! and bounded-capacity backpressure.
+//!
+//! Admission is where the service says *no*: a full queue or an exhausted
+//! tenant quota rejects the submission immediately (backpressure the
+//! client can see) instead of letting an unbounded backlog destroy every
+//! tenant's latency. Drain order is **total and deterministic**: higher
+//! [`Priority`] classes first, FIFO (admission order) within a class —
+//! independent of how submissions from different tenants interleave with
+//! pops, a property the proptests in `tests/` exercise.
+
+use crate::request::{JobId, Priority, Request};
+use std::collections::BTreeMap;
+
+/// Queue limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueConfig {
+    /// Maximum queued jobs before submissions bounce with
+    /// [`AdmitError::QueueFull`].
+    pub capacity: usize,
+    /// Maximum *outstanding* (queued or executing) jobs per tenant before
+    /// its submissions bounce with [`AdmitError::QuotaExhausted`].
+    pub per_tenant_quota: usize,
+}
+
+impl Default for QueueConfig {
+    fn default() -> Self {
+        QueueConfig {
+            capacity: 1024,
+            per_tenant_quota: 256,
+        }
+    }
+}
+
+/// Why a submission was refused (backpressure, not failure: the request
+/// itself is valid and may be resubmitted later).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmitError {
+    /// The queue is at capacity.
+    QueueFull {
+        /// The configured capacity that was hit.
+        capacity: usize,
+    },
+    /// The tenant has too many outstanding jobs.
+    QuotaExhausted {
+        /// The refusing tenant.
+        tenant: String,
+        /// The configured per-tenant quota that was hit.
+        quota: usize,
+    },
+}
+
+impl std::fmt::Display for AdmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmitError::QueueFull { capacity } => {
+                write!(f, "queue full (capacity {capacity})")
+            }
+            AdmitError::QuotaExhausted { tenant, quota } => {
+                write!(f, "tenant {tenant:?} has {quota} outstanding jobs (quota)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdmitError {}
+
+/// An admitted job: the request plus its queue-assigned id.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueuedJob {
+    /// Admission-order id.
+    pub id: JobId,
+    /// The validated request.
+    pub request: Request,
+}
+
+/// Drain key: ascending `BTreeMap` order must give highest priority
+/// first, FIFO within a class — so the class is stored inverted.
+fn drain_key(priority: Priority, seq: u64) -> (u64, u64) {
+    (u64::MAX - priority.level(), seq)
+}
+
+/// The admission/priority queue. Not a lock-free marvel — admission is a
+/// control-plane operation; the data plane is the launch path behind it.
+#[derive(Debug, Default)]
+pub struct AdmissionQueue {
+    cfg: QueueConfig,
+    next_id: u64,
+    entries: BTreeMap<(u64, u64), QueuedJob>,
+    /// Outstanding (queued or executing) job count per tenant.
+    outstanding: BTreeMap<String, usize>,
+}
+
+impl AdmissionQueue {
+    /// Creates an empty queue with the given limits.
+    pub fn new(cfg: QueueConfig) -> Self {
+        AdmissionQueue {
+            cfg,
+            ..AdmissionQueue::default()
+        }
+    }
+
+    /// Admits a request or applies backpressure. On success the job is
+    /// queued and its id returned; the tenant's outstanding count stays
+    /// raised until [`AdmissionQueue::complete`] is called for it.
+    pub fn submit(&mut self, request: Request) -> Result<JobId, AdmitError> {
+        if self.entries.len() >= self.cfg.capacity {
+            return Err(AdmitError::QueueFull {
+                capacity: self.cfg.capacity,
+            });
+        }
+        let used = self.outstanding.get(request.tenant()).copied().unwrap_or(0);
+        if used >= self.cfg.per_tenant_quota {
+            return Err(AdmitError::QuotaExhausted {
+                tenant: request.tenant().to_string(),
+                quota: self.cfg.per_tenant_quota,
+            });
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        *self
+            .outstanding
+            .entry(request.tenant().to_string())
+            .or_insert(0) += 1;
+        self.entries
+            .insert(drain_key(request.priority(), id), QueuedJob { id, request });
+        Ok(id)
+    }
+
+    /// Removes and returns the next job in drain order (highest priority,
+    /// FIFO within a class), or `None` when empty. The job stays counted
+    /// against its tenant's quota until [`AdmissionQueue::complete`].
+    pub fn pop(&mut self) -> Option<QueuedJob> {
+        let key = *self.entries.keys().next()?;
+        self.entries.remove(&key)
+    }
+
+    /// Removes up to `limit` tiny-solve jobs of dimension `dim`, in drain
+    /// order, from anywhere in the queue — the coalescer's gather
+    /// primitive. Non-tiny jobs and other dimensions are untouched.
+    pub fn take_tiny(&mut self, dim: usize, limit: usize) -> Vec<QueuedJob> {
+        let keys: Vec<(u64, u64)> = self
+            .entries
+            .iter()
+            .filter(|(_, j)| j.request.coalescible_dim() == Some(dim))
+            .take(limit)
+            .map(|(k, _)| *k)
+            .collect();
+        keys.iter()
+            .map(|k| self.entries.remove(k).expect("key collected above"))
+            .collect()
+    }
+
+    /// Releases one unit of `tenant`'s quota — call when a job finishes
+    /// (or is abandoned after a pop).
+    pub fn complete(&mut self, tenant: &str) {
+        if let Some(n) = self.outstanding.get_mut(tenant) {
+            *n = n.saturating_sub(1);
+            if *n == 0 {
+                self.outstanding.remove(tenant);
+            }
+        }
+    }
+
+    /// Number of queued (not yet popped) jobs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Outstanding (queued or executing) jobs for `tenant`.
+    pub fn outstanding(&self, tenant: &str) -> usize {
+        self.outstanding.get(tenant).copied().unwrap_or(0)
+    }
+
+    /// The configured limits.
+    pub fn config(&self) -> QueueConfig {
+        self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::JobSpec;
+
+    fn req(tenant: &str, priority: Priority) -> Request {
+        Request::new(tenant, priority, JobSpec::TinySolve { dim: 4, seed: 0 }).unwrap()
+    }
+
+    #[test]
+    fn drains_by_priority_then_fifo() {
+        let mut q = AdmissionQueue::new(QueueConfig::default());
+        q.submit(req("a", Priority::Batch)).unwrap();
+        q.submit(req("b", Priority::Interactive)).unwrap();
+        q.submit(req("c", Priority::Normal)).unwrap();
+        q.submit(req("d", Priority::Interactive)).unwrap();
+        let order: Vec<String> = std::iter::from_fn(|| q.pop())
+            .map(|j| j.request.tenant().to_string())
+            .collect();
+        assert_eq!(order, ["b", "d", "c", "a"]);
+    }
+
+    #[test]
+    fn capacity_backpressure() {
+        let mut q = AdmissionQueue::new(QueueConfig {
+            capacity: 2,
+            per_tenant_quota: 10,
+        });
+        q.submit(req("a", Priority::Normal)).unwrap();
+        q.submit(req("a", Priority::Normal)).unwrap();
+        assert_eq!(
+            q.submit(req("a", Priority::Normal)).unwrap_err(),
+            AdmitError::QueueFull { capacity: 2 }
+        );
+        // Popping frees capacity (even before complete()).
+        q.pop().unwrap();
+        q.submit(req("a", Priority::Normal)).unwrap();
+    }
+
+    #[test]
+    fn quota_counts_outstanding_not_queued() {
+        let mut q = AdmissionQueue::new(QueueConfig {
+            capacity: 100,
+            per_tenant_quota: 2,
+        });
+        q.submit(req("a", Priority::Normal)).unwrap();
+        q.submit(req("a", Priority::Normal)).unwrap();
+        // Popping does NOT release quota — the job is still executing.
+        let j = q.pop().unwrap();
+        assert!(matches!(
+            q.submit(req("a", Priority::Normal)).unwrap_err(),
+            AdmitError::QuotaExhausted { .. }
+        ));
+        // Another tenant is unaffected.
+        q.submit(req("b", Priority::Normal)).unwrap();
+        // Completion releases it.
+        q.complete(j.request.tenant());
+        q.submit(req("a", Priority::Normal)).unwrap();
+    }
+
+    #[test]
+    fn take_tiny_gathers_only_matching_dim_in_drain_order() {
+        let mut q = AdmissionQueue::new(QueueConfig::default());
+        let t = |dim: usize, p: Priority| {
+            Request::new("t", p, JobSpec::TinySolve { dim, seed: 0 }).unwrap()
+        };
+        q.submit(t(4, Priority::Batch)).unwrap();
+        q.submit(t(8, Priority::Normal)).unwrap();
+        q.submit(t(4, Priority::Interactive)).unwrap();
+        q.submit(t(4, Priority::Batch)).unwrap();
+        let got = q.take_tiny(4, 2);
+        // Drain order: the interactive dim-4 job first, then the first
+        // batch-class one.
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].id, 2);
+        assert_eq!(got[1].id, 0);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn ids_are_admission_ordered() {
+        let mut q = AdmissionQueue::new(QueueConfig::default());
+        let a = q.submit(req("a", Priority::Normal)).unwrap();
+        let b = q.submit(req("b", Priority::Interactive)).unwrap();
+        assert!(b > a);
+    }
+}

@@ -1,0 +1,492 @@
+//! Validated job requests: the service's admission contract.
+//!
+//! Everything that can be wrong with a job is rejected **here, at
+//! construction** — a [`Request`] that exists is well-formed, its problem
+//! is solvable by construction (SPD matrices, coarsenable grids), and the
+//! hot path behind the queue never sees a malformed job. This is the
+//! "push errors to setup" idiom from ROADMAP: the submission boundary is
+//! fallible and descriptive, the execution boundary is infallible.
+
+use std::fmt;
+use xsc_sparse::Geometry;
+
+/// Identifier assigned to a job when the queue admits it (monotonically
+/// increasing in admission order).
+pub type JobId = u64;
+
+/// Largest tiny-solve dimension the coalescer will batch. Matches the
+/// keynote's "millions of 4×4…32×32 problems" band that batched BLAS
+/// (E07) exists for.
+pub const MAX_TINY_DIM: usize = 32;
+
+/// Largest dense factorization the service accepts.
+pub const MAX_DENSE_N: usize = 2048;
+
+/// Largest stencil grid edge the service accepts (a 64³ Poisson problem).
+pub const MAX_GRID: usize = 64;
+
+/// Iteration-budget ceiling for sparse solves.
+pub const MAX_SOLVE_ITERS: usize = 10_000;
+
+/// Longest accepted tenant name.
+pub const MAX_TENANT_LEN: usize = 32;
+
+/// Scheduling class of a request. Higher classes drain first; within a
+/// class the queue is FIFO in admission order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Priority {
+    /// Throughput traffic: runs when nothing more urgent is queued.
+    Batch,
+    /// Default class.
+    Normal,
+    /// Latency-sensitive traffic: drains ahead of everything else.
+    Interactive,
+}
+
+impl Priority {
+    /// Numeric level (higher = more urgent), the value handed to the
+    /// executor's explicit-priority scheduling policy.
+    pub fn level(self) -> u64 {
+        match self {
+            Priority::Batch => 0,
+            Priority::Normal => 1,
+            Priority::Interactive => 2,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::Batch => "batch",
+            Priority::Normal => "normal",
+            Priority::Interactive => "interactive",
+        }
+    }
+}
+
+/// What the job computes. Parameters here are *requested*; they only
+/// become a [`Request`] after validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobSpec {
+    /// Solve the 27-point Poisson stencil on a `grid³` domain with
+    /// MG-preconditioned CG (`levels` multigrid levels).
+    SparseSolve {
+        /// Grid edge length (the problem has `grid³` unknowns).
+        grid: usize,
+        /// Multigrid hierarchy depth (1 = fine level only).
+        levels: usize,
+        /// Relative residual convergence tolerance.
+        tol: f64,
+        /// Iteration budget.
+        max_iters: usize,
+    },
+    /// Cholesky-factor a seeded random SPD `n × n` matrix.
+    DenseFactor {
+        /// Matrix dimension.
+        n: usize,
+        /// Generator seed (any value is valid).
+        seed: u64,
+    },
+    /// Solve one seeded tiny SPD system (`dim ≤` [`MAX_TINY_DIM`]) —
+    /// the coalescible request kind: many of these become one batched
+    /// launch.
+    TinySolve {
+        /// System dimension.
+        dim: usize,
+        /// Generator seed (any value is valid).
+        seed: u64,
+    },
+}
+
+/// Why a request was rejected at construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestError {
+    /// Tenant name is empty.
+    EmptyTenant,
+    /// Tenant name exceeds [`MAX_TENANT_LEN`] characters.
+    TenantTooLong {
+        /// Offending length.
+        len: usize,
+    },
+    /// Tenant name contains a character outside `[a-z0-9_-]`.
+    BadTenantChar {
+        /// First offending character.
+        ch: char,
+    },
+    /// Grid edge is below 2 or above [`MAX_GRID`].
+    BadGrid {
+        /// Requested edge length.
+        grid: usize,
+    },
+    /// Multigrid depth is 0 or deeper than the grid can coarsen.
+    BadLevels {
+        /// Requested grid edge.
+        grid: usize,
+        /// Requested depth.
+        levels: usize,
+    },
+    /// Tolerance is not a finite value in `(0, 1)`.
+    BadTolerance {
+        /// Requested tolerance.
+        tol: f64,
+    },
+    /// Iteration budget is 0 or above [`MAX_SOLVE_ITERS`].
+    BadIterationBudget {
+        /// Requested budget.
+        max_iters: usize,
+    },
+    /// Dense dimension is 0 or above [`MAX_DENSE_N`].
+    BadDenseDim {
+        /// Requested dimension.
+        n: usize,
+    },
+    /// Tiny-solve dimension is 0 or above [`MAX_TINY_DIM`].
+    BadTinyDim {
+        /// Requested dimension.
+        dim: usize,
+    },
+}
+
+impl fmt::Display for RequestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RequestError::EmptyTenant => write!(f, "tenant name is empty"),
+            RequestError::TenantTooLong { len } => {
+                write!(f, "tenant name has {len} chars (max {MAX_TENANT_LEN})")
+            }
+            RequestError::BadTenantChar { ch } => {
+                write!(f, "tenant name contains {ch:?} (allowed: [a-z0-9_-])")
+            }
+            RequestError::BadGrid { grid } => {
+                write!(f, "grid edge {grid} outside 2..={MAX_GRID}")
+            }
+            RequestError::BadLevels { grid, levels } => {
+                write!(
+                    f,
+                    "{levels} multigrid levels unreachable from a {grid}^3 grid"
+                )
+            }
+            RequestError::BadTolerance { tol } => {
+                write!(f, "tolerance {tol} is not a finite value in (0, 1)")
+            }
+            RequestError::BadIterationBudget { max_iters } => {
+                write!(
+                    f,
+                    "iteration budget {max_iters} outside 1..={MAX_SOLVE_ITERS}"
+                )
+            }
+            RequestError::BadDenseDim { n } => {
+                write!(f, "dense dimension {n} outside 1..={MAX_DENSE_N}")
+            }
+            RequestError::BadTinyDim { dim } => {
+                write!(f, "tiny-solve dimension {dim} outside 1..={MAX_TINY_DIM}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+/// A validated job submission. Constructing one is the only fallible step
+/// of the service: if a `Request` exists, the queue, the coalescer, and
+/// the launch path can all run infallibly against it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    tenant: String,
+    priority: Priority,
+    spec: JobSpec,
+}
+
+impl Request {
+    /// Validates `spec` under `tenant`'s name and builds the request, or
+    /// explains what is malformed. See [`RequestError`] for the rules.
+    pub fn new(
+        tenant: impl Into<String>,
+        priority: Priority,
+        spec: JobSpec,
+    ) -> Result<Request, RequestError> {
+        let tenant = tenant.into();
+        if tenant.is_empty() {
+            return Err(RequestError::EmptyTenant);
+        }
+        if tenant.chars().count() > MAX_TENANT_LEN {
+            return Err(RequestError::TenantTooLong {
+                len: tenant.chars().count(),
+            });
+        }
+        if let Some(ch) = tenant
+            .chars()
+            .find(|c| !(c.is_ascii_lowercase() || c.is_ascii_digit() || *c == '-' || *c == '_'))
+        {
+            return Err(RequestError::BadTenantChar { ch });
+        }
+        match spec {
+            JobSpec::SparseSolve {
+                grid,
+                levels,
+                tol,
+                max_iters,
+            } => {
+                if !(2..=MAX_GRID).contains(&grid) {
+                    return Err(RequestError::BadGrid { grid });
+                }
+                if levels == 0 || !coarsenable_depth(grid, levels) {
+                    return Err(RequestError::BadLevels { grid, levels });
+                }
+                if !tol.is_finite() || tol <= 0.0 || tol >= 1.0 {
+                    return Err(RequestError::BadTolerance { tol });
+                }
+                if max_iters == 0 || max_iters > MAX_SOLVE_ITERS {
+                    return Err(RequestError::BadIterationBudget { max_iters });
+                }
+            }
+            JobSpec::DenseFactor { n, .. } => {
+                if n == 0 || n > MAX_DENSE_N {
+                    return Err(RequestError::BadDenseDim { n });
+                }
+            }
+            JobSpec::TinySolve { dim, .. } => {
+                if dim == 0 || dim > MAX_TINY_DIM {
+                    return Err(RequestError::BadTinyDim { dim });
+                }
+            }
+        }
+        Ok(Request {
+            tenant,
+            priority,
+            spec,
+        })
+    }
+
+    /// Tenant that submitted the job.
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    /// Scheduling class.
+    pub fn priority(&self) -> Priority {
+        self.priority
+    }
+
+    /// The validated job description.
+    pub fn spec(&self) -> &JobSpec {
+        &self.spec
+    }
+
+    /// `Some(dim)` when the job is a tiny solve the coalescer may merge
+    /// with others of the same dimension.
+    pub fn coalescible_dim(&self) -> Option<usize> {
+        match self.spec {
+            JobSpec::TinySolve { dim, .. } => Some(dim),
+            _ => None,
+        }
+    }
+
+    /// Static kind name, used as the kernel label in the `xsc-metrics`
+    /// registry (which requires `&'static str` keys).
+    pub fn kind_name(&self) -> &'static str {
+        match self.spec {
+            JobSpec::SparseSolve { .. } => "serve_sparse_solve",
+            JobSpec::DenseFactor { .. } => "serve_dense_factor",
+            JobSpec::TinySolve { .. } => "serve_tiny_solve",
+        }
+    }
+
+    /// Analytic (flops, bytes) estimate of the job's work, used both as
+    /// the scheduling cost and as the deterministic service-time input of
+    /// the E21 virtual-time replay. Sparse solves are modeled memory-bound
+    /// (HPCG-style, ~0.5 flop/byte); the dense kinds compute-bound.
+    pub fn est_traffic(&self) -> (u64, u64) {
+        match self.spec {
+            JobSpec::TinySolve { dim, .. } => {
+                let n = dim as u64;
+                // Cholesky n³/3 plus two triangular solves at n² each.
+                let flops = n * n * n / 3 + 2 * n * n;
+                let bytes = 8 * (n * n + 2 * n) * 2;
+                (flops.max(1), bytes.max(1))
+            }
+            JobSpec::DenseFactor { n, .. } => {
+                let n = n as u64;
+                let flops = n * n * n / 3;
+                let bytes = 8 * n * n * 3;
+                (flops.max(1), bytes.max(1))
+            }
+            JobSpec::SparseSolve {
+                grid, max_iters, ..
+            } => {
+                // ~27-point stencil: nnz ≈ 27·n unknowns; an MG-PCG
+                // iteration streams the operator a handful of times.
+                let unknowns = (grid as u64).pow(3);
+                let iters = max_iters.min(20) as u64;
+                let flops = 540 * unknowns * iters;
+                let bytes = 2 * flops;
+                (flops.max(1), bytes.max(1))
+            }
+        }
+    }
+}
+
+/// `true` when a `grid³` geometry supports a `levels`-deep multigrid
+/// hierarchy (i.e. survives `levels − 1` coarsenings).
+fn coarsenable_depth(grid: usize, levels: usize) -> bool {
+    let mut g = Geometry::new(grid, grid, grid);
+    for _ in 1..levels {
+        if !g.coarsenable() {
+            return false;
+        }
+        g = g.coarsen();
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(dim: usize) -> JobSpec {
+        JobSpec::TinySolve { dim, seed: 7 }
+    }
+
+    #[test]
+    fn valid_requests_construct() {
+        for spec in [
+            tiny(1),
+            tiny(MAX_TINY_DIM),
+            JobSpec::DenseFactor { n: 64, seed: 1 },
+            JobSpec::SparseSolve {
+                grid: 8,
+                levels: 3,
+                tol: 1e-8,
+                max_iters: 50,
+            },
+        ] {
+            let r = Request::new("tenant-a", Priority::Normal, spec.clone());
+            assert!(r.is_ok(), "{spec:?}: {r:?}");
+        }
+    }
+
+    #[test]
+    fn tenant_names_are_validated() {
+        assert_eq!(
+            Request::new("", Priority::Normal, tiny(4)).unwrap_err(),
+            RequestError::EmptyTenant
+        );
+        let long = "x".repeat(MAX_TENANT_LEN + 1);
+        assert!(matches!(
+            Request::new(long, Priority::Normal, tiny(4)).unwrap_err(),
+            RequestError::TenantTooLong { .. }
+        ));
+        assert_eq!(
+            Request::new("Tenant", Priority::Normal, tiny(4)).unwrap_err(),
+            RequestError::BadTenantChar { ch: 'T' }
+        );
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        let bad = [
+            (tiny(0), "zero tiny dim"),
+            (tiny(MAX_TINY_DIM + 1), "oversized tiny dim"),
+            (JobSpec::DenseFactor { n: 0, seed: 0 }, "zero dense dim"),
+            (
+                JobSpec::DenseFactor {
+                    n: MAX_DENSE_N + 1,
+                    seed: 0,
+                },
+                "oversized dense dim",
+            ),
+            (
+                JobSpec::SparseSolve {
+                    grid: 1,
+                    levels: 1,
+                    tol: 1e-8,
+                    max_iters: 10,
+                },
+                "grid too small",
+            ),
+            (
+                JobSpec::SparseSolve {
+                    grid: 8,
+                    levels: 0,
+                    tol: 1e-8,
+                    max_iters: 10,
+                },
+                "zero levels",
+            ),
+            (
+                JobSpec::SparseSolve {
+                    grid: 6,
+                    levels: 4,
+                    tol: 1e-8,
+                    max_iters: 10,
+                },
+                "hierarchy deeper than the grid coarsens",
+            ),
+            (
+                JobSpec::SparseSolve {
+                    grid: 8,
+                    levels: 2,
+                    tol: f64::NAN,
+                    max_iters: 10,
+                },
+                "NaN tolerance",
+            ),
+            (
+                JobSpec::SparseSolve {
+                    grid: 8,
+                    levels: 2,
+                    tol: 0.0,
+                    max_iters: 10,
+                },
+                "zero tolerance",
+            ),
+            (
+                JobSpec::SparseSolve {
+                    grid: 8,
+                    levels: 2,
+                    tol: 1e-8,
+                    max_iters: 0,
+                },
+                "zero iteration budget",
+            ),
+        ];
+        for (spec, why) in bad {
+            assert!(
+                Request::new("t", Priority::Normal, spec.clone()).is_err(),
+                "{why}: {spec:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn coalescible_only_for_tiny() {
+        let t = Request::new("t", Priority::Batch, tiny(8)).unwrap();
+        assert_eq!(t.coalescible_dim(), Some(8));
+        let d = Request::new(
+            "t",
+            Priority::Batch,
+            JobSpec::DenseFactor { n: 32, seed: 0 },
+        )
+        .unwrap();
+        assert_eq!(d.coalescible_dim(), None);
+    }
+
+    #[test]
+    fn traffic_estimates_are_positive_and_monotone_in_size() {
+        let (f4, b4) = Request::new("t", Priority::Normal, tiny(4))
+            .unwrap()
+            .est_traffic();
+        let (f16, b16) = Request::new("t", Priority::Normal, tiny(16))
+            .unwrap()
+            .est_traffic();
+        assert!(f4 >= 1 && b4 >= 1);
+        assert!(f16 > f4 && b16 > b4);
+    }
+
+    #[test]
+    fn priority_levels_are_ordered() {
+        assert!(Priority::Interactive.level() > Priority::Normal.level());
+        assert!(Priority::Normal.level() > Priority::Batch.level());
+        assert!(Priority::Interactive > Priority::Batch);
+    }
+}

@@ -1,0 +1,219 @@
+//! Property tests for the `xsc-serve` front-end: validation is the *only*
+//! fallible step (malformed jobs never reach the queue), the admission
+//! queue drains in a total deterministic order, and the coalescer is
+//! numerically transparent (batched launches change launch count, never
+//! answer bits).
+
+use proptest::prelude::*;
+use xsc_serve::{
+    execute_launch, next_launch, AdmissionQueue, CoalescePolicy, JobSpec, Priority, QueueConfig,
+    Request, RequestError, MAX_DENSE_N, MAX_GRID, MAX_SOLVE_ITERS, MAX_TENANT_LEN, MAX_TINY_DIM,
+};
+
+fn priority_from(idx: u32) -> Priority {
+    match idx % 3 {
+        0 => Priority::Batch,
+        1 => Priority::Normal,
+        _ => Priority::Interactive,
+    }
+}
+
+/// How many times a `grid`-edge cube can halve while staying coarsenable —
+/// an independent reimplementation of the validator's reachability rule.
+fn model_depth(grid: usize) -> usize {
+    let mut g = grid;
+    let mut depth = 1;
+    while g >= 4 && g % 2 == 0 {
+        g /= 2;
+        depth += 1;
+    }
+    depth
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---- validation: every malformed job bounces at construction -------
+
+    #[test]
+    fn tiny_dims_validate_exactly_in_range(dim in 0usize..3 * MAX_TINY_DIM) {
+        let r = Request::new("t0", Priority::Normal, JobSpec::TinySolve { dim, seed: 1 });
+        if dim >= 1 && dim <= MAX_TINY_DIM {
+            prop_assert!(r.is_ok());
+        } else {
+            prop_assert_eq!(r.unwrap_err(), RequestError::BadTinyDim { dim });
+        }
+    }
+
+    #[test]
+    fn dense_dims_validate_exactly_in_range(n in 0usize..2 * MAX_DENSE_N) {
+        let r = Request::new("t0", Priority::Normal, JobSpec::DenseFactor { n, seed: 1 });
+        if n >= 1 && n <= MAX_DENSE_N {
+            prop_assert!(r.is_ok());
+        } else {
+            prop_assert_eq!(r.unwrap_err(), RequestError::BadDenseDim { n });
+        }
+    }
+
+    #[test]
+    fn sparse_specs_validate_exactly(
+        grid in 0usize..2 * MAX_GRID,
+        levels in 0usize..8,
+        tol_micros in 0i64..2_000_000,
+        max_iters in 0usize..2 * MAX_SOLVE_ITERS,
+    ) {
+        // Derive the tolerance from an integer so the strategy space stays
+        // integral: 0.0, values inside (0, 1), 1.0, and values above 1.
+        let tol = tol_micros as f64 / 1e6;
+        let spec = JobSpec::SparseSolve { grid, levels, tol, max_iters };
+        let r = Request::new("t0", Priority::Normal, spec);
+        let grid_ok = (2..=MAX_GRID).contains(&grid);
+        let levels_ok = levels >= 1 && levels <= model_depth(grid);
+        let tol_ok = tol > 0.0 && tol < 1.0;
+        let iters_ok = max_iters >= 1 && max_iters <= MAX_SOLVE_ITERS;
+        // The validator checks in a fixed order; mirror only acceptance.
+        prop_assert_eq!(r.is_ok(), grid_ok && levels_ok && tol_ok && iters_ok,
+            "grid {} levels {} tol {} iters {}", grid, levels, tol, max_iters);
+    }
+
+    #[test]
+    fn tenant_names_validate_exactly(raw in proptest::collection::vec(0u32..128, 0..2 * MAX_TENANT_LEN)) {
+        // Map code points into a mix of legal and illegal tenant chars.
+        let tenant: String = raw.iter().map(|&c| char::from_u32(c).unwrap_or('?')).collect();
+        let r = Request::new(tenant.clone(), Priority::Normal, JobSpec::TinySolve { dim: 4, seed: 1 });
+        let ok = !tenant.is_empty()
+            && tenant.chars().count() <= MAX_TENANT_LEN
+            && tenant.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-' || c == '_');
+        prop_assert_eq!(r.is_ok(), ok, "tenant {:?}", tenant);
+    }
+
+    // ---- queue: drain order is a pure function of the submissions ------
+
+    #[test]
+    fn drain_order_is_priority_then_fifo_under_interleaved_pops(
+        jobs in proptest::collection::vec((0u32..3, 1usize..=8), 1..40),
+        pop_every in 1usize..6,
+    ) {
+        // Submit all jobs, popping after every `pop_every` submissions —
+        // an arbitrary interleaving of producers and the drain loop. The
+        // concatenated pops must equal the stable (priority desc,
+        // admission seq asc) sort of the same job list, no matter where
+        // the pops landed.
+        let cfg = QueueConfig { capacity: jobs.len(), per_tenant_quota: jobs.len() };
+        let mut interleaved = AdmissionQueue::new(cfg);
+        let mut batch_only = AdmissionQueue::new(cfg);
+        let mut drained = Vec::new();
+        for (i, (p, dim)) in jobs.iter().enumerate() {
+            let req = Request::new(
+                "tenant-a",
+                priority_from(*p),
+                JobSpec::TinySolve { dim: *dim, seed: i as u64 },
+            ).expect("generator emits only valid requests");
+            interleaved.submit(req.clone()).expect("sized to fit");
+            batch_only.submit(req).expect("sized to fit");
+            if (i + 1) % pop_every == 0 {
+                if let Some(job) = interleaved.pop() {
+                    drained.push(job);
+                }
+            }
+        }
+        while let Some(job) = interleaved.pop() {
+            drained.push(job);
+        }
+        prop_assert_eq!(drained.len(), jobs.len());
+
+        // Model: stable sort of admission order by descending class. The
+        // ids assigned by both queues are identical (admission order), so
+        // comparing ids checks the whole drain order.
+        let mut batch_drained = Vec::new();
+        while let Some(job) = batch_only.pop() {
+            batch_drained.push(job);
+        }
+        let mut model: Vec<(u64, u64)> = batch_drained
+            .iter()
+            .map(|j| (j.id, j.request.priority().level()))
+            .collect();
+        model.sort_by_key(|&(id, level)| (u64::MAX - level, id));
+
+        // Interleaved pops can only run *ahead* of later submissions, so
+        // compare class-by-class FIFO order instead of raw position: in
+        // every priority class the ids must come out ascending, in both
+        // drains, and both drains must contain the same id multiset.
+        for class in 0..3u64 {
+            let a: Vec<u64> = drained.iter()
+                .filter(|j| j.request.priority().level() == class)
+                .map(|j| j.id).collect();
+            let mut sorted = a.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(&a, &sorted, "class {} not FIFO in interleaved drain", class);
+        }
+        let batch_ids: Vec<u64> = batch_drained.iter().map(|j| j.id).collect();
+        let model_ids: Vec<u64> = model.iter().map(|&(id, _)| id).collect();
+        prop_assert_eq!(batch_ids, model_ids, "batch drain must equal the stable priority sort");
+
+        // Replaying the identical interleaving drains identically.
+        let mut replayed = AdmissionQueue::new(cfg);
+        let mut drained2 = Vec::new();
+        for (i, (p, dim)) in jobs.iter().enumerate() {
+            let req = Request::new(
+                "tenant-a",
+                priority_from(*p),
+                JobSpec::TinySolve { dim: *dim, seed: i as u64 },
+            ).expect("generator emits only valid requests");
+            replayed.submit(req).expect("sized to fit");
+            if (i + 1) % pop_every == 0 {
+                if let Some(job) = replayed.pop() {
+                    drained2.push(job);
+                }
+            }
+        }
+        while let Some(job) = replayed.pop() {
+            drained2.push(job);
+        }
+        prop_assert_eq!(drained, drained2, "same interleaving must drain identically");
+    }
+
+    // ---- coalescer: batched launches never change answer bits ----------
+
+    #[test]
+    fn coalesced_answers_are_bit_identical_to_uncoalesced(
+        jobs in proptest::collection::vec((0u32..3, 2usize..=12, 0u64..1000), 1..24),
+        max_batch in 2usize..32,
+    ) {
+        let cfg = QueueConfig { capacity: jobs.len(), per_tenant_quota: jobs.len() };
+        let mut qa = AdmissionQueue::new(cfg);
+        let mut qb = AdmissionQueue::new(cfg);
+        for (p, dim, seed) in &jobs {
+            let req = Request::new(
+                "tenant-a",
+                priority_from(*p),
+                JobSpec::TinySolve { dim: *dim, seed: *seed },
+            ).expect("generator emits only valid requests");
+            qa.submit(req.clone()).expect("sized to fit");
+            qb.submit(req).expect("sized to fit");
+        }
+
+        let coalesced = CoalescePolicy { enabled: true, max_batch };
+        let uncoalesced = CoalescePolicy { enabled: false, max_batch };
+        let mut got = Vec::new();
+        while let Some(launch) = next_launch(&mut qa, &coalesced) {
+            prop_assert!(launch.width() <= max_batch, "launch wider than policy");
+            got.extend(execute_launch(&launch));
+        }
+        let mut want = Vec::new();
+        while let Some(launch) = next_launch(&mut qb, &uncoalesced) {
+            prop_assert_eq!(launch.width(), 1, "disabled coalescer must launch singles");
+            want.extend(execute_launch(&launch));
+        }
+        got.sort_by_key(|o| o.id);
+        want.sort_by_key(|o| o.id);
+        prop_assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert_eq!(g.id, w.id);
+            prop_assert_eq!(
+                g.checksum.to_bits(), w.checksum.to_bits(),
+                "job {} answer changed under coalescing", g.id
+            );
+        }
+    }
+}
