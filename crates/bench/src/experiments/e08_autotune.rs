@@ -1,13 +1,14 @@
 //! E08 — autotuning: kernel performance is a non-monotone function of
-//! blocking parameters, so both the tiled-Cholesky tile size and the
-//! blocked GEMM's cache parameters (`MC`/`KC`/`NC`) are *searched for*,
-//! and the GEMM winner is installed globally for the rest of the process.
+//! blocking parameters, so the tiled-Cholesky tile size and the blocked
+//! GEMM's configuration — cache parameters (`MC`/`KC`/`NC`) *and*
+//! micro-kernel variant — are *searched for*, and the GEMM winner is
+//! installed globally for the rest of the process.
 
 use crate::table::{f2, secs, Table};
 use crate::Scale;
-use xsc_autotune::gemm_tune::tune_gemm_blocking;
+use xsc_autotune::gemm_tune::{self, tune_gemm_config};
 use xsc_autotune::{exhaustive, hill_climb, median_of};
-use xsc_core::{flops, gen, GemmParams, TileMatrix};
+use xsc_core::{flops, gen, GemmParams, MicroKernel, TileMatrix};
 use xsc_dense::cholesky;
 use xsc_runtime::{Executor, SchedPolicy};
 
@@ -55,20 +56,23 @@ pub fn run(scale: Scale) {
     println!("  keynote claim: kernel performance is a non-obvious function of blocking");
     println!("  parameters; autotuning search replaces hand-derived settings.");
 
-    // Part 2: GEMM cache-blocking sweep. The winner becomes the process-wide
-    // default for every downstream gemm/par_gemm call.
+    // Part 2: joint GEMM configuration sweep — cache blocking crossed with
+    // every micro-kernel variant runnable on this CPU. All variants are
+    // bit-identical, so the winner (installed process-wide for every
+    // downstream gemm/par_gemm call) changes only speed, never results.
     let s = scale.pick(256, 512);
-    let sweep = tune_gemm_blocking(s, scale.pick(1, 3), &[]);
+    let sweep = tune_gemm_config(s, scale.pick(1, 3), &[]);
     let gemm_flops = flops::gemm(s, s, s);
-    let mut t = Table::new(&["MC", "KC", "NC", "time", "Gflop/s", "winner"]);
-    for &(p, cost) in &sweep.samples {
+    let mut t = Table::new(&["MC", "KC", "NC", "kernel", "time", "Gflop/s", "winner"]);
+    for &(cfg, cost) in &sweep.samples {
         t.row(vec![
-            p.mc.to_string(),
-            p.kc.to_string(),
-            p.nc.to_string(),
+            cfg.params.mc.to_string(),
+            cfg.params.kc.to_string(),
+            cfg.params.nc.to_string(),
+            cfg.kernel.to_string(),
             secs(cost),
             f2(flops::gflops(gemm_flops, cost)),
-            if p == sweep.best {
+            if cfg == sweep.best {
                 "<-- best".into()
             } else {
                 String::new()
@@ -76,23 +80,21 @@ pub fn run(scale: Scale) {
         ]);
     }
     t.print(&format!(
-        "E08b: GEMM blocking sweep (MC/KC/NC), dgemm {s}^3"
+        "E08b: GEMM config sweep (MC/KC/NC x microkernel), dgemm {s}^3"
     ));
     let default_cost = sweep
         .samples
         .iter()
-        .find(|(p, _)| *p == GemmParams::DEFAULT)
+        .find(|(cfg, _)| cfg.params == GemmParams::DEFAULT && cfg.kernel == MicroKernel::Scalar)
         .map(|&(_, c)| c);
-    xsc_core::gemm::set_global_params(sweep.best);
+    gemm_tune::install(sweep.best);
     println!(
-        "  installed MC={} KC={} NC={} globally ({:.2} Gflop/s{})",
-        sweep.best.mc,
-        sweep.best.kc,
-        sweep.best.nc,
+        "  installed {} globally ({:.2} Gflop/s{})",
+        sweep.best,
         flops::gflops(gemm_flops, sweep.best_cost),
         default_cost
             .map(|c| format!(
-                ", {:.1}% over the hand-picked default",
+                ", {:.1}% over the scalar hand-picked default",
                 (c / sweep.best_cost - 1.0) * 100.0
             ))
             .unwrap_or_default()

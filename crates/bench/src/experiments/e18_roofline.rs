@@ -12,10 +12,10 @@
 use crate::json::{write_report, Json};
 use crate::table::{f2, pct, sci, Table};
 use crate::Scale;
-use xsc_core::gemm::{gemm, Transpose};
-use xsc_core::{blas1, gen, Matrix};
+use xsc_core::gemm::{gemm, gemm_with_opts, GemmParams, Transpose};
+use xsc_core::{blas1, flops, gen, microkernel, Matrix, MicroKernel};
 use xsc_dense::hpl;
-use xsc_metrics::{roofline, MachineEnvelope, RooflinePoint};
+use xsc_metrics::{roofline, MachineEnvelope, RooflinePoint, Stopwatch};
 use xsc_sparse::stencil::{build_matrix, build_rhs};
 use xsc_sparse::{mg::MgPreconditioner, symgs, Geometry, Preconditioner};
 
@@ -41,6 +41,74 @@ fn measured_stream_gbs(scale: Scale) -> f64 {
 /// Runs the experiment and prints the roofline plot and table.
 pub fn run(scale: Scale) {
     run_opts(scale, false);
+}
+
+/// One measured micro-kernel arm of the E18 GEMM showdown.
+struct VariantArm {
+    kernel: MicroKernel,
+    seconds: f64,
+    gflops: f64,
+    /// Order-sensitive FNV-style hash of every bit of the output matrix —
+    /// equal across variants iff the results are bit-identical.
+    checksum: u64,
+}
+
+/// FNV-1a-style fold over the raw bits of `xs`, in storage order.
+fn bitwise_checksum(xs: &[f64]) -> u64 {
+    xs.iter().fold(0xcbf29ce484222325u64, |h, x| {
+        h.wrapping_mul(0x100000001b3).wrapping_add(x.to_bits())
+    })
+}
+
+/// Times every available micro-kernel variant on the same `s x s x s`
+/// problem at blocking `params` (best of `reps`), checksumming each output.
+/// Panics if any variant's output differs bitwise from the scalar arm's —
+/// the bit-identity contract is what lets the roofline compare them as
+/// implementations of the *same* kernel.
+fn measure_variant_arms(
+    s: usize,
+    reps: usize,
+    params: GemmParams,
+    a: &Matrix<f64>,
+    b: &Matrix<f64>,
+) -> Vec<VariantArm> {
+    let gemm_flops = flops::gemm(s, s, s);
+    let arms: Vec<VariantArm> = MicroKernel::available()
+        .into_iter()
+        .map(|mk| {
+            let mut c = Matrix::<f64>::zeros(s, s);
+            let mut seconds = f64::INFINITY;
+            for _ in 0..reps.max(1) {
+                let t = Stopwatch::start();
+                gemm_with_opts(
+                    Transpose::No,
+                    Transpose::No,
+                    1.0,
+                    a,
+                    b,
+                    0.0,
+                    &mut c,
+                    params,
+                    mk,
+                );
+                seconds = seconds.min(t.seconds());
+            }
+            VariantArm {
+                kernel: mk,
+                seconds,
+                gflops: flops::gflops(gemm_flops, seconds),
+                checksum: bitwise_checksum(c.as_slice()),
+            }
+        })
+        .collect();
+    for arm in &arms {
+        assert_eq!(
+            arm.checksum, arms[0].checksum,
+            "micro-kernel {} broke bit-identity with {}",
+            arm.kernel, arms[0].kernel
+        );
+    }
+    arms
 }
 
 /// Runs the experiment; with `json` set, also writes `BENCH_roofline.json`.
@@ -126,6 +194,54 @@ pub fn run_opts(scale: Scale, json: bool) {
     println!("  (>100% of roof means the analytic traffic model charges DRAM for bytes a");
     println!("  partially cache-resident working set re-served from cache.)");
 
+    // Micro-kernel showdown: the same sequential blocked dgemm, same
+    // blocking, every variant this binary + CPU can run — one roofline
+    // point per variant, bit-identity asserted between arms.
+    let params = xsc_core::gemm::global_params();
+    let selected = microkernel::global_microkernel();
+    let arms = measure_variant_arms(s, 3, params, &a, &b);
+    let mut t = Table::new(&["microkernel", "time", "Gflop/s", "% of peak", "checksum"]);
+    for arm in &arms {
+        t.row(vec![
+            format!(
+                "{}{}",
+                arm.kernel,
+                if arm.kernel == selected {
+                    " (selected)"
+                } else {
+                    ""
+                }
+            ),
+            crate::table::secs(arm.seconds),
+            f2(arm.gflops),
+            pct(arm.gflops / env.peak_gflops),
+            format!("{:016x}", arm.checksum),
+        ]);
+    }
+    t.print(&format!(
+        "E18b: GEMM micro-kernel arms, dgemm {s}^3 @ mc={} kc={} nc={} (bit-identical outputs)",
+        params.mc, params.kc, params.nc
+    ));
+    let scalar = arms.iter().find(|v| v.kernel == MicroKernel::Scalar);
+    let best_simd = arms
+        .iter()
+        .filter(|v| v.kernel != MicroKernel::Scalar)
+        .max_by(|x, y| x.gflops.total_cmp(&y.gflops));
+    match (scalar, best_simd) {
+        (Some(sc), Some(simd)) => println!(
+            "  {} reaches {:.2} Gflop/s vs scalar {:.2} -> {:.2}x from vectorizing the\n  micro-tile rows; identical bits either way (checksum {:016x}).",
+            simd.kernel,
+            simd.gflops,
+            sc.gflops,
+            simd.gflops / sc.gflops,
+            sc.checksum
+        ),
+        _ => println!(
+            "  no SIMD micro-kernel in this build (enable the `simd` feature on x86_64);\n  scalar arm checksum {:016x}.",
+            arms[0].checksum
+        ),
+    }
+
     if json {
         let report = Json::obj(vec![
             ("experiment", Json::s("e18_roofline")),
@@ -140,14 +256,41 @@ pub fn run_opts(scale: Scale, json: bool) {
             ),
             (
                 "kernels",
-                Json::Arr(points.iter().map(point_to_json).collect()),
+                Json::Arr(
+                    points
+                        .iter()
+                        .map(|p| point_to_json(p, selected, params))
+                        .collect(),
+                ),
+            ),
+            (
+                "gemm_variants",
+                Json::Arr(
+                    arms.iter()
+                        .map(|arm| {
+                            Json::obj(vec![
+                                ("microkernel", Json::s(arm.kernel.name())),
+                                ("selected", Json::Bool(arm.kernel == selected)),
+                                ("mc", Json::Int(params.mc as i64)),
+                                ("kc", Json::Int(params.kc as i64)),
+                                ("nc", Json::Int(params.nc as i64)),
+                                ("seconds", Json::Num(arm.seconds)),
+                                ("gflops", Json::Num(arm.gflops)),
+                                ("checksum", Json::s(format!("{:016x}", arm.checksum))),
+                            ])
+                        })
+                        .collect(),
+                ),
             ),
         ]);
         write_report("BENCH_roofline.json", &report);
     }
 }
 
-fn point_to_json(p: &RooflinePoint) -> Json {
+fn point_to_json(p: &RooflinePoint, selected: MicroKernel, params: GemmParams) -> Json {
+    // Only the blocked-GEMM kernel row is executed by a micro-kernel; the
+    // other kernels get explicit nulls so the schema is uniform.
+    let uses_microkernel = p.kernel == "gemm";
     Json::obj(vec![
         ("kernel", Json::s(p.kernel.clone())),
         ("flops", Json::Int(p.flops as i64)),
@@ -165,5 +308,25 @@ fn point_to_json(p: &RooflinePoint) -> Json {
         ("roof_gflops", Json::Num(p.roof_gflops)),
         ("roof_fraction", Json::Num(p.roof_fraction)),
         ("bound", Json::s(p.verdict.to_string())),
+        (
+            "microkernel",
+            if uses_microkernel {
+                Json::s(selected.name())
+            } else {
+                Json::Null
+            },
+        ),
+        (
+            "blocking",
+            if uses_microkernel {
+                Json::obj(vec![
+                    ("mc", Json::Int(params.mc as i64)),
+                    ("kc", Json::Int(params.kc as i64)),
+                    ("nc", Json::Int(params.nc as i64)),
+                ])
+            } else {
+                Json::Null
+            },
+        ),
     ])
 }

@@ -27,12 +27,18 @@
 //! Blocking parameters default to [`GemmParams::DEFAULT`] and can be
 //! overridden per call ([`gemm_with_params`]) or globally
 //! ([`set_global_params`]) — `xsc-autotune` sweeps `MC/KC/NC` empirically
-//! and installs the winner. The pre-blocking column-sweep kernel survives
-//! as [`colsweep_gemm`], both as the small-problem fast path (packing does
-//! not pay below [`SMALL_GEMM_FLOPS`]) and as the measured baseline the
-//! benchmark suite compares against.
+//! and installs the winner. The `MR x NR` micro-kernel itself is also a
+//! tuning axis: [`crate::microkernel`] provides bit-identical scalar and
+//! explicit-SIMD implementations, selected per call
+//! ([`gemm_with_opts`]) or globally
+//! ([`crate::microkernel::set_global_microkernel`]). The pre-blocking
+//! column-sweep kernel survives as [`colsweep_gemm`], both as the
+//! small-problem fast path (packing does not pay below
+//! [`SMALL_GEMM_FLOPS`]) and as the measured baseline the benchmark suite
+//! compares against.
 
 use crate::matrix::Matrix;
+use crate::microkernel::{self, MicroKernel, MicroKernelFn};
 use crate::scalar::Scalar;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -226,7 +232,7 @@ pub fn gemm<T: Scalar>(
 }
 
 /// [`gemm`] with explicit blocking parameters (the autotuner's measurement
-/// entry point).
+/// entry point); dispatches to the currently installed micro-kernel.
 #[allow(clippy::too_many_arguments)] // the BLAS gemm signature plus the tuning knob
 pub fn gemm_with_params<T: Scalar>(
     transa: Transpose,
@@ -237,6 +243,35 @@ pub fn gemm_with_params<T: Scalar>(
     beta: T,
     c: &mut Matrix<T>,
     params: GemmParams,
+) {
+    gemm_with_opts(
+        transa,
+        transb,
+        alpha,
+        a,
+        b,
+        beta,
+        c,
+        params,
+        microkernel::global_microkernel(),
+    );
+}
+
+/// [`gemm`] with explicit blocking parameters *and* micro-kernel variant —
+/// the fully-pinned entry point the autotuner and the E18 per-variant
+/// roofline arm measure through. An unavailable `kernel` silently degrades
+/// to the scalar micro-kernel (results are bit-identical either way).
+#[allow(clippy::too_many_arguments)] // the BLAS gemm signature plus both tuning knobs
+pub fn gemm_with_opts<T: Scalar>(
+    transa: Transpose,
+    transb: Transpose,
+    alpha: T,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    beta: T,
+    c: &mut Matrix<T>,
+    params: GemmParams,
+    kernel: MicroKernel,
 ) {
     let (m, k, n) = check_shapes(transa, transb, a, b, c);
     if m == 0 || n == 0 {
@@ -279,7 +314,17 @@ pub fn gemm_with_params<T: Scalar>(
     if small {
         colsweep_nn(alpha, a_nn, b_nn, beta, c);
     } else {
-        blocked_nn(alpha, a_nn, b_nn, beta, c.as_mut_slice(), 0, n, params);
+        blocked_nn(
+            alpha,
+            a_nn,
+            b_nn,
+            beta,
+            c.as_mut_slice(),
+            0,
+            n,
+            params,
+            kernel,
+        );
     }
 }
 
@@ -420,25 +465,12 @@ fn pack_b<T: Scalar>(b: &Matrix<T>, pc: usize, jc: usize, kcb: usize, ncb: usize
     }
 }
 
-/// The register micro-kernel: `acc[MR x NR] += Ap * Bp` over `kcb` depth
-/// steps. Both panels are contiguous and zero-padded, so the loop body is
-/// branch-free and the accumulator tile stays in registers.
-#[inline(always)]
-fn micro_kernel<T: Scalar>(kcb: usize, apan: &[T], bpan: &[T], acc: &mut [T; MR * NR]) {
-    for (av, bv) in apan.chunks_exact(MR).zip(bpan.chunks_exact(NR)).take(kcb) {
-        for j in 0..NR {
-            let bj = bv[j];
-            for i in 0..MR {
-                acc[j * MR + i] = av[i].mul_add(bj, acc[j * MR + i]);
-            }
-        }
-    }
-}
-
 /// Macro-kernel: sweeps the packed `mcb x kcb` `A` panels against the
 /// packed `kcb x ncb` `B` panels, accumulating each `MR x NR` micro-tile
 /// into the column-major block `cblock` (leading dimension `ldc`) at offset
-/// `(ic, jc)`. `beta` has already been applied to `cblock`.
+/// `(ic, jc)`. `beta` has already been applied to `cblock`. `mk` is the
+/// micro-kernel implementation resolved once per GEMM call (see
+/// [`crate::microkernel`] — every variant is bit-identical).
 #[allow(clippy::too_many_arguments)] // packed panels + block geometry; splitting obscures the loop nest
 fn macro_kernel<T: Scalar>(
     ap: &[T],
@@ -450,6 +482,7 @@ fn macro_kernel<T: Scalar>(
     ldc: usize,
     ic: usize,
     jc: usize,
+    mk: MicroKernelFn<T>,
 ) {
     for jr in (0..ncb).step_by(NR) {
         let nr_eff = NR.min(ncb - jr);
@@ -458,7 +491,7 @@ fn macro_kernel<T: Scalar>(
             let mr_eff = MR.min(mcb - ir);
             let apan = &ap[(ir / MR) * kcb * MR..][..kcb * MR];
             let mut acc = [T::zero(); MR * NR];
-            micro_kernel(kcb, apan, bpan, &mut acc);
+            mk(kcb, apan, bpan, &mut acc);
             for j in 0..nr_eff {
                 let dst = &mut cblock[(jc + jr + j) * ldc + ic + ir..][..mr_eff];
                 for (i, x) in dst.iter_mut().enumerate() {
@@ -484,6 +517,7 @@ fn blocked_nn<T: Scalar>(
     j0: usize,
     ncols: usize,
     params: GemmParams,
+    kernel: MicroKernel,
 ) {
     let m = a.rows();
     let k = a.cols();
@@ -492,6 +526,7 @@ fn blocked_nn<T: Scalar>(
     if k == 0 || alpha == T::zero() || ncols == 0 || m == 0 {
         return;
     }
+    let mk = microkernel::resolve::<T>(kernel);
     let p = params.normalized();
     // Clamp panel buffers to the (micro-tile-rounded) problem so tiny
     // multiplies do not allocate full-size panels.
@@ -508,7 +543,7 @@ fn blocked_nn<T: Scalar>(
             for ic in (0..m).step_by(mc) {
                 let mcb = mc.min(m - ic);
                 pack_a(a, ic, pc, mcb, kcb, alpha, &mut ap);
-                macro_kernel(&ap, &bp, mcb, ncb, kcb, cblock, m, ic, jc);
+                macro_kernel(&ap, &bp, mcb, ncb, kcb, cblock, m, ic, jc, mk);
             }
         }
     }
@@ -535,7 +570,8 @@ pub fn par_gemm<T: Scalar>(
     par_gemm_with_params(transa, transb, alpha, a, b, beta, c, global_params());
 }
 
-/// [`par_gemm`] with explicit blocking parameters.
+/// [`par_gemm`] with explicit blocking parameters; dispatches to the
+/// currently installed micro-kernel.
 #[allow(clippy::too_many_arguments)] // the BLAS gemm signature plus the tuning knob
 pub fn par_gemm_with_params<T: Scalar>(
     transa: Transpose,
@@ -546,6 +582,33 @@ pub fn par_gemm_with_params<T: Scalar>(
     beta: T,
     c: &mut Matrix<T>,
     params: GemmParams,
+) {
+    par_gemm_with_opts(
+        transa,
+        transb,
+        alpha,
+        a,
+        b,
+        beta,
+        c,
+        params,
+        microkernel::global_microkernel(),
+    );
+}
+
+/// [`par_gemm`] with explicit blocking parameters and micro-kernel variant
+/// (see [`gemm_with_opts`]).
+#[allow(clippy::too_many_arguments)] // the BLAS gemm signature plus both tuning knobs
+pub fn par_gemm_with_opts<T: Scalar>(
+    transa: Transpose,
+    transb: Transpose,
+    alpha: T,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    beta: T,
+    c: &mut Matrix<T>,
+    params: GemmParams,
+    kernel: MicroKernel,
 ) {
     let (m, k, n) = check_shapes(transa, transb, a, b, c);
     if m == 0 || n == 0 {
@@ -558,7 +621,7 @@ pub fn par_gemm_with_params<T: Scalar>(
     if m.saturating_mul(n).saturating_mul(k) <= SMALL_GEMM_FLOPS {
         // Fork-join overhead dominates below the packing cutoff.
         // (Records under "gemm" there, so no double-count here.)
-        gemm_with_params(transa, transb, alpha, a, b, beta, c, params);
+        gemm_with_opts(transa, transb, alpha, a, b, beta, c, params, kernel);
         return;
     }
     let pn = params.normalized();
@@ -606,7 +669,7 @@ pub fn par_gemm_with_params<T: Scalar>(
         .enumerate()
         .for_each(|(bi, cblock)| {
             let ncols = cblock.len() / m;
-            blocked_nn(alpha, a_nn, b_nn, beta, cblock, bi * bw, ncols, p);
+            blocked_nn(alpha, a_nn, b_nn, beta, cblock, bi * bw, ncols, p, kernel);
         });
 }
 
@@ -876,6 +939,65 @@ mod tests {
         check_against_naive(40, 40, 40, Transpose::No, Transpose::No, 1.0, 0.5);
         clear_global_params();
         assert_eq!(global_params(), GemmParams::DEFAULT);
+    }
+
+    #[test]
+    fn microkernel_variants_are_bitwise_identical_through_gemm() {
+        // The full blocked path (packing included) must produce the same
+        // bits under every available micro-kernel, on shapes that straddle
+        // the micro- and macro-tile boundaries and on k == 0.
+        let p = GemmParams {
+            mc: 16,
+            kc: 12,
+            nc: 8,
+        };
+        for &(m, k, n) in &[
+            (33, 35, 37),
+            (MR * 5 + 3, 13, NR * 9 + 1),
+            (40, 0, 40), // k == 0: pure beta-scale on every variant
+        ] {
+            let a = gen::random_matrix::<f64>(m, k, 5);
+            let b = gen::random_matrix::<f64>(k, n, 6);
+            let c0 = gen::random_matrix::<f64>(m, n, 7);
+            let mut want = c0.clone();
+            gemm_with_opts(
+                Transpose::No,
+                Transpose::No,
+                1.5,
+                &a,
+                &b,
+                -0.5,
+                &mut want,
+                p,
+                MicroKernel::Scalar,
+            );
+            for mk in MicroKernel::available() {
+                let mut got = c0.clone();
+                gemm_with_opts(
+                    Transpose::No,
+                    Transpose::No,
+                    1.5,
+                    &a,
+                    &b,
+                    -0.5,
+                    &mut got,
+                    p,
+                    mk,
+                );
+                for (i, (w, g)) in want
+                    .as_slice()
+                    .iter()
+                    .zip(got.as_slice().iter())
+                    .enumerate()
+                {
+                    assert_eq!(
+                        w.to_bits(),
+                        g.to_bits(),
+                        "variant {mk} differs at element {i} (m={m} k={k} n={n})"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -27,11 +27,14 @@ pub fn build_graph<T: Scalar>(a: &TileMatrix<T>, poison: &Poison) -> TaskGraph {
     let nb = a.nb();
     let mut g = TaskGraph::new();
     for k in 0..nt {
+        // Every task of step k reads the column-k panel tiles, so tag the
+        // whole step with affinity k: a stealing worker then prefers tasks
+        // whose inputs it already has cached.
         let (kb, _) = a.tile_dims(k, k);
         let tkk = a.tile(k, k);
         let p = poison.clone();
         let base = k * nb;
-        g.add_task_with_cost(
+        let id = g.add_task_with_cost(
             format!("potrf({k})"),
             [Access::Write(a.data_id(k, k))],
             flops::cholesky(kb),
@@ -44,12 +47,13 @@ pub fn build_graph<T: Scalar>(a: &TileMatrix<T>, poison: &Poison) -> TaskGraph {
                 }
             },
         );
+        g.set_affinity(id, k as u64);
         for i in k + 1..nt {
             let tkk = a.tile(k, k);
             let tik = a.tile(i, k);
             let p = poison.clone();
             let (ib, _) = a.tile_dims(i, k);
-            g.add_task_with_cost(
+            let id = g.add_task_with_cost(
                 format!("trsm({i},{k})"),
                 [
                     Access::Read(a.data_id(k, k)),
@@ -72,13 +76,14 @@ pub fn build_graph<T: Scalar>(a: &TileMatrix<T>, poison: &Poison) -> TaskGraph {
                     );
                 },
             );
+            g.set_affinity(id, k as u64);
         }
         for i in k + 1..nt {
             let tik = a.tile(i, k);
             let tii = a.tile(i, i);
             let p = poison.clone();
             let (ib, _) = a.tile_dims(i, k);
-            g.add_task_with_cost(
+            let id = g.add_task_with_cost(
                 format!("syrk({i},{k})"),
                 [
                     Access::Read(a.data_id(i, k)),
@@ -100,6 +105,7 @@ pub fn build_graph<T: Scalar>(a: &TileMatrix<T>, poison: &Poison) -> TaskGraph {
                     );
                 },
             );
+            g.set_affinity(id, k as u64);
             for j in k + 1..i {
                 let tik = a.tile(i, k);
                 let tjk = a.tile(j, k);
@@ -107,7 +113,7 @@ pub fn build_graph<T: Scalar>(a: &TileMatrix<T>, poison: &Poison) -> TaskGraph {
                 let p = poison.clone();
                 let (ib2, _) = a.tile_dims(i, k);
                 let (jb, _) = a.tile_dims(j, k);
-                g.add_task_with_cost(
+                let id = g.add_task_with_cost(
                     format!("gemm({i},{j},{k})"),
                     [
                         Access::Read(a.data_id(i, k)),
@@ -132,6 +138,7 @@ pub fn build_graph<T: Scalar>(a: &TileMatrix<T>, poison: &Poison) -> TaskGraph {
                         );
                     },
                 );
+                g.set_affinity(id, k as u64);
             }
         }
     }

@@ -28,7 +28,7 @@ pub fn build_graph<T: Scalar>(a: &TileMatrix<T>, poison: &Poison) -> TaskGraph {
         {
             let tkk = a.tile(k, k);
             let p = poison.clone();
-            g.add_task_with_cost(
+            let id = g.add_task_with_cost(
                 format!("getrf({k})"),
                 [Access::Write(a.data_id(k, k))],
                 flops::lu(kb),
@@ -41,13 +41,14 @@ pub fn build_graph<T: Scalar>(a: &TileMatrix<T>, poison: &Poison) -> TaskGraph {
                     }
                 },
             );
+            g.set_affinity(id, k as u64);
         }
         for j in k + 1..nt {
             let tkk = a.tile(k, k);
             let tkj = a.tile(k, j);
             let p = poison.clone();
             let (_, jb) = a.tile_dims(k, j);
-            g.add_task_with_cost(
+            let id = g.add_task_with_cost(
                 format!("trsm_l({k},{j})"),
                 [
                     Access::Read(a.data_id(k, k)),
@@ -70,13 +71,14 @@ pub fn build_graph<T: Scalar>(a: &TileMatrix<T>, poison: &Poison) -> TaskGraph {
                     );
                 },
             );
+            g.set_affinity(id, k as u64);
         }
         for i in k + 1..nt {
             let tkk = a.tile(k, k);
             let tik = a.tile(i, k);
             let p = poison.clone();
             let (ib, _) = a.tile_dims(i, k);
-            g.add_task_with_cost(
+            let id = g.add_task_with_cost(
                 format!("trsm_u({i},{k})"),
                 [
                     Access::Read(a.data_id(k, k)),
@@ -99,6 +101,7 @@ pub fn build_graph<T: Scalar>(a: &TileMatrix<T>, poison: &Poison) -> TaskGraph {
                     );
                 },
             );
+            g.set_affinity(id, k as u64);
         }
         for i in k + 1..nt {
             for j in k + 1..nt {
@@ -108,7 +111,7 @@ pub fn build_graph<T: Scalar>(a: &TileMatrix<T>, poison: &Poison) -> TaskGraph {
                 let p = poison.clone();
                 let (ib, _) = a.tile_dims(i, k);
                 let (_, jb) = a.tile_dims(k, j);
-                g.add_task_with_cost(
+                let id = g.add_task_with_cost(
                     format!("gemm({i},{j},{k})"),
                     [
                         Access::Read(a.data_id(i, k)),
@@ -133,6 +136,7 @@ pub fn build_graph<T: Scalar>(a: &TileMatrix<T>, poison: &Poison) -> TaskGraph {
                         );
                     },
                 );
+                g.set_affinity(id, k as u64);
             }
         }
     }

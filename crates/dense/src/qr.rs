@@ -37,7 +37,7 @@ pub struct TiledQr<T> {
 
 fn check_shape<T: Scalar>(a: &TileMatrix<T>) {
     assert!(
-        a.rows() % a.nb() == 0 && a.cols() % a.nb() == 0,
+        a.rows().is_multiple_of(a.nb()) && a.cols().is_multiple_of(a.nb()),
         "tiled QR requires dimensions divisible by the tile size"
     );
     assert!(a.rows() >= a.cols(), "tiled QR requires rows >= cols");

@@ -33,7 +33,7 @@ impl<T: Scalar> Butterfly<T> {
     pub fn random(n: usize, depth: usize, seed: u64) -> Self {
         assert!(depth >= 1, "butterfly depth must be at least 1");
         assert!(
-            n % (1 << depth) == 0,
+            n.is_multiple_of(1 << depth),
             "matrix order {n} must be divisible by 2^depth = {}",
             1 << depth
         );

@@ -140,7 +140,7 @@ pub fn resilient_cg(
         }
 
         // Periodic silent-error detection: recurrence vs true residual.
-        if iterations % check_interval == 0 {
+        if iterations.is_multiple_of(check_interval) {
             let mut rt = vec![0.0; n];
             a.residual(&x, b, &mut rt);
             let drift = blas1::nrm2(
@@ -166,7 +166,7 @@ pub fn resilient_cg(
 
         // Checkpointing.
         if let Recovery::Checkpoint { interval } = recovery {
-            if iterations % interval == 0 {
+            if iterations.is_multiple_of(interval) {
                 checkpoint = Checkpoint {
                     iteration: iterations,
                     x: x.clone(),

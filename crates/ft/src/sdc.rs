@@ -584,7 +584,7 @@ pub fn protected_pcg<A: SparseOps + ?Sized, P: CheckedApply>(
         }
 
         // 5. Periodic residual-drift check.
-        if iterations % drift_every == 0 {
+        if iterations.is_multiple_of(drift_every) {
             let drift = residual_drift(a, x, b, &r, &mut scratch);
             flops += 2 * nnz + 3 * nf;
             // `!(.. <= ..)` so a NaN trips the detector too.
@@ -654,7 +654,7 @@ pub fn protected_pcg<A: SparseOps + ?Sized, P: CheckedApply>(
 
         // 7. Validated checkpoint: only capture state the drift check
         // vouches for, so an undetected corruption is never baked in.
-        if iterations % ckpt_every == 0 {
+        if iterations.is_multiple_of(ckpt_every) {
             let drift = residual_drift(a, x, b, &r, &mut scratch);
             flops += 2 * nnz + 3 * nf;
             // `!(.. <= ..)` so a NaN trips the detector too.

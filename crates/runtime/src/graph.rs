@@ -10,6 +10,11 @@ pub type DataId = usize;
 /// Index of a task within its [`TaskGraph`], in insertion order.
 pub type TaskId = usize;
 
+/// Affinity value of tasks that declared none ([`TaskGraph::set_affinity`]
+/// never called): such tasks never match a worker's last-run affinity, so
+/// stealing treats them purely by scheduling key.
+pub const NO_AFFINITY: u64 = u64::MAX;
+
 /// How a task touches a datum.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Access {
@@ -42,6 +47,11 @@ pub(crate) struct Task {
     ///
     /// [`SchedPolicy::Explicit`]: crate::SchedPolicy::Explicit
     pub explicit: u64,
+    /// Locality tag consulted by the work-stealing executor: a thief
+    /// prefers to steal a task whose affinity matches the affinity of the
+    /// task it last ran (e.g. the same macro-tile column, so the packed
+    /// panel is still warm in its cache). [`NO_AFFINITY`] when unset.
+    pub affinity: u64,
 }
 
 /// Per-datum state for the superscalar dependence scan.
@@ -169,6 +179,7 @@ impl TaskGraph {
             kernel: Some(kernel),
             cost: cost.max(1),
             explicit: 0,
+            affinity: NO_AFFINITY,
         });
         id
     }
@@ -181,6 +192,16 @@ impl TaskGraph {
     /// [`SchedPolicy::Explicit`]: crate::SchedPolicy::Explicit
     pub fn set_priority(&mut self, id: TaskId, priority: u64) {
         self.tasks[id].explicit = priority;
+    }
+
+    /// Tags task `id` with a locality affinity (any caller-chosen value —
+    /// e.g. the macro-tile column the task writes). Tasks sharing an
+    /// affinity value touch the same data, so the work-stealing executor
+    /// steers a thief toward tasks matching the affinity of the task it
+    /// last ran. Purely a scheduling hint: it never affects which tasks
+    /// run or what they compute, only which worker runs them.
+    pub fn set_affinity(&mut self, id: TaskId, affinity: u64) {
+        self.tasks[id].affinity = affinity;
     }
 
     /// Number of tasks inserted so far.
@@ -228,6 +249,7 @@ impl TaskGraph {
             in_degree,
             priority,
             explicit: self.tasks.iter().map(|t| t.explicit).collect(),
+            affinity: self.tasks.iter().map(|t| t.affinity).collect(),
         }
     }
 
@@ -281,6 +303,7 @@ pub(crate) struct FinalizedGraph {
     pub in_degree: Vec<usize>,
     pub priority: Vec<u64>,
     pub explicit: Vec<u64>,
+    pub affinity: Vec<u64>,
 }
 
 #[cfg(test)]

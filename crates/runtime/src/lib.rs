@@ -12,8 +12,10 @@
 //!
 //! * [`TaskGraph`] — sequential-order task insertion with `Read`/`Write`
 //!   access declarations; RAW, WAR, and WAW hazards become DAG edges.
-//! * [`Executor`] — a multithreaded executor with FIFO or critical-path
-//!   priority scheduling ([`SchedPolicy`]).
+//! * [`Executor`] — a multithreaded work-stealing executor with FIFO,
+//!   critical-path, or explicit priority scheduling ([`SchedPolicy`]):
+//!   per-worker ready heaps, affinity-guided stealing
+//!   ([`TaskGraph::set_affinity`]), and exact single-worker determinism.
 //! * [`trace::Trace`] — per-worker execution traces with utilization,
 //!   makespan, and critical-path statistics, used by experiment E02 to show
 //!   the dataflow-vs-fork-join utilization gap.
@@ -51,7 +53,7 @@ pub mod resilience;
 pub mod trace;
 
 pub use executor::{Executor, SchedPolicy};
-pub use graph::{Access, DataId, TaskGraph, TaskId};
+pub use graph::{Access, DataId, TaskGraph, TaskId, NO_AFFINITY};
 pub use resilience::{
     Attempt, Backoff, ExhaustedAction, RecoveryPolicy, ResilienceStats, TaskFault, TaskOutcome,
 };

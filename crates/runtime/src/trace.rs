@@ -45,6 +45,7 @@ pub struct Trace {
     events: Vec<TraceEvent>,
     names: Arc<Vec<String>>,
     resilience: Option<ResilienceStats>,
+    steals: u64,
 }
 
 impl std::fmt::Debug for Trace {
@@ -65,6 +66,7 @@ impl Trace {
             events: Vec::new(),
             names: Arc::new(Vec::new()),
             resilience: None,
+            steals: 0,
         }
     }
 
@@ -81,12 +83,25 @@ impl Trace {
             events,
             names,
             resilience: None,
+            steals: 0,
         }
     }
 
     pub(crate) fn with_resilience(mut self, stats: ResilienceStats) -> Self {
         self.resilience = Some(stats);
         self
+    }
+
+    pub(crate) fn with_steals(mut self, steals: u64) -> Self {
+        self.steals = steals;
+        self
+    }
+
+    /// Number of tasks that ran on a worker other than the one whose ready
+    /// queue they were pushed to (work-stealing executor). Always 0 for
+    /// single-worker executions — one worker has no one to steal from.
+    pub fn steals(&self) -> u64 {
+        self.steals
     }
 
     /// Resilience telemetry, present when the trace came from

@@ -138,7 +138,6 @@ pub fn replay(
             .copied()
             .enumerate()
             .min_by_key(|&(i, t)| (t, i))
-            .map(|(i, t)| (i, t))
             .expect("at least one worker");
         let mut now = t;
         admit_until(&mut queue, &mut arrival_ns, &mut next, now);

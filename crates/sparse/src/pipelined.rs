@@ -103,7 +103,7 @@ pub fn pipelined_cg(
         }
         // Pipelined CG's recurrence residual drifts; periodically replace
         // it with the true residual (standard residual-replacement remedy).
-        if !converged && iterations % 50 == 0 {
+        if !converged && iterations.is_multiple_of(50) {
             a.residual(x, b, &mut r);
             a.spmv_par(&r, &mut w);
             gamma = blas1::dot_pairwise(&r, &r);

@@ -63,7 +63,7 @@ impl<T: Scalar> SellCSigma<T> {
     pub fn from_csr(a: &CsrMatrix<T>, c: usize, sigma: usize) -> Result<Self, IndexOverflow> {
         assert!(c >= 1, "chunk height must be at least 1");
         assert!(
-            sigma >= c && sigma % c == 0,
+            sigma >= c && sigma.is_multiple_of(c),
             "sort window {sigma} must be a positive multiple of the chunk height {c}"
         );
         check_compact_bounds(a.ncols(), a.nnz())?;

@@ -49,9 +49,9 @@ impl Geometry {
 
     /// `true` if every dimension is even (coarsenable by 2).
     pub fn coarsenable(&self) -> bool {
-        self.nx % 2 == 0
-            && self.ny % 2 == 0
-            && self.nz % 2 == 0
+        self.nx.is_multiple_of(2)
+            && self.ny.is_multiple_of(2)
+            && self.nz.is_multiple_of(2)
             && self.nx >= 2
             && self.ny >= 2
             && self.nz >= 2

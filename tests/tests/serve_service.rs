@@ -23,7 +23,7 @@ fn priority_from(idx: u32) -> Priority {
 fn model_depth(grid: usize) -> usize {
     let mut g = grid;
     let mut depth = 1;
-    while g >= 4 && g % 2 == 0 {
+    while g >= 4 && g.is_multiple_of(2) {
         g /= 2;
         depth += 1;
     }
@@ -38,7 +38,7 @@ proptest! {
     #[test]
     fn tiny_dims_validate_exactly_in_range(dim in 0usize..3 * MAX_TINY_DIM) {
         let r = Request::new("t0", Priority::Normal, JobSpec::TinySolve { dim, seed: 1 });
-        if dim >= 1 && dim <= MAX_TINY_DIM {
+        if (1..=MAX_TINY_DIM).contains(&dim) {
             prop_assert!(r.is_ok());
         } else {
             prop_assert_eq!(r.unwrap_err(), RequestError::BadTinyDim { dim });
@@ -48,7 +48,7 @@ proptest! {
     #[test]
     fn dense_dims_validate_exactly_in_range(n in 0usize..2 * MAX_DENSE_N) {
         let r = Request::new("t0", Priority::Normal, JobSpec::DenseFactor { n, seed: 1 });
-        if n >= 1 && n <= MAX_DENSE_N {
+        if (1..=MAX_DENSE_N).contains(&n) {
             prop_assert!(r.is_ok());
         } else {
             prop_assert_eq!(r.unwrap_err(), RequestError::BadDenseDim { n });
@@ -70,7 +70,7 @@ proptest! {
         let grid_ok = (2..=MAX_GRID).contains(&grid);
         let levels_ok = levels >= 1 && levels <= model_depth(grid);
         let tol_ok = tol > 0.0 && tol < 1.0;
-        let iters_ok = max_iters >= 1 && max_iters <= MAX_SOLVE_ITERS;
+        let iters_ok = (1..=MAX_SOLVE_ITERS).contains(&max_iters);
         // The validator checks in a fixed order; mirror only acceptance.
         prop_assert_eq!(r.is_ok(), grid_ok && levels_ok && tol_ok && iters_ok,
             "grid {} levels {} tol {} iters {}", grid, levels, tol, max_iters);
