@@ -1,0 +1,53 @@
+//! Named numeric-cast chokepoints (lint rule X01).
+//!
+//! The mixed-precision roadmap (three-precision iterative refinement,
+//! fp16/fp32 kernels behind fp64 interfaces) needs every representation
+//! change in the kernel crates to be auditable: a stray `as f32` is
+//! exactly where a future precision migration silently loses bits. Rule
+//! X01 therefore forbids bare `as f32` / `as f64` / `as usize` in the
+//! numeric crates outside a short manifest of named chokepoint functions —
+//! this module, [`crate::scalar::Scalar::to_f64`] / `from_f64`, and
+//! `xsc_sparse`'s index widener. Each chokepoint states its invariant
+//! once, instead of every call site restating (or forgetting) it.
+
+/// Converts a count (dimension, nnz, flop, iteration number) to `f64` for
+/// ratio/rate arithmetic.
+///
+/// Exact for counts below 2⁵³ (~9·10¹⁵); anything this workspace counts —
+/// matrix dimensions, nonzeros, flops of a run — is far below that, so
+/// the conversion never rounds in practice. Pass `usize` counts as
+/// `count_f64(n as u64)` (lossless).
+#[inline(always)]
+pub fn count_f64(n: u64) -> f64 {
+    n as f64
+}
+
+/// Demotes an `f64` to `f32`, rounding to nearest — the *one* deliberate
+/// precision-loss point for future fp32 kernel paths.
+///
+/// Use only where the loss is part of the algorithm (building an fp32
+/// operand from fp64 data, as three-precision refinement does); for the
+/// lossless direction use `f64::from(x)`.
+#[inline(always)]
+pub fn demote_f32(x: f64) -> f32 {
+    x as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_convert_exactly() {
+        assert_eq!(count_f64(0), 0.0);
+        assert_eq!(count_f64(1 << 52), 4503599627370496.0);
+        assert_eq!(count_f64(123_456_789), 123_456_789.0);
+    }
+
+    #[test]
+    fn demotion_rounds_to_nearest() {
+        assert_eq!(demote_f32(1.0), 1.0f32);
+        let x = 1.0 + f64::from(f32::EPSILON) / 4.0;
+        assert_eq!(demote_f32(x), 1.0f32, "below half-ulp rounds down");
+    }
+}

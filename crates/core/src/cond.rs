@@ -21,7 +21,7 @@ pub fn inverse_one_norm_estimate<T: Scalar>(lu: &Matrix<T>, piv: &[usize]) -> f6
         return 0.0;
     }
     // Start from the uniform vector.
-    let mut x: Vec<T> = vec![T::from_f64(1.0 / n as f64); n];
+    let mut x: Vec<T> = vec![T::from_f64(1.0 / crate::cast::count_f64(n as u64)); n];
     let mut estimate = 0.0f64;
     for _iter in 0..5 {
         // y = A^{-1} x.

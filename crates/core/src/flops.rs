@@ -56,7 +56,7 @@ pub fn gflops(flops: u64, secs: f64) -> f64 {
     if secs <= 0.0 {
         return 0.0;
     }
-    flops as f64 / secs / 1e9
+    crate::cast::count_f64(flops) / secs / 1e9
 }
 
 #[cfg(test)]

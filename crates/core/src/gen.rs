@@ -33,7 +33,7 @@ pub fn random_spd<T: Scalar>(n: usize, seed: u64) -> Matrix<T> {
     crate::gemm::gemm(
         crate::gemm::Transpose::No,
         crate::gemm::Transpose::Yes,
-        1.0 / n as f64,
+        1.0 / crate::cast::count_f64(n as u64),
         &b,
         &b,
         0.0,
@@ -70,7 +70,7 @@ pub fn ill_conditioned_spd<T: Scalar>(n: usize, cond: f64, seed: u64) -> Matrix<
         let t = if n == 1 {
             0.0
         } else {
-            k as f64 / (n - 1) as f64
+            crate::cast::count_f64(k as u64) / crate::cast::count_f64((n - 1) as u64)
         };
         let d = cond.powf(-t); // eigenvalues from 1 down to 1/cond
         for i in 0..n {

@@ -45,6 +45,7 @@
 #![allow(clippy::needless_range_loop)] // index-coupled updates across multiple slices are the clearest form for these kernels
 
 pub mod blas1;
+pub mod cast;
 pub mod cond;
 pub mod error;
 pub mod factor;

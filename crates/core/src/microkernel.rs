@@ -83,11 +83,14 @@ impl MicroKernel {
     }
 
     /// The widest available variant (the default when nothing is
-    /// installed; bit-identity makes this swap safe).
+    /// installed; bit-identity makes this swap safe). Falls back to the
+    /// scalar kernel structurally — no panic path — since this is called
+    /// from the GEMM dispatch hot path.
     pub fn best_available() -> MicroKernel {
-        *Self::available()
+        Self::available()
             .last()
-            .expect("scalar is always available")
+            .copied()
+            .unwrap_or(MicroKernel::Scalar)
     }
 }
 
@@ -155,11 +158,14 @@ pub(crate) fn resolve<T: Scalar>(mk: MicroKernel) -> MicroKernelFn<T> {
 /// body is branch-free and the accumulator tile stays in registers.
 #[inline(always)]
 pub(crate) fn scalar_kernel<T: Scalar>(kcb: usize, apan: &[T], bpan: &[T], acc: &mut [T; MR * NR]) {
+    // Zip-structured (no slice indexing, rule P03): `chunks_exact_mut(MR)`
+    // walks the accumulator in the same j-major, i-minor order as the
+    // indexed form, so the FMA sequence — and the result bits — are
+    // unchanged.
     for (av, bv) in apan.chunks_exact(MR).zip(bpan.chunks_exact(NR)).take(kcb) {
-        for j in 0..NR {
-            let bj = bv[j];
-            for i in 0..MR {
-                acc[j * MR + i] = av[i].mul_add(bj, acc[j * MR + i]);
+        for (&bj, accj) in bv.iter().zip(acc.chunks_exact_mut(MR)) {
+            for (&ai, cij) in av.iter().zip(accj.iter_mut()) {
+                *cij = ai.mul_add(bj, *cij);
             }
         }
     }

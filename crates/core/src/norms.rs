@@ -65,7 +65,9 @@ pub fn hpl_scaled_residual<T: Scalar>(a: &Matrix<T>, x: &[T], b: &[T]) -> f64 {
         }
     }
     let rnorm = r.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
-    let denom = f64::EPSILON * (inf_norm(a) * vec_inf_norm(x) + vec_inf_norm(b)) * (n as f64);
+    let denom = f64::EPSILON
+        * (inf_norm(a) * vec_inf_norm(x) + vec_inf_norm(b))
+        * crate::cast::count_f64(n as u64);
     if denom == 0.0 {
         return if rnorm == 0.0 { 0.0 } else { f64::INFINITY };
     }

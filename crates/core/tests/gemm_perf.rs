@@ -4,16 +4,16 @@
 //! assertions are hardware-sensitive; run explicitly with
 //! `cargo test -q -p xsc-core --test gemm_perf -- --ignored`.
 
-use std::time::Instant;
 use xsc_core::gemm::{colsweep_gemm, gemm, par_gemm, Transpose};
 use xsc_core::{gen, Matrix};
+use xsc_metrics::Stopwatch;
 
 fn best_of(reps: usize, mut f: impl FnMut()) -> f64 {
     (0..reps)
         .map(|_| {
-            let t = Instant::now();
+            let t = Stopwatch::start();
             f();
-            t.elapsed().as_secs_f64()
+            t.seconds()
         })
         .fold(f64::INFINITY, f64::min)
 }

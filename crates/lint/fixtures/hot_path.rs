@@ -1,0 +1,15 @@
+//! Fixture for the panic-freedom rules (linted under the server.rs path):
+//! the declared hot functions must not panic; everything else may.
+
+pub fn execute_single(x: &Request) -> Outcome {
+    let v = x.cache.get().unwrap(); // line 5: P01
+    unreachable!("mixed batch"); // line 6: P02
+    let picked = x.items[x.cursor]; // line 7: P03 (runtime index can panic)
+}
+
+pub fn admission(x: &Request) -> Outcome {
+    // Validation boundary: fallible code is the POINT here — no findings.
+    let v = x.cache.get().unwrap();
+    assert!(x.items.len() > x.cursor);
+    x.items[x.cursor]
+}

@@ -1,0 +1,30 @@
+//! Fixture for the lock tracker (linted under the executor.rs path):
+//! order inversions, undeclared locks, and guards held across calls.
+
+pub fn inverted(shared: &Shared) {
+    let mut q = shared.queues[0].lock(); // declared, rank 2 — held below
+    let s = shared.sleep.lock(); // line 6: C03 (sleep ranks before queues)
+    drop(s);
+    drop(q);
+}
+
+pub fn undeclared(shared: &Shared) {
+    let g = shared.mystery.lock(); // line 12: C03 (not in the manifest)
+}
+
+pub fn wake_under_queue_guard(shared: &Shared) {
+    let mut q = shared.queues[1].lock();
+    shared.wake_all(); // line 17: C03 (wake_all takes `sleep` internally)
+}
+
+pub fn guard_across_execute(shared: &Shared, g: TaskGraph) {
+    let held = shared.sleep.lock();
+    shared.pool.execute(g); // line 22: C02 (kernel call under a live guard)
+}
+
+pub fn scoped_is_fine(shared: &Shared, g: TaskGraph) {
+    {
+        let _held = shared.sleep.lock();
+    } // guard closed before the call: no finding
+    shared.pool.execute(g);
+}

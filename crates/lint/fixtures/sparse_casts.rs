@@ -4,8 +4,8 @@ pub fn narrow(i: usize) -> u32 {
     i as u32 // line 4: A01
 }
 
-pub fn widen(i: u32) -> usize {
-    i as usize // line 8: widening — no finding
+pub fn widen_here(i: u32) -> usize {
+    i as usize // line 8: X01 (bare `as usize` outside a chokepoint fn)
 }
 
 pub fn checked(i: usize) -> u32 {

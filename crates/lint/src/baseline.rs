@@ -1,0 +1,186 @@
+//! The lint-findings ratchet (`lint_baseline.json`).
+//!
+//! A lint gate that only fails on *findings* can still rot silently: each
+//! PR may add one more reasoned suppression until the "infallible hot
+//! path" is a net of exceptions. The ratchet pins the per-rule counts of
+//! surviving findings **and** used suppressions in a checked-in baseline;
+//! CI (and the tier-1 gate) fails when either count *increases* for any
+//! rule, so growing the exception surface requires touching the baseline
+//! file — and justifying it — in the same diff.
+//!
+//! Decreases are allowed without ceremony (burn-down PRs shouldn't need a
+//! lockstep baseline edit), but `--write-baseline` regenerates the file so
+//! the ratchet can be tightened to the new floor.
+
+use crate::driver::Report;
+use crate::rules::RULES;
+
+/// Per-rule counts: `(rule id, surviving findings, used suppressions)`.
+/// Always lists every known rule, in `RULES` order, so the JSON diff of a
+/// baseline change reads as a table.
+pub fn counts(report: &Report) -> Vec<(String, u64, u64)> {
+    RULES
+        .iter()
+        .map(|r| {
+            let f = report.findings.iter().filter(|x| x.rule == r.id).count() as u64;
+            let s = report
+                .suppressions_used
+                .iter()
+                .filter(|x| x.rule == r.id)
+                .count() as u64;
+            (r.id.to_string(), f, s)
+        })
+        .collect()
+}
+
+/// Renders the baseline JSON (schema `xsc-lint-baseline-v1`),
+/// byte-deterministic like every other artifact in the repo.
+pub fn render(report: &Report) -> String {
+    let rows = counts(report);
+    let mut s = String::new();
+    s.push_str("{\n  \"schema\": \"xsc-lint-baseline-v1\",\n  \"rules\": [\n");
+    for (i, (rule, f, supp)) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"rule\": \"{rule}\", \"findings\": {f}, \"suppressions\": {supp}}}{}\n",
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Parses a baseline document written by [`render`] (tolerant of
+/// whitespace, intolerant of missing fields). Returns the per-rule rows.
+pub fn parse(text: &str) -> Result<Vec<(String, u64, u64)>, String> {
+    if !text.contains("xsc-lint-baseline-v1") {
+        return Err("not an xsc-lint-baseline-v1 document".to_string());
+    }
+    let mut rows = Vec::new();
+    for line in text.lines() {
+        let Some(rule) = field_str(line, "rule") else {
+            continue;
+        };
+        let f = field_num(line, "findings")
+            .ok_or_else(|| format!("baseline row for {rule} lacks a findings count"))?;
+        let s = field_num(line, "suppressions")
+            .ok_or_else(|| format!("baseline row for {rule} lacks a suppressions count"))?;
+        rows.push((rule, f, s));
+    }
+    if rows.is_empty() {
+        return Err("baseline lists no rules".to_string());
+    }
+    Ok(rows)
+}
+
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')?;
+    Some(line[start..start + end].to_string())
+}
+
+fn field_num(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+/// Compares current counts against a parsed baseline. Returns one message
+/// per regression: a rule whose finding or suppression count grew, or a
+/// rule the baseline has never heard of (new rules must enter the
+/// baseline explicitly, at their actual count).
+pub fn regressions(current: &[(String, u64, u64)], baseline: &[(String, u64, u64)]) -> Vec<String> {
+    let mut out = Vec::new();
+    for (rule, f, s) in current {
+        match baseline.iter().find(|(r, _, _)| r == rule) {
+            None => {
+                if *f > 0 || *s > 0 {
+                    out.push(format!(
+                        "rule {rule} is not in the baseline but has {f} finding(s) / {s} \
+                         suppression(s); regenerate with --write-baseline and justify the counts"
+                    ));
+                }
+            }
+            Some((_, bf, bs)) => {
+                if f > bf {
+                    out.push(format!(
+                        "rule {rule}: findings grew {bf} -> {f}; fix them or regenerate the \
+                         baseline with --write-baseline and justify the increase in the diff"
+                    ));
+                }
+                if s > bs {
+                    out.push(format!(
+                        "rule {rule}: suppressions grew {bs} -> {s}; every new allow must be \
+                         justified by regenerating lint_baseline.json in the same diff"
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::UsedSuppression;
+    use crate::rules::Finding;
+
+    fn report_with(findings: &[&'static str], supps: &[&str]) -> Report {
+        let mut r = Report::default();
+        for rule in findings {
+            r.findings.push(Finding {
+                rule,
+                file: "x.rs".into(),
+                line: 1,
+                message: String::new(),
+            });
+        }
+        for rule in supps {
+            r.suppressions_used.push(UsedSuppression {
+                rule: rule.to_string(),
+                file: "x.rs".into(),
+                line: 1,
+                reason: "r".into(),
+            });
+        }
+        r
+    }
+
+    #[test]
+    fn render_parse_round_trips() {
+        let r = report_with(&["D01", "D01"], &["A01", "S01", "A01"]);
+        let rows = counts(&r);
+        let parsed = parse(&render(&r)).unwrap();
+        assert_eq!(rows, parsed);
+        let d01 = rows.iter().find(|(r, _, _)| r == "D01").unwrap();
+        assert_eq!((d01.1, d01.2), (2, 0));
+        let a01 = rows.iter().find(|(r, _, _)| r == "A01").unwrap();
+        assert_eq!((a01.1, a01.2), (0, 2));
+    }
+
+    #[test]
+    fn ratchet_fails_on_increase_only() {
+        let base = counts(&report_with(&[], &["A01"]));
+        let same = counts(&report_with(&[], &["A01"]));
+        assert!(regressions(&same, &base).is_empty());
+        let fewer = counts(&report_with(&[], &[]));
+        assert!(regressions(&fewer, &base).is_empty(), "decrease is fine");
+        let more = counts(&report_with(&[], &["A01", "A01"]));
+        let msgs = regressions(&more, &base);
+        assert_eq!(msgs.len(), 1);
+        assert!(msgs[0].contains("A01"), "{msgs:?}");
+        let newfind = counts(&report_with(&["D03"], &["A01"]));
+        assert_eq!(regressions(&newfind, &base).len(), 1);
+    }
+
+    #[test]
+    fn parse_rejects_foreign_documents() {
+        assert!(parse("{}").is_err());
+        assert!(parse("").is_err());
+    }
+}

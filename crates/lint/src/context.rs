@@ -1,0 +1,235 @@
+//! Item-context analysis over the token stream: brace nesting, enclosing
+//! function, and loop bodies.
+//!
+//! The C/P/X rule families are *scoped* rules — "no `unwrap` in the
+//! executor worker loop", "casts only inside the named chokepoint fns",
+//! "`wait` only inside a predicate loop" — so the engine needs to know,
+//! for every token, which `fn` item it belongs to and whether it sits in a
+//! `loop`/`while`/`for` body. This pass derives both from the significant
+//! (non-comment) token stream in one linear sweep.
+//!
+//! The analysis is lexical, not grammatical: a closure body belongs to its
+//! *enclosing* named `fn` (deliberately — the executor's worker closure
+//! is part of `Executor::run` for hot-path purposes), and a brace opened
+//! inside a loop header expression (`for x in xs.map(|i| { .. })`) is
+//! conservatively treated as the loop body. Those approximations are fine
+//! for a linter whose scoped files are written in plain style; the rules
+//! that consume this context document their residual blind spots in
+//! `DESIGN.md`.
+
+use crate::lexer::{Tok, Token};
+
+/// What kind of construct a `{` opened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ScopeKind {
+    /// A named `fn` body (index into [`ItemCtx::fns`]).
+    Fn(usize),
+    /// A `loop` / `while` / `for` body.
+    Loop,
+    /// Anything else: blocks, `impl`/`mod`/`match` bodies, struct literals.
+    Plain,
+}
+
+/// One named `fn` item found in the file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnSpan {
+    /// The function's name (the identifier after `fn`).
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+}
+
+/// Per-token structural context for one file. All vectors are indexed by
+/// *token index* (the same indexing as `FileCtx::tokens`); comment tokens
+/// inherit the context of the significant token that precedes them only
+/// implicitly (rules look up context at significant tokens).
+pub struct ItemCtx {
+    /// Every named `fn` item, in source order.
+    pub fns: Vec<FnSpan>,
+    /// For each token: the innermost enclosing `fn` (index into `fns`),
+    /// or `None` at module level.
+    pub fn_of: Vec<Option<usize>>,
+    /// For each token: `true` inside a `loop`/`while`/`for` body.
+    pub in_loop: Vec<bool>,
+    /// For each token: brace-nesting depth (`{` itself counts at the
+    /// depth it opens).
+    pub depth: Vec<u32>,
+}
+
+impl ItemCtx {
+    /// Builds the context for an already-lexed file. `sig` holds the
+    /// indices of non-comment tokens, as in `FileCtx`.
+    pub fn new(tokens: &[Token], sig: &[usize]) -> ItemCtx {
+        let n = tokens.len();
+        let mut fns: Vec<FnSpan> = Vec::new();
+        let mut fn_of: Vec<Option<usize>> = vec![None; n];
+        let mut in_loop = vec![false; n];
+        let mut depth = vec![0u32; n];
+
+        // Stack of open scopes, innermost last.
+        let mut scopes: Vec<ScopeKind> = Vec::new();
+        // A `fn NAME` header seen but its body `{` not yet; cancelled by
+        // `;` (trait method declarations, extern blocks).
+        let mut pending_fn: Option<usize> = None;
+        // A `loop`/`while`/`for` keyword seen but its body `{` not yet.
+        let mut pending_loop = false;
+
+        let mut cur_depth = 0u32;
+        for (k, &i) in sig.iter().enumerate() {
+            // Record context *before* processing the token, then adjust
+            // for braces so `{` reports the depth it opens and `}` the
+            // depth it closes.
+            let innermost_fn = scopes.iter().rev().find_map(|s| match s {
+                ScopeKind::Fn(f) => Some(*f),
+                _ => None,
+            });
+            let looping = scopes.contains(&ScopeKind::Loop);
+
+            match &tokens[i].tok {
+                Tok::Ident(s) if s == "fn" => {
+                    // `fn` followed by its name; `fn` types (`fn(u8)`) have
+                    // punctuation next and stay pending-free.
+                    if let Some(Tok::Ident(name)) = sig.get(k + 1).map(|&j| &tokens[j].tok) {
+                        fns.push(FnSpan {
+                            name: name.clone(),
+                            line: tokens[i].line,
+                        });
+                        pending_fn = Some(fns.len() - 1);
+                    }
+                }
+                // `for` also introduces generic lifetimes (`for<'a>`); the
+                // guard skips those, and a stray Plain/Loop
+                // misclassification elsewhere is harmless.
+                Tok::Ident(s)
+                    if (s == "loop" || s == "while" || s == "for")
+                        && !matches!(
+                            sig.get(k + 1).map(|&j| &tokens[j].tok),
+                            Some(Tok::Punct('<'))
+                        ) =>
+                {
+                    pending_loop = true;
+                }
+                Tok::Punct(';') => {
+                    pending_fn = None;
+                    pending_loop = false;
+                }
+                Tok::Punct('{') => {
+                    let kind = if let Some(f) = pending_fn.take() {
+                        ScopeKind::Fn(f)
+                    } else if pending_loop {
+                        pending_loop = false;
+                        ScopeKind::Loop
+                    } else {
+                        ScopeKind::Plain
+                    };
+                    scopes.push(kind);
+                    cur_depth += 1;
+                }
+                Tok::Punct('}') => {
+                    scopes.pop();
+                    cur_depth = cur_depth.saturating_sub(1);
+                }
+                _ => {}
+            }
+
+            // `{` belongs to the scope it opens; `}` to the one it closes.
+            let (f, l, d) = match &tokens[i].tok {
+                Tok::Punct('{') => {
+                    let f = scopes.iter().rev().find_map(|s| match s {
+                        ScopeKind::Fn(f) => Some(*f),
+                        _ => None,
+                    });
+                    (f, scopes.contains(&ScopeKind::Loop), cur_depth)
+                }
+                _ => (innermost_fn, looping, cur_depth),
+            };
+            fn_of[i] = f;
+            in_loop[i] = l;
+            depth[i] = d;
+        }
+
+        ItemCtx {
+            fns,
+            fn_of,
+            in_loop,
+            depth,
+        }
+    }
+
+    /// Name of the innermost `fn` enclosing token `i`, if any.
+    pub fn fn_name_at(&self, i: usize) -> Option<&str> {
+        self.fn_of[i].map(|f| self.fns[f].name.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn ctx(src: &str) -> (Vec<Token>, ItemCtx) {
+        let tokens = lex(src);
+        let sig: Vec<usize> = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !matches!(t.tok, Tok::Comment { .. }))
+            .map(|(i, _)| i)
+            .collect();
+        let ic = ItemCtx::new(&tokens, &sig);
+        (tokens, ic)
+    }
+
+    fn ident_pos(tokens: &[Token], name: &str) -> usize {
+        tokens
+            .iter()
+            .position(|t| matches!(&t.tok, Tok::Ident(s) if s == name))
+            .unwrap()
+    }
+
+    #[test]
+    fn fn_bodies_and_nesting() {
+        let src = "fn outer() { let x = inner_marker; }\nfn second() { body2; }\n";
+        let (tokens, ic) = ctx(src);
+        assert_eq!(ic.fns.len(), 2);
+        assert_eq!(ic.fns[0].name, "outer");
+        let m = ident_pos(&tokens, "inner_marker");
+        assert_eq!(ic.fn_name_at(m), Some("outer"));
+        let b = ident_pos(&tokens, "body2");
+        assert_eq!(ic.fn_name_at(b), Some("second"));
+    }
+
+    #[test]
+    fn closures_belong_to_enclosing_fn() {
+        let src = "fn run() { spawn(move || { let inner = deep_marker; }); }\n";
+        let (tokens, ic) = ctx(src);
+        let m = ident_pos(&tokens, "deep_marker");
+        assert_eq!(ic.fn_name_at(m), Some("run"));
+    }
+
+    #[test]
+    fn loops_are_marked() {
+        let src = "fn f() { before; loop { inside; while x { nested; } } after_loop; }\n";
+        let (tokens, ic) = ctx(src);
+        assert!(!ic.in_loop[ident_pos(&tokens, "before")]);
+        assert!(ic.in_loop[ident_pos(&tokens, "inside")]);
+        assert!(ic.in_loop[ident_pos(&tokens, "nested")]);
+        assert!(!ic.in_loop[ident_pos(&tokens, "after_loop")]);
+    }
+
+    #[test]
+    fn trait_method_decl_does_not_open_a_body() {
+        let src = "trait T { fn decl(&self); }\nfn real() { marker; }\n";
+        let (tokens, ic) = ctx(src);
+        let m = ident_pos(&tokens, "marker");
+        assert_eq!(ic.fn_name_at(m), Some("real"));
+    }
+
+    #[test]
+    fn module_level_tokens_have_no_fn() {
+        let src = "use std::fmt;\nconst TOP: usize = 3;\nfn f() {}\n";
+        let (tokens, ic) = ctx(src);
+        let m = ident_pos(&tokens, "TOP");
+        assert_eq!(ic.fn_name_at(m), None);
+        assert!(!ic.in_loop[m]);
+    }
+}

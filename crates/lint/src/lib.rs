@@ -32,6 +32,8 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod baseline;
+pub mod context;
 pub mod driver;
 pub mod lexer;
 pub mod report;

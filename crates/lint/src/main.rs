@@ -1,19 +1,43 @@
-//! CLI driver: `cargo run -p xsc-lint -- [--root DIR] [--json FILE] [-q]
-//! [--list-rules]`. Exits 0 when the workspace is lint-clean, 1 when any
-//! finding survives suppression, 2 on usage or I/O errors.
+//! CLI driver.
+//!
+//! Lint mode (default): `cargo run -p xsc-lint -- [--root DIR] [--json
+//! FILE] [--baseline FILE] [--write-baseline FILE] [-q] [--list-rules]`.
+//! Exits 0 when the workspace is lint-clean (and within the baseline
+//! ratchet, if given), 1 when any finding survives suppression or a
+//! per-rule count regressed, 2 on usage or I/O errors.
+//!
+//! Schedule mode: `cargo run -p xsc-lint -- check-schedules [--workers N]
+//! [--max-tasks N] [--json FILE] [--self-test] [-q]` exhaustively model-
+//! checks the work-stealing executor's sleep protocol over the standard
+//! graph family (see `xsc_runtime::schedule_check`); `--self-test` also
+//! runs the protocol mutants and asserts each is caught (or, for the
+//! provably-benign one, clean).
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use xsc_runtime::schedule_check::{check, standard_specs, Protocol, DEFAULT_STATE_CAP};
+use xsc_runtime::SchedPolicy;
 
 fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("check-schedules") {
+        args.remove(0);
+        return check_schedules(args);
+    }
+    lint(args)
+}
+
+fn lint(args: Vec<String>) -> ExitCode {
     let mut root = xsc_lint::default_root();
     let mut json: Option<PathBuf> = None;
+    let mut baseline: Option<PathBuf> = None;
+    let mut write_baseline: Option<PathBuf> = None;
     let mut quiet = false;
 
-    let mut args = std::env::args().skip(1);
+    let mut args = args.into_iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--root" => match args.next() {
@@ -23,6 +47,14 @@ fn main() -> ExitCode {
             "--json" => match args.next() {
                 Some(p) => json = Some(PathBuf::from(p)),
                 None => return usage("--json needs a file path"),
+            },
+            "--baseline" => match args.next() {
+                Some(p) => baseline = Some(PathBuf::from(p)),
+                None => return usage("--baseline needs a file path"),
+            },
+            "--write-baseline" => match args.next() {
+                Some(p) => write_baseline = Some(PathBuf::from(p)),
+                None => return usage("--write-baseline needs a file path"),
             },
             "-q" | "--quiet" => quiet = true,
             "--list-rules" => {
@@ -49,20 +81,222 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     }
-
-    if !quiet || !report.clean() {
-        print!("{}", report.render_text());
+    if let Some(path) = &write_baseline {
+        if let Err(e) = std::fs::write(path, xsc_lint::baseline::render(&report)) {
+            eprintln!("xsc-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
     }
-    if report.clean() {
+
+    let mut ratchet_failures = Vec::new();
+    if let Some(path) = &baseline {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("xsc-lint: cannot read baseline {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let rows = match xsc_lint::baseline::parse(&text) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("xsc-lint: bad baseline {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        ratchet_failures =
+            xsc_lint::baseline::regressions(&xsc_lint::baseline::counts(&report), &rows);
+    }
+
+    let ok = report.clean() && ratchet_failures.is_empty();
+    if !quiet || !ok {
+        print!("{}", report.render_text());
+        for msg in &ratchet_failures {
+            println!("ratchet: {msg}");
+        }
+    }
+    if ok {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
     }
 }
 
+/// One self-test expectation: a protocol variant and the violation kind it
+/// must produce (`None` = must be clean, for the provably-benign mutant).
+const MUTANTS: &[(Protocol, Option<&str>)] = &[
+    (Protocol::NoFinishedRecheck, Some("deadlock")),
+    (Protocol::SkipFinalWake, Some("deadlock")),
+    (Protocol::NotifyOneFinal, Some("deadlock")),
+    (Protocol::EagerRelease, Some("order-violation")),
+    (Protocol::NoQueueRecheck, None),
+];
+
+fn check_schedules(args: Vec<String>) -> ExitCode {
+    let mut workers = 4usize;
+    let mut max_tasks = 8usize;
+    let mut json: Option<PathBuf> = None;
+    let mut self_test = false;
+    let mut quiet = false;
+
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workers" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if (1..=4).contains(&n) => workers = n,
+                _ => return usage("--workers needs a count in 1..=4"),
+            },
+            "--max-tasks" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if (1..=8).contains(&n) => max_tasks = n,
+                _ => return usage("--max-tasks needs a count in 1..=8"),
+            },
+            "--json" => match args.next() {
+                Some(p) => json = Some(PathBuf::from(p)),
+                None => return usage("--json needs a file path"),
+            },
+            "--self-test" => self_test = true,
+            "-q" | "--quiet" => quiet = true,
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let policies = [
+        SchedPolicy::Fifo,
+        SchedPolicy::CriticalPath,
+        SchedPolicy::Explicit,
+    ];
+    let mut lines = Vec::new();
+    let mut failures = 0u64;
+    let mut total_states = 0u64;
+
+    for spec in standard_specs() {
+        if spec.n > max_tasks {
+            continue;
+        }
+        for w in 1..=workers {
+            for policy in policies {
+                let r = check(&spec, w, policy, Protocol::Correct, DEFAULT_STATE_CAP);
+                total_states += r.states;
+                if let Some(v) = &r.violation {
+                    failures += 1;
+                    eprintln!("check-schedules: {}", r.summary());
+                    for step in v.trace() {
+                        eprintln!("    {step}");
+                    }
+                } else if !quiet {
+                    println!("{}", r.summary());
+                }
+                lines.push(r);
+            }
+        }
+    }
+
+    if self_test {
+        let spec = standard_specs()
+            .into_iter()
+            .find(|s| s.name == "diamond")
+            .expect("diamond is in the standard family");
+        let st_workers = workers.max(3); // NotifyOneFinal needs >=2 sleepers
+        for &(protocol, expect) in MUTANTS {
+            let r = check(
+                &spec,
+                st_workers,
+                SchedPolicy::Fifo,
+                protocol,
+                DEFAULT_STATE_CAP,
+            );
+            total_states += r.states;
+            let got = r.violation.as_ref().map(|v| v.kind());
+            if got != expect {
+                failures += 1;
+                eprintln!(
+                    "check-schedules: self-test {protocol:?} expected {expect:?}, got {got:?}"
+                );
+            } else if !quiet {
+                println!("self-test {}", r.summary());
+            }
+            lines.push(r);
+        }
+        // The checker must also catch a graph whose writers are unordered.
+        let r = check(
+            &xsc_runtime::schedule_check::GraphSpec::unordered_writers(),
+            2,
+            SchedPolicy::Fifo,
+            Protocol::Correct,
+            DEFAULT_STATE_CAP,
+        );
+        total_states += r.states;
+        let got = r.violation.as_ref().map(|v| v.kind());
+        if got != Some("bit-divergence") {
+            failures += 1;
+            eprintln!(
+                "check-schedules: self-test unordered-writers expected bit-divergence, got {got:?}"
+            );
+        } else if !quiet {
+            println!("self-test {}", r.summary());
+        }
+        lines.push(r);
+    }
+
+    if let Some(path) = &json {
+        if let Err(e) = std::fs::write(path, schedule_json(&lines, failures)) {
+            eprintln!("check-schedules: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if !quiet || failures > 0 {
+        println!(
+            "check-schedules: {} configurations, {} states, {} failure(s)",
+            lines.len(),
+            total_states,
+            failures
+        );
+    }
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Renders the schedule-check report (schema `xsc-schedcheck-v1`),
+/// byte-deterministic like the lint report.
+fn schedule_json(reports: &[xsc_runtime::schedule_check::CheckReport], failures: u64) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"schema\": \"xsc-schedcheck-v1\",\n");
+    s.push_str(&format!("  \"failures\": {failures},\n  \"runs\": [\n"));
+    for (i, r) in reports.iter().enumerate() {
+        let verdict = match &r.violation {
+            None => "ok".to_string(),
+            Some(v) => v.kind().to_string(),
+        };
+        s.push_str(&format!(
+            "    {{\"graph\": \"{}\", \"tasks\": {}, \"workers\": {}, \"policy\": \"{:?}\", \
+             \"protocol\": \"{:?}\", \"states\": {}, \"transitions\": {}, \"terminals\": {}, \
+             \"verdict\": \"{}\"}}{}\n",
+            r.graph,
+            r.tasks,
+            r.workers,
+            r.policy,
+            r.protocol,
+            r.states,
+            r.transitions,
+            r.terminals,
+            verdict,
+            if i + 1 < reports.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
 fn usage(err: &str) -> ExitCode {
     eprintln!(
-        "xsc-lint: {err}\nusage: xsc-lint [--root DIR] [--json FILE] [-q|--quiet] [--list-rules]"
+        "xsc-lint: {err}\n\
+         usage: xsc-lint [--root DIR] [--json FILE] [--baseline FILE] \
+         [--write-baseline FILE] [-q|--quiet] [--list-rules]\n\
+                xsc-lint check-schedules [--workers N] [--max-tasks N] [--json FILE] \
+         [--self-test] [-q|--quiet]"
     );
     ExitCode::from(2)
 }

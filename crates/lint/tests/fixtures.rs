@@ -40,6 +40,12 @@ fn one_violation_per_rule_at_exact_lines() {
         ("D03", 11),
         ("D02", 15),
         ("S01", 19),
+        // Determinism rules reach into #[cfg(test)] regions too: a test
+        // that iterates a HashMap or times itself with a raw Instant
+        // flakes exactly like library code does.
+        ("D01", 29),
+        ("D02", 30),
+        ("D02", 34),
         ("D03", 35),
     ]
     .into_iter()
@@ -98,24 +104,71 @@ fn suppression_grammar_and_meta_rules() {
 #[test]
 fn sparse_narrowing_flagged_widening_ignored() {
     let src = include_str!("../fixtures/sparse_casts.rs");
+    // In the sparse crate the narrowing is A01 and the bare `as usize`
+    // (outside the idx::widen chokepoint) is X01.
     let in_sparse = findings("crates/sparse/src/fake.rs", CrateClass::Numeric, src);
-    assert_eq!(in_sparse, vec![("A01".to_string(), 4)]);
-    // A01 is scoped to the sparse crate (the Csr32 lesson lives there).
-    let elsewhere = findings("crates/core/src/fake.rs", CrateClass::Numeric, src);
+    assert_eq!(
+        in_sparse,
+        vec![("A01".to_string(), 4), ("X01".to_string(), 8)]
+    );
+    // A01 is scoped to the sparse crate (the Csr32 lesson lives there);
+    // X01 covers all kernel crates, so core still flags the usize cast.
+    let in_core = findings("crates/core/src/fake.rs", CrateClass::Numeric, src);
+    assert_eq!(in_core, vec![("X01".to_string(), 8)]);
+    // Outside the kernel crates both rules are silent.
+    let elsewhere = findings("crates/machine/src/fake.rs", CrateClass::Numeric, src);
     assert!(elsewhere.is_empty(), "{elsewhere:?}");
 }
 
 #[test]
-fn bench_shims_and_tests_may_use_wall_clock_and_hashes() {
+fn numeric_rules_reach_tests_while_bench_and_shims_keep_their_exemptions() {
     let src = "use std::collections::HashMap;\nuse std::time::Instant;\n";
-    for (path, class) in [
-        ("crates/bench/src/lib.rs", CrateClass::Bench),
-        ("crates/shims/rayon/src/lib.rs", CrateClass::Shim),
-        ("crates/core/tests/props.rs", CrateClass::TestCode),
-    ] {
-        let f = findings(path, class, src);
-        assert!(f.is_empty(), "{path}: {f:?}");
-    }
+    // Test code is held to both determinism rules: hash-order assertions
+    // and self-timed tests are exactly how flakes get written.
+    let tests = findings("crates/core/tests/props.rs", CrateClass::TestCode, src);
+    assert_eq!(tests, vec![("D01".to_string(), 1), ("D02".to_string(), 2)]);
+    // The bench crate's job is timing, so D02 stays exempt there — but a
+    // HashMap can still reorder its report lines, so D01 is not.
+    let bench = findings("crates/bench/src/lib.rs", CrateClass::Bench, src);
+    assert_eq!(bench, vec![("D01".to_string(), 1)]);
+    // Shims re-implement external APIs verbatim and keep both exemptions.
+    let shim = findings("crates/shims/rayon/src/lib.rs", CrateClass::Shim, src);
+    assert!(shim.is_empty(), "{shim:?}");
+}
+
+#[test]
+fn lock_discipline_fixture_at_exact_lines() {
+    let src = include_str!("../fixtures/lock_discipline.rs");
+    // Linted AS the executor file: C03's manifest and C02's callee list
+    // both apply there.
+    let f = findings("crates/runtime/src/executor.rs", CrateClass::Numeric, src);
+    let want: Vec<(String, u32)> = [("C03", 6), ("C03", 12), ("C03", 17), ("C02", 22)]
+        .into_iter()
+        .map(|(r, l)| (r.to_string(), l))
+        .collect();
+    let mut got = f.clone();
+    let mut want = want;
+    got.sort();
+    want.sort();
+    assert_eq!(got, want, "got {f:?}");
+}
+
+#[test]
+fn hot_path_fixture_flags_only_declared_fns() {
+    let src = include_str!("../fixtures/hot_path.rs");
+    let f = findings("crates/serve/src/server.rs", CrateClass::Numeric, src);
+    let want: Vec<(String, u32)> = [("P01", 5), ("P02", 6), ("P03", 7)]
+        .into_iter()
+        .map(|(r, l)| (r.to_string(), l))
+        .collect();
+    let mut got = f.clone();
+    let mut want = want;
+    got.sort();
+    want.sort();
+    assert_eq!(got, want, "got {f:?}");
+    // The same source under a path with no hot-path manifest is silent.
+    let elsewhere = findings("crates/machine/src/server.rs", CrateClass::Numeric, src);
+    assert!(elsewhere.is_empty(), "{elsewhere:?}");
 }
 
 #[test]

@@ -35,6 +35,24 @@ fn every_used_suppression_carries_a_reason() {
 }
 
 #[test]
+fn checked_in_baseline_holds_the_ratchet() {
+    // The repo-root lint_baseline.json is the suppression-count floor: a
+    // new allow anywhere in the workspace must regenerate it in the same
+    // diff. This test is the tier-1 twin of CI's `--baseline` run.
+    let root = xsc_lint::default_root();
+    let text = std::fs::read_to_string(root.join("lint_baseline.json"))
+        .expect("lint_baseline.json must be checked in at the repo root");
+    let rows = xsc_lint::baseline::parse(&text).expect("baseline parses");
+    let report = xsc_lint::lint_workspace(&root).expect("workspace scan");
+    let regressions = xsc_lint::baseline::regressions(&xsc_lint::baseline::counts(&report), &rows);
+    assert!(
+        regressions.is_empty(),
+        "per-rule counts regressed against lint_baseline.json:\n{}",
+        regressions.join("\n")
+    );
+}
+
+#[test]
 fn json_report_is_deterministic_and_well_formed_enough() {
     let root = xsc_lint::default_root();
     let a = xsc_lint::to_json(&xsc_lint::lint_workspace(&root).expect("scan"));

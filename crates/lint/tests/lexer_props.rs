@@ -1,0 +1,116 @@
+//! Property tests for the lint lexer on adversarial input.
+//!
+//! The rule engine is only as trustworthy as the lexer under it: a missed
+//! raw-string edge means `HashMap` inside a string flags D01 (noise), and
+//! an unterminated-comment panic means one weird file kills the whole
+//! gate. These properties hammer the constructions that break naive
+//! lexers — raw strings at any hash depth, nested block comments, comment
+//! markers inside literals — with randomized payloads.
+
+use proptest::prelude::*;
+use xsc_lint::lexer::{lex, Tok};
+use xsc_lint::{lint_source, CrateClass};
+
+/// Builds printable-ish junk (including quotes, slashes, and braces —
+/// everything that could confuse delimiter tracking) from raw bytes.
+fn junk(bytes: &[u8]) -> String {
+    const ALPHABET: &[char] = &[
+        'a', 'Z', '0', ' ', '\n', '\t', '"', '\'', '/', '*', '#', '\\', '{', '}', '(', ')', '.',
+        ';', 'é', '→', '🦀',
+    ];
+    bytes
+        .iter()
+        .map(|&b| ALPHABET[b as usize % ALPHABET.len()])
+        .collect()
+}
+
+/// `true` if any lexed token is the identifier `needle`.
+fn has_ident(src: &str, needle: &str) -> bool {
+    lex(src)
+        .iter()
+        .any(|t| matches!(&t.tok, Tok::Ident(s) if s == needle))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The lexer must terminate without panicking on arbitrary text, and
+    /// line numbers must be 1-based and nondecreasing.
+    #[test]
+    fn lexing_arbitrary_junk_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let src = junk(&bytes);
+        let tokens = lex(&src);
+        let mut last = 1u32;
+        for t in &tokens {
+            prop_assert!(t.line >= last, "line numbers went backwards");
+            last = t.line;
+        }
+        let line_count = src.split('\n').count() as u32;
+        prop_assert!(last <= line_count.max(1), "token line beyond the input");
+    }
+
+    /// The full rule engine inherits the no-panic guarantee: linting junk
+    /// as a kernel-crate source must return, not unwind.
+    #[test]
+    fn linting_arbitrary_junk_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let src = junk(&bytes);
+        let _ = lint_source("crates/core/src/fuzz.rs", CrateClass::Numeric, &src);
+        let _ = lint_source("crates/runtime/src/executor.rs", CrateClass::Numeric, &src);
+        let _ = lint_source("crates/serve/src/server.rs", CrateClass::Numeric, &src);
+    }
+
+    /// A raw string literal swallows its payload at ANY hash depth: rule
+    /// trigger words inside it must not surface as identifiers, and the
+    /// text after the literal must still lex.
+    #[test]
+    fn raw_strings_swallow_payload_at_any_hash_depth(
+        hashes in 0usize..8,
+        bytes in proptest::collection::vec(any::<u8>(), 0..40),
+    ) {
+        let h = "#".repeat(hashes);
+        let mut payload = junk(&bytes).replace('\n', " ");
+        // Keep the payload from closing the literal early: a raw string
+        // ends only at `"` + hashes, so strip runs that could collide.
+        payload = payload.replace('"', "”");
+        let src = format!("let s = r{h}\"HashMap {payload} Instant\"{h}; after");
+        prop_assert!(!has_ident(&src, "HashMap"), "payload leaked from {src:?}");
+        prop_assert!(!has_ident(&src, "Instant"), "payload leaked from {src:?}");
+        prop_assert!(has_ident(&src, "after"), "tail lost in {src:?}");
+        // And the rule engine agrees: no D01/D02 from inside the literal.
+        let (findings, _) = lint_source("crates/core/src/fuzz.rs", CrateClass::Numeric, &src);
+        prop_assert!(
+            findings.iter().all(|f| f.rule != "D01" && f.rule != "D02"),
+            "string payload produced findings: {findings:?}"
+        );
+    }
+
+    /// Block comments nest: `/* /* */ */` must swallow everything inside,
+    /// however deep the randomized nesting goes, and resume lexing after.
+    #[test]
+    fn nested_block_comments_swallow_payload(
+        depth in 1usize..6,
+        bytes in proptest::collection::vec(any::<u8>(), 0..30),
+    ) {
+        let mut payload = junk(&bytes).replace("*/", "xx").replace("/*", "yy");
+        payload = payload.replace('\n', " ");
+        let open = "/*".repeat(depth);
+        let close = "*/".repeat(depth);
+        let src = format!("{open} thread_rng {payload} {close} visible");
+        prop_assert!(!has_ident(&src, "thread_rng"), "comment leaked from {src:?}");
+        prop_assert!(has_ident(&src, "visible"), "tail lost in {src:?}");
+    }
+
+    /// `//` inside a normal string is text, not a comment: tokens after
+    /// the literal on the same line must survive.
+    #[test]
+    fn line_comment_markers_inside_strings_are_text(bytes in proptest::collection::vec(any::<u8>(), 0..20)) {
+        let mut payload = junk(&bytes).replace(['"', '\\', '\n'], "_");
+        payload.push_str("// not a comment");
+        let src = format!("let s = \"{payload}\"; survivor");
+        prop_assert!(has_ident(&src, "survivor"), "string ate the rest of {src:?}");
+        prop_assert!(
+            !lex(&src).iter().any(|t| matches!(&t.tok, Tok::Comment { .. })),
+            "phantom comment in {src:?}"
+        );
+    }
+}

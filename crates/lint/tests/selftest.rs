@@ -97,3 +97,132 @@ fn unknown_flag_is_a_usage_error() {
         .expect("spawn");
     assert_eq!(out.status.code(), Some(2));
 }
+
+#[test]
+fn baseline_ratchet_blocks_suppression_growth() {
+    // A clean workspace whose one violation is suppressed with a reason.
+    let one_allow = "// xsc-lint: allow(D01, reason = \"selftest: ratchet floor\")\n\
+                     use std::collections::HashMap;\n";
+    let root = mini_workspace("ratchet", one_allow);
+    let baseline = root.join("lint_baseline.json");
+
+    // Pin the floor: 1 used D01 suppression, 0 findings.
+    let out = run_lint(&root, &["--write-baseline", baseline.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "clean workspace pins exit 0");
+    let text = fs::read_to_string(&baseline).expect("baseline written");
+    assert!(text.contains("xsc-lint-baseline-v1"), "{text}");
+    assert!(
+        text.contains("{\"rule\": \"D01\", \"findings\": 0, \"suppressions\": 1}"),
+        "{text}"
+    );
+
+    // Same workspace against its own baseline: fine.
+    let out = run_lint(&root, &["--baseline", baseline.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "no growth passes the ratchet");
+
+    // One MORE reasoned suppression: still zero findings, but the ratchet
+    // must refuse the silently widening exception surface.
+    let two_allows = format!(
+        "{one_allow}// xsc-lint: allow(D01, reason = \"selftest: second allow\")\n\
+         use std::collections::HashSet;\n"
+    );
+    fs::write(
+        root.join("crates").join("fake").join("src").join("lib.rs"),
+        two_allows,
+    )
+    .expect("rewrite fixture");
+    let out = run_lint(&root, &["--baseline", baseline.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "suppression growth must fail");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("ratchet: rule D01: suppressions grew 1 -> 2"),
+        "{stdout}"
+    );
+
+    // Burning a suppression DOWN needs no baseline ceremony.
+    fs::write(
+        root.join("crates").join("fake").join("src").join("lib.rs"),
+        "pub fn clean() -> u64 { 7 }\n",
+    )
+    .expect("rewrite fixture");
+    let out = run_lint(&root, &["--baseline", baseline.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "decreases pass without edits");
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn corrupt_baseline_is_an_io_error_not_a_pass() {
+    let root = mini_workspace("badbase", "pub fn fine() -> u64 { 1 }\n");
+    let baseline = root.join("lint_baseline.json");
+    fs::write(&baseline, "{\"schema\": \"something-else\"}").expect("write");
+    let out = run_lint(&root, &["--baseline", baseline.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "foreign baseline must not pass");
+    let missing = root.join("no_such_baseline.json");
+    let out = run_lint(&root, &["--baseline", missing.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "missing baseline must not pass");
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn check_schedules_flags_are_validated() {
+    for bad in [
+        &["check-schedules", "--workers", "9"][..],
+        &["check-schedules", "--workers", "0"],
+        &["check-schedules", "--workers", "many"],
+        &["check-schedules", "--max-tasks", "0"],
+        &["check-schedules", "--max-tasks", "99"],
+        &["check-schedules", "--no-such-flag"],
+    ] {
+        let out = Command::new(env!("CARGO_BIN_EXE_xsc-lint"))
+            .args(bad)
+            .output()
+            .expect("spawn");
+        assert_eq!(out.status.code(), Some(2), "{bad:?} must be a usage error");
+    }
+}
+
+#[test]
+fn check_schedules_small_sweep_with_self_test_passes_and_writes_json() {
+    // --max-tasks 4 restricts the sweep to the diamond graph; with the
+    // mutant self-test on top this stays debug-feasible (<100k states).
+    let json = std::env::temp_dir().join("xsc-lint-selftest-schedcheck.json");
+    let _ = fs::remove_file(&json);
+    let out = Command::new(env!("CARGO_BIN_EXE_xsc-lint"))
+        .args([
+            "check-schedules",
+            "--workers",
+            "2",
+            "--max-tasks",
+            "4",
+            "--self-test",
+            "--json",
+        ])
+        .arg(&json)
+        .output()
+        .expect("spawn");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    assert!(stdout.contains("0 failure(s)"), "{stdout}");
+    let report = fs::read_to_string(&json).expect("JSON artifact written");
+    assert!(
+        report.contains("\"schema\": \"xsc-schedcheck-v1\""),
+        "{report}"
+    );
+    assert!(report.contains("\"failures\": 0"), "{report}");
+    // The self-test rows carry their mutant verdicts in the artifact.
+    assert!(report.contains("\"verdict\": \"deadlock\""), "{report}");
+    assert!(
+        report.contains("\"verdict\": \"order-violation\""),
+        "{report}"
+    );
+    assert!(
+        report.contains("\"verdict\": \"bit-divergence\""),
+        "{report}"
+    );
+    let _ = fs::remove_file(&json);
+}

@@ -43,7 +43,7 @@ pub fn adaptive_solve(a: &Matrix<f64>, b: &[f64]) -> Result<(Vec<f64>, AdaptiveR
     let n = a.rows();
     assert!(a.is_square(), "adaptive_solve requires a square matrix");
     assert_eq!(b.len(), n, "rhs length mismatch");
-    let u32_ = f32::EPSILON as f64;
+    let u32_ = f64::from(f32::EPSILON);
 
     // Probe factorization in fp32; its failure alone routes to f64.
     let mut fallbacks = 0usize;
@@ -53,7 +53,7 @@ pub fn adaptive_solve(a: &Matrix<f64>, b: &[f64]) -> Result<(Vec<f64>, AdaptiveR
         match factor::getrf_blocked(&mut lu, 64.min(n.max(1))) {
             Ok(piv) => {
                 let a_as_f32: Matrix<f32> = a.convert();
-                cond::condest(&a_as_f32, &lu, &piv) as f64
+                cond::condest(&a_as_f32, &lu, &piv)
             }
             Err(_) => f64::INFINITY,
         }

@@ -34,7 +34,7 @@ pub struct IrReport {
 /// Default stopping criterion: backward error at the `f64` roundoff floor
 /// (`‖r‖∞ / (‖A‖∞‖x‖∞) <= n·ε₆₄`), the criterion LAPACK's `dsgesv` uses.
 pub fn default_tolerance(n: usize) -> f64 {
-    (n as f64).sqrt() * f64::EPSILON
+    xsc_core::cast::count_f64(n as u64).sqrt() * f64::EPSILON
 }
 
 /// Solves `A x = b` by LU factorization in precision `Lo` plus `f64`

@@ -522,6 +522,7 @@ impl Executor {
                         }
                     }
                 })
+                // xsc-lint: allow(P01, reason = "spawn failure happens before any task runs; failing fast at launch is the contract")
                 .expect("failed to spawn worker thread");
             handles.push(handle);
         }
@@ -543,6 +544,7 @@ impl Executor {
             Some(res) => {
                 let aborted = shared.abort.load(Ordering::Acquire);
                 let res = Arc::try_unwrap(res)
+                    // xsc-lint: allow(P02, reason = "all clones live in worker closures joined above; this Arc is provably sole owner")
                     .unwrap_or_else(|_| unreachable!("workers joined; sole Arc owner"));
                 let mut stats = res.into_stats();
                 stats.aborted = aborted;

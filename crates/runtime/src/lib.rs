@@ -50,6 +50,7 @@
 mod executor;
 mod graph;
 pub mod resilience;
+pub mod schedule_check;
 pub mod trace;
 
 pub use executor::{Executor, SchedPolicy};

@@ -1,0 +1,984 @@
+//! Exhaustive schedule-space checking for the work-stealing executor.
+//!
+//! PR 8's executor replaced one locked heap with per-worker heaps,
+//! affinity-guided stealing, and a sleep-lock/condvar protocol. Its
+//! correctness argument — no lost wakeups, deadlock freedom, and
+//! bit-identical task outputs across every schedule — lives in comments
+//! and stress tests; stress tests sample the schedule space, they do not
+//! cover it. This module is a loom-style bounded model checker that
+//! *enumerates* it: a faithful small-state transcription of the worker
+//! loop (own-pop, steal scan/pop split at the racy boundary, sleep-lock
+//! acquisition separated from the under-lock re-checks, condvar wakeup
+//! sets) is explored exhaustively over every interleaving on small task
+//! graphs (≤ [`MAX_WORKERS`] workers, ≤ [`MAX_TASKS`] tasks), asserting:
+//!
+//! * **deadlock freedom** — from every reachable state some worker can
+//!   step, or every worker has exited;
+//! * **completion** — every terminal state ran all tasks and drained all
+//!   queues (a lost wakeup shows up as sleepers nobody will ever wake);
+//! * **dependence order** — no task ever runs before its predecessors
+//!   (the superscalar-semantics guarantee);
+//! * **bit-identity** — every datum's writes happen in serial id order in
+//!   every schedule, so final bit patterns equal the serial execution's
+//!   (schedule-independent results, the property E17/E19/E21 assert at
+//!   runtime).
+//!
+//! The transcription is kept honest by *mutants* ([`Protocol`]): known
+//! single-decision corruptions of the sleep protocol that the checker
+//! must catch (see `check-schedules --self-test` and
+//! `crates/runtime/tests/schedule_space.rs`). One mutant —
+//! [`Protocol::NoQueueRecheck`] — is deliberately *not* a bug: because
+//! workers only push to their own queue and drain it before sleeping, the
+//! under-lock queue re-scan is defense-in-depth, and the checker proves
+//! it (see DESIGN.md, "Schedule-space checking").
+//!
+//! Granularity: one transition per atomic read-modify-write or
+//! lock-bracketed section. The executor's sleep lock exists to make three
+//! sections atomic — (re-check world + register as sleeper) inside the
+//! wait loop, (notify sleepers) in `wake_all`, and the wait-return
+//! re-acquire/release pair — so the model treats each as one transition
+//! and carries no explicit mutex: a single mutex cannot deadlock by
+//! itself (lock *ordering* across the executor's several mutexes is
+//! checked statically by lint rule C03), and every interleaving that
+//! observes the lock held mid-section is stutter-equivalent to one that
+//! orders the observer before or after the whole section. What the lock
+//! can **not** make atomic — the gap between a thief's "all queues empty"
+//! observation and its sleeper registration, i.e. the lost-wakeup window —
+//! stays a separate transition, as does the steal's scan/pop split (the
+//! benign drained-victim race). Successor release (atomic in-degree
+//! decrements plus own-queue pushes under one queue lock) is one step;
+//! the decrements are individually atomic in the real code, and
+//! cross-worker interleavings of whole release steps are still explored.
+
+use crate::SchedPolicy;
+use std::collections::BTreeSet;
+
+/// Bound on workers the checker models (the executor takes any count; the
+/// schedule space is exhaustive only at small bounds).
+pub const MAX_WORKERS: usize = 4;
+/// Bound on tasks per checked graph.
+pub const MAX_TASKS: usize = 8;
+/// Bound on distinct data a checked graph writes.
+pub const MAX_DATA: usize = 8;
+/// Default cap on explored states before the checker gives up (the widest
+/// standard configuration — `random7s1` at 4 workers — reaches ~4.6M
+/// states; exceeding the cap is reported as a failure, never silently
+/// truncated).
+pub const DEFAULT_STATE_CAP: u64 = 8_000_000;
+
+/// Worker-local affinity encoding inside the compact state (`0xFF` =
+/// none, mirroring [`NO_AFFINITY`](crate::NO_AFFINITY)).
+const NOAFF: u8 = 0xFF;
+
+/// A small task graph in checker form: the *finalized* view the executor
+/// sees (edges already include the hazard-analysis ordering).
+#[derive(Debug, Clone)]
+pub struct GraphSpec {
+    /// Display name for reports.
+    pub name: String,
+    /// Task count (≤ [`MAX_TASKS`]).
+    pub n: usize,
+    /// Dependence edges `(from, to)` with `from < to`.
+    pub edges: Vec<(usize, usize)>,
+    /// The datum each task writes (< [`MAX_DATA`]); the bit-identity hash
+    /// folds writer order per datum.
+    pub datum: Vec<usize>,
+    /// Task cost, feeding the critical-path priority.
+    pub cost: Vec<u64>,
+    /// Caller-assigned keys for [`SchedPolicy::Explicit`].
+    pub explicit: Vec<u64>,
+    /// Affinity tag per task (`0xFF` = none), steering steal victims.
+    pub affinity: Vec<u8>,
+}
+
+impl GraphSpec {
+    fn validate(&self) {
+        assert!(self.n >= 1 && self.n <= MAX_TASKS, "task bound");
+        assert_eq!(self.datum.len(), self.n);
+        assert_eq!(self.cost.len(), self.n);
+        assert_eq!(self.explicit.len(), self.n);
+        assert_eq!(self.affinity.len(), self.n);
+        assert!(self.datum.iter().all(|&d| d < MAX_DATA), "datum bound");
+        for &(a, b) in &self.edges {
+            assert!(a < b && b < self.n, "edges must be forward and in range");
+        }
+    }
+
+    /// A serial dependence chain `0 -> 1 -> ... -> n-1`.
+    pub fn chain(n: usize) -> GraphSpec {
+        GraphSpec {
+            name: format!("chain{n}"),
+            n,
+            edges: (1..n).map(|i| (i - 1, i)).collect(),
+            datum: vec![0; n],
+            cost: (0..n).map(|i| 1 + (i as u64 % 3)).collect(),
+            explicit: (0..n).map(|i| (i as u64 * 7) % 5).collect(),
+            affinity: vec![NOAFF; n],
+        }
+    }
+
+    /// `n` fully independent tasks, each writing its own datum — the
+    /// worst case for the interleaving count.
+    pub fn independent(n: usize) -> GraphSpec {
+        GraphSpec {
+            name: format!("indep{n}"),
+            n,
+            edges: Vec::new(),
+            datum: (0..n).collect(),
+            cost: vec![1; n],
+            explicit: (0..n).map(|i| (i as u64 * 3) % 4).collect(),
+            affinity: vec![NOAFF; n],
+        }
+    }
+
+    /// The 4-task diamond `0 -> {1, 2} -> 3` with tasks 1 and 2 writing
+    /// different data and 3 reading both.
+    pub fn diamond() -> GraphSpec {
+        GraphSpec {
+            name: "diamond".to_string(),
+            n: 4,
+            edges: vec![(0, 1), (0, 2), (1, 3), (2, 3)],
+            datum: vec![0, 1, 2, 0],
+            cost: vec![1, 4, 1, 1],
+            explicit: vec![0, 2, 1, 3],
+            affinity: vec![NOAFF; 4],
+        }
+    }
+
+    /// Fork-join: source `0`, `width` independent middles, sink
+    /// `width + 1`.
+    pub fn fork_join(width: usize) -> GraphSpec {
+        let n = width + 2;
+        let mut edges = Vec::new();
+        for i in 1..=width {
+            edges.push((0, i));
+            edges.push((i, n - 1));
+        }
+        GraphSpec {
+            name: format!("forkjoin{width}"),
+            n,
+            edges,
+            datum: (0..n).map(|i| i % MAX_DATA).collect(),
+            cost: (0..n).map(|i| 1 + (i as u64 % 2) * 3).collect(),
+            explicit: (0..n).map(|i| i as u64 % 3).collect(),
+            affinity: vec![NOAFF; n],
+        }
+    }
+
+    /// Two independent chains of `len` tasks with distinct affinity tags —
+    /// exercises affinity-guided victim selection in the steal scan.
+    pub fn two_chains_affine(len: usize) -> GraphSpec {
+        let n = 2 * len;
+        let mut edges = Vec::new();
+        for i in 1..len {
+            edges.push((2 * (i - 1), 2 * i)); // chain A on even ids
+            edges.push((2 * i - 1, 2 * i + 1)); // chain B on odd ids
+        }
+        GraphSpec {
+            name: format!("twochain{len}"),
+            n,
+            edges,
+            datum: (0..n).map(|i| i % 2).collect(),
+            cost: vec![2; n],
+            explicit: (0..n).map(|i| i as u64 % 2).collect(),
+            affinity: (0..n).map(|i| 1 + (i % 2) as u8).collect(),
+        }
+    }
+
+    /// Adversarial: two writers of one datum with **no** ordering edge —
+    /// the hazard the graph builder's WAW analysis exists to prevent. The
+    /// checker must find the bit divergence.
+    pub fn unordered_writers() -> GraphSpec {
+        GraphSpec {
+            name: "unordered-writers".to_string(),
+            n: 2,
+            edges: Vec::new(),
+            datum: vec![0, 0],
+            cost: vec![1, 1],
+            explicit: vec![0, 0],
+            affinity: vec![NOAFF; 2],
+        }
+    }
+
+    /// A seeded pseudo-random DAG: extra forward edges sampled from a
+    /// deterministic LCG stream, then writers of each datum chained in id
+    /// order exactly as the graph builder's WAW analysis would.
+    pub fn seeded_random(n: usize, seed: u64) -> GraphSpec {
+        let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let mut next = move || {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            x >> 33
+        };
+        let mut edges = BTreeSet::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if next() % 100 < 25 {
+                    edges.insert((a, b));
+                }
+            }
+        }
+        let datum: Vec<usize> = (0..n)
+            .map(|_| (next() as usize) % MAX_DATA.min(n))
+            .collect();
+        // Total WAW order between same-datum writers, as finalize() makes.
+        for d in 0..MAX_DATA {
+            let writers: Vec<usize> = (0..n).filter(|&t| datum[t] == d).collect();
+            for w in writers.windows(2) {
+                edges.insert((w[0], w[1]));
+            }
+        }
+        GraphSpec {
+            name: format!("random{n}s{seed}"),
+            n,
+            edges: edges.into_iter().collect(),
+            datum,
+            cost: (0..n).map(|_| 1 + next() % 4).collect(),
+            explicit: (0..n).map(|_| next() % 4).collect(),
+            affinity: (0..n)
+                .map(|_| [NOAFF, 1, 2][(next() as usize) % 3])
+                .collect(),
+        }
+    }
+}
+
+/// The sleep-protocol variant under check. `Correct` is the shipped
+/// executor; the rest are deliberate single-decision corruptions used as
+/// checker self-tests (each is caught — or, for `NoQueueRecheck`,
+/// *proven benign* — see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protocol {
+    /// The shipped protocol, as written in `executor.rs`.
+    Correct,
+    /// Skip the `finished()` re-check under the sleep lock: a worker that
+    /// raced the final wake then waits forever — deadlock.
+    NoFinishedRecheck,
+    /// Skip the all-queues re-scan under the sleep lock. Benign in this
+    /// design (workers drain their own queues before sleeping), and the
+    /// checker proves it.
+    NoQueueRecheck,
+    /// The finishing worker exits without the final wake-all: sleepers
+    /// never wake — deadlock.
+    SkipFinalWake,
+    /// The final wake notifies one sleeper instead of all: with two or
+    /// more sleepers, the rest never wake — deadlock.
+    NotifyOneFinal,
+    /// Release successors *before* running the task: a successor can run
+    /// against unwritten inputs — dependence-order violation.
+    EagerRelease,
+}
+
+/// Worker program counters in the model, mirroring the executor loop.
+/// The loop top folds the own-queue pop and the steal scan (both read
+/// state no other worker can change adversarially between them: only the
+/// owner pushes to its own queue); the steal *pop* and the sleep
+/// registration stay separate, because those gaps are where the races
+/// live (drained victim, lost wakeup).
+mod pc {
+    pub const TOP: u8 = 0;
+    pub const STEAL_POP: u8 = 1;
+    /// Observed everything empty; about to (atomically) re-check and
+    /// register as a sleeper. The TOP → SLEEP gap is the lost-wakeup
+    /// window.
+    pub const SLEEP: u8 = 2;
+    pub const WAITING: u8 = 3;
+    pub const RUN: u8 = 4;
+    pub const RELEASE: u8 = 5;
+    pub const NOTIFY: u8 = 6;
+    pub const DEC: u8 = 7;
+    pub const FINAL_WAKE: u8 = 8;
+    pub const EXITED: u8 = 9;
+}
+
+/// One worker's slice of the model state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Wk {
+    pc: u8,
+    /// Task in flight (RUN/RELEASE/NOTIFY/DEC), else 0xFF.
+    task: u8,
+    /// Chosen steal victim (STEAL_POP), else 0xFF.
+    victim: u8,
+    /// Last affinity tag of a task this worker ran.
+    aff: u8,
+}
+
+/// The full model state. Derives `Ord` so the visited set is a `BTreeSet`
+/// (deterministic iteration, no hash containers in numeric crates).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct St {
+    /// Ready-task bitmask per worker queue.
+    queues: [u8; MAX_WORKERS],
+    /// Unsatisfied in-degree per task.
+    pending: [u8; MAX_TASKS],
+    /// Completed-task bitmask.
+    done: u8,
+    /// The executor's `remaining` counter.
+    remaining: u8,
+    /// Bitmask of workers parked in `wait`.
+    sleepers: u8,
+    /// Bitmask of notified workers whose `wait` has not yet returned.
+    woken: u8,
+    w: [Wk; MAX_WORKERS],
+}
+
+/// Why a check failed, with the interleaving that reaches it (one line
+/// per step, from the initial state).
+#[derive(Debug, Clone)]
+pub enum Violation {
+    /// Some workers can never step again (a lost wakeup).
+    Deadlock {
+        /// Steps from the initial state into the dead state.
+        trace: Vec<String>,
+    },
+    /// A task ran before one of its predecessors completed.
+    OrderViolation {
+        /// The task that ran early.
+        task: usize,
+        /// Steps from the initial state to the premature run.
+        trace: Vec<String>,
+    },
+    /// A datum's writers ran out of serial order in some schedule, so its
+    /// final bit pattern would differ from the serial execution's. (The
+    /// state itself carries no value hashes: for a graph whose same-datum
+    /// writers are WAW-chained, the write *sequence* per datum is a
+    /// function of the `done` set, so checking each write happens in
+    /// serial id order at its run step is exactly terminal hash equality —
+    /// and it pinpoints the first divergent write.)
+    BitDivergence {
+        /// The datum whose writer order diverged.
+        datum: usize,
+        /// Steps from the initial state to the first out-of-order write.
+        trace: Vec<String>,
+    },
+    /// A terminal state left tasks unrun or queues non-empty.
+    IncompleteRun {
+        /// Steps from the initial state to the bad terminal.
+        trace: Vec<String>,
+    },
+    /// The exploration exceeded its state cap (configuration too large —
+    /// never expected within the documented bounds).
+    StateSpaceExceeded {
+        /// The cap that was hit.
+        cap: u64,
+    },
+}
+
+impl Violation {
+    /// Short machine-stable kind tag for reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Violation::Deadlock { .. } => "deadlock",
+            Violation::OrderViolation { .. } => "order-violation",
+            Violation::BitDivergence { .. } => "bit-divergence",
+            Violation::IncompleteRun { .. } => "incomplete-run",
+            Violation::StateSpaceExceeded { .. } => "state-space-exceeded",
+        }
+    }
+
+    /// The counterexample interleaving (empty for state-cap failures).
+    pub fn trace(&self) -> &[String] {
+        match self {
+            Violation::Deadlock { trace }
+            | Violation::OrderViolation { trace, .. }
+            | Violation::BitDivergence { trace, .. }
+            | Violation::IncompleteRun { trace } => trace,
+            Violation::StateSpaceExceeded { .. } => &[],
+        }
+    }
+}
+
+/// The result of exhaustively checking one configuration.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// Graph name (from [`GraphSpec::name`]).
+    pub graph: String,
+    /// Task count.
+    pub tasks: usize,
+    /// Worker count.
+    pub workers: usize,
+    /// Scheduling policy checked.
+    pub policy: SchedPolicy,
+    /// Protocol variant checked.
+    pub protocol: Protocol,
+    /// Distinct states explored.
+    pub states: u64,
+    /// Transitions taken (edges of the state graph).
+    pub transitions: u64,
+    /// Distinct terminal (all-workers-exited) states reached.
+    pub terminals: u64,
+    /// Deepest DFS path, in steps.
+    pub max_depth: usize,
+    /// The first violation found, if any.
+    pub violation: Option<Violation>,
+}
+
+impl CheckReport {
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        let verdict = match &self.violation {
+            None => "ok".to_string(),
+            Some(v) => format!("FAIL({})", v.kind()),
+        };
+        format!(
+            "{graph} w={w} {policy:?} {proto:?}: {verdict} states={s} transitions={t} \
+             terminals={term} depth={d}",
+            graph = self.graph,
+            w = self.workers,
+            policy = self.policy,
+            proto = self.protocol,
+            s = self.states,
+            t = self.transitions,
+            term = self.terminals,
+            d = self.max_depth,
+        )
+    }
+}
+
+/// Immutable model context shared across the exploration.
+struct Model<'a> {
+    spec: &'a GraphSpec,
+    workers: usize,
+    protocol: Protocol,
+    /// Scheduling key per task under `policy` (max-heap, ties to low id).
+    keys: Vec<u64>,
+    /// Successor lists.
+    succs: Vec<Vec<usize>>,
+    /// For each task, the same-datum writers with smaller id: the set that
+    /// must be `done` before this task writes, or the datum's bit pattern
+    /// diverges from the serial execution.
+    writers_before: Vec<u8>,
+}
+
+impl<'a> Model<'a> {
+    fn new(spec: &'a GraphSpec, workers: usize, policy: SchedPolicy, protocol: Protocol) -> Self {
+        spec.validate();
+        assert!((1..=MAX_WORKERS).contains(&workers), "worker bound");
+        let n = spec.n;
+        let mut succs = vec![Vec::new(); n];
+        for &(a, b) in &spec.edges {
+            succs[a].push(b);
+        }
+        // Critical-path priority: cost + max successor priority (the
+        // reverse sweep finalize() performs).
+        let mut prio = vec![0u64; n];
+        for t in (0..n).rev() {
+            let best = succs[t].iter().map(|&s| prio[s]).max().unwrap_or(0);
+            prio[t] = spec.cost[t] + best;
+        }
+        let keys = (0..n)
+            .map(|t| match policy {
+                SchedPolicy::Fifo => u64::MAX - t as u64,
+                SchedPolicy::CriticalPath => prio[t],
+                SchedPolicy::Explicit => spec.explicit[t],
+            })
+            .collect();
+        let writers_before = (0..n)
+            .map(|t| {
+                (0..t)
+                    .filter(|&u| spec.datum[u] == spec.datum[t])
+                    .fold(0u8, |m, u| m | (1 << u))
+            })
+            .collect();
+        Model {
+            spec,
+            workers,
+            protocol,
+            keys,
+            succs,
+            writers_before,
+        }
+    }
+
+    /// The task a heap over `mask` would pop: max key, ties to lowest id
+    /// (mirrors `ReadyTask`'s ordering).
+    fn top(&self, mask: u8) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for t in 0..self.spec.n {
+            if mask & (1 << t) == 0 {
+                continue;
+            }
+            best = match best {
+                None => Some(t),
+                Some(b) if self.keys[t] > self.keys[b] => Some(t),
+                Some(b) => Some(b),
+            };
+        }
+        best
+    }
+
+    /// Mirrors `Shared::try_steal`'s victim choice from a snapshot of the
+    /// queue tops: first affine victim in scan order, else the best
+    /// `(key, lowest id)` top.
+    fn choose_victim(&self, st: &St, thief: usize) -> Option<usize> {
+        let mut affine: Option<usize> = None;
+        let mut best: Option<(usize, u64, usize)> = None;
+        for off in 1..self.workers {
+            let v = (thief + off) % self.workers;
+            if let Some(top) = self.top(st.queues[v]) {
+                let aff = st.w[thief].aff;
+                if affine.is_none() && aff != NOAFF && self.spec.affinity[top] == aff {
+                    affine = Some(v);
+                }
+                let better = match best {
+                    None => true,
+                    Some((_, key, id)) => {
+                        self.keys[top] > key || (self.keys[top] == key && top < id)
+                    }
+                };
+                if better {
+                    best = Some((v, self.keys[top], top));
+                }
+            }
+        }
+        affine.or(best.map(|(v, _, _)| v))
+    }
+
+    /// The initial state: sources seeded round-robin, workers at TOP.
+    fn init(&self) -> St {
+        let mut st = St {
+            queues: [0; MAX_WORKERS],
+            pending: [0; MAX_TASKS],
+            done: 0,
+            remaining: self.spec.n as u8,
+            sleepers: 0,
+            woken: 0,
+            w: [Wk {
+                pc: pc::TOP,
+                task: 0xFF,
+                victim: 0xFF,
+                aff: NOAFF,
+            }; MAX_WORKERS],
+        };
+        for &(_, b) in &self.spec.edges {
+            st.pending[b] += 1;
+        }
+        let mut sources = 0usize;
+        for t in 0..self.spec.n {
+            if st.pending[t] == 0 {
+                st.queues[sources % self.workers] |= 1 << t;
+                sources += 1;
+            }
+        }
+        st
+    }
+
+    /// Marks worker `w` as having acquired `task` and routes to the next
+    /// phase (RUN, or RELEASE first under the EagerRelease mutant).
+    fn acquired(&self, st: &mut St, w: usize, task: usize) {
+        st.w[w].task = task as u8;
+        if self.spec.affinity[task] != NOAFF {
+            st.w[w].aff = self.spec.affinity[task];
+        }
+        st.w[w].pc = if self.protocol == Protocol::EagerRelease {
+            pc::RELEASE
+        } else {
+            pc::RUN
+        };
+    }
+
+    /// Computes worker `w`'s unique enabled transition from `st`, if any.
+    /// Per-worker transitions are deterministic; all nondeterminism is in
+    /// *which* worker steps.
+    fn step(&self, st: &St, w: usize) -> Step {
+        let me = 1u8 << w;
+        let cur = st.w[w];
+        let mut nx = st.clone();
+        match cur.pc {
+            pc::TOP => {
+                if nx.remaining == 0 {
+                    nx.w[w] = EXITED_WK;
+                    return Step::Go(nx, format!("w{w}: observes finished, exits"));
+                }
+                if let Some(t) = self.top(nx.queues[w]) {
+                    nx.queues[w] &= !(1 << t);
+                    self.acquired(&mut nx, w, t);
+                    return Step::Go(nx, format!("w{w}: pops t{t} from own queue"));
+                }
+                // Own queue is empty and stays so (only the owner pushes),
+                // so the scan folds into this step without losing
+                // interleavings.
+                match self.choose_victim(st, w) {
+                    Some(v) => {
+                        nx.w[w].pc = pc::STEAL_POP;
+                        nx.w[w].victim = v as u8;
+                        Step::Go(nx, format!("w{w}: own queue empty, picks victim w{v}"))
+                    }
+                    None => {
+                        nx.w[w].pc = pc::SLEEP;
+                        Step::Go(nx, format!("w{w}: sees all queues empty, heads to sleep"))
+                    }
+                }
+            }
+            pc::STEAL_POP => {
+                let v = cur.victim as usize;
+                nx.w[w].victim = 0xFF;
+                match self.top(st.queues[v]) {
+                    Some(t) => {
+                        nx.queues[v] &= !(1 << t);
+                        self.acquired(&mut nx, w, t);
+                        Step::Go(nx, format!("w{w}: steals t{t} from w{v}"))
+                    }
+                    None => {
+                        // The benign race: the victim drained between scan
+                        // and pop; rescan from the top of the loop.
+                        nx.w[w].pc = pc::TOP;
+                        Step::Go(nx, format!("w{w}: victim w{v} drained, rescans"))
+                    }
+                }
+            }
+            pc::SLEEP => {
+                // The lock-bracketed wait-loop body, as one atomic step:
+                // re-check the world, then register as a sleeper. Anything
+                // that changed since the TOP observation is caught here —
+                // unless a mutant disables the corresponding re-check.
+                if self.protocol != Protocol::NoFinishedRecheck && st.remaining == 0 {
+                    nx.w[w] = EXITED_WK;
+                    return Step::Go(nx, format!("w{w}: finished under lock, exits"));
+                }
+                if self.protocol != Protocol::NoQueueRecheck
+                    && st.queues[..self.workers].iter().any(|&q| q != 0)
+                {
+                    nx.w[w].pc = pc::TOP;
+                    return Step::Go(nx, format!("w{w}: sees work under lock, retries"));
+                }
+                nx.sleepers |= me;
+                nx.w[w].pc = pc::WAITING;
+                Step::Go(nx, format!("w{w}: waits on condvar"))
+            }
+            pc::WAITING => {
+                // `wait` returns (re-acquire + predicate-loop re-entry via
+                // TOP) once notified.
+                if st.woken & me == 0 {
+                    return Step::Blocked;
+                }
+                nx.woken &= !me;
+                nx.w[w].pc = pc::TOP;
+                Step::Go(nx, format!("w{w}: wakes, rescans"))
+            }
+            pc::RUN => {
+                let t = cur.task as usize;
+                // Dependence order: every predecessor must have completed.
+                for &(a, b) in &self.spec.edges {
+                    if b == t && st.done & (1 << a) == 0 {
+                        return Step::Premature(t);
+                    }
+                }
+                // Bit-identity: this write must be the next same-datum
+                // write in serial id order (see `Violation::BitDivergence`).
+                if st.done & self.writers_before[t] != self.writers_before[t] {
+                    return Step::Diverge(t);
+                }
+                nx.done |= 1 << t;
+                nx.w[w].pc = if self.protocol == Protocol::EagerRelease {
+                    pc::DEC
+                } else {
+                    pc::RELEASE
+                };
+                Step::Go(nx, format!("w{w}: runs t{t}"))
+            }
+            pc::RELEASE => {
+                let t = cur.task as usize;
+                let mut pushed = false;
+                for &s in &self.succs[t] {
+                    nx.pending[s] -= 1;
+                    if nx.pending[s] == 0 {
+                        nx.queues[w] |= 1 << s;
+                        pushed = true;
+                    }
+                }
+                nx.w[w].pc = if pushed && self.workers > 1 {
+                    pc::NOTIFY
+                } else if self.protocol == Protocol::EagerRelease {
+                    pc::RUN
+                } else {
+                    pc::DEC
+                };
+                Step::Go(nx, format!("w{w}: releases successors of t{t}"))
+            }
+            pc::NOTIFY => {
+                // wake_all(): acquire sleep lock, notify_all, release —
+                // one atomic section.
+                nx.woken |= st.sleepers;
+                nx.sleepers = 0;
+                nx.w[w].pc = if self.protocol == Protocol::EagerRelease {
+                    pc::RUN
+                } else {
+                    pc::DEC
+                };
+                Step::Go(nx, format!("w{w}: wake_all after push"))
+            }
+            pc::DEC => {
+                nx.remaining -= 1;
+                nx.w[w].task = 0xFF;
+                if nx.remaining == 0 {
+                    if self.protocol == Protocol::SkipFinalWake {
+                        nx.w[w] = EXITED_WK;
+                        return Step::Go(nx, format!("w{w}: last task, exits (no final wake)"));
+                    }
+                    nx.w[w].pc = pc::FINAL_WAKE;
+                    return Step::Go(nx, format!("w{w}: decrements remaining to 0"));
+                }
+                nx.w[w].pc = pc::TOP;
+                Step::Go(nx, format!("w{w}: decrements remaining"))
+            }
+            pc::FINAL_WAKE => {
+                if self.protocol == Protocol::NotifyOneFinal {
+                    let low = st.sleepers & st.sleepers.wrapping_neg();
+                    nx.woken |= low;
+                    nx.sleepers &= !low;
+                } else {
+                    nx.woken |= st.sleepers;
+                    nx.sleepers = 0;
+                }
+                nx.w[w] = EXITED_WK;
+                Step::Go(nx, format!("w{w}: final wake_all, exits"))
+            }
+            _ => Step::Blocked, // EXITED
+        }
+    }
+}
+
+/// The canonical exited-worker slot: all per-worker scratch (task, victim,
+/// affinity) cleared, so states differing only in dead history merge.
+const EXITED_WK: Wk = Wk {
+    pc: pc::EXITED,
+    task: 0xFF,
+    victim: 0xFF,
+    aff: NOAFF,
+};
+
+/// One worker-step outcome.
+enum Step {
+    /// The worker can step to this state.
+    Go(St, String),
+    /// The worker is blocked (parked without a wakeup, or exited).
+    Blocked,
+    /// The worker would run `task` before its predecessors — a
+    /// dependence-order violation.
+    Premature(usize),
+    /// The worker would write `task`'s datum out of serial writer order —
+    /// a bit-identity violation.
+    Diverge(usize),
+}
+
+/// A DFS frame: a state plus its generated successors.
+struct Frame {
+    /// The label of the step that entered this state (None at the root).
+    incoming: Option<String>,
+    /// Generated successor states and labels.
+    succs: Vec<(St, String)>,
+    next: usize,
+}
+
+/// Exhaustively explores every interleaving of `spec` on `workers`
+/// workers under `policy` and `protocol`, up to `state_cap` distinct
+/// states. Returns the full exploration report; `violation` is `None`
+/// exactly when every reachable schedule is deadlock-free, complete,
+/// dependence-respecting, and bit-identical to the serial execution.
+pub fn check(
+    spec: &GraphSpec,
+    workers: usize,
+    policy: SchedPolicy,
+    protocol: Protocol,
+    state_cap: u64,
+) -> CheckReport {
+    let model = Model::new(spec, workers, policy, protocol);
+    let mut report = CheckReport {
+        graph: spec.name.clone(),
+        tasks: spec.n,
+        workers,
+        policy,
+        protocol,
+        states: 1,
+        transitions: 0,
+        terminals: 0,
+        max_depth: 0,
+        violation: None,
+    };
+
+    let init = model.init();
+    let mut visited: BTreeSet<St> = BTreeSet::new();
+    visited.insert(init.clone());
+    let mut stack: Vec<Frame> = Vec::new();
+
+    let trace_of = |stack: &[Frame], extra: Option<String>| -> Vec<String> {
+        let mut t: Vec<String> = stack.iter().filter_map(|f| f.incoming.clone()).collect();
+        if let Some(e) = extra {
+            t.push(e);
+        }
+        t
+    };
+
+    // Expands a state into a frame, or reports a terminal/deadlock/order
+    // violation. Returns None when a violation ended the exploration.
+    let expand = |st: &St,
+                  incoming: Option<String>,
+                  stack: &[Frame],
+                  report: &mut CheckReport|
+     -> Option<Frame> {
+        let mut succs = Vec::new();
+        for w in 0..model.workers {
+            match model.step(st, w) {
+                Step::Go(nx, label) => succs.push((nx, label)),
+                Step::Blocked => {}
+                Step::Premature(task) => {
+                    let mut trace = trace_of(stack, incoming.clone());
+                    trace.push(format!(
+                        "t{task} is scheduled before its predecessors finished"
+                    ));
+                    report.violation = Some(Violation::OrderViolation { task, trace });
+                    return None;
+                }
+                Step::Diverge(task) => {
+                    let mut trace = trace_of(stack, incoming.clone());
+                    trace.push(format!(
+                        "t{task} writes datum {} before an earlier writer ran",
+                        model.spec.datum[task]
+                    ));
+                    report.violation = Some(Violation::BitDivergence {
+                        datum: model.spec.datum[task],
+                        trace,
+                    });
+                    return None;
+                }
+            }
+        }
+        let all_exited = (0..model.workers).all(|w| st.w[w].pc == pc::EXITED);
+        if succs.is_empty() {
+            if !all_exited {
+                report.violation = Some(Violation::Deadlock {
+                    trace: trace_of(stack, incoming),
+                });
+                return None;
+            }
+            report.terminals += 1;
+            // Terminal invariants: everything ran, queues drained. (Writer
+            // order was checked at every run step; a complete run with no
+            // Diverge is bit-identical to the serial schedule.)
+            let full = ((1u32 << model.spec.n) - 1) as u8;
+            if st.done != full || st.queues[..model.workers].iter().any(|&q| q != 0) {
+                report.violation = Some(Violation::IncompleteRun {
+                    trace: trace_of(stack, incoming),
+                });
+                return None;
+            }
+        }
+        Some(Frame {
+            incoming,
+            succs,
+            next: 0,
+        })
+    };
+
+    match expand(&init, None, &stack, &mut report) {
+        Some(f) => stack.push(f),
+        None => return report,
+    }
+
+    while let Some(top) = stack.last_mut() {
+        if top.next >= top.succs.len() {
+            stack.pop();
+            continue;
+        }
+        let (st, label) = top.succs[top.next].clone();
+        top.next += 1;
+        report.transitions += 1;
+        if !visited.insert(st.clone()) {
+            continue;
+        }
+        report.states += 1;
+        if report.states > state_cap {
+            report.violation = Some(Violation::StateSpaceExceeded { cap: state_cap });
+            return report;
+        }
+        match expand(&st, Some(label), &stack, &mut report) {
+            Some(f) => {
+                stack.push(f);
+                report.max_depth = report.max_depth.max(stack.len());
+            }
+            None => return report,
+        }
+    }
+    report
+}
+
+/// The standard graph family the CLI and CI sweep: every shape the
+/// executor's protocol must survive, each within the documented bounds.
+pub fn standard_specs() -> Vec<GraphSpec> {
+    vec![
+        GraphSpec::chain(8),
+        GraphSpec::diamond(),
+        GraphSpec::independent(6),
+        GraphSpec::fork_join(5),
+        GraphSpec::two_chains_affine(4),
+        GraphSpec::seeded_random(7, 1),
+        GraphSpec::seeded_random(7, 2),
+        GraphSpec::seeded_random(8, 3),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_chain_is_clean_and_tiny() {
+        let r = check(
+            &GraphSpec::chain(4),
+            1,
+            SchedPolicy::Fifo,
+            Protocol::Correct,
+            DEFAULT_STATE_CAP,
+        );
+        assert!(r.violation.is_none(), "{}", r.summary());
+        assert_eq!(r.terminals, 1, "one worker, one schedule");
+    }
+
+    #[test]
+    fn unordered_writers_diverge() {
+        let r = check(
+            &GraphSpec::unordered_writers(),
+            2,
+            SchedPolicy::Fifo,
+            Protocol::Correct,
+            DEFAULT_STATE_CAP,
+        );
+        match r.violation {
+            Some(Violation::BitDivergence { datum: 0, .. }) => {}
+            other => panic!("expected bit divergence on datum 0, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn eager_release_breaks_dependence_order() {
+        let r = check(
+            &GraphSpec::chain(3),
+            2,
+            SchedPolicy::Fifo,
+            Protocol::EagerRelease,
+            DEFAULT_STATE_CAP,
+        );
+        match &r.violation {
+            Some(Violation::OrderViolation { trace, .. }) => {
+                assert!(!trace.is_empty(), "counterexample must carry a trace");
+            }
+            other => panic!("expected order violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn skip_final_wake_deadlocks() {
+        let r = check(
+            &GraphSpec::chain(3),
+            2,
+            SchedPolicy::Fifo,
+            Protocol::SkipFinalWake,
+            DEFAULT_STATE_CAP,
+        );
+        match &r.violation {
+            Some(Violation::Deadlock { trace }) => assert!(!trace.is_empty()),
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+}

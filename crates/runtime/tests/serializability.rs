@@ -31,7 +31,7 @@ fn build_graph(program: &[ProgramTask], data: &[Arc<Mutex<i64>>]) -> TaskGraph {
         let mut accesses = Vec::new();
         // Deduplicate per-task data (a task may not read and write the same
         // slot twice in this model); keep the strongest access.
-        let mut per_datum: std::collections::HashMap<usize, bool> = Default::default();
+        let mut per_datum: std::collections::BTreeMap<usize, bool> = Default::default();
         for &(d, w) in &t.accesses {
             let e = per_datum.entry(d).or_insert(false);
             *e = *e || w;

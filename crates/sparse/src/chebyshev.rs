@@ -23,7 +23,7 @@ pub fn power_method_lmax<A: SparseOps + ?Sized>(a: &A, iters: usize, seed: u64) 
             let h = (i as u64)
                 .wrapping_mul(0x9e37_79b9_7f4a_7c15)
                 .wrapping_add(seed);
-            (h % 1000) as f64 / 1000.0 + 0.5
+            xsc_core::cast::count_f64(h % 1000) / 1000.0 + 0.5
         })
         .collect();
     let mut av = vec![0.0; n];

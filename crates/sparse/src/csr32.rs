@@ -12,6 +12,7 @@
 //! truncating indices.
 
 use crate::csr::CsrMatrix;
+use crate::idx::widen;
 use rayon::prelude::*;
 use xsc_core::Scalar;
 use xsc_metrics::traffic::XGather;
@@ -134,7 +135,7 @@ impl<T: Scalar> Csr32<T> {
     /// `(columns, values)` of row `i`.
     #[inline]
     pub fn row(&self, i: usize) -> (&[u32], &[T]) {
-        let (s, e) = (self.row_ptr[i] as usize, self.row_ptr[i + 1] as usize);
+        let (s, e) = (widen(self.row_ptr[i]), widen(self.row_ptr[i + 1]));
         (&self.col_idx[s..e], &self.vals[s..e])
     }
 
@@ -152,7 +153,7 @@ impl<T: Scalar> Csr32<T> {
     pub fn column_sums(&self) -> Vec<T> {
         let mut c = vec![T::zero(); self.ncols];
         for (k, &j) in self.col_idx.iter().enumerate() {
-            c[j as usize] += self.vals[k];
+            c[widen(j)] += self.vals[k];
         }
         c
     }
@@ -180,7 +181,7 @@ impl<T: Scalar> Csr32<T> {
             let (cols, vals) = self.row(i);
             let mut acc = T::zero();
             for (&c, &v) in cols.iter().zip(vals.iter()) {
-                acc = v.mul_add(x[c as usize], acc);
+                acc = v.mul_add(x[widen(c)], acc);
             }
             y[i] = acc;
         }
@@ -204,10 +205,10 @@ impl<T: Scalar> Csr32<T> {
         let col_idx = &self.col_idx;
         let vals = &self.vals;
         y.par_iter_mut().enumerate().for_each(|(i, yi)| {
-            let (s, e) = (row_ptr[i] as usize, row_ptr[i + 1] as usize);
+            let (s, e) = (widen(row_ptr[i]), widen(row_ptr[i + 1]));
             let mut acc = T::zero();
             for k in s..e {
-                acc = vals[k].mul_add(x[col_idx[k] as usize], acc);
+                acc = vals[k].mul_add(x[widen(col_idx[k])], acc);
             }
             *yi = acc;
         });
@@ -239,7 +240,7 @@ impl<T: Scalar> Csr32<T> {
             let (cols, vals) = self.row(i);
             let mut acc = b[i];
             for (&c, &v) in cols.iter().zip(vals.iter()) {
-                acc = (-v).mul_add(x[c as usize], acc);
+                acc = (-v).mul_add(x[widen(c)], acc);
             }
             r[i] = acc;
         }
@@ -251,7 +252,7 @@ impl<T: Scalar> Csr32<T> {
         for i in 0..self.nrows.min(self.ncols) {
             let (cols, vals) = self.row(i);
             for (&c, &v) in cols.iter().zip(vals.iter()) {
-                if c as usize == i {
+                if widen(c) == i {
                     d[i] = v;
                 }
             }
@@ -292,10 +293,10 @@ impl Csr32<f64> {
         let mut acc = b[i];
         let mut diag = 0.0;
         for (&c, &v) in cols.iter().zip(vals.iter()) {
-            if c as usize == i {
+            if widen(c) == i {
                 diag = v;
             } else {
-                acc -= v * x[c as usize];
+                acc -= v * x[widen(c)];
             }
         }
         debug_assert!(diag != 0.0, "zero diagonal at row {i}");
@@ -325,10 +326,10 @@ impl Csr32<f64> {
                     let mut acc = b[i];
                     let mut diag = 0.0;
                     for (&c, &v) in cols.iter().zip(vals.iter()) {
-                        if c as usize == i {
+                        if widen(c) == i {
                             diag = v;
                         } else {
-                            acc -= v * x[c as usize];
+                            acc -= v * x[widen(c)];
                         }
                     }
                     (i, acc / diag)

@@ -1,0 +1,26 @@
+//! The index-widening chokepoint (lint rule X01).
+//!
+//! The compact sparse formats ([`crate::csr32`], [`crate::sell`]) store
+//! column indices and permutations as `u32` to halve index-stream
+//! bandwidth, and decode them back to `usize` on every access. Rule X01
+//! keeps those decodes auditable by routing them through this one
+//! function instead of scattering `as usize` through the kernels; the
+//! narrowing direction (`usize` → `u32`) stays with `u32::try_from` at
+//! construction, where rule A01 polices it.
+
+/// Widens a stored `u32` index to `usize`. Lossless on every supported
+/// target (`usize` is at least 32 bits on all Rust platforms with this
+/// workspace's kernels).
+#[inline(always)]
+pub fn widen(i: u32) -> usize {
+    i as usize
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn widen_is_identity_on_values() {
+        assert_eq!(super::widen(0), 0usize);
+        assert_eq!(super::widen(u32::MAX), u32::MAX as usize);
+    }
+}

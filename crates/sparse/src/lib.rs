@@ -51,6 +51,7 @@ pub mod csr;
 pub mod csr32;
 pub mod error;
 pub mod hpcg;
+pub mod idx;
 pub mod matrix_powers;
 pub mod mg;
 pub mod ops;

@@ -67,7 +67,8 @@ pub trait SparseOps {
     /// E19 checks measurements against.
     fn modeled_spmv_bytes_per_nnz(&self) -> f64 {
         let t = self.spmv_traffic();
-        (t.bytes_read + t.bytes_written) as f64 / (self.nnz().max(1)) as f64
+        xsc_core::cast::count_f64(t.bytes_read + t.bytes_written)
+            / xsc_core::cast::count_f64(self.nnz().max(1) as u64)
     }
 }
 

@@ -18,7 +18,9 @@
 
 use crate::csr::CsrMatrix;
 use crate::csr32::{check_compact_bounds, IndexOverflow};
+use crate::idx::widen;
 use rayon::prelude::*;
+use xsc_core::cast::count_f64;
 use xsc_core::Scalar;
 use xsc_metrics::traffic::XGather;
 
@@ -72,7 +74,7 @@ impl<T: Scalar> SellCSigma<T> {
         // Stable descending-length sort within each σ-window: ties keep
         // their original relative order, so the layout is deterministic.
         let mut perm: Vec<u32> = (0..n32).collect();
-        let len_of = |r: u32| a.row(r as usize).0.len();
+        let len_of = |r: u32| a.row(widen(r)).0.len();
         for wstart in (0..n).step_by(sigma.max(1)) {
             let wend = (wstart + sigma).min(n);
             perm[wstart..wend].sort_by_key(|&q| std::cmp::Reverse(len_of(q)));
@@ -80,7 +82,7 @@ impl<T: Scalar> SellCSigma<T> {
         let mut inv = vec![0u32; n];
         for (slot, &r) in perm.iter().enumerate() {
             // xsc-lint: allow(A01, reason = "slot < nrows <= u32::MAX, checked via n32 above")
-            inv[r as usize] = slot as u32;
+            inv[widen(r)] = slot as u32;
         }
         let nchunks = n.div_ceil(c.max(1));
         let mut chunk_off = Vec::with_capacity(nchunks + 1);
@@ -98,7 +100,7 @@ impl<T: Scalar> SellCSigma<T> {
             // Column-major slab: entry j of every lane, then entry j+1.
             for j in 0..width {
                 for l in 0..rows_in {
-                    let (cols, v) = a.row(perm[s0 + l] as usize);
+                    let (cols, v) = a.row(widen(perm[s0 + l]));
                     if j < cols.len() {
                         // xsc-lint: allow(A01, reason = "col < ncols <= u32::MAX per check_compact_bounds")
                         col_idx.push(cols[j] as u32);
@@ -170,7 +172,7 @@ impl<T: Scalar> SellCSigma<T> {
         if self.nnz == 0 {
             1.0
         } else {
-            self.padded_slots() as f64 / self.nnz as f64
+            count_f64(self.padded_slots() as u64) / count_f64(self.nnz as u64)
         }
     }
 
@@ -193,7 +195,7 @@ impl<T: Scalar> SellCSigma<T> {
     pub fn column_sums(&self) -> Vec<T> {
         let mut c = vec![T::zero(); self.ncols];
         for (k, &j) in self.col_idx.iter().enumerate() {
-            c[j as usize] += self.vals[k];
+            c[widen(j)] += self.vals[k];
         }
         c
     }
@@ -205,14 +207,14 @@ impl<T: Scalar> SellCSigma<T> {
     /// Folds `f` over the real entries of original row `i` in CSR order.
     #[inline]
     fn for_row(&self, i: usize, mut f: impl FnMut(usize, T)) {
-        let slot = self.inv[i] as usize;
+        let slot = widen(self.inv[i]);
         let ch = slot / self.c;
         let lane = slot - ch * self.c;
         let rows_in = (self.nrows - ch * self.c).min(self.c);
         let base = self.chunk_off[ch];
-        for j in 0..self.row_len[slot] as usize {
+        for j in 0..widen(self.row_len[slot]) {
             let k = base + j * rows_in + lane;
-            f(self.col_idx[k] as usize, self.vals[k]);
+            f(widen(self.col_idx[k]), self.vals[k]);
         }
     }
 
@@ -229,7 +231,7 @@ impl<T: Scalar> SellCSigma<T> {
             let row_base = base + j * rows_in;
             for (l, acc) in accs.iter_mut().enumerate() {
                 let k = row_base + l;
-                *acc = self.vals[k].mul_add(x[self.col_idx[k] as usize], *acc);
+                *acc = self.vals[k].mul_add(x[widen(self.col_idx[k])], *acc);
             }
         }
         accs
@@ -258,7 +260,7 @@ impl<T: Scalar> SellCSigma<T> {
             let accs = self.chunk_accs(ch, x);
             let s0 = ch * self.c;
             for (l, acc) in accs.into_iter().enumerate() {
-                y[self.perm[s0 + l] as usize] = acc;
+                y[widen(self.perm[s0 + l])] = acc;
             }
         }
     }
@@ -276,7 +278,7 @@ impl<T: Scalar> SellCSigma<T> {
         for (ch, accs) in per_chunk.into_iter().enumerate() {
             let s0 = ch * self.c;
             for (l, acc) in accs.into_iter().enumerate() {
-                y[self.perm[s0 + l] as usize] = acc;
+                y[widen(self.perm[s0 + l])] = acc;
             }
         }
     }

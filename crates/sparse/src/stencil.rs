@@ -91,6 +91,7 @@ pub fn build_matrix(g: Geometry) -> CsrMatrix<f64> {
                             {
                                 continue;
                             }
+                            // xsc-lint: allow(X01, reason = "i64 -> usize after the 0 <= j < n bound check above; idx::widen is u32-only")
                             let col = g.index(jx as usize, jy as usize, jz as usize);
                             let v = if col == row { 26.0 } else { -1.0 };
                             trips.push((row, col, v));
